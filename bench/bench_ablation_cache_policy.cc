@@ -1,0 +1,54 @@
+// Ablation: the paper's conservative all-or-nothing cache admission vs the
+// greedy partial-prefetch alternative it rejected (Section 2, backed by the
+// companion Markov analysis at one run per disk and unit fetches).
+//
+// Measured outcome in this simulator: at N = 1 — the setting the paper's
+// analysis actually covers — the two policies are equivalent to within
+// noise, with conservative marginally ahead at larger caches. At N > 1 the
+// greedy policy *wins* on total time, because its partial multi-block
+// fetches still amortize seek and latency while conservative degrades to
+// single-block demand fetches. This is documented as a deviation in
+// EXPERIMENTS.md: the paper compared average I/O parallelism, not total
+// time, and only analyzed unit-depth fetches.
+
+#include "bench_util.h"
+#include "util/str.h"
+
+int main() {
+  using namespace emsim;
+  using core::AdmissionPolicy;
+  using core::MergeConfig;
+  using core::Strategy;
+  using core::SyncMode;
+  using stats::Table;
+
+  bench::Banner("Ablation A-POL: cache admission policy",
+                "All Disks One Run, unsynchronized, k=25, D=5; sweep cache\n"
+                "size at N=1 (the paper's analyzed case) and N=10.");
+
+  for (int n : {1, 10}) {
+    Table table({"cache (blocks)", "conservative (s)", "greedy (s)",
+                 "conservative succ", "greedy conc", "conservative conc"});
+    std::vector<int64_t> caches =
+        n == 1 ? std::vector<int64_t>{30, 50, 80, 120, 200}
+                : std::vector<int64_t>{100, 200, 300, 500, 700, 900};
+    for (int64_t c : caches) {
+      MergeConfig cfg =
+          MergeConfig::Paper(25, 5, n, Strategy::kAllDisksOneRun, SyncMode::kUnsynchronized);
+      cfg.cache_blocks = c;
+      auto conservative = bench::Run(cfg);
+      cfg.admission = AdmissionPolicy::kGreedy;
+      auto greedy = bench::Run(cfg);
+      table.AddRow({Table::Cell(static_cast<double>(c), 0), bench::TimeCell(conservative),
+                    bench::TimeCell(greedy),
+                    Table::Cell(conservative.MeanSuccessRatio(), 3),
+                    Table::Cell(greedy.MeanConcurrency(), 3),
+                    Table::Cell(conservative.MeanConcurrency(), 3)});
+    }
+    bench::EmitTable(StrFormat("Admission policy at N=%d", n), table,
+                     n == 1 ? "policies statistically tied (paper's analyzed case)"
+                            : "greedy wins at depth: partial fetches keep seek "
+                              "amortization (deviation from the paper's conjecture)");
+  }
+  return 0;
+}

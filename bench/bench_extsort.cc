@@ -1,0 +1,129 @@
+// Extension X-SORT: the real external mergesort driving the timing
+// simulator. Records are generated, sorted into runs, and the *actual*
+// block-depletion order of the real k-way merge replaces the paper's random
+// depletion model; the simulator then times that trace under each
+// prefetching strategy. This checks that the paper's conclusions transfer
+// from the stochastic model to genuine merges.
+
+#include <utility>
+
+#include "bench_util.h"
+#include "core/merge_simulator.h"
+#include "extsort/external_sort.h"
+#include "util/str.h"
+#include "workload/record_generator.h"
+
+namespace emsim {
+namespace {
+
+using core::MergeConfig;
+using core::Strategy;
+using core::SyncMode;
+using stats::Table;
+using workload::KeyDistribution;
+
+struct TraceBundle {
+  std::vector<int> trace;
+  std::vector<int64_t> run_blocks;
+  size_t runs = 0;
+};
+
+TraceBundle BuildTrace(KeyDistribution dist, extsort::RunFormationStrategy strategy) {
+  workload::RecordGeneratorOptions gen_opt;
+  gen_opt.distribution = dist;
+  gen_opt.seed = 2026;
+  workload::RecordGenerator gen(gen_opt);
+  std::vector<extsort::Record> input;
+  const size_t n = 1000000;
+  input.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    input.push_back({gen.NextKey(), i});
+  }
+  extsort::MemoryBlockDevice scratch(1 << 16, 4096);
+  extsort::RunFormationOptions rf;
+  rf.memory_records = 40000;  // 25 load-sort runs of ~157 blocks each.
+  rf.strategy = strategy;
+  auto runs = extsort::FormRuns(input, &scratch, rf);
+  EMSIM_CHECK_MSG(runs.ok(), runs.status().ToString().c_str());
+  auto outcome = extsort::ExtractDepletionTrace(&scratch, runs->runs);
+  EMSIM_CHECK_MSG(outcome.ok(), outcome.status().ToString().c_str());
+  return {outcome->depletion_trace, outcome->run_blocks, runs->runs.size()};
+}
+
+double TimeTrace(const TraceBundle& bundle, Strategy strategy, int n, int64_t cache) {
+  MergeConfig cfg;
+  cfg.num_runs = static_cast<int>(bundle.runs);
+  cfg.num_disks = 5;
+  cfg.run_lengths = bundle.run_blocks;
+  cfg.prefetch_depth = n;
+  cfg.cache_blocks = cache;
+  cfg.strategy = strategy;
+  cfg.sync = SyncMode::kUnsynchronized;
+  cfg.depletion = core::DepletionKind::kTrace;
+  cfg.trace = bundle.trace;
+  auto result = core::SimulateMerge(cfg);
+  EMSIM_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return result->total_ms / 1e3;
+}
+
+const char* DistName(KeyDistribution dist) {
+  switch (dist) {
+    case KeyDistribution::kUniform:
+      return "uniform keys";
+    case KeyDistribution::kZipf:
+      return "zipf keys";
+    case KeyDistribution::kNearlySorted:
+      return "nearly-sorted keys";
+    case KeyDistribution::kReverseSorted:
+      return "reverse-sorted keys";
+  }
+  return "?";
+}
+
+}  // namespace
+}  // namespace emsim
+
+int main() {
+  using namespace emsim;
+  bench::Banner(
+      "Extension X-SORT: real external sort -> trace-driven timing",
+      "250k 16-byte records, load-sort runs (10k records each), real k-way\n"
+      "merge depletion traces timed on 5 disks at N in {1,10}. Expected\n"
+      "shape: All Disks One Run beats Demand Run Only on real traces too;\n"
+      "nearly-sorted input (disjoint ranges -> sequential depletion) is the\n"
+      "stress case for inter-run prefetching.");
+
+  // Fair comparison at equal memory: both strategies get the same cache
+  // (1000 blocks, ~1/4 of the ~3925-block dataset).
+  const int64_t kCache = 1000;
+  Table table({"key distribution", "runs", "DRO N=1 (s)", "DRO N=10 (s)",
+               "ADOR N=10 (s)", "ADOR speedup"});
+  for (auto dist : {workload::KeyDistribution::kUniform, workload::KeyDistribution::kZipf,
+                    workload::KeyDistribution::kNearlySorted}) {
+    auto bundle = BuildTrace(dist, extsort::RunFormationStrategy::kLoadSort);
+    double dro1 = TimeTrace(bundle, core::Strategy::kDemandRunOnly, 1,
+                            static_cast<int64_t>(bundle.runs));
+    double dro10 = TimeTrace(bundle, core::Strategy::kDemandRunOnly, 10, kCache);
+    double ador10 = TimeTrace(bundle, core::Strategy::kAllDisksOneRun, 10, kCache);
+    table.AddRow({DistName(dist), Table::Cell(static_cast<double>(bundle.runs), 0),
+                  Table::Cell(dro1), Table::Cell(dro10), Table::Cell(ador10),
+                  Table::Cell(dro10 / ador10, 2)});
+  }
+  bench::EmitTable("Real-merge traces under the paper's strategies (cache = 1000 blocks)",
+                   table);
+
+  // Replacement selection: fewer, longer, unequal runs.
+  auto rs = BuildTrace(workload::KeyDistribution::kUniform,
+                       extsort::RunFormationStrategy::kReplacementSelection);
+  auto ls = BuildTrace(workload::KeyDistribution::kUniform,
+                       extsort::RunFormationStrategy::kLoadSort);
+  Table table2({"run formation", "runs", "DRO N=10 (s)", "ADOR N=10 (s)"});
+  table2.AddRow({"load-sort", Table::Cell(static_cast<double>(ls.runs), 0),
+                 Table::Cell(TimeTrace(ls, core::Strategy::kDemandRunOnly, 10, kCache)),
+                 Table::Cell(TimeTrace(ls, core::Strategy::kAllDisksOneRun, 10, kCache))});
+  table2.AddRow({"replacement selection", Table::Cell(static_cast<double>(rs.runs), 0),
+                 Table::Cell(TimeTrace(rs, core::Strategy::kDemandRunOnly, 10, kCache)),
+                 Table::Cell(TimeTrace(rs, core::Strategy::kAllDisksOneRun, 10, kCache))});
+  bench::EmitTable("Run formation strategy (fewer, longer runs -> fewer seeks)", table2);
+  return 0;
+}

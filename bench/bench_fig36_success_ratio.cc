@@ -1,0 +1,49 @@
+// Reproduces Figure 3.6 (a), (b), (c): success ratio vs cache size for
+// inter-run prefetching at N = 1, 5, 10 — the probability that a demand
+// fetch finds room to prefetch from every disk.
+
+#include "bench_util.h"
+#include "util/str.h"
+#include "workload/paper_configs.h"
+
+namespace emsim {
+namespace {
+
+using core::MergeConfig;
+using core::Strategy;
+using core::SyncMode;
+
+void Panel(int k, int d) {
+  stats::Figure fig(
+      StrFormat("Figure 3.6: Effect of Cache Size: All Disks One Run (%d runs, %d disks)",
+                k, d),
+      "Cache Size (blocks)", "Success Ratio");
+  for (int n : {1, 5, 10}) {
+    stats::Series& series = fig.AddSeries("N=" + std::to_string(n));
+    for (int64_t c : workload::CacheSweep(k, d)) {
+      MergeConfig cfg =
+          MergeConfig::Paper(k, d, n, Strategy::kAllDisksOneRun, SyncMode::kUnsynchronized);
+      cfg.cache_blocks = c;
+      auto result = bench::Run(cfg);
+      auto ci = stats::MeanConfidence95(result.success_ratio);
+      series.Add(static_cast<double>(c), ci.mean, ci.half_width);
+    }
+  }
+  bench::EmitFigure(fig);
+}
+
+}  // namespace
+}  // namespace emsim
+
+int main() {
+  emsim::bench::Banner(
+      "Figure 3.6",
+      "Success ratio vs cache size: All Disks One Run, unsynchronized,\n"
+      "N in {1,5,10}. Expected shape: each curve rises from ~0 to 1; larger\n"
+      "N shifts the rise to larger caches (a DN-block batch needs more free\n"
+      "frames); the success=1 knee matches the Fig. 3.5 time asymptote.");
+  emsim::Panel(25, 5);
+  emsim::Panel(50, 5);
+  emsim::Panel(50, 10);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Google-benchmark microbenchmarks of the simulation substrate: event
+// calendar throughput, coroutine process switching, disk service pricing and
+// full merge-trial cost. These calibrate how much simulated work one wall
+// second buys (the figure benches run hundreds of trials).
+
+#include <benchmark/benchmark.h>
+
+#include "core/config.h"
+#include "core/merge_simulator.h"
+#include "disk/mechanism.h"
+#include "extsort/loser_tree.h"
+#include "sim/event.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace emsim {
+namespace {
+
+void BM_CalendarScheduleExecute(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int64_t counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.ScheduleCallback(static_cast<double>(i % 97), [&counter] { ++counter; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CalendarScheduleExecute);
+
+sim::Process Hopper(sim::Simulation& /*sim*/, int hops) {
+  for (int i = 0; i < hops; ++i) {
+    co_await sim::Delay(1.0);
+  }
+}
+
+void BM_CoroutineContextSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim.Spawn(Hopper(sim, 1000));
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineContextSwitch);
+
+void BM_MechanismAccess(benchmark::State& state) {
+  disk::Mechanism mech{disk::DiskParams::Paper()};
+  Rng rng(1);
+  int64_t block = 0;
+  for (auto _ : state) {
+    block = (block + 2048) % 60000;
+    benchmark::DoNotOptimize(mech.Access(block, 10, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MechanismAccess);
+
+void BM_LoserTreeReplay(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Rng rng(7);
+  extsort::LoserTree<uint64_t> tree(k);
+  for (int s = 0; s < k; ++s) {
+    tree.SetInitial(s, rng.Next64());
+  }
+  tree.Build();
+  for (auto _ : state) {
+    tree.ReplaceWinner(tree.WinnerItem() + rng.UniformInt(1024));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoserTreeReplay)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_FullMergeTrial(benchmark::State& state) {
+  core::MergeConfig cfg =
+      core::MergeConfig::Paper(25, 5, static_cast<int>(state.range(0)),
+                               core::Strategy::kAllDisksOneRun,
+                               core::SyncMode::kUnsynchronized);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    auto result = core::SimulateMerge(cfg);
+    benchmark::DoNotOptimize(result->total_ms);
+  }
+  state.SetItemsProcessed(state.iterations() * 25000);  // Blocks per trial.
+}
+BENCHMARK(BM_FullMergeTrial)->Arg(1)->Arg(10);
+
+}  // namespace
+}  // namespace emsim
+
+BENCHMARK_MAIN();

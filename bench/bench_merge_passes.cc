@@ -1,0 +1,94 @@
+// Extension: the fan-in vs prefetch-depth tradeoff. A fixed cache budget of
+// M blocks can buy merge width (fan-in F = M/N, fewer passes) or prefetch
+// depth (N, cheaper blocks within a pass). The paper studies one pass with
+// k given; this bench composes its per-pass model with the optimal
+// multi-pass schedule (merge_plan) to answer the planning question the
+// paper's introduction raises ("merged together in a small number of merge
+// passes").
+
+#include <vector>
+
+#include "bench_util.h"
+#include "extsort/merge_plan.h"
+#include "util/str.h"
+
+namespace emsim {
+namespace {
+
+using core::MergeConfig;
+using core::Strategy;
+using core::SyncMode;
+
+/// Simulated time of one merge step: runs with the given lengths, demand-
+/// run-only prefetching at depth n, cache = full memory budget.
+double StepSeconds(const std::vector<int64_t>& run_blocks, int n, int64_t memory) {
+  MergeConfig cfg;
+  cfg.num_runs = static_cast<int>(run_blocks.size());
+  cfg.num_disks = 5;
+  cfg.run_lengths = run_blocks;
+  cfg.prefetch_depth = n;
+  cfg.cache_blocks = memory;
+  cfg.strategy = Strategy::kDemandRunOnly;
+  cfg.sync = SyncMode::kUnsynchronized;
+  auto result = core::RunTrials(cfg, 3);
+  return result.total_ms.Mean() / 1e3;
+}
+
+}  // namespace
+}  // namespace emsim
+
+int main() {
+  using namespace emsim;
+  using stats::Table;
+
+  bench::Banner(
+      "Extension A-PASS: fan-in vs prefetch depth under a fixed memory budget",
+      "60 initial runs x 500 blocks on 5 disks, Demand Run Only,\n"
+      "unsynchronized. Fan-in F = M/N; F < 60 forces extra passes (optimal\n"
+      "Huffman schedule). Expected shape: a sweet spot — N too small wastes\n"
+      "the budget on width it cannot feed cheaply; N too large forces a\n"
+      "second pass that rereads everything.");
+
+  const int kRuns = 60;
+  const int64_t kBlocks = 500;
+  std::vector<int64_t> initial(kRuns, kBlocks);
+
+  for (int64_t memory : {int64_t{120}, int64_t{240}, int64_t{600}}) {
+    Table table({"N", "fan-in", "passes (depth)", "blocks moved", "time (s)"});
+    for (int n : {1, 2, 4, 8, 20, 40}) {
+      int fan_in = static_cast<int>(memory / n);
+      if (fan_in < 2) {
+        continue;
+      }
+      extsort::MergePlan plan = extsort::PlanMerge(initial, fan_in);
+
+      // Track per-node run sizes so each step's config is exact.
+      std::vector<int64_t> sizes = initial;
+      sizes.resize(initial.size() + plan.steps.size());
+      double total_s = 0;
+      if (plan.steps.empty()) {
+        total_s = StepSeconds(initial, n, memory);
+      }
+      for (const auto& step : plan.steps) {
+        std::vector<int64_t> inputs;
+        int64_t out = 0;
+        for (int idx : step.inputs) {
+          inputs.push_back(sizes[static_cast<size_t>(idx)]);
+          out += sizes[static_cast<size_t>(idx)];
+        }
+        sizes[static_cast<size_t>(step.output)] = out;
+        total_s += StepSeconds(inputs, n, memory);
+      }
+      table.AddRow({Table::Cell(n, 0), Table::Cell(fan_in, 0),
+                    StrFormat("%zu (%d)", plan.steps.size(), std::max(plan.depth, 1)),
+                    Table::Cell(static_cast<double>(std::max<int64_t>(
+                                    plan.blocks_moved, kRuns * kBlocks)),
+                                0),
+                    Table::Cell(total_s)});
+    }
+    bench::EmitTable(StrFormat("Memory budget M = %lld blocks",
+                               static_cast<long long>(memory)),
+                     table, "read I/O only (writes go to the separate set, per the paper)");
+  }
+  return 0;
+}

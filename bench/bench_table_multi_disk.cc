@@ -1,0 +1,99 @@
+// Reproduces the in-text Section 3.2 numbers for multiple disks with
+// demand-run-only prefetching: the no-prefetch baseline (eq. 3), the
+// synchronized intra-run times (eq. 4), the urn-game concurrency model and
+// the asymptotic unsynchronized estimates it yields.
+
+#include "analysis/equations.h"
+#include "analysis/model_params.h"
+#include "analysis/urn_game.h"
+#include "bench_util.h"
+#include "util/str.h"
+
+int main() {
+  using namespace emsim;
+  using analysis::ModelParams;
+  using core::MergeConfig;
+  using core::Strategy;
+  using core::SyncMode;
+  using stats::Table;
+
+  bench::Banner(
+      "Section 3.2 in-text table (multi-disk, Demand Run Only)",
+      "Paper values: no-prefetch 276 s (k25/D5) and 552.7 s (k50/D10);\n"
+      "intra sync N=10 85.3 s, N=30 71.2 s; urn overlaps 2.51/3.66/5.29;\n"
+      "unsync asymptotes 28.4 s (k25/D5/N30) and 38.9 s (k50/D10/N30).");
+
+  {
+    Table table({"config", "paper est (s)", "analytic (s)", "simulated (s)"});
+    struct Row {
+      int k, d, n;
+      SyncMode sync;
+      const char* paper;
+    };
+    const Row rows[] = {
+        {25, 5, 1, SyncMode::kUnsynchronized, "276.4"},
+        {50, 10, 1, SyncMode::kUnsynchronized, "552.7"},
+        {25, 5, 10, SyncMode::kSynchronized, "85.3"},
+        {25, 5, 30, SyncMode::kSynchronized, "71.2"},
+        {50, 10, 30, SyncMode::kSynchronized, "142.4"},
+    };
+    for (const Row& row : rows) {
+      ModelParams p = ModelParams::Paper(row.k, row.d);
+      double analytic =
+          analysis::TotalMs(p, row.n == 1 ? analysis::Eq3NoPrefetchMultiDisk(p)
+                                          : analysis::Eq4IntraRunMultiDiskSync(p, row.n)) /
+          1e3;
+      MergeConfig cfg =
+          MergeConfig::Paper(row.k, row.d, row.n, Strategy::kDemandRunOnly, row.sync);
+      auto result = bench::Run(cfg);
+      table.AddRow({StrFormat("k=%d D=%d N=%d %s", row.k, row.d, row.n,
+                              row.sync == SyncMode::kSynchronized ? "sync" : "unsync"),
+                    row.paper, Table::Cell(analytic), bench::TimeCell(result)});
+    }
+    bench::EmitTable("Eq.3 / Eq.4: analytic vs simulated", table);
+  }
+
+  {
+    Table table({"D", "urn E[len] exact", "sqrt(piD/2)-1/3", "paper", "measured concurrency"});
+    struct Row {
+      int d;
+      const char* paper;
+    };
+    for (const Row& row : {Row{5, "2.51"}, Row{10, "3.66"}, Row{20, "5.29"}}) {
+      analysis::UrnGame game(row.d);
+      // Measure with a large N so the asymptotic model applies; k = 5D runs.
+      MergeConfig cfg = MergeConfig::Paper(5 * row.d, row.d, 50, Strategy::kDemandRunOnly,
+                                           SyncMode::kUnsynchronized);
+      cfg.blocks_per_run = 500;
+      auto result = bench::Run(cfg);
+      table.AddRow({Table::Cell(row.d, 0), Table::Cell(game.ExpectedLength(), 3),
+                    Table::Cell(game.AsymptoticLength(), 3), row.paper,
+                    Table::Cell(result.MeanConcurrency(), 3)});
+    }
+    bench::EmitTable(
+        "Urn-game concurrency vs measured disk overlap (N=50)", table,
+        "measured concurrency approaches the urn value from below as N grows");
+  }
+
+  {
+    Table table({"config", "paper est (s)", "eq.4/urn (s)", "simulated unsync (s)"});
+    struct Row {
+      int k, d, n;
+      const char* paper;
+    };
+    for (const Row& row : {Row{25, 5, 30, "28.4"}, Row{50, 10, 30, "38.9"}}) {
+      ModelParams p = ModelParams::Paper(row.k, row.d);
+      double asym = analysis::TotalMs(p, analysis::Eq4IntraRunMultiDiskSync(p, row.n)) /
+                    analysis::UnsyncSpeedupFactor(row.d) / 1e3;
+      MergeConfig cfg = MergeConfig::Paper(row.k, row.d, row.n, Strategy::kDemandRunOnly,
+                                           SyncMode::kUnsynchronized);
+      auto result = bench::Run(cfg);
+      table.AddRow({StrFormat("k=%d D=%d N=%d", row.k, row.d, row.n), row.paper,
+                    Table::Cell(asym), bench::TimeCell(result)});
+    }
+    bench::EmitTable("Unsynchronized intra-run: asymptotic model vs simulation", table,
+                     "paper reports the same gap: simulated N=30 sits above the "
+                     "large-N asymptote (29.x vs 28.4 in the paper)");
+  }
+  return 0;
+}

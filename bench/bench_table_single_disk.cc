@@ -1,0 +1,48 @@
+// Reproduces the in-text Section 3.1 numbers (single disk): the Kwan-Baer
+// no-prefetching baseline and intra-run prefetching, analytic vs simulated,
+// for k = 25 and k = 50 runs.
+
+#include "analysis/equations.h"
+#include "analysis/model_params.h"
+#include "bench_util.h"
+#include "util/str.h"
+
+int main() {
+  using namespace emsim;
+  using analysis::ModelParams;
+  using core::MergeConfig;
+  using core::Strategy;
+  using core::SyncMode;
+  using stats::Table;
+
+  bench::Banner("Section 3.1 in-text table (single disk)",
+                "No-prefetch baseline and intra-run prefetching on one disk.\n"
+                "Paper values: k=25 est 292.5 s; k=50 est 625 s; N=10 -> 86.9 /\n"
+                "177.9 s; N=30 above the transfer bound 64.1 / 128.2 s.");
+
+  Table table({"config", "paper est (s)", "analytic (s)", "simulated (s)", "sim/analytic"});
+  struct Row {
+    int k, n;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {25, 1, "292.5"}, {50, 1, "625"},   {25, 10, "86.9"},
+      {50, 10, "177.9"}, {25, 30, "~66"}, {50, 30, "~135"},
+  };
+  for (const Row& row : rows) {
+    ModelParams p = ModelParams::Paper(row.k, 1);
+    double analytic = analysis::TotalMs(
+        p, row.n == 1 ? analysis::Eq1NoPrefetchSingleDisk(p)
+                      : analysis::Eq2IntraRunSingleDisk(p, row.n)) /
+                      1e3;
+    MergeConfig cfg = MergeConfig::Paper(row.k, 1, row.n, Strategy::kDemandRunOnly,
+                                         SyncMode::kUnsynchronized);
+    auto result = bench::Run(cfg);
+    table.AddRow({StrFormat("k=%d N=%d", row.k, row.n), row.paper,
+                  Table::Cell(analytic), bench::TimeCell(result),
+                  Table::Cell(result.MeanTotalSeconds() / analytic, 3)});
+  }
+  bench::EmitTable("Single disk: analytic vs simulated", table,
+                   "transfer-time lower bounds: 64.1 s (k=25), 128.2 s (k=50)");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Baseline comparison from the paper's foundation: Kwan & Baer studied the
+// I/O performance of multiway mergesort AND tag sort. This bench reruns
+// that comparison on this repository's substrate: both sorters run on
+// timed block devices (the paper's disk), and the simulated I/O time is
+// reported across record sizes. Expected shape (Kwan & Baer's result):
+// tag sort's smaller sorted volume cannot compensate for its random-read
+// permutation pass, and mergesort wins except at very large records with a
+// generous permute cache.
+
+#include <cstring>
+
+#include "bench_util.h"
+#include "extsort/packed_sort.h"
+#include "extsort/tag_sort.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace emsim {
+namespace {
+
+using extsort::MemoryBlockDevice;
+using extsort::PackedRecordFile;
+using extsort::TimedBlockDevice;
+using stats::Table;
+
+std::unique_ptr<TimedBlockDevice> TimedDevice(int64_t blocks, uint64_t seed) {
+  return std::make_unique<TimedBlockDevice>(
+      std::make_unique<MemoryBlockDevice>(blocks, 4096), disk::DiskParams::Paper(), seed);
+}
+
+}  // namespace
+}  // namespace emsim
+
+int main() {
+  using namespace emsim;
+  bench::Banner(
+      "Baseline B-TAG: mergesort vs tag sort (Kwan & Baer's comparison)",
+      "2 MB of packed records on the paper's disk (one arm per device);\n"
+      "mergesort: load-sort runs + one merge pass; tag sort: sort 16-byte\n"
+      "tags + random-read permutation (with/without a 64-block LRU).\n"
+      "Expected shape: mergesort wins at small records; tag sort's gap\n"
+      "narrows as records grow (tag volume shrinks relative to data).");
+
+  Table table({"record bytes", "records", "mergesort (s)", "tag sort (s)",
+               "tag sort +LRU64 (s)", "merge/tag"});
+  const size_t kTotalBytes = 2 << 20;
+  for (size_t record_bytes : {size_t{16}, size_t{64}, size_t{256}, size_t{1024}}) {
+    size_t count = kTotalBytes / record_bytes;
+    // Build identical inputs on three timed devices.
+    Rng rng(record_bytes);
+    std::vector<uint8_t> bytes(count * record_bytes, 0);
+    for (size_t i = 0; i < count; ++i) {
+      uint64_t key = rng.Next64();
+      std::memcpy(bytes.data() + i * record_bytes, &key, 8);
+    }
+
+    auto run_merge = [&]() {
+      auto input = TimedDevice(4096, 1);
+      auto scratch = TimedDevice(4096, 2);
+      auto output = TimedDevice(4096, 3);
+      PackedRecordFile file(input.get(), record_bytes);
+      EMSIM_CHECK(file.WriteAll(bytes, count).ok());
+      input->ResetClock();
+      extsort::PackedSortOptions options;
+      options.record_bytes = record_bytes;
+      options.memory_records = 64 * (4096 / record_bytes);  // 64-block workspace.
+      options.reader_buffer_blocks = 4;
+      auto stats = extsort::PackedExternalSorter(options).Sort(input.get(), count,
+                                                               scratch.get(), output.get());
+      EMSIM_CHECK_MSG(stats.ok(), stats.status().ToString().c_str());
+      return (input->elapsed_ms() + scratch->elapsed_ms() + output->elapsed_ms()) / 1e3;
+    };
+
+    auto run_tag = [&](size_t lru_blocks) {
+      auto input = TimedDevice(4096, 1);
+      auto scratch = TimedDevice(4096, 2);
+      auto output = TimedDevice(4096, 3);
+      PackedRecordFile file(input.get(), record_bytes);
+      EMSIM_CHECK(file.WriteAll(bytes, count).ok());
+      input->ResetClock();
+      extsort::TagSortOptions options;
+      options.record_bytes = record_bytes;
+      options.tag_memory_records = 64 * 255;  // Same 64-block workspace.
+      options.permute_cache_blocks = lru_blocks;
+      auto stats = extsort::TagSorter(options).Sort(input.get(), count, scratch.get(),
+                                                    output.get());
+      EMSIM_CHECK_MSG(stats.ok(), stats.status().ToString().c_str());
+      return (input->elapsed_ms() + scratch->elapsed_ms() + output->elapsed_ms()) / 1e3;
+    };
+
+    double merge_s = run_merge();
+    double tag_s = run_tag(0);
+    double tag_lru_s = run_tag(64);
+    table.AddRow({Table::Cell(static_cast<double>(record_bytes), 0),
+                  Table::Cell(static_cast<double>(count), 0), Table::Cell(merge_s),
+                  Table::Cell(tag_s), Table::Cell(tag_lru_s),
+                  StrFormat("%.2fx", merge_s / tag_s)});
+  }
+  bench::EmitTable("Simulated single-arm I/O time, 2 MB of data", table);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Validation sweep for the paper's urn-game concurrency model: measured
+// unsynchronized intra-run disk overlap vs the exact urn expectation and the
+// asymptotic sqrt(pi D / 2) - 1/3 form, for D = 2..32 disks. The paper's
+// headline here is that concurrency grows only as sqrt(D), far below D.
+
+#include "analysis/urn_game.h"
+#include "bench_util.h"
+#include "util/str.h"
+
+int main() {
+  using namespace emsim;
+  using core::MergeConfig;
+  using core::Strategy;
+  using core::SyncMode;
+  using stats::Table;
+
+  bench::Banner("Urn-game concurrency sweep (analysis validation)",
+                "Unsynchronized Demand Run Only with large N; k = 5D runs.\n"
+                "Expected shape: measured overlap tracks the exact urn value\n"
+                "(well below the D upper bound) and the asymptotic formula\n"
+                "converges to the exact value as D grows.");
+
+  Table table({"D", "best possible", "urn exact", "sqrt(piD/2)-1/3", "measured",
+               "measured/urn"});
+  for (int d : {2, 3, 5, 8, 10, 16, 20, 32}) {
+    analysis::UrnGame game(d);
+    MergeConfig cfg = MergeConfig::Paper(5 * d, d, 50, Strategy::kDemandRunOnly,
+                                         SyncMode::kUnsynchronized);
+    cfg.blocks_per_run = 400;
+    auto result = bench::Run(cfg);
+    double measured = result.MeanConcurrency();
+    table.AddRow({Table::Cell(d, 0), Table::Cell(d, 0),
+                  Table::Cell(game.ExpectedLength(), 3),
+                  Table::Cell(game.AsymptoticLength(), 3), Table::Cell(measured, 3),
+                  Table::Cell(measured / game.ExpectedLength(), 3)});
+  }
+  bench::EmitTable("Measured disk overlap vs urn-game model", table,
+                   "finite N keeps the measurement slightly below the model; "
+                   "the sqrt(D) scaling (not D) is the key shape");
+  return 0;
+}

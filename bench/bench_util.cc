@@ -1,0 +1,43 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "stats/ascii_chart.h"
+#include "util/str.h"
+
+namespace emsim::bench {
+
+core::ExperimentResult Run(const core::MergeConfig& config) {
+  return core::RunTrialsParallel(config, kTrials);
+}
+
+void EmitFigure(const stats::Figure& figure) {
+  std::printf("%s\n", figure.ToTable().c_str());
+  std::printf("%s\n", stats::RenderAsciiChart(figure).c_str());
+  std::printf("--- CSV ---\n%s\n", figure.ToCsv().c_str());
+}
+
+void EmitTable(const std::string& title, const stats::Table& table,
+               const std::string& note) {
+  std::printf("== %s ==\n%s", title.c_str(), table.ToString().c_str());
+  if (!note.empty()) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  std::printf("\n");
+}
+
+void Banner(const std::string& experiment_id, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("emsim reproduction | %s\n", experiment_id.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("disk: S=0.01 ms/cyl, R=8.33 ms, T=2.5641 ms/block, 1000 blocks/run\n");
+  std::printf("trials per point: %d (mean reported, ±95%% CI where shown)\n", kTrials);
+  std::printf("==============================================================\n\n");
+}
+
+std::string TimeCell(const core::ExperimentResult& result) {
+  auto ci = result.TotalSecondsCi();
+  return StrFormat("%.2f ±%.2f", ci.mean, ci.half_width);
+}
+
+}  // namespace emsim::bench

@@ -1,0 +1,35 @@
+#ifndef EMSIM_BENCH_BENCH_UTIL_H_
+#define EMSIM_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include "core/config.h"
+#include "core/experiment.h"
+#include "stats/series.h"
+#include "stats/table.h"
+
+namespace emsim::bench {
+
+/// Number of averaged trials per experiment point (paper's count is
+/// OCR-lost; 5 keeps every bench binary under a minute).
+inline constexpr int kTrials = 5;
+
+/// Runs the config for kTrials trials and returns the aggregate.
+core::ExperimentResult Run(const core::MergeConfig& config);
+
+/// Prints a figure (table + CSV) with a standard banner.
+void EmitFigure(const stats::Figure& figure);
+
+/// Prints a paper-vs-measured table with a banner and a shape note.
+void EmitTable(const std::string& title, const stats::Table& table,
+               const std::string& note = "");
+
+/// Standard banner for a bench binary.
+void Banner(const std::string& experiment_id, const std::string& what);
+
+/// Formats "x.xx ±y.yy" seconds from an experiment aggregate.
+std::string TimeCell(const core::ExperimentResult& result);
+
+}  // namespace emsim::bench
+
+#endif  // EMSIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,129 @@
+// Capacity planner: the inverse problem a practitioner actually faces —
+// "I must merge k runs within a time budget; how many disks, how deep a
+// prefetch, and how much cache memory do I need?" Uses the analytic models
+// to shortlist candidates and the simulator to confirm, searching the
+// smallest cache meeting the target.
+//
+//   $ ./capacity_planner [--runs K] [--target SECONDS] [--max-disks D]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "analysis/equations.h"
+#include "analysis/model_params.h"
+#include "core/config.h"
+#include "core/experiment.h"
+#include "stats/table.h"
+#include "util/str.h"
+
+using namespace emsim;
+
+namespace {
+
+struct Plan {
+  int disks;
+  int n;
+  int64_t cache;
+  double seconds;
+  double success;
+};
+
+/// Smallest cache (binary search, in steps of k blocks) whose simulated time
+/// meets `target_s`, or nullopt if even the ample cache misses it.
+std::optional<Plan> PlanFor(int runs, int disks, int n, double target_s) {
+  core::MergeConfig cfg = core::MergeConfig::Paper(
+      runs, disks, n, core::Strategy::kAllDisksOneRun, core::SyncMode::kUnsynchronized);
+  int64_t hi = cfg.EffectiveCacheBlocks();
+  auto evaluate = [&](int64_t cache) {
+    core::MergeConfig c = cfg;
+    c.cache_blocks = cache;
+    return core::RunTrials(c, 3);
+  };
+  auto at_hi = evaluate(hi);
+  if (at_hi.MeanTotalSeconds() > target_s) {
+    return std::nullopt;
+  }
+  int64_t lo = runs;  // Minimum legal cache.
+  while (hi - lo > runs) {
+    int64_t mid = lo + (hi - lo) / 2;
+    if (evaluate(mid).MeanTotalSeconds() <= target_s) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  auto final_result = evaluate(hi);
+  return Plan{disks, n, hi, final_result.MeanTotalSeconds(),
+              final_result.MeanSuccessRatio()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int runs = 25;
+  double target_s = 25.0;
+  int max_disks = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      runs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--target") == 0 && i + 1 < argc) {
+      target_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-disks") == 0 && i + 1 < argc) {
+      max_disks = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: capacity_planner [--runs K] [--target SECONDS] "
+                   "[--max-disks D]\n");
+      return 2;
+    }
+  }
+
+  std::printf("planning: merge %d runs x 1000 blocks within %.1f s (<= %d disks)\n\n", runs,
+              target_s, max_disks);
+
+  // Analytic feasibility: even infinite cache and N cannot beat B*T/D.
+  stats::Table feasibility({"disks", "transfer bound (s)", "eq.5 @ N=10 (s)", "feasible"});
+  for (int d = 1; d <= max_disks; d = d < 5 ? d + 1 : d + 5) {
+    analysis::ModelParams p = analysis::ModelParams::Paper(runs, d);
+    double bound = analysis::TotalMs(p, analysis::LowerBoundPerBlockMultiDisk(p)) / 1e3;
+    double eq5 = analysis::TotalMs(p, analysis::Eq5InterRunSync(p, 10)) / 1e3;
+    feasibility.AddRow({stats::Table::Cell(d, 0), stats::Table::Cell(bound),
+                        stats::Table::Cell(eq5), bound <= target_s ? "yes" : "no"});
+  }
+  std::printf("%s\n", feasibility.ToString().c_str());
+
+  // Search: fewest disks first, then smallest cache.
+  stats::Table plans({"disks", "N", "cache (blocks)", "cache (MB)", "time (s)", "success"});
+  bool found = false;
+  for (int d = 1; d <= max_disks && !found; ++d) {
+    analysis::ModelParams p = analysis::ModelParams::Paper(runs, d);
+    double bound = analysis::TotalMs(p, analysis::LowerBoundPerBlockMultiDisk(p)) / 1e3;
+    if (bound > target_s) {
+      continue;  // Analytically impossible; skip the simulation.
+    }
+    for (int n : {5, 10, 20, 30}) {
+      auto plan = PlanFor(runs, d, n, target_s);
+      if (plan.has_value()) {
+        plans.AddRow({stats::Table::Cell(plan->disks, 0), stats::Table::Cell(plan->n, 0),
+                      stats::Table::Cell(static_cast<double>(plan->cache), 0),
+                      stats::Table::Cell(plan->cache * 4096 / 1e6, 1),
+                      stats::Table::Cell(plan->seconds), stats::Table::Cell(plan->success, 3)});
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    std::printf("no configuration with <= %d disks meets %.1f s; the transfer bound "
+                "rules it out or N up to 30 is insufficient.\n",
+                max_disks, target_s);
+    return 1;
+  }
+  std::printf("candidate plans (fewest disks, smallest cache meeting the target):\n%s",
+              plans.ToString().c_str());
+  std::printf("\npick the row with the fewest disks; cache sizes are the binary-search\n"
+              "minimum, so budget some slack in production.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// External sort demo: the library is not only a simulator — it contains a
+// complete external mergesort. This demo sorts one million records on
+// in-memory block devices, verifies the result, accounts simulated disk
+// time for the full job, and then shows the bridge to the paper: the real
+// merge's block-depletion trace timed under both prefetching strategies.
+//
+//   $ ./external_sort_demo [zipf|uniform|sorted|reverse]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/merge_simulator.h"
+#include "extsort/external_sort.h"
+#include "workload/record_generator.h"
+
+using namespace emsim;
+
+int main(int argc, char** argv) {
+  workload::RecordGeneratorOptions gen_opt;
+  gen_opt.seed = 7;
+  std::string dist = argc > 1 ? argv[1] : "uniform";
+  if (dist == "zipf") {
+    gen_opt.distribution = workload::KeyDistribution::kZipf;
+  } else if (dist == "sorted") {
+    gen_opt.distribution = workload::KeyDistribution::kNearlySorted;
+  } else if (dist == "reverse") {
+    gen_opt.distribution = workload::KeyDistribution::kReverseSorted;
+  } else if (dist != "uniform") {
+    std::fprintf(stderr, "usage: external_sort_demo [zipf|uniform|sorted|reverse]\n");
+    return 2;
+  }
+
+  // 1. Generate one million 16-byte records.
+  const size_t kRecords = 1000000;
+  workload::RecordGenerator gen(gen_opt);
+  std::vector<extsort::Record> input;
+  input.reserve(kRecords);
+  for (size_t i = 0; i < kRecords; ++i) {
+    input.push_back({gen.NextKey(), i});
+  }
+  std::printf("sorting %zu records with %s keys (%.1f MB)\n", kRecords, dist.c_str(),
+              kRecords * sizeof(extsort::Record) / 1e6);
+
+  // 2. Sort over block devices with simulated disk-time accounting.
+  auto scratch = std::make_unique<extsort::TimedBlockDevice>(
+      std::make_unique<extsort::MemoryBlockDevice>(1 << 16, 4096),
+      disk::DiskParams::Paper(), /*seed=*/1);
+  auto output = std::make_unique<extsort::TimedBlockDevice>(
+      std::make_unique<extsort::MemoryBlockDevice>(1 << 13, 4096),
+      disk::DiskParams::Paper(), /*seed=*/2);
+
+  extsort::ExternalSortOptions options;
+  options.run_formation.memory_records = 40000;  // ~640 KB sort workspace.
+  options.run_formation.strategy = extsort::RunFormationStrategy::kReplacementSelection;
+  options.merge.reader_buffer_blocks = 10;  // Intra-run prefetch depth.
+
+  extsort::ExternalSorter sorter(options);
+  auto result = sorter.Sort(input, scratch.get(), output.get());
+  if (!result.ok()) {
+    std::fprintf(stderr, "sort failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Verify.
+  auto sorted = extsort::ExternalSorter::ReadRun(output.get(), result->merge.output);
+  if (!sorted.ok() || !extsort::IsSorted(*sorted) || sorted->size() != kRecords) {
+    std::fprintf(stderr, "verification FAILED\n");
+    return 1;
+  }
+  std::printf("verified: output of %zu records is sorted\n\n", sorted->size());
+
+  std::printf("run formation (replacement selection): %zu initial runs\n",
+              result->initial_runs.size());
+  int64_t min_blocks = result->initial_runs.front().num_blocks;
+  int64_t max_blocks = min_blocks;
+  for (const auto& run : result->initial_runs) {
+    min_blocks = std::min(min_blocks, run.num_blocks);
+    max_blocks = std::max(max_blocks, run.num_blocks);
+  }
+  std::printf("run lengths: %lld..%lld blocks (unequal runs, as replacement "
+              "selection produces)\n",
+              static_cast<long long>(min_blocks), static_cast<long long>(max_blocks));
+  std::printf("device I/O: %llu reads, %llu writes\n",
+              static_cast<unsigned long long>(result->device_reads),
+              static_cast<unsigned long long>(result->device_writes));
+  std::printf("single-arm simulated disk time: scratch %.2f s, output %.2f s\n\n",
+              scratch->elapsed_ms() / 1e3, output->elapsed_ms() / 1e3);
+
+  // 4. The bridge to the paper: time the real merge's depletion trace on a
+  //    5-disk array under both prefetching strategies.
+  core::MergeConfig cfg;
+  cfg.num_runs = static_cast<int>(result->merge.run_blocks.size());
+  cfg.num_disks = 5;
+  cfg.run_lengths = result->merge.run_blocks;
+  cfg.prefetch_depth = 10;
+  cfg.depletion = core::DepletionKind::kTrace;
+  cfg.trace = result->merge.depletion_trace;
+  cfg.sync = core::SyncMode::kUnsynchronized;
+
+  cfg.strategy = core::Strategy::kDemandRunOnly;
+  auto demand = core::SimulateMerge(cfg);
+  cfg.strategy = core::Strategy::kAllDisksOneRun;
+  auto ador = core::SimulateMerge(cfg);
+  if (!demand.ok() || !ador.ok()) {
+    std::fprintf(stderr, "trace simulation failed\n");
+    return 1;
+  }
+  std::printf("merge phase on 5 disks (real depletion trace, N=10):\n");
+  std::printf("  Demand Run Only:   %.2f s\n", demand->total_ms / 1e3);
+  std::printf("  All Disks One Run: %.2f s (%.2f disks busy on average)\n",
+              ador->total_ms / 1e3, ador->avg_concurrency);
+  std::printf("  -> inter-run prefetching is %.2fx faster on this data\n",
+              demand->total_ms / ador->total_ms);
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Strategy explorer: sweep the prefetching design space for YOUR merge
+// configuration and print a ranked comparison. A small command-line tool
+// over the library's public API.
+//
+//   $ ./strategy_explorer [--runs K] [--disks D] [--blocks B] [--cache C]
+//                         [--cpu MS] [--trials T]
+//
+// With --cache the sweep holds the cache budget fixed (the realistic
+// planning constraint); otherwise every strategy gets its ample default.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/experiment.h"
+#include "stats/table.h"
+#include "util/str.h"
+
+using namespace emsim;
+
+namespace {
+
+struct Args {
+  int runs = 25;
+  int disks = 5;
+  int64_t blocks = 1000;
+  int64_t cache = core::MergeConfig::kAutoCache;
+  double cpu_ms = 0.0;
+  int trials = 3;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* value = nullptr;
+    if (std::strcmp(argv[i], "--runs") == 0) {
+      if ((value = need_value("--runs")) == nullptr) return false;
+      args->runs = std::atoi(value);
+    } else if (std::strcmp(argv[i], "--disks") == 0) {
+      if ((value = need_value("--disks")) == nullptr) return false;
+      args->disks = std::atoi(value);
+    } else if (std::strcmp(argv[i], "--blocks") == 0) {
+      if ((value = need_value("--blocks")) == nullptr) return false;
+      args->blocks = std::atoll(value);
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      if ((value = need_value("--cache")) == nullptr) return false;
+      args->cache = std::atoll(value);
+    } else if (std::strcmp(argv[i], "--cpu") == 0) {
+      if ((value = need_value("--cpu")) == nullptr) return false;
+      args->cpu_ms = std::atof(value);
+    } else if (std::strcmp(argv[i], "--trials") == 0) {
+      if ((value = need_value("--trials")) == nullptr) return false;
+      args->trials = std::atoi(value);
+    } else {
+      std::fprintf(stderr,
+                   "usage: strategy_explorer [--runs K] [--disks D] [--blocks B] "
+                   "[--cache C] [--cpu MS] [--trials T]\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return 2;
+  }
+
+  std::printf("exploring k=%d runs x %lld blocks over D=%d disks (cache %s, cpu %.2f ms/blk)\n\n",
+              args.runs, static_cast<long long>(args.blocks), args.disks,
+              args.cache == core::MergeConfig::kAutoCache
+                  ? "auto"
+                  : StrFormat("%lld", static_cast<long long>(args.cache)).c_str(),
+              args.cpu_ms);
+
+  stats::Table table({"strategy", "N", "sync", "cache", "time (s)", "success",
+                      "disks busy", "vs best"});
+  struct Row {
+    std::string strategy;
+    int n;
+    std::string sync;
+    int64_t cache;
+    double seconds;
+    double success;
+    double concurrency;
+  };
+  std::vector<Row> rows;
+
+  for (auto strategy : {core::Strategy::kDemandRunOnly, core::Strategy::kAllDisksOneRun}) {
+    for (int n : {1, 5, 10, 20}) {
+      if (n > args.blocks) {
+        continue;
+      }
+      for (auto sync : {core::SyncMode::kSynchronized, core::SyncMode::kUnsynchronized}) {
+        core::MergeConfig cfg = core::MergeConfig::Paper(args.runs, args.disks, n,
+                                                         strategy, sync);
+        cfg.blocks_per_run = args.blocks;
+        cfg.cache_blocks = args.cache;
+        cfg.cpu_ms_per_block = args.cpu_ms;
+        if (!cfg.Validate().ok()) {
+          continue;  // e.g. requested cache below k blocks.
+        }
+        auto result = core::RunTrials(cfg, args.trials);
+        rows.push_back({strategy == core::Strategy::kDemandRunOnly ? "Demand Run Only"
+                                                                   : "All Disks One Run",
+                        n, sync == core::SyncMode::kSynchronized ? "sync" : "unsync",
+                        cfg.EffectiveCacheBlocks(), result.MeanTotalSeconds(),
+                        result.MeanSuccessRatio(), result.MeanConcurrency()});
+      }
+    }
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "no feasible configuration (cache too small?)\n");
+    return 1;
+  }
+
+  double best = rows.front().seconds;
+  for (const Row& row : rows) {
+    best = std::min(best, row.seconds);
+  }
+  for (const Row& row : rows) {
+    table.AddRow({row.strategy, StrFormat("%d", row.n), row.sync,
+                  StrFormat("%lld", static_cast<long long>(row.cache)),
+                  stats::Table::Cell(row.seconds), stats::Table::Cell(row.success, 3),
+                  stats::Table::Cell(row.concurrency, 2),
+                  StrFormat("%.2fx", row.seconds / best)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

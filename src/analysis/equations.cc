@@ -1,0 +1,59 @@
+#include "analysis/equations.h"
+
+#include "util/check.h"
+
+namespace emsim::analysis {
+
+namespace {
+double SeekTermMs(const ModelParams& p, int n, int d) {
+  // m * (k / (3 n d)) * S — the average seek for one block when requests
+  // amortize the seek over n blocks and each disk holds k/d runs.
+  return p.run_cylinders * (static_cast<double>(p.num_runs) / (3.0 * n * d)) *
+         p.seek_ms_per_cylinder;
+}
+}  // namespace
+
+double Eq1NoPrefetchSingleDisk(const ModelParams& p) {
+  return SeekTermMs(p, 1, 1) + p.rotational_ms + p.transfer_ms;
+}
+
+double Eq2IntraRunSingleDisk(const ModelParams& p, int n) {
+  EMSIM_CHECK(n >= 1);
+  return SeekTermMs(p, n, 1) + p.rotational_ms / n + p.transfer_ms;
+}
+
+double Eq3NoPrefetchMultiDisk(const ModelParams& p) {
+  return SeekTermMs(p, 1, p.num_disks) + p.rotational_ms + p.transfer_ms;
+}
+
+double Eq4IntraRunMultiDiskSync(const ModelParams& p, int n) {
+  EMSIM_CHECK(n >= 1);
+  return SeekTermMs(p, n, p.num_disks) + p.rotational_ms / n + p.transfer_ms;
+}
+
+double Eq5InterRunSync(const ModelParams& p, int n) {
+  EMSIM_CHECK(n >= 1);
+  const double d = p.num_disks;
+  const double k = p.num_runs;
+  const double m = p.run_cylinders;
+  const double s = p.seek_ms_per_cylinder;
+  return m * k * s / (3.0 * n * d * d) +
+         2.0 * p.rotational_ms / (n * (d + 1.0)) + p.transfer_ms / d;
+}
+
+double ExpectedMaxUniform(double hi, int d) {
+  EMSIM_CHECK(d >= 1);
+  return hi * static_cast<double>(d) / (d + 1.0);
+}
+
+double LowerBoundPerBlockSingleDisk(const ModelParams& p) { return p.transfer_ms; }
+
+double LowerBoundPerBlockMultiDisk(const ModelParams& p) {
+  return p.transfer_ms / p.num_disks;
+}
+
+double TotalMs(const ModelParams& p, double per_block_ms) {
+  return per_block_ms * static_cast<double>(p.TotalBlocks());
+}
+
+}  // namespace emsim::analysis

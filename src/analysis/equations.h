@@ -1,0 +1,49 @@
+#ifndef EMSIM_ANALYSIS_EQUATIONS_H_
+#define EMSIM_ANALYSIS_EQUATIONS_H_
+
+#include "analysis/model_params.h"
+
+namespace emsim::analysis {
+
+/// The paper's closed-form average-time-per-block models (all in ms). Each
+/// function is the equation with the same number in Section 3 of the paper;
+/// multiply by the total block count for the merge's total I/O time.
+
+/// Eq. 1 — no prefetching, single disk (Kwan-Baer):
+///   tau = m (k/3) S + R + T
+double Eq1NoPrefetchSingleDisk(const ModelParams& p);
+
+/// Eq. 2 — intra-run prefetching of N blocks, single disk:
+///   tau = m (k/3N) S + R/N + T
+double Eq2IntraRunSingleDisk(const ModelParams& p, int n);
+
+/// Eq. 3 — no prefetching, D disks (seek shrinks, no overlap):
+///   tau = m (k/3D) S + R + T
+double Eq3NoPrefetchMultiDisk(const ModelParams& p);
+
+/// Eq. 4 — intra-run prefetching of N blocks, D disks, synchronized:
+///   tau = m (k/3ND) S + R/N + T
+double Eq4IntraRunMultiDiskSync(const ModelParams& p, int n);
+
+/// Eq. 5 — inter-run ("all disks one run") prefetching, synchronized, with
+/// success ratio ~= 1: the batch of ND blocks finishes when the slowest of
+/// the D disks does; with the seek replaced by its mean and rotational
+/// latency uniform on [0, 2R], E[max of D] = 2RD/(D+1):
+///   tau = m k S/(3 N D^2) + 2R/(N(D+1)) + T/D
+double Eq5InterRunSync(const ModelParams& p, int n);
+
+/// Expected maximum of `d` i.i.d. Uniform(0, hi) draws: hi * d / (d + 1).
+double ExpectedMaxUniform(double hi, int d);
+
+/// Lower bound on single-disk I/O time per block: T (pure transfer).
+double LowerBoundPerBlockSingleDisk(const ModelParams& p);
+
+/// Lower bound on D-disk I/O time per block: T/D (perfectly overlapped).
+double LowerBoundPerBlockMultiDisk(const ModelParams& p);
+
+/// Converts a per-block time to the total merge I/O time (ms).
+double TotalMs(const ModelParams& p, double per_block_ms);
+
+}  // namespace emsim::analysis
+
+#endif  // EMSIM_ANALYSIS_EQUATIONS_H_

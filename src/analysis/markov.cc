@@ -1,0 +1,208 @@
+#include "analysis/markov.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/check.h"
+
+namespace emsim::analysis {
+
+namespace {
+
+using State = std::vector<int>;  // Per-run cached counts, kept sorted ascending.
+using Dist = std::map<State, double>;
+
+State Sorted(State s) {
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+int Sum(const State& s) {
+  int total = 0;
+  for (int v : s) {
+    total += v;
+  }
+  return total;
+}
+
+/// Enumerates all index subsets of size `want` from `candidates`, invoking
+/// `fn(subset)` for each; used for the greedy policy's uniform choice of
+/// prefetch targets.
+void ForEachSubset(const std::vector<int>& candidates, int want,
+                   std::vector<int>& scratch,
+                   const std::function<void(const std::vector<int>&)>& fn,
+                   size_t start = 0) {
+  if (static_cast<int>(scratch.size()) == want) {
+    fn(scratch);
+    return;
+  }
+  for (size_t i = start; i < candidates.size(); ++i) {
+    if (candidates.size() - i < static_cast<size_t>(want) - scratch.size()) {
+      break;
+    }
+    scratch.push_back(candidates[i]);
+    ForEachSubset(candidates, want, scratch, fn, i + 1);
+    scratch.pop_back();
+  }
+}
+
+double Binomial(int n, int k) {
+  double result = 1;
+  for (int i = 0; i < k; ++i) {
+    result = result * (n - i) / (i + 1);
+  }
+  return result;
+}
+
+}  // namespace
+
+MarkovPrefetchModel::MarkovPrefetchModel(int num_disks, int cache_blocks)
+    : d_(num_disks), c_(cache_blocks) {
+  EMSIM_CHECK(num_disks >= 1);
+  EMSIM_CHECK(cache_blocks >= num_disks && "the cache must hold one block per run");
+  EMSIM_CHECK(num_disks <= 8 && cache_blocks <= 64 && "state space too large");
+}
+
+MarkovPrefetchModel::Solution MarkovPrefetchModel::Solve(Policy policy) const {
+  // Invariant: before every depletion step each run holds >= 1 cached block
+  // (a run that empties is refilled synchronously within the same step), so
+  // states have all entries >= 1 and sum <= C.
+  Dist pi;
+  pi[State(static_cast<size_t>(d_), 1)] = 1.0;
+
+  // One power-iteration step; also accumulates I/O metrics under `pi`.
+  auto step = [&](const Dist& from, Solution* metrics, double* io_weight) {
+    Dist to;
+    for (const auto& [state, prob] : from) {
+      // Pick the depleted run uniformly; group equal counts.
+      for (size_t i = 0; i < state.size(); ++i) {
+        if (i > 0 && state[i] == state[i - 1]) {
+          continue;  // Same multiset transition as the previous index.
+        }
+        int multiplicity = 0;
+        for (int v : state) {
+          multiplicity += v == state[i];
+        }
+        double branch = prob * multiplicity / d_;
+        State s = state;
+        s[i] -= 1;
+        if (s[i] > 0) {
+          to[Sorted(s)] += branch;
+          continue;
+        }
+        // I/O operation: run i is empty.
+        int free = c_ - Sum(s);
+        EMSIM_DCHECK(free >= 1);
+        if (policy == Policy::kConservative) {
+          int parallelism;
+          if (free >= d_) {
+            for (auto& v : s) {
+              v += 1;
+            }
+            parallelism = d_;
+          } else {
+            s[i] += 1;
+            parallelism = 1;
+          }
+          if (metrics != nullptr) {
+            metrics->parallelism += branch * parallelism;
+            metrics->success += branch * (parallelism == d_ ? 1.0 : 0.0);
+            *io_weight += branch;
+          }
+          to[Sorted(s)] += branch;
+        } else {
+          int m = std::min(d_, free);
+          s[i] += 1;
+          if (metrics != nullptr) {
+            metrics->parallelism += branch * m;
+            metrics->success += branch * (m == d_ ? 1.0 : 0.0);
+            *io_weight += branch;
+          }
+          if (m == 1) {
+            to[Sorted(s)] += branch;
+          } else {
+            // Choose m-1 of the other d-1 runs uniformly.
+            std::vector<int> others;
+            for (size_t j = 0; j < s.size(); ++j) {
+              if (j != i) {
+                others.push_back(static_cast<int>(j));
+              }
+            }
+            double per_subset = branch / Binomial(d_ - 1, m - 1);
+            std::vector<int> scratch;
+            ForEachSubset(others, m - 1, scratch, [&](const std::vector<int>& subset) {
+              State next = s;
+              for (int j : subset) {
+                next[static_cast<size_t>(j)] += 1;
+              }
+              to[Sorted(next)] += per_subset;
+            });
+          }
+        }
+      }
+    }
+    return to;
+  };
+
+  // Power iteration with 1/2 damping to kill periodicity.
+  for (int iter = 0; iter < 2000; ++iter) {
+    Dist next = step(pi, nullptr, nullptr);
+    Dist mixed;
+    double delta = 0;
+    for (const auto& [state, prob] : pi) {
+      mixed[state] += prob / 2;
+    }
+    for (const auto& [state, prob] : next) {
+      mixed[state] += prob / 2;
+    }
+    for (const auto& [state, prob] : mixed) {
+      auto it = pi.find(state);
+      delta += std::fabs(prob - (it == pi.end() ? 0.0 : it->second));
+    }
+    pi = std::move(mixed);
+    if (delta < 1e-13) {
+      break;
+    }
+  }
+
+  Solution metrics;
+  double io_weight = 0;
+  step(pi, &metrics, &io_weight);
+  EMSIM_CHECK(io_weight > 0);
+  metrics.parallelism /= io_weight;
+  metrics.success /= io_weight;
+  for (const auto& [state, prob] : pi) {
+    metrics.occupancy += prob * Sum(state);
+  }
+  return metrics;
+}
+
+double MarkovPrefetchModel::AverageParallelism(Policy policy) const {
+  int key = static_cast<int>(policy);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, Solve(policy)).first;
+  }
+  return it->second.parallelism;
+}
+
+double MarkovPrefetchModel::SuccessRatio(Policy policy) const {
+  int key = static_cast<int>(policy);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, Solve(policy)).first;
+  }
+  return it->second.success;
+}
+
+double MarkovPrefetchModel::MeanOccupancy(Policy policy) const {
+  int key = static_cast<int>(policy);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, Solve(policy)).first;
+  }
+  return it->second.occupancy;
+}
+
+}  // namespace emsim::analysis

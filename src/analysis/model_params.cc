@@ -1,0 +1,33 @@
+#include "analysis/model_params.h"
+
+#include "util/str.h"
+
+namespace emsim::analysis {
+
+ModelParams ModelParams::From(const disk::DiskParams& disk_params,
+                              const disk::RunLayout& layout) {
+  ModelParams p;
+  p.seek_ms_per_cylinder = disk_params.seek_ms_per_cylinder;
+  p.rotational_ms = disk_params.MeanRotationalLatencyMs();
+  p.transfer_ms = disk_params.TransferMsPerBlock();
+  p.run_cylinders = layout.RunLengthCylinders();
+  p.num_runs = layout.num_runs();
+  p.num_disks = layout.num_disks();
+  p.blocks_per_run = layout.blocks_per_run();
+  return p;
+}
+
+ModelParams ModelParams::Paper(int num_runs, int num_disks) {
+  ModelParams p;
+  p.num_runs = num_runs;
+  p.num_disks = num_disks;
+  return p;
+}
+
+std::string ModelParams::ToString() const {
+  return StrFormat("ModelParams{S=%.4f, R=%.4f, T=%.4f, m=%.4f, k=%d, D=%d, blocks/run=%lld}",
+                   seek_ms_per_cylinder, rotational_ms, transfer_ms, run_cylinders, num_runs,
+                   num_disks, static_cast<long long>(blocks_per_run));
+}
+
+}  // namespace emsim::analysis

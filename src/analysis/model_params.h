@@ -1,0 +1,40 @@
+#ifndef EMSIM_ANALYSIS_MODEL_PARAMS_H_
+#define EMSIM_ANALYSIS_MODEL_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "disk/disk_params.h"
+#include "disk/layout.h"
+
+namespace emsim::analysis {
+
+/// Inputs to the paper's closed-form models, in the paper's notation:
+/// S (seek/cylinder), R (mean rotational latency), T (transfer/block),
+/// m (run length in cylinders), k (runs), D (disks).
+struct ModelParams {
+  double seek_ms_per_cylinder = 0.01;  ///< S
+  double rotational_ms = 50.0 / 6.0;   ///< R
+  double transfer_ms = 50.0 * 8 / (3 * 52);  ///< T
+  double run_cylinders = 1000.0 / 104.0;     ///< m
+  int num_runs = 25;                         ///< k
+  int num_disks = 1;                         ///< D
+  int64_t blocks_per_run = 1000;
+
+  /// Total blocks merged (k runs x blocks each).
+  int64_t TotalBlocks() const {
+    return static_cast<int64_t>(num_runs) * blocks_per_run;
+  }
+
+  /// Builds model inputs from concrete disk parameters and a layout.
+  static ModelParams From(const disk::DiskParams& disk_params, const disk::RunLayout& layout);
+
+  /// The paper's configuration with the given k and D.
+  static ModelParams Paper(int num_runs, int num_disks);
+
+  std::string ToString() const;
+};
+
+}  // namespace emsim::analysis
+
+#endif  // EMSIM_ANALYSIS_MODEL_PARAMS_H_

@@ -1,0 +1,85 @@
+#include "analysis/predictor.h"
+
+#include "analysis/equations.h"
+#include "analysis/urn_game.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace emsim::analysis {
+
+const char* ScenarioName(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kNoPrefetchSingleDisk:
+      return "no-prefetch/1-disk (eq.1)";
+    case Scenario::kIntraRunSingleDisk:
+      return "intra-run/1-disk (eq.2)";
+    case Scenario::kNoPrefetchMultiDisk:
+      return "no-prefetch/D-disk (eq.3)";
+    case Scenario::kIntraRunMultiDiskSync:
+      return "intra-run/D-disk/sync (eq.4)";
+    case Scenario::kIntraRunMultiDiskUnsync:
+      return "intra-run/D-disk/unsync (eq.4 / urn)";
+    case Scenario::kInterRunSync:
+      return "inter-run/D-disk/sync (eq.5)";
+    case Scenario::kInterRunUnsyncBound:
+      return "inter-run/D-disk/unsync (transfer bound)";
+  }
+  return "?";
+}
+
+Prediction Predict(const ModelParams& p, Scenario scenario, int n) {
+  Prediction out;
+  out.scenario = scenario;
+  switch (scenario) {
+    case Scenario::kNoPrefetchSingleDisk:
+      out.per_block_ms = Eq1NoPrefetchSingleDisk(p);
+      out.formula = "m(k/3)S + R + T";
+      break;
+    case Scenario::kIntraRunSingleDisk:
+      out.per_block_ms = Eq2IntraRunSingleDisk(p, n);
+      out.formula = StrFormat("m(k/3N)S + R/N + T, N=%d", n);
+      break;
+    case Scenario::kNoPrefetchMultiDisk:
+      out.per_block_ms = Eq3NoPrefetchMultiDisk(p);
+      out.formula = "m(k/3D)S + R + T";
+      break;
+    case Scenario::kIntraRunMultiDiskSync:
+      out.per_block_ms = Eq4IntraRunMultiDiskSync(p, n);
+      out.formula = StrFormat("m(k/3ND)S + R/N + T, N=%d", n);
+      break;
+    case Scenario::kIntraRunMultiDiskUnsync:
+      out.per_block_ms =
+          Eq4IntraRunMultiDiskSync(p, n) / UnsyncSpeedupFactor(p.num_disks);
+      out.asymptotic = true;
+      out.formula = StrFormat("eq.4 / E[urn length](D=%d)=%.3f, N=%d", p.num_disks,
+                              UnsyncSpeedupFactor(p.num_disks), n);
+      break;
+    case Scenario::kInterRunSync:
+      out.per_block_ms = Eq5InterRunSync(p, n);
+      out.formula = StrFormat("mkS/(3ND^2) + 2R/(N(D+1)) + T/D, N=%d", n);
+      break;
+    case Scenario::kInterRunUnsyncBound:
+      out.per_block_ms = LowerBoundPerBlockMultiDisk(p);
+      out.asymptotic = true;
+      out.formula = "T/D (lower bound)";
+      break;
+  }
+  out.total_ms = TotalMs(p, out.per_block_ms);
+  return out;
+}
+
+Scenario ClassifyScenario(bool inter_run, bool synchronized_io, int num_disks, int n) {
+  if (inter_run) {
+    return synchronized_io ? Scenario::kInterRunSync : Scenario::kInterRunUnsyncBound;
+  }
+  if (num_disks <= 1) {
+    return n <= 1 ? Scenario::kNoPrefetchSingleDisk : Scenario::kIntraRunSingleDisk;
+  }
+  if (n <= 1) {
+    return Scenario::kNoPrefetchMultiDisk;
+  }
+  return synchronized_io ? Scenario::kIntraRunMultiDiskSync
+                         : Scenario::kIntraRunMultiDiskUnsync;
+}
+
+}  // namespace emsim::analysis

@@ -1,0 +1,43 @@
+#ifndef EMSIM_ANALYSIS_PREDICTOR_H_
+#define EMSIM_ANALYSIS_PREDICTOR_H_
+
+#include <string>
+
+#include "analysis/model_params.h"
+
+namespace emsim::analysis {
+
+/// The analysis scenarios the paper derives formulas for.
+enum class Scenario {
+  kNoPrefetchSingleDisk,    ///< Eq. 1 (Kwan-Baer baseline).
+  kIntraRunSingleDisk,      ///< Eq. 2.
+  kNoPrefetchMultiDisk,     ///< Eq. 3.
+  kIntraRunMultiDiskSync,   ///< Eq. 4.
+  kIntraRunMultiDiskUnsync, ///< Eq. 4 total divided by the urn-game length
+                            ///< (asymptotic, large N).
+  kInterRunSync,            ///< Eq. 5 (success ratio ~= 1).
+  kInterRunUnsyncBound,     ///< Lower bound: total transfer time / D
+                            ///< (asymptotic, large N and cache).
+};
+
+const char* ScenarioName(Scenario scenario);
+
+/// One analytic prediction.
+struct Prediction {
+  Scenario scenario;
+  double per_block_ms = 0.0;  ///< Average I/O time per block.
+  double total_ms = 0.0;      ///< Whole-merge I/O time.
+  bool asymptotic = false;    ///< True when the formula only holds for large N.
+  std::string formula;        ///< Human-readable description.
+};
+
+/// Evaluates the paper's formula for the scenario at intra-run depth `n`
+/// (ignored where the formula has no N).
+Prediction Predict(const ModelParams& params, Scenario scenario, int n);
+
+/// Classifies a configuration into its scenario.
+Scenario ClassifyScenario(bool inter_run, bool synchronized_io, int num_disks, int n);
+
+}  // namespace emsim::analysis
+
+#endif  // EMSIM_ANALYSIS_PREDICTOR_H_

@@ -1,0 +1,43 @@
+#include "analysis/seek_distribution.h"
+
+#include "util/check.h"
+
+namespace emsim::analysis {
+
+SeekDistribution::SeekDistribution(int num_runs) : k_(num_runs) { EMSIM_CHECK(num_runs >= 1); }
+
+double SeekDistribution::Pmf(int moves) const {
+  if (moves < 0 || moves >= k_) {
+    return 0.0;
+  }
+  double k = k_;
+  if (moves == 0) {
+    return 1.0 / k;
+  }
+  return 2.0 * (k - moves) / (k * k);
+}
+
+double SeekDistribution::Cdf(int moves) const {
+  double acc = 0;
+  for (int i = 0; i <= moves && i < k_; ++i) {
+    acc += Pmf(i);
+  }
+  return acc;
+}
+
+double SeekDistribution::ExpectedMovesExact() const {
+  double k = k_;
+  return (k * k - 1.0) / (3.0 * k);
+}
+
+double SeekDistribution::ExpectedMovesApprox() const { return static_cast<double>(k_) / 3.0; }
+
+std::vector<double> SeekDistribution::PmfVector() const {
+  std::vector<double> pmf(static_cast<size_t>(k_));
+  for (int i = 0; i < k_; ++i) {
+    pmf[static_cast<size_t>(i)] = Pmf(i);
+  }
+  return pmf;
+}
+
+}  // namespace emsim::analysis

@@ -1,0 +1,39 @@
+#ifndef EMSIM_ANALYSIS_SEEK_DISTRIBUTION_H_
+#define EMSIM_ANALYSIS_SEEK_DISTRIBUTION_H_
+
+#include <vector>
+
+namespace emsim::analysis {
+
+/// The Kwan-Baer seek-distance distribution for k contiguously placed runs
+/// under random block depletion. The distance is measured in *runs moved*:
+/// both endpoints of a request are uniform over the k runs, so
+///   P(x = 0) = 1/k,   P(x = i) = 2(k - i)/k^2  for 1 <= i <= k-1.
+class SeekDistribution {
+ public:
+  explicit SeekDistribution(int num_runs);
+
+  int num_runs() const { return k_; }
+
+  /// P(x = moves).
+  double Pmf(int moves) const;
+
+  /// P(x <= moves).
+  double Cdf(int moves) const;
+
+  /// Exact expected number of moves: k/3 - 1/(3k) = (k^2 - 1) / (3k).
+  double ExpectedMovesExact() const;
+
+  /// The paper's approximation k/3 (used by all its formulas).
+  double ExpectedMovesApprox() const;
+
+  /// Full PMF vector, index = moves in [0, k-1].
+  std::vector<double> PmfVector() const;
+
+ private:
+  int k_;
+};
+
+}  // namespace emsim::analysis
+
+#endif  // EMSIM_ANALYSIS_SEEK_DISTRIBUTION_H_

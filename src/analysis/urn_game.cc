@@ -1,0 +1,53 @@
+#include "analysis/urn_game.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace emsim::analysis {
+
+UrnGame::UrnGame(int num_disks) : d_(num_disks) { EMSIM_CHECK(num_disks >= 1); }
+
+double UrnGame::SurvivalQ(int j) const {
+  if (j < 1 || j > d_) {
+    return j < 1 ? 1.0 : 0.0;
+  }
+  double q = 1.0;
+  for (int i = 1; i < j; ++i) {
+    q *= static_cast<double>(d_ - i) / d_;
+  }
+  return q;
+}
+
+double UrnGame::LengthPmf(int j) const {
+  if (j < 1 || j > d_) {
+    return 0.0;
+  }
+  return SurvivalQ(j) * static_cast<double>(j) / d_;
+}
+
+double UrnGame::ExpectedLength() const {
+  double sum = 0;
+  double q = 1.0;
+  for (int j = 1; j <= d_; ++j) {
+    sum += q;
+    q *= static_cast<double>(d_ - j) / d_;
+  }
+  return sum;
+}
+
+double UrnGame::AsymptoticLength() const {
+  return std::sqrt(M_PI * d_ / 2.0) - 1.0 / 3.0;
+}
+
+std::vector<double> UrnGame::PmfVector() const {
+  std::vector<double> pmf(static_cast<size_t>(d_));
+  for (int j = 1; j <= d_; ++j) {
+    pmf[static_cast<size_t>(j - 1)] = LengthPmf(j);
+  }
+  return pmf;
+}
+
+double UnsyncSpeedupFactor(int num_disks) { return UrnGame(num_disks).ExpectedLength(); }
+
+}  // namespace emsim::analysis

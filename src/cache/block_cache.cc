@@ -1,0 +1,107 @@
+#include "cache/block_cache.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace emsim::cache {
+
+BlockCache::BlockCache(sim::Simulation* sim, const Options& options)
+    : sim_(sim), capacity_(options.capacity_blocks) {
+  EMSIM_CHECK(sim != nullptr);
+  EMSIM_CHECK(options.capacity_blocks >= 1);
+  EMSIM_CHECK(options.num_runs >= 1);
+  runs_.resize(static_cast<size_t>(options.num_runs));
+  for (auto& slot : runs_) {
+    slot.signal = std::make_unique<sim::Signal>(sim);
+  }
+  occupancy_.Update(sim->Now(), 0.0);
+}
+
+bool BlockCache::HasLeadingBlock(int run) const {
+  const RunSlot& slot = RunOf(run);
+  return !slot.blocks.empty() && slot.blocks.front() == slot.next_consume;
+}
+
+bool BlockCache::TryReserve(int run, int64_t n) {
+  EMSIM_CHECK(n >= 0);
+  if (n == 0) {
+    return true;
+  }
+  if (FreeBlocks() < n) {
+    ++stats_.reservations_denied;
+    return false;
+  }
+  RunOf(run).reserved += n;
+  reserved_total_ += n;
+  ++stats_.reservations_granted;
+  stats_.blocks_reserved += static_cast<uint64_t>(n);
+  stats_.peak_occupancy = std::max(stats_.peak_occupancy, cached_total_ + reserved_total_);
+  return true;
+}
+
+void BlockCache::CancelReservation(int run, int64_t n) {
+  EMSIM_CHECK(n >= 0);
+  RunSlot& slot = RunOf(run);
+  EMSIM_CHECK(slot.reserved >= n);
+  slot.reserved -= n;
+  reserved_total_ -= n;
+}
+
+void BlockCache::Deposit(int run, int64_t offset) {
+  RunSlot& slot = RunOf(run);
+  EMSIM_CHECK(slot.reserved >= 1 && "Deposit without reservation");
+  slot.reserved -= 1;
+  reserved_total_ -= 1;
+  EMSIM_CHECK(offset >= slot.next_consume && "Deposit of an already-consumed offset");
+  // Insert preserving ascending order; deposits are in order under FCFS so
+  // the common case is an append.
+  if (slot.blocks.empty() || offset > slot.blocks.back()) {
+    slot.blocks.push_back(offset);
+  } else {
+    auto pos = std::lower_bound(slot.blocks.begin(), slot.blocks.end(), offset);
+    EMSIM_CHECK(pos == slot.blocks.end() || *pos != offset);
+    slot.blocks.insert(pos, offset);
+  }
+  cached_total_ += 1;
+  ++stats_.deposits;
+  NoteOccupancy();
+  slot.signal->Fire();
+}
+
+int64_t BlockCache::ConsumeLeading(int run) {
+  RunSlot& slot = RunOf(run);
+  EMSIM_CHECK(HasLeadingBlock(run));
+  int64_t offset = slot.blocks.front();
+  slot.blocks.pop_front();
+  slot.next_consume = offset + 1;
+  cached_total_ -= 1;
+  ++stats_.consumptions;
+  NoteOccupancy();
+  return offset;
+}
+
+void BlockCache::NoteOccupancy() { occupancy_.Update(sim_->Now(), static_cast<double>(cached_total_)); }
+
+void BlockCache::FlushStats() { occupancy_.Flush(sim_->Now()); }
+
+void BlockCache::CheckInvariants() const {
+  int64_t cached = 0;
+  int64_t reserved = 0;
+  for (const auto& slot : runs_) {
+    cached += static_cast<int64_t>(slot.blocks.size());
+    reserved += slot.reserved;
+    EMSIM_CHECK(slot.reserved >= 0);
+    for (size_t i = 0; i < slot.blocks.size(); ++i) {
+      EMSIM_CHECK(slot.blocks[i] >= slot.next_consume);
+      if (i > 0) {
+        EMSIM_CHECK(slot.blocks[i - 1] < slot.blocks[i]);
+      }
+    }
+  }
+  EMSIM_CHECK(cached == cached_total_);
+  EMSIM_CHECK(reserved == reserved_total_);
+  EMSIM_CHECK(cached_total_ + reserved_total_ <= capacity_);
+}
+
+}  // namespace emsim::cache

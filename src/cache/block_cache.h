@@ -1,0 +1,129 @@
+#ifndef EMSIM_CACHE_BLOCK_CACHE_H_
+#define EMSIM_CACHE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/event.h"
+#include "sim/simulation.h"
+#include "stats/time_weighted.h"
+
+namespace emsim::cache {
+
+/// Cumulative cache statistics.
+struct CacheStats {
+  uint64_t deposits = 0;
+  uint64_t consumptions = 0;
+  uint64_t reservations_granted = 0;   ///< Successful TryReserve calls.
+  uint64_t reservations_denied = 0;    ///< Failed TryReserve calls.
+  uint64_t blocks_reserved = 0;        ///< Total blocks across granted reservations.
+  int64_t peak_occupancy = 0;          ///< Max of cached + reserved.
+};
+
+/// The RAM disk cache of the paper's system model: a budget of C block
+/// frames shared by all runs, with explicit *reservations* for in-flight
+/// reads so that the cached + in-flight total never exceeds capacity — the
+/// property the conservative inter-run admission policy relies on.
+///
+/// The cache is pure mechanism: *what* to prefetch and *whether* to insist
+/// on all-or-nothing admission are decided by the prefetch planner and the
+/// merge driver (io/ and core/). Blocks are identified as (run, offset);
+/// no data bytes are stored, per the paper's block-depletion model.
+///
+/// Consumption is strictly in offset order per run (a merge depletes a
+/// run's blocks sequentially). Deposits normally arrive in order too, but
+/// SSTF scheduling can reorder requests, so out-of-order deposits are
+/// accepted and buffered until the leading block arrives.
+class BlockCache {
+ public:
+  struct Options {
+    int64_t capacity_blocks = 25;
+    int num_runs = 25;
+  };
+
+  BlockCache(sim::Simulation* sim, const Options& options);
+
+  int64_t capacity() const { return capacity_; }
+  int num_runs() const { return static_cast<int>(runs_.size()); }
+
+  /// Blocks resident in the cache.
+  int64_t CachedBlocks() const { return cached_total_; }
+
+  /// Frames reserved for reads still in flight.
+  int64_t ReservedBlocks() const { return reserved_total_; }
+
+  /// Frames neither cached nor reserved.
+  int64_t FreeBlocks() const { return capacity_ - cached_total_ - reserved_total_; }
+
+  /// True if `run`'s *leading* block (the next one the merge will consume)
+  /// is resident.
+  bool HasLeadingBlock(int run) const;
+
+  /// Cached blocks held for `run`.
+  int64_t CachedForRun(int run) const { return static_cast<int64_t>(RunOf(run).blocks.size()); }
+
+  /// Reserved (in-flight) blocks for `run`.
+  int64_t InFlightForRun(int run) const { return RunOf(run).reserved; }
+
+  /// Offset the merge will consume next from `run`.
+  int64_t NextConsumeOffset(int run) const { return RunOf(run).next_consume; }
+
+  /// Attempts to reserve `n` frames for an in-flight read into `run`.
+  /// All-or-nothing; returns false (and reserves nothing) if fewer than `n`
+  /// frames are free.
+  bool TryReserve(int run, int64_t n);
+
+  /// Releases `n` reserved frames of `run` without depositing (a planned
+  /// read that was abandoned or shrunk).
+  void CancelReservation(int run, int64_t n);
+
+  /// A reserved frame of `run` receives block `offset` from disk. Fires the
+  /// run's deposit signal so waiting processes can recheck.
+  void Deposit(int run, int64_t offset);
+
+  /// Consumes (depletes) the leading cached block of `run`, freeing its
+  /// frame. Returns the consumed offset. Requires HasLeadingBlock(run).
+  int64_t ConsumeLeading(int run);
+
+  /// Pulse signal fired on every deposit into `run`; processes waiting for
+  /// a block of `run` wait on this and recheck HasLeadingBlock.
+  sim::Signal& DepositSignal(int run) { return *RunOf(run).signal; }
+
+  const CacheStats& stats() const { return stats_; }
+
+  /// Time-averaged occupancy (cached blocks).
+  double MeanOccupancy() const { return occupancy_.Average(); }
+
+  /// Closes the occupancy statistic window.
+  void FlushStats();
+
+  /// Aborts if internal accounting is inconsistent (used by tests and
+  /// DCHECK-style sweeps).
+  void CheckInvariants() const;
+
+ private:
+  struct RunSlot {
+    std::deque<int64_t> blocks;  ///< Cached offsets, ascending.
+    int64_t reserved = 0;        ///< In-flight frames.
+    int64_t next_consume = 0;    ///< Next offset the merge will deplete.
+    std::unique_ptr<sim::Signal> signal;
+  };
+
+  RunSlot& RunOf(int run) { return runs_.at(static_cast<size_t>(run)); }
+  const RunSlot& RunOf(int run) const { return runs_.at(static_cast<size_t>(run)); }
+  void NoteOccupancy();
+
+  sim::Simulation* sim_;
+  int64_t capacity_;
+  int64_t cached_total_ = 0;
+  int64_t reserved_total_ = 0;
+  std::vector<RunSlot> runs_;
+  CacheStats stats_;
+  stats::TimeWeighted occupancy_;
+};
+
+}  // namespace emsim::cache
+
+#endif  // EMSIM_CACHE_BLOCK_CACHE_H_

@@ -1,0 +1,123 @@
+#include "core/depletion.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace emsim::core {
+
+namespace {
+
+/// Maintains the set of active runs with O(1) amortized sampling: runs are
+/// removed lazily when a draw hits an exhausted one.
+class ActiveSet {
+ public:
+  explicit ActiveSet(int num_runs) : runs_(static_cast<size_t>(num_runs)) {
+    std::iota(runs_.begin(), runs_.end(), 0);
+  }
+
+  /// Drops exhausted runs that a draw stumbled on.
+  void Prune(const io::RunStates& states, size_t index) {
+    std::swap(runs_[index], runs_.back());
+    runs_.pop_back();
+    EMSIM_CHECK(!runs_.empty() || states.TotalRemaining() == 0);
+  }
+
+  size_t size() const { return runs_.size(); }
+  int at(size_t i) const { return runs_[i]; }
+
+ private:
+  std::vector<int> runs_;
+};
+
+class UniformDepletion final : public DepletionModel {
+ public:
+  explicit UniformDepletion(int num_runs) : active_(num_runs) {}
+
+  int Next(const io::RunStates& runs, Rng& rng) override {
+    for (;;) {
+      EMSIM_CHECK(active_.size() > 0);
+      size_t i = static_cast<size_t>(rng.UniformInt(active_.size()));
+      int run = active_.at(i);
+      if (runs[run].FullyConsumed()) {
+        active_.Prune(runs, i);
+        continue;
+      }
+      return run;
+    }
+  }
+
+  const char* name() const override { return "uniform"; }
+
+ private:
+  ActiveSet active_;
+};
+
+class ZipfDepletion final : public DepletionModel {
+ public:
+  ZipfDepletion(int num_runs, double theta) : theta_(theta) {
+    active_.resize(static_cast<size_t>(num_runs));
+    std::iota(active_.begin(), active_.end(), 0);
+    Rebuild();
+  }
+
+  int Next(const io::RunStates& runs, Rng& rng) override {
+    for (;;) {
+      EMSIM_CHECK(!active_.empty());
+      size_t rank = static_cast<size_t>(zipf_->Next(rng));
+      int run = active_[rank];
+      if (runs[run].FullyConsumed()) {
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(rank));
+        if (!active_.empty()) {
+          Rebuild();
+        }
+        continue;
+      }
+      return run;
+    }
+  }
+
+  const char* name() const override { return "zipf"; }
+
+ private:
+  void Rebuild() { zipf_ = std::make_unique<ZipfGenerator>(active_.size(), theta_); }
+
+  double theta_;
+  std::vector<int> active_;  // Rank order: index 0 hottest.
+  std::unique_ptr<ZipfGenerator> zipf_;
+};
+
+class TraceDepletion final : public DepletionModel {
+ public:
+  explicit TraceDepletion(std::vector<int> trace) : trace_(std::move(trace)) {}
+
+  int Next(const io::RunStates& runs, Rng& /*rng*/) override {
+    EMSIM_CHECK(position_ < trace_.size() && "trace exhausted before the merge finished");
+    int run = trace_[position_++];
+    EMSIM_CHECK(!runs[run].FullyConsumed() && "trace depletes an exhausted run");
+    return run;
+  }
+
+  const char* name() const override { return "trace"; }
+
+ private:
+  std::vector<int> trace_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<DepletionModel> MakeUniformDepletion(int num_runs) {
+  return std::make_unique<UniformDepletion>(num_runs);
+}
+
+std::unique_ptr<DepletionModel> MakeZipfDepletion(int num_runs, double theta) {
+  return std::make_unique<ZipfDepletion>(num_runs, theta);
+}
+
+std::unique_ptr<DepletionModel> MakeTraceDepletion(std::vector<int> trace) {
+  return std::make_unique<TraceDepletion>(std::move(trace));
+}
+
+}  // namespace emsim::core

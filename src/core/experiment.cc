@@ -1,0 +1,78 @@
+#include "core/experiment.h"
+
+#include <thread>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace emsim::core {
+
+namespace {
+
+ExperimentResult Aggregate(std::vector<MergeResult> trials) {
+  ExperimentResult out;
+  for (MergeResult& r : trials) {
+    out.total_ms.Add(r.total_ms);
+    out.success_ratio.Add(r.SuccessRatio());
+    out.concurrency.Add(r.avg_concurrency);
+    out.io_operations.Add(static_cast<double>(r.io_operations));
+    out.cache_occupancy.Add(r.mean_cache_occupancy);
+    out.trials.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExperimentResult::ToString() const {
+  auto ci = stats::MeanConfidence95(total_ms);
+  return StrFormat("Experiment{trials=%zu, total=%.2f±%.2f s, success=%.3f, conc=%.3f}",
+                   trials.size(), ci.mean / 1000.0, ci.half_width / 1000.0,
+                   MeanSuccessRatio(), MeanConcurrency());
+}
+
+ExperimentResult RunTrials(const MergeConfig& config, int num_trials) {
+  EMSIM_CHECK(num_trials >= 1);
+  std::vector<MergeResult> trials;
+  trials.reserve(static_cast<size_t>(num_trials));
+  for (int t = 0; t < num_trials; ++t) {
+    MergeConfig trial_config = config;
+    trial_config.seed = config.seed + static_cast<uint64_t>(t);
+    Result<MergeResult> result = SimulateMerge(trial_config);
+    EMSIM_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+    trials.push_back(*std::move(result));
+  }
+  return Aggregate(std::move(trials));
+}
+
+ExperimentResult RunTrialsParallel(const MergeConfig& config, int num_trials,
+                                   int num_threads) {
+  EMSIM_CHECK(num_trials >= 1);
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) {
+      num_threads = 2;
+    }
+  }
+  num_threads = std::min(num_threads, num_trials);
+  std::vector<MergeResult> trials(static_cast<size_t>(num_trials));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads));
+  for (int w = 0; w < num_threads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int t = w; t < num_trials; t += num_threads) {
+        MergeConfig trial_config = config;
+        trial_config.seed = config.seed + static_cast<uint64_t>(t);
+        Result<MergeResult> result = SimulateMerge(trial_config);
+        EMSIM_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+        trials[static_cast<size_t>(t)] = *std::move(result);
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  return Aggregate(std::move(trials));
+}
+
+}  // namespace emsim::core

@@ -1,0 +1,39 @@
+#ifndef EMSIM_CORE_MERGE_SIMULATOR_H_
+#define EMSIM_CORE_MERGE_SIMULATOR_H_
+
+#include "core/config.h"
+#include "core/result.h"
+#include "util/status.h"
+
+namespace emsim::core {
+
+/// Simulates one merge phase under the configured prefetching strategy —
+/// the library's reproduction of the paper's CSIM model. Deterministic for
+/// a given seed.
+///
+/// Model recap (Section 2 of the paper): the CPU repeatedly depletes the
+/// leading block of a randomly chosen run. When a depletion leaves its run
+/// with no cached blocks, the merge *stalls*: a demand fetch is issued (the
+/// planner may add prefetches, subject to cache admission) and the CPU
+/// resumes when either the whole batch (synchronized) or just the demand
+/// block (unsynchronized) has arrived. Writes go to a separate disk set and
+/// are not modeled.
+class MergeSimulator {
+ public:
+  explicit MergeSimulator(const MergeConfig& config) : config_(config) {}
+
+  /// Runs one trial. Fails only on invalid configuration.
+  Result<MergeResult> Run();
+
+  const MergeConfig& config() const { return config_; }
+
+ private:
+  MergeConfig config_;
+};
+
+/// Convenience: one trial with the given config.
+Result<MergeResult> SimulateMerge(const MergeConfig& config);
+
+}  // namespace emsim::core
+
+#endif  // EMSIM_CORE_MERGE_SIMULATOR_H_

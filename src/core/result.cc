@@ -1,0 +1,17 @@
+#include "core/result.h"
+
+#include "util/str.h"
+
+namespace emsim::core {
+
+std::string MergeResult::ToString() const {
+  return StrFormat(
+      "MergeResult{total=%.2f s, blocks=%lld, io_ops=%llu, success=%.3f, stalls=%llu, "
+      "hits=%llu, concurrency=%.3f, occupancy=%.1f}",
+      TotalSeconds(), static_cast<long long>(blocks_merged),
+      static_cast<unsigned long long>(io_operations), SuccessRatio(),
+      static_cast<unsigned long long>(demand_stalls),
+      static_cast<unsigned long long>(cache_hits), avg_concurrency, mean_cache_occupancy);
+}
+
+}  // namespace emsim::core

@@ -1,0 +1,74 @@
+#ifndef EMSIM_CORE_RESULT_H_
+#define EMSIM_CORE_RESULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cache/block_cache.h"
+#include "disk/disk.h"
+#include "stats/accumulator.h"
+
+namespace emsim::core {
+
+/// Outcome of one simulated merge (one trial).
+struct MergeResult {
+  /// Simulated time at which the last block was merged — the paper's "total
+  /// execution time" (equals total I/O time under an infinitely fast CPU).
+  double total_ms = 0.0;
+
+  int64_t blocks_merged = 0;
+
+  /// Demand I/O operations initiated after the initial cache load.
+  uint64_t io_operations = 0;
+
+  /// Of those, operations whose full prefetch wish list fit in the cache —
+  /// the numerator of the paper's success ratio.
+  uint64_t full_admissions = 0;
+
+  /// Depletions that had to wait for disk I/O.
+  uint64_t demand_stalls = 0;
+
+  /// Depletions served straight from the cache.
+  uint64_t cache_hits = 0;
+
+  double cpu_busy_ms = 0.0;
+
+  /// Time-averaged number of busy disks over intervals with >= 1 busy disk.
+  double avg_concurrency = 0.0;
+
+  /// Fraction of the merge during which >= 1 disk was busy.
+  double disk_active_fraction = 0.0;
+
+  double mean_cache_occupancy = 0.0;
+
+  disk::DiskStats disk_totals;
+  cache::CacheStats cache_stats;
+
+  /// Distribution of demand-stall durations (ms): how long the merge sat
+  /// blocked each time a run ran dry. Mean * count is the total stalled
+  /// time; with an infinitely fast CPU it equals total_ms.
+  stats::Accumulator stall_ms;
+
+  /// Write-behind statistics (zero when write_traffic == kNone).
+  uint64_t write_blocks = 0;       ///< Output blocks written.
+  uint64_t write_requests = 0;     ///< Write batches issued.
+  uint64_t write_stalls = 0;       ///< CPU stalls on write backpressure.
+  double write_drain_ms = 0.0;     ///< Time spent flushing after the last merge.
+
+  uint64_t sim_events = 0;
+
+  /// The paper's success ratio: P(full prefetch could be initiated).
+  double SuccessRatio() const {
+    return io_operations == 0 ? 1.0
+                              : static_cast<double>(full_admissions) /
+                                    static_cast<double>(io_operations);
+  }
+
+  double TotalSeconds() const { return total_ms / 1000.0; }
+
+  std::string ToString() const;
+};
+
+}  // namespace emsim::core
+
+#endif  // EMSIM_CORE_RESULT_H_

@@ -1,0 +1,64 @@
+#include "disk/array.h"
+
+#include "util/rng.h"
+
+namespace emsim::disk {
+
+DiskArray::DiskArray(sim::Simulation* sim, const Options& options) : sim_(sim) {
+  EMSIM_CHECK(sim != nullptr);
+  EMSIM_CHECK(options.num_disks >= 1);
+  Rng seeder(options.seed);
+  disks_.reserve(static_cast<size_t>(options.num_disks));
+  for (int i = 0; i < options.num_disks; ++i) {
+    auto d = std::make_unique<Disk>(sim, options.params, i, seeder.Next64());
+    d->on_busy_changed = [this](int /*disk_id*/, bool busy) {
+      busy_count_ += busy ? 1 : -1;
+      EMSIM_DCHECK(busy_count_ >= 0 && busy_count_ <= num_disks());
+      concurrency_.Update(sim_->Now(), busy_count_);
+    };
+    disks_.push_back(std::move(d));
+  }
+  concurrency_.Update(sim->Now(), 0.0);
+}
+
+void DiskArray::Start() {
+  for (auto& d : disks_) {
+    d->Start();
+  }
+}
+
+void DiskArray::Stop() {
+  for (auto& d : disks_) {
+    d->Stop();
+  }
+}
+
+double DiskArray::ActiveFraction() const {
+  double total = concurrency_.TotalTime();
+  if (total <= 0) {
+    return 0.0;
+  }
+  return concurrency_.PositiveTime() / total;
+}
+
+DiskStats DiskArray::TotalStats() const {
+  DiskStats total;
+  for (const auto& d : disks_) {
+    const DiskStats& s = d->stats();
+    total.requests += s.requests;
+    total.demand_requests += s.demand_requests;
+    total.blocks_transferred += s.blocks_transferred;
+    total.seeks += s.seeks;
+    total.seek_cylinders += s.seek_cylinders;
+    total.seek_ms += s.seek_ms;
+    total.rotation_ms += s.rotation_ms;
+    total.transfer_ms += s.transfer_ms;
+    total.queue_wait_ms += s.queue_wait_ms;
+    total.max_queue_length = std::max(total.max_queue_length, s.max_queue_length);
+  }
+  return total;
+}
+
+void DiskArray::FlushStats() { concurrency_.Flush(sim_->Now()); }
+
+}  // namespace emsim::disk

@@ -1,0 +1,117 @@
+#include "disk/disk.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace emsim::disk {
+
+Disk::Disk(sim::Simulation* sim, const DiskParams& params, int id, uint64_t seed)
+    : sim_(sim), id_(id), mechanism_(params), rng_(seed), work_(sim) {
+  EMSIM_CHECK(sim != nullptr);
+}
+
+void Disk::Start() {
+  EMSIM_CHECK(!started_);
+  started_ = true;
+  sim_->Spawn(Serve());
+}
+
+void Disk::Stop() {
+  stopping_ = true;
+  work_.Fire();
+}
+
+void Disk::Submit(DiskRequest request) {
+  EMSIM_CHECK(started_ && "Submit before Start");
+  EMSIM_CHECK(!stopping_ && "Submit after Stop");
+  EMSIM_CHECK(request.nblocks >= 1);
+  request.id = next_request_id_++;
+  request.enqueue_time = sim_->Now();
+  queue_.push_back(std::move(request));
+  stats_.max_queue_length = std::max(stats_.max_queue_length, queue_.size());
+  work_.Fire();
+}
+
+DiskRequest Disk::PopNext() {
+  EMSIM_CHECK(!queue_.empty());
+  size_t pick = 0;
+  if (mechanism_.params().scheduling == SchedulingPolicy::kSstf) {
+    int64_t best = mechanism_.SeekDistanceTo(queue_[0].start_block);
+    for (size_t i = 1; i < queue_.size(); ++i) {
+      int64_t d = mechanism_.SeekDistanceTo(queue_[i].start_block);
+      if (d < best) {
+        best = d;
+        pick = i;
+      }
+    }
+  }
+  DiskRequest req = std::move(queue_[pick]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+  return req;
+}
+
+void Disk::SetBusy(bool busy) {
+  if (busy_ == busy) {
+    return;
+  }
+  busy_ = busy;
+  if (on_busy_changed) {
+    on_busy_changed(id_, busy);
+  }
+}
+
+sim::Process Disk::Serve() {
+  for (;;) {
+    while (queue_.empty()) {
+      if (stopping_) {
+        co_return;
+      }
+      co_await work_.Wait();
+    }
+    DiskRequest req = PopNext();
+    SetBusy(true);
+    stats_.queue_wait_ms += sim_->Now() - req.enqueue_time;
+    ++stats_.requests;
+    if (req.kind == RequestKind::kDemand) {
+      ++stats_.demand_requests;
+    }
+
+    AccessCost cost = mechanism_.Access(req.start_block, req.nblocks, rng_, sim_->Now());
+    if (on_request_served) {
+      on_request_served(req, cost);
+    }
+    stats_.seek_ms += cost.seek_ms;
+    stats_.rotation_ms += cost.rotation_ms;
+    stats_.transfer_ms += cost.transfer_ms;
+    stats_.seek_cylinders += cost.seek_cylinders;
+    if (cost.seek_cylinders > 0) {
+      ++stats_.seeks;
+    }
+
+    if (cost.PositioningMs() > 0) {
+      co_await sim::Delay(cost.PositioningMs());
+    }
+    const double per_block = mechanism_.params().TransferMsPerBlock();
+    for (int i = 0; i < req.nblocks; ++i) {
+      co_await sim::Delay(per_block);
+      ++stats_.blocks_transferred;
+      if (req.on_block) {
+        req.on_block(i);
+      }
+    }
+    if (req.on_complete) {
+      req.on_complete();
+    }
+    SetBusy(false);
+  }
+}
+
+std::string Disk::ToString() const {
+  return StrFormat("Disk%d{requests=%llu, blocks=%llu, busy=%.1f ms, queue=%zu}", id_,
+                   static_cast<unsigned long long>(stats_.requests),
+                   static_cast<unsigned long long>(stats_.blocks_transferred), stats_.BusyMs(),
+                   queue_.size());
+}
+
+}  // namespace emsim::disk

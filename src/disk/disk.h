@@ -1,0 +1,120 @@
+#ifndef EMSIM_DISK_DISK_H_
+#define EMSIM_DISK_DISK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "disk/mechanism.h"
+#include "sim/event.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+#include "stats/time_weighted.h"
+#include "util/rng.h"
+
+namespace emsim::disk {
+
+/// Why a request was issued; used for statistics and tracing.
+enum class RequestKind {
+  kDemand,    ///< The merge is stalled waiting for this block.
+  kPrefetch,  ///< Speculative read issued by a prefetching policy.
+  kWrite,     ///< Merged output written behind the merge (extension).
+};
+
+/// One read request for `nblocks` contiguous disk-local blocks. The disk
+/// delivers blocks one at a time: `on_block(i)` fires when the i-th block's
+/// transfer completes (this is how unsynchronized prefetching lets the CPU
+/// resume after the first block), and `on_complete` fires after the last.
+/// Callbacks run in the disk server's process context; they must not block.
+struct DiskRequest {
+  int64_t start_block = 0;
+  int nblocks = 1;
+  RequestKind kind = RequestKind::kDemand;
+  std::function<void(int)> on_block;
+  std::function<void()> on_complete;
+
+  // Filled in by Disk::Submit.
+  uint64_t id = 0;
+  sim::SimTime enqueue_time = 0;
+};
+
+/// Cumulative per-disk statistics.
+struct DiskStats {
+  uint64_t requests = 0;
+  uint64_t demand_requests = 0;
+  uint64_t blocks_transferred = 0;
+  uint64_t seeks = 0;             ///< Requests with nonzero arm travel.
+  int64_t seek_cylinders = 0;     ///< Total arm travel.
+  double seek_ms = 0;
+  double rotation_ms = 0;
+  double transfer_ms = 0;
+  double queue_wait_ms = 0;       ///< Sum over requests of (service start - enqueue).
+  size_t max_queue_length = 0;
+
+  double BusyMs() const { return seek_ms + rotation_ms + transfer_ms; }
+};
+
+/// A single disk unit: a FIFO (or SSTF) queue served by one simulation
+/// process that prices each request with the Mechanism and delivers blocks
+/// at transfer-time granularity. Matches the paper's model where every
+/// block request is queued at the disk and serviced independently,
+/// non-preemptively.
+class Disk {
+ public:
+  /// `seed` derives the disk's private rotational-latency RNG stream.
+  Disk(sim::Simulation* sim, const DiskParams& params, int id, uint64_t seed);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Spawns the server process. Call once before the simulation runs.
+  void Start();
+
+  /// Stops the server once the queue drains (used for clean teardown).
+  void Stop();
+
+  /// Enqueues a request. May be called from any process at any time.
+  void Submit(DiskRequest request);
+
+  int id() const { return id_; }
+  bool busy() const { return busy_; }
+  size_t QueueLength() const { return queue_.size(); }
+  const DiskStats& stats() const { return stats_; }
+  const Mechanism& mechanism() const { return mechanism_; }
+
+  /// Observer invoked on busy-state transitions; wired by DiskArray to
+  /// maintain the cross-disk concurrency statistic.
+  std::function<void(int disk_id, bool busy)> on_busy_changed;
+
+  /// Observer invoked when a request enters service, with its priced cost —
+  /// the hook for tracing and for statistical validation of the seek model
+  /// (e.g. chi-square against the Kwan-Baer distribution).
+  std::function<void(const DiskRequest&, const AccessCost&)> on_request_served;
+
+  std::string ToString() const;
+
+ private:
+  sim::Process Serve();
+
+  /// Removes and returns the next request per the scheduling policy.
+  DiskRequest PopNext();
+
+  void SetBusy(bool busy);
+
+  sim::Simulation* sim_;
+  int id_;
+  Mechanism mechanism_;
+  Rng rng_;
+  std::deque<DiskRequest> queue_;
+  sim::Signal work_;
+  DiskStats stats_;
+  uint64_t next_request_id_ = 0;
+  bool busy_ = false;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace emsim::disk
+
+#endif  // EMSIM_DISK_DISK_H_

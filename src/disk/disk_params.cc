@@ -1,0 +1,38 @@
+#include "disk/disk_params.h"
+
+#include <cmath>
+
+#include "util/str.h"
+
+namespace emsim::disk {
+
+double DiskParams::SeekMs(int64_t cylinders) const {
+  if (cylinders == 0) {
+    return 0.0;
+  }
+  return seek_settle_ms + seek_ms_per_cylinder * static_cast<double>(std::llabs(cylinders));
+}
+
+Status DiskParams::Validate() const {
+  EMSIM_RETURN_IF_ERROR(geometry.Validate());
+  if (seek_ms_per_cylinder < 0 || seek_settle_ms < 0) {
+    return Status::InvalidArgument("seek costs must be non-negative");
+  }
+  if (revolution_ms <= 0) {
+    return Status::InvalidArgument("revolution time must be positive");
+  }
+  return Status::OK();
+}
+
+std::string DiskParams::ToString() const {
+  return StrFormat(
+      "DiskParams{S=%.4f ms/cyl, R=%.3f ms, T=%.4f ms/block, rot=%s, sched=%s, seq_opt=%d, %s}",
+      seek_ms_per_cylinder, MeanRotationalLatencyMs(), TransferMsPerBlock(),
+      rotation == RotationalLatencyModel::kUniform ? "uniform" : "fixed",
+      scheduling == SchedulingPolicy::kFcfs ? "FCFS" : "SSTF",
+      sequential_optimization ? 1 : 0, geometry.ToString().c_str());
+}
+
+DiskParams DiskParams::Paper() { return DiskParams{}; }
+
+}  // namespace emsim::disk

@@ -1,0 +1,30 @@
+#include "disk/geometry.h"
+
+#include "util/str.h"
+
+namespace emsim::disk {
+
+Status Geometry::Validate() const {
+  if (heads <= 0 || sectors_per_track <= 0 || cylinders <= 0 || bytes_per_sector <= 0 ||
+      block_bytes <= 0) {
+    return Status::InvalidArgument("geometry dimensions must be positive");
+  }
+  if (block_bytes % bytes_per_sector != 0) {
+    return Status::InvalidArgument(
+        StrFormat("block size %d is not a multiple of sector size %d", block_bytes,
+                  bytes_per_sector));
+  }
+  if (BlocksPerCylinder() < 1) {
+    return Status::InvalidArgument("cylinder smaller than one block");
+  }
+  return Status::OK();
+}
+
+std::string Geometry::ToString() const {
+  return StrFormat(
+      "Geometry{heads=%d, sectors/track=%d, cylinders=%d, sector=%dB, block=%dB, "
+      "blocks/cyl=%d}",
+      heads, sectors_per_track, cylinders, bytes_per_sector, block_bytes, BlocksPerCylinder());
+}
+
+}  // namespace emsim::disk

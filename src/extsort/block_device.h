@@ -1,0 +1,128 @@
+#ifndef EMSIM_EXTSORT_BLOCK_DEVICE_H_
+#define EMSIM_EXTSORT_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "disk/mechanism.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace emsim::extsort {
+
+/// Random-access block storage — the substrate the external sorter reads
+/// and writes. Implementations: an in-memory device (fast, for correctness)
+/// and a timing device that also accounts simulated disk time using the
+/// same Mechanism as the merge simulator.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual size_t block_bytes() const = 0;
+  virtual int64_t num_blocks() const = 0;
+
+  /// Reads block `index` into `out` (size block_bytes).
+  virtual Status Read(int64_t index, std::span<uint8_t> out) = 0;
+
+  /// Writes `data` (size block_bytes) to block `index`.
+  virtual Status Write(int64_t index, std::span<const uint8_t> data) = 0;
+
+  /// I/O counters.
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ protected:
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+/// RAM-backed block device. Reading a never-written block fails (catches
+/// run-descriptor bugs).
+class MemoryBlockDevice : public BlockDevice {
+ public:
+  MemoryBlockDevice(int64_t num_blocks, size_t block_bytes);
+
+  size_t block_bytes() const override { return block_bytes_; }
+  int64_t num_blocks() const override { return num_blocks_; }
+  Status Read(int64_t index, std::span<uint8_t> out) override;
+  Status Write(int64_t index, std::span<const uint8_t> data) override;
+
+ private:
+  Status CheckIndex(int64_t index, size_t span_bytes) const;
+
+  int64_t num_blocks_;
+  size_t block_bytes_;
+  std::vector<uint8_t> data_;
+  std::vector<bool> written_;
+};
+
+/// Decorator injecting I/O failures at configurable rates — exercises the
+/// library's Status paths (run formation, merging, tag sort) under disk
+/// errors. Failures are deterministic for a seed.
+class FaultyBlockDevice : public BlockDevice {
+ public:
+  struct Options {
+    double read_failure_rate = 0.0;   ///< Probability a Read returns kIoError.
+    double write_failure_rate = 0.0;  ///< Probability a Write returns kIoError.
+    uint64_t seed = 1;
+    /// If > 0, exactly this 1-based read fails instead of random sampling
+    /// (precise fault placement for tests).
+    uint64_t fail_nth_read = 0;
+    uint64_t fail_nth_write = 0;
+  };
+
+  FaultyBlockDevice(std::unique_ptr<BlockDevice> base, const Options& options);
+
+  size_t block_bytes() const override { return base_->block_bytes(); }
+  int64_t num_blocks() const override { return base_->num_blocks(); }
+  Status Read(int64_t index, std::span<uint8_t> out) override;
+  Status Write(int64_t index, std::span<const uint8_t> data) override;
+
+  uint64_t injected_read_failures() const { return injected_reads_; }
+  uint64_t injected_write_failures() const { return injected_writes_; }
+
+ private:
+  std::unique_ptr<BlockDevice> base_;
+  Options options_;
+  Rng rng_;
+  uint64_t read_attempts_ = 0;
+  uint64_t write_attempts_ = 0;
+  uint64_t injected_reads_ = 0;
+  uint64_t injected_writes_ = 0;
+};
+
+/// Decorator adding simulated disk-time accounting to any device: each
+/// Read/Write advances an internal clock by the Mechanism's access cost
+/// (serialized — one arm). Sequential accesses are detected by the
+/// mechanism when its params enable the optimization.
+class TimedBlockDevice : public BlockDevice {
+ public:
+  TimedBlockDevice(std::unique_ptr<BlockDevice> base, const disk::DiskParams& params,
+                   uint64_t seed);
+
+  size_t block_bytes() const override { return base_->block_bytes(); }
+  int64_t num_blocks() const override { return base_->num_blocks(); }
+  Status Read(int64_t index, std::span<uint8_t> out) override;
+  Status Write(int64_t index, std::span<const uint8_t> data) override;
+
+  /// Accumulated simulated I/O time.
+  double elapsed_ms() const { return elapsed_ms_; }
+
+  /// Zeroes the accumulated time; the arm position is retained (useful for
+  /// timing one phase of a multi-phase job).
+  void ResetClock() { elapsed_ms_ = 0.0; }
+
+  BlockDevice* base() { return base_.get(); }
+
+ private:
+  std::unique_ptr<BlockDevice> base_;
+  disk::Mechanism mechanism_;
+  Rng rng_;
+  double elapsed_ms_ = 0.0;
+};
+
+}  // namespace emsim::extsort
+
+#endif  // EMSIM_EXTSORT_BLOCK_DEVICE_H_

@@ -1,0 +1,42 @@
+#include "extsort/external_sort.h"
+
+namespace emsim::extsort {
+
+Result<ExternalSortResult> ExternalSorter::Sort(std::span<const Record> input,
+                                                BlockDevice* scratch, BlockDevice* output) {
+  Result<RunFormationResult> runs = FormRuns(input, scratch, options_.run_formation);
+  if (!runs.ok()) {
+    return runs.status();
+  }
+  Result<MergeOutcome> merged = MergeRuns(scratch, runs->runs, output, options_.merge);
+  if (!merged.ok()) {
+    return merged.status();
+  }
+  if (merged->records_merged != input.size()) {
+    return Status::Internal("merge lost records");
+  }
+  ExternalSortResult result;
+  result.initial_runs = runs->runs;
+  result.merge = *std::move(merged);
+  result.device_reads = scratch->reads() + output->reads();
+  result.device_writes = scratch->writes() + output->writes();
+  return result;
+}
+
+Result<std::vector<Record>> ExternalSorter::ReadRun(BlockDevice* device,
+                                                    const RunDescriptor& run) {
+  RunReader reader(device, run);
+  std::vector<Record> records;
+  records.reserve(run.num_records);
+  Record r;
+  while (reader.Next(&r)) {
+    records.push_back(r);
+  }
+  EMSIM_RETURN_IF_ERROR(reader.status());
+  if (records.size() != run.num_records) {
+    return Status::Corruption("run returned fewer records than its descriptor claims");
+  }
+  return records;
+}
+
+}  // namespace emsim::extsort

@@ -1,0 +1,51 @@
+#ifndef EMSIM_EXTSORT_EXTERNAL_SORT_H_
+#define EMSIM_EXTSORT_EXTERNAL_SORT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "extsort/block_device.h"
+#include "extsort/merger.h"
+#include "extsort/record.h"
+#include "extsort/run_formation.h"
+
+namespace emsim::extsort {
+
+/// Options for a full external sort.
+struct ExternalSortOptions {
+  RunFormationOptions run_formation;
+  KWayMergeOptions merge;
+};
+
+/// Artifacts of a completed external sort.
+struct ExternalSortResult {
+  std::vector<RunDescriptor> initial_runs;
+  MergeOutcome merge;  ///< Includes the output run and depletion trace.
+  uint64_t device_reads = 0;
+  uint64_t device_writes = 0;
+};
+
+/// A complete two-phase external mergesort over block devices: run
+/// formation (load-sort or replacement selection) followed by a single
+/// k-way merge pass — the algorithm whose merge phase the paper's
+/// simulator models. The scratch device must have room for the initial
+/// runs; the output device for the merged result.
+class ExternalSorter {
+ public:
+  explicit ExternalSorter(const ExternalSortOptions& options) : options_(options) {}
+
+  /// Sorts `input`, writing runs to `scratch` and the result to `output`.
+  Result<ExternalSortResult> Sort(std::span<const Record> input, BlockDevice* scratch,
+                                  BlockDevice* output);
+
+  /// Reads a sorted run's records back (verification helper).
+  static Result<std::vector<Record>> ReadRun(BlockDevice* device, const RunDescriptor& run);
+
+ private:
+  ExternalSortOptions options_;
+};
+
+}  // namespace emsim::extsort
+
+#endif  // EMSIM_EXTSORT_EXTERNAL_SORT_H_

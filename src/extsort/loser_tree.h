@@ -1,0 +1,158 @@
+#ifndef EMSIM_EXTSORT_LOSER_TREE_H_
+#define EMSIM_EXTSORT_LOSER_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace emsim::extsort {
+
+/// A tournament tree of losers (Knuth 5.4.1) for k-way merging: after the
+/// winner is consumed, finding the next costs ceil(log2 k) comparisons
+/// instead of k-1. Exhausted sources lose every match, so they drain out of
+/// the tree without special casing.
+///
+/// Usage:
+///   LoserTree<Record> tree(k);
+///   for (int i = 0; i < k; ++i)
+///     has_item ? tree.SetInitial(i, item) : tree.MarkExhausted(i);
+///   tree.Build();
+///   while (!tree.Empty()) {
+///     consume(tree.WinnerSource(), tree.WinnerItem());
+///     more ? tree.ReplaceWinner(next) : tree.ExhaustWinner();
+///   }
+template <typename Item, typename Less = std::less<Item>>
+class LoserTree {
+ public:
+  explicit LoserTree(int num_sources, Less less = Less()) : k_(num_sources), less_(less) {
+    EMSIM_CHECK(num_sources >= 1);
+    items_.resize(static_cast<size_t>(k_));
+    alive_.assign(static_cast<size_t>(k_), false);
+    losers_.assign(static_cast<size_t>(k_), -1);  // [0] champion, [1..k-1] losers.
+  }
+
+  /// Installs source i's first item (before Build).
+  void SetInitial(int source, Item item) {
+    EMSIM_CHECK(!built_);
+    items_[static_cast<size_t>(source)] = std::move(item);
+    alive_[static_cast<size_t>(source)] = true;
+  }
+
+  /// Declares source i empty from the start (before Build).
+  void MarkExhausted(int source) {
+    EMSIM_CHECK(!built_);
+    alive_[static_cast<size_t>(source)] = false;
+  }
+
+  /// Plays the initial tournament. Must be called exactly once.
+  void Build() {
+    EMSIM_CHECK(!built_);
+    built_ = true;
+    if (k_ == 1) {
+      losers_[0] = 0;
+      return;
+    }
+    // Winners tournament bottom-up over the complete tree with leaves at
+    // positions k..2k-1 (leaf k+i = source i); each internal node stores
+    // its match's loser, the champion lands in losers_[0].
+    std::vector<int> winners(static_cast<size_t>(2 * k_));
+    for (int i = 0; i < k_; ++i) {
+      winners[static_cast<size_t>(k_ + i)] = i;
+    }
+    for (int n = k_ - 1; n >= 1; --n) {
+      int a = winners[static_cast<size_t>(2 * n)];
+      int b = winners[static_cast<size_t>(2 * n + 1)];
+      if (Beats(a, b)) {
+        winners[static_cast<size_t>(n)] = a;
+        losers_[static_cast<size_t>(n)] = b;
+      } else {
+        winners[static_cast<size_t>(n)] = b;
+        losers_[static_cast<size_t>(n)] = a;
+      }
+    }
+    losers_[0] = winners[1];
+  }
+
+  /// True when every source is exhausted.
+  bool Empty() const {
+    EMSIM_CHECK(built_);
+    return losers_[0] < 0 || !alive_[static_cast<size_t>(losers_[0])];
+  }
+
+  /// Current winning source (requires !Empty()).
+  int WinnerSource() const {
+    EMSIM_CHECK(!Empty());
+    return losers_[0];
+  }
+
+  /// Current winning item (requires !Empty()).
+  const Item& WinnerItem() const { return items_[static_cast<size_t>(WinnerSource())]; }
+
+  /// Replaces the winner's item with its source's next item and replays the
+  /// winner's root-to-leaf path.
+  void ReplaceWinner(Item item) {
+    int s = WinnerSource();
+    items_[static_cast<size_t>(s)] = std::move(item);
+    Replay(s);
+  }
+
+  /// Marks the winning source exhausted and replays.
+  void ExhaustWinner() {
+    int s = WinnerSource();
+    alive_[static_cast<size_t>(s)] = false;
+    Replay(s);
+  }
+
+  int num_sources() const { return k_; }
+
+ private:
+  /// True if candidate a beats (sorts before) candidate b. Exhausted
+  /// sources lose to everything; ties break by source id for stability.
+  bool Beats(int a, int b) const {
+    bool a_alive = alive_[static_cast<size_t>(a)];
+    bool b_alive = alive_[static_cast<size_t>(b)];
+    if (a_alive != b_alive) {
+      return a_alive;
+    }
+    if (!a_alive) {
+      return a < b;
+    }
+    const Item& ia = items_[static_cast<size_t>(a)];
+    const Item& ib = items_[static_cast<size_t>(b)];
+    if (less_(ia, ib)) {
+      return true;
+    }
+    if (less_(ib, ia)) {
+      return false;
+    }
+    return a < b;
+  }
+
+  void Replay(int source) {
+    if (k_ == 1) {
+      return;  // losers_[0] already holds the only source.
+    }
+    int w = source;
+    for (int t = (source + k_) / 2; t >= 1; t /= 2) {
+      int& loser = losers_[static_cast<size_t>(t)];
+      if (Beats(loser, w)) {
+        std::swap(loser, w);
+      }
+    }
+    losers_[0] = w;
+  }
+
+  int k_;
+  Less less_;
+  std::vector<Item> items_;
+  std::vector<bool> alive_;
+  std::vector<int> losers_;
+  bool built_ = false;
+};
+
+}  // namespace emsim::extsort
+
+#endif  // EMSIM_EXTSORT_LOSER_TREE_H_

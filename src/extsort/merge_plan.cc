@@ -1,0 +1,130 @@
+#include "extsort/merge_plan.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace emsim::extsort {
+
+std::string MergePlan::ToString() const {
+  std::string out = StrFormat("MergePlan{steps=%zu, depth=%d, blocks_moved=%lld}",
+                              steps.size(), depth, static_cast<long long>(blocks_moved));
+  return out;
+}
+
+MergePlan PlanMerge(const std::vector<int64_t>& run_blocks, int fan_in) {
+  EMSIM_CHECK(fan_in >= 2);
+  EMSIM_CHECK(!run_blocks.empty());
+
+  struct Node {
+    int64_t blocks;
+    int depth;
+    int index;  // Run-list index; -1 for a dummy.
+  };
+  struct Heavier {
+    bool operator()(const Node& a, const Node& b) const {
+      if (a.blocks != b.blocks) {
+        return a.blocks > b.blocks;
+      }
+      return a.index > b.index;  // Deterministic tie-break.
+    }
+  };
+
+  std::priority_queue<Node, std::vector<Node>, Heavier> heap;
+  int next_index = 0;
+  for (int64_t blocks : run_blocks) {
+    EMSIM_CHECK(blocks >= 0);
+    heap.push(Node{blocks, 0, next_index++});
+  }
+
+  MergePlan plan;
+  if (run_blocks.size() == 1) {
+    // Nothing to merge: an empty plan; callers treat the single run as the
+    // output.
+    return plan;
+  }
+
+  // Pad with zero-block dummies so every step takes exactly `fan_in` inputs
+  // — the standard condition (R - 1) ≡ 0 (mod F - 1) for k-ary Huffman
+  // optimality. Dummies never contribute I/O.
+  int real = static_cast<int>(run_blocks.size());
+  int remainder = (real - 1) % (fan_in - 1);
+  int dummies = remainder == 0 ? 0 : fan_in - 1 - remainder;
+  for (int i = 0; i < dummies; ++i) {
+    heap.push(Node{0, 0, -1});
+  }
+
+  while (heap.size() > 1) {
+    MergeStep step;
+    int64_t blocks = 0;
+    int depth = 0;
+    for (int i = 0; i < fan_in && !heap.empty(); ++i) {
+      Node node = heap.top();
+      heap.pop();
+      if (node.index >= 0) {
+        step.inputs.push_back(node.index);
+      }
+      blocks += node.blocks;
+      depth = std::max(depth, node.depth);
+    }
+    EMSIM_CHECK(!step.inputs.empty());
+    step.output = next_index++;
+    plan.blocks_moved += blocks;
+    plan.depth = std::max(plan.depth, depth + 1);
+    plan.steps.push_back(std::move(step));
+    heap.push(Node{blocks, depth + 1, plan.steps.back().output});
+  }
+  return plan;
+}
+
+Result<MergeOutcome> ExecuteMergePlan(const MergePlan& plan,
+                                      const std::vector<RunDescriptor>& initial_runs,
+                                      BlockDevice* scratch, int64_t next_free_block,
+                                      BlockDevice* output,
+                                      const KWayMergeOptions& options) {
+  if (initial_runs.empty()) {
+    return Status::InvalidArgument("no runs to merge");
+  }
+  if (plan.steps.empty()) {
+    if (initial_runs.size() != 1) {
+      return Status::InvalidArgument("empty plan but multiple runs");
+    }
+    // Copy-through: merge the single run to the output device.
+    KWayMergeOptions single = options;
+    single.output_start_block = 0;
+    return MergeRuns(scratch, initial_runs, output, single);
+  }
+
+  std::vector<RunDescriptor> runs = initial_runs;
+  runs.resize(initial_runs.size() + plan.steps.size());
+
+  MergeOutcome last;
+  for (size_t s = 0; s < plan.steps.size(); ++s) {
+    const MergeStep& step = plan.steps[s];
+    std::vector<RunDescriptor> inputs;
+    for (int idx : step.inputs) {
+      if (idx < 0 || idx >= static_cast<int>(runs.size())) {
+        return Status::InvalidArgument("plan references an unknown run");
+      }
+      inputs.push_back(runs[static_cast<size_t>(idx)]);
+    }
+    const bool final_step = s + 1 == plan.steps.size();
+    KWayMergeOptions step_options = options;
+    step_options.output_start_block = final_step ? 0 : next_free_block;
+    Result<MergeOutcome> outcome =
+        MergeRuns(scratch, inputs, final_step ? output : scratch, step_options);
+    if (!outcome.ok()) {
+      return outcome.status();
+    }
+    runs[static_cast<size_t>(step.output)] = outcome->output;
+    if (!final_step) {
+      next_free_block += outcome->output.num_blocks;
+    }
+    last = *std::move(outcome);
+  }
+  return last;
+}
+
+}  // namespace emsim::extsort

@@ -1,0 +1,54 @@
+#ifndef EMSIM_EXTSORT_MERGE_PLAN_H_
+#define EMSIM_EXTSORT_MERGE_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "extsort/block_device.h"
+#include "extsort/merger.h"
+#include "extsort/run_io.h"
+#include "util/status.h"
+
+namespace emsim::extsort {
+
+/// One merge step: the listed runs (indices into the evolving run list —
+/// initial runs first, then each step's output in order) merge into the run
+/// whose index is `output`.
+struct MergeStep {
+  std::vector<int> inputs;
+  int output = 0;
+};
+
+/// A fan-in-limited merge schedule over the initial runs.
+struct MergePlan {
+  std::vector<MergeStep> steps;
+
+  /// Blocks read (= written) across all steps; the I/O-volume cost of the
+  /// schedule. A single-step merge moves each block once.
+  int64_t blocks_moved = 0;
+
+  /// Longest chain from an initial run to the final output (1 = one pass).
+  int depth = 0;
+
+  std::string ToString() const;
+};
+
+/// Plans a merge of runs with the given block counts under a fan-in limit
+/// `fan_in` >= 2, minimizing total blocks moved (k-ary Huffman with dummy
+/// runs, the classical optimal merge pattern — Knuth 5.4.9). With
+/// k <= fan_in the plan is the single k-way merge the paper studies.
+MergePlan PlanMerge(const std::vector<int64_t>& run_blocks, int fan_in);
+
+/// Executes a plan: intermediate runs are appended on `scratch` after
+/// `next_free_block`; the final step writes to `output` at block 0.
+/// Verifies order throughout (via MergeRuns).
+Result<MergeOutcome> ExecuteMergePlan(const MergePlan& plan,
+                                      const std::vector<RunDescriptor>& initial_runs,
+                                      BlockDevice* scratch, int64_t next_free_block,
+                                      BlockDevice* output,
+                                      const KWayMergeOptions& options);
+
+}  // namespace emsim::extsort
+
+#endif  // EMSIM_EXTSORT_MERGE_PLAN_H_

@@ -1,0 +1,231 @@
+#include "extsort/packed_sort.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "extsort/loser_tree.h"
+#include "util/check.h"
+
+namespace emsim::extsort {
+
+namespace {
+
+/// Sequential reader over one packed run with block buffering.
+class PackedRunCursor {
+ public:
+  PackedRunCursor(BlockDevice* device, size_t record_bytes, int64_t start_block,
+                  uint64_t num_records, int buffer_blocks)
+      : device_(device),
+        record_bytes_(record_bytes),
+        records_per_block_(device->block_bytes() / record_bytes),
+        start_block_(start_block),
+        num_records_(num_records),
+        buffer_blocks_(buffer_blocks),
+        scratch_(device->block_bytes()) {}
+
+  /// Returns a pointer to the next record's bytes, or nullptr at the end.
+  /// The pointer is valid until the next call.
+  Result<const uint8_t*> Next() {
+    if (returned_ >= num_records_) {
+      return Status::NotFound("run exhausted");
+    }
+    if (buffer_pos_ >= buffer_.size()) {
+      EMSIM_RETURN_IF_ERROR(Refill());
+    }
+    const uint8_t* record = buffer_.data() + buffer_pos_;
+    buffer_pos_ += record_bytes_;
+    ++returned_;
+    return record;
+  }
+
+  bool Exhausted() const { return returned_ >= num_records_; }
+
+ private:
+  Status Refill() {
+    buffer_.clear();
+    buffer_pos_ = 0;
+    int64_t total_blocks =
+        static_cast<int64_t>((num_records_ + records_per_block_ - 1) / records_per_block_);
+    int64_t to_read = std::min<int64_t>(buffer_blocks_, total_blocks - next_block_);
+    EMSIM_CHECK(to_read >= 1);
+    for (int64_t b = 0; b < to_read; ++b) {
+      EMSIM_RETURN_IF_ERROR(device_->Read(start_block_ + next_block_, scratch_));
+      uint64_t first = static_cast<uint64_t>(next_block_) * records_per_block_;
+      uint64_t n = std::min<uint64_t>(records_per_block_, num_records_ - first);
+      buffer_.insert(buffer_.end(), scratch_.begin(),
+                     scratch_.begin() + static_cast<std::ptrdiff_t>(n * record_bytes_));
+      ++next_block_;
+    }
+    return Status::OK();
+  }
+
+  BlockDevice* device_;
+  size_t record_bytes_;
+  size_t records_per_block_;
+  int64_t start_block_;
+  uint64_t num_records_;
+  int buffer_blocks_;
+  int64_t next_block_ = 0;
+  uint64_t returned_ = 0;
+  size_t buffer_pos_ = 0;
+  std::vector<uint8_t> buffer_;
+  std::vector<uint8_t> scratch_;
+};
+
+uint64_t KeyOf(const uint8_t* record) {
+  uint64_t key = 0;
+  std::memcpy(&key, record, sizeof(key));
+  return key;
+}
+
+}  // namespace
+
+Result<PackedSortStats> PackedExternalSorter::Sort(BlockDevice* input, uint64_t count,
+                                                   BlockDevice* scratch,
+                                                   BlockDevice* output) {
+  if (count == 0) {
+    return Status::InvalidArgument("nothing to sort");
+  }
+  const size_t record_bytes = options_.record_bytes;
+  PackedRecordFile in(input, record_bytes);
+  const size_t records_per_block = in.records_per_block();
+
+  PackedSortStats stats;
+  stats.records = count;
+
+  // Phase 1: load-sort chunks into packed runs on scratch.
+  struct PackedRun {
+    int64_t start_block;
+    uint64_t records;
+    int64_t blocks;
+  };
+  std::vector<PackedRun> runs;
+  std::vector<uint8_t> chunk;
+  std::vector<uint8_t> block(input->block_bytes());
+  int64_t next_run_block = 0;
+  uint64_t consumed = 0;
+  int64_t input_block = 0;
+  std::vector<uint8_t> carry;  // Records read but not yet chunked.
+  while (consumed < count) {
+    uint64_t want = std::min<uint64_t>(options_.memory_records, count - consumed);
+    chunk.clear();
+    chunk.reserve(want * record_bytes);
+    chunk.insert(chunk.end(), carry.begin(), carry.end());
+    carry.clear();
+    while (chunk.size() < want * record_bytes) {
+      EMSIM_RETURN_IF_ERROR(input->Read(input_block, block));
+      uint64_t first = static_cast<uint64_t>(input_block) * records_per_block;
+      uint64_t n = std::min<uint64_t>(records_per_block, count - first);
+      ++input_block;
+      chunk.insert(chunk.end(), block.begin(),
+                   block.begin() + static_cast<std::ptrdiff_t>(n * record_bytes));
+    }
+    if (chunk.size() > want * record_bytes) {
+      carry.assign(chunk.begin() + static_cast<std::ptrdiff_t>(want * record_bytes),
+                   chunk.end());
+      chunk.resize(want * record_bytes);
+    }
+
+    // Sort the chunk by key via an index permutation (records stay put).
+    std::vector<uint32_t> order(want);
+    std::iota(order.begin(), order.end(), 0U);
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return KeyOf(chunk.data() + a * record_bytes) < KeyOf(chunk.data() + b * record_bytes);
+    });
+
+    // Write the run, packed.
+    PackedRun run;
+    run.start_block = next_run_block;
+    run.records = want;
+    run.blocks = static_cast<int64_t>((want + records_per_block - 1) / records_per_block);
+    std::vector<uint8_t> out_block(scratch->block_bytes(), 0);
+    size_t filled = 0;
+    int64_t blocks_written = 0;
+    for (uint32_t idx : order) {
+      std::memcpy(out_block.data() + filled, chunk.data() + idx * record_bytes,
+                  record_bytes);
+      filled += record_bytes;
+      if (filled + record_bytes > out_block.size()) {
+        EMSIM_RETURN_IF_ERROR(scratch->Write(next_run_block + blocks_written, out_block));
+        ++blocks_written;
+        std::fill(out_block.begin(), out_block.end(), uint8_t{0});
+        filled = 0;
+      }
+    }
+    if (filled > 0) {
+      EMSIM_RETURN_IF_ERROR(scratch->Write(next_run_block + blocks_written, out_block));
+      ++blocks_written;
+    }
+    EMSIM_CHECK(blocks_written == run.blocks);
+    next_run_block += run.blocks;
+    stats.run_blocks += run.blocks;
+    runs.push_back(run);
+    consumed += want;
+  }
+  stats.runs = runs.size();
+
+  // Phase 2: k-way merge with a loser tree over the run cursors.
+  std::vector<PackedRunCursor> cursors;
+  cursors.reserve(runs.size());
+  for (const PackedRun& run : runs) {
+    cursors.emplace_back(scratch, record_bytes, run.start_block, run.records,
+                         options_.reader_buffer_blocks);
+  }
+  int k = static_cast<int>(cursors.size());
+  LoserTree<uint64_t> tree(k);
+  // The tree holds keys; full records are copied at emit time.
+  std::vector<std::vector<uint8_t>> heads(static_cast<size_t>(k),
+                                          std::vector<uint8_t>(record_bytes));
+  for (int s = 0; s < k; ++s) {
+    auto rec = cursors[static_cast<size_t>(s)].Next();
+    if (rec.ok()) {
+      std::memcpy(heads[static_cast<size_t>(s)].data(), *rec, record_bytes);
+      tree.SetInitial(s, KeyOf(heads[static_cast<size_t>(s)].data()));
+    } else {
+      tree.MarkExhausted(s);
+    }
+  }
+  tree.Build();
+
+  std::vector<uint8_t> out_block(output->block_bytes(), 0);
+  size_t filled = 0;
+  int64_t out_blocks = 0;
+  uint64_t emitted = 0;
+  uint64_t previous_key = 0;
+  while (!tree.Empty()) {
+    int s = tree.WinnerSource();
+    const std::vector<uint8_t>& head = heads[static_cast<size_t>(s)];
+    uint64_t key = KeyOf(head.data());
+    if (emitted > 0 && key < previous_key) {
+      return Status::Corruption("packed merge went backwards");
+    }
+    previous_key = key;
+    std::memcpy(out_block.data() + filled, head.data(), record_bytes);
+    filled += record_bytes;
+    ++emitted;
+    if (filled + record_bytes > out_block.size()) {
+      EMSIM_RETURN_IF_ERROR(output->Write(out_blocks++, out_block));
+      std::fill(out_block.begin(), out_block.end(), uint8_t{0});
+      filled = 0;
+    }
+    auto next = cursors[static_cast<size_t>(s)].Next();
+    if (next.ok()) {
+      std::memcpy(heads[static_cast<size_t>(s)].data(), *next, record_bytes);
+      tree.ReplaceWinner(KeyOf(heads[static_cast<size_t>(s)].data()));
+    } else {
+      tree.ExhaustWinner();
+    }
+  }
+  if (filled > 0) {
+    EMSIM_RETURN_IF_ERROR(output->Write(out_blocks++, out_block));
+  }
+  if (emitted != count) {
+    return Status::Internal("packed merge lost records");
+  }
+  stats.output_blocks = out_blocks;
+  return stats;
+}
+
+}  // namespace emsim::extsort

@@ -1,0 +1,43 @@
+#ifndef EMSIM_EXTSORT_PACKED_SORT_H_
+#define EMSIM_EXTSORT_PACKED_SORT_H_
+
+#include <cstdint>
+
+#include "extsort/block_device.h"
+#include "extsort/tag_sort.h"
+#include "util/status.h"
+
+namespace emsim::extsort {
+
+/// External mergesort over fixed-size packed byte records (key = first 8
+/// bytes) — the byte-level counterpart of ExternalSorter, sized so tag sort
+/// and mergesort can be compared on identical data (Kwan & Baer's study).
+struct PackedSortOptions {
+  size_t record_bytes = 64;
+  size_t memory_records = 4096;   ///< Records per load-sort chunk.
+  int reader_buffer_blocks = 4;   ///< Blocks per merge-phase read.
+};
+
+struct PackedSortStats {
+  uint64_t records = 0;
+  uint64_t runs = 0;
+  int64_t run_blocks = 0;      ///< Blocks written as initial runs.
+  int64_t output_blocks = 0;
+};
+
+class PackedExternalSorter {
+ public:
+  explicit PackedExternalSorter(const PackedSortOptions& options) : options_(options) {}
+
+  /// Sorts `count` packed records from `input` into `output`; initial runs
+  /// land on `scratch`.
+  Result<PackedSortStats> Sort(BlockDevice* input, uint64_t count, BlockDevice* scratch,
+                               BlockDevice* output);
+
+ private:
+  PackedSortOptions options_;
+};
+
+}  // namespace emsim::extsort
+
+#endif  // EMSIM_EXTSORT_PACKED_SORT_H_

@@ -1,0 +1,41 @@
+#include "extsort/record.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace emsim::extsort {
+
+void RecordBlock::Encode(std::span<const Record> records, std::span<uint8_t> block) {
+  EMSIM_CHECK(records.size() <= Capacity(block.size()));
+  uint32_t count = static_cast<uint32_t>(records.size());
+  std::memcpy(block.data(), &count, sizeof(count));
+  if (!records.empty()) {  // memcpy from a null data() is UB even for n=0.
+    std::memcpy(block.data() + sizeof(count), records.data(),
+                records.size() * sizeof(Record));
+  }
+  size_t used = sizeof(count) + records.size() * sizeof(Record);
+  std::fill(block.begin() + static_cast<std::ptrdiff_t>(used), block.end(), uint8_t{0});
+}
+
+Status RecordBlock::Decode(std::span<const uint8_t> block, std::vector<Record>* records) {
+  if (block.size() < sizeof(uint32_t)) {
+    return Status::Corruption("block smaller than header");
+  }
+  uint32_t count = 0;
+  std::memcpy(&count, block.data(), sizeof(count));
+  if (count > Capacity(block.size())) {
+    return Status::Corruption(StrFormat("record count %u exceeds block capacity %zu", count,
+                                        Capacity(block.size())));
+  }
+  records->resize(count);
+  std::memcpy(records->data(), block.data() + sizeof(count), count * sizeof(Record));
+  return Status::OK();
+}
+
+bool IsSorted(std::span<const Record> records) {
+  return std::is_sorted(records.begin(), records.end());
+}
+
+}  // namespace emsim::extsort

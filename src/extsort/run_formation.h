@@ -1,0 +1,43 @@
+#ifndef EMSIM_EXTSORT_RUN_FORMATION_H_
+#define EMSIM_EXTSORT_RUN_FORMATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "extsort/block_device.h"
+#include "extsort/record.h"
+#include "extsort/run_io.h"
+
+namespace emsim::extsort {
+
+/// How initial sorted runs are produced from unsorted input.
+enum class RunFormationStrategy {
+  /// Fill memory, sort, emit: every run is exactly `memory_records` long
+  /// (except the last) — the paper's "individually sorting one memory-load
+  /// of data at a time".
+  kLoadSort,
+  /// Replacement selection with a min-heap: runs average twice the memory
+  /// size on random input (Knuth Vol. 3), fewer and longer runs.
+  kReplacementSelection,
+};
+
+struct RunFormationOptions {
+  size_t memory_records = 4096;  ///< Records that fit in the sort workspace.
+  RunFormationStrategy strategy = RunFormationStrategy::kLoadSort;
+  int64_t start_block = 0;       ///< First device block to write runs at.
+};
+
+/// Result of run formation.
+struct RunFormationResult {
+  std::vector<RunDescriptor> runs;
+  int64_t next_free_block = 0;  ///< First block after the last run.
+};
+
+/// Sorts `input` into initial runs written contiguously on `device`.
+Result<RunFormationResult> FormRuns(std::span<const Record> input, BlockDevice* device,
+                                    const RunFormationOptions& options);
+
+}  // namespace emsim::extsort
+
+#endif  // EMSIM_EXTSORT_RUN_FORMATION_H_

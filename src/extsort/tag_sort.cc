@@ -1,0 +1,178 @@
+#include "extsort/tag_sort.h"
+
+#include <cstring>
+
+#include "extsort/run_formation.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace emsim::extsort {
+
+const std::vector<uint8_t>* BlockLru::Get(int64_t block) {
+  if (capacity_ == 0) {
+    return nullptr;
+  }
+  auto it = map_.find(block);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->second;
+}
+
+void BlockLru::Put(int64_t block, std::vector<uint8_t> bytes) {
+  if (capacity_ == 0) {
+    return;
+  }
+  auto it = map_.find(block);
+  if (it != map_.end()) {
+    it->second->second = std::move(bytes);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(block, std::move(bytes));
+  map_[block] = lru_.begin();
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+PackedRecordFile::PackedRecordFile(BlockDevice* device, size_t record_bytes)
+    : device_(device),
+      record_bytes_(record_bytes),
+      records_per_block_(device->block_bytes() / record_bytes),
+      scratch_(device->block_bytes()) {
+  EMSIM_CHECK(device != nullptr);
+  EMSIM_CHECK(record_bytes >= 8);
+  EMSIM_CHECK(records_per_block_ >= 1);
+}
+
+int64_t PackedRecordFile::BlocksFor(uint64_t count) const {
+  return static_cast<int64_t>((count + records_per_block_ - 1) / records_per_block_);
+}
+
+Status PackedRecordFile::WriteAll(std::span<const uint8_t> bytes, uint64_t count) {
+  if (bytes.size() != count * record_bytes_) {
+    return Status::InvalidArgument("byte span does not match the record count");
+  }
+  int64_t blocks = BlocksFor(count);
+  for (int64_t b = 0; b < blocks; ++b) {
+    std::fill(scratch_.begin(), scratch_.end(), uint8_t{0});
+    size_t first = static_cast<size_t>(b) * records_per_block_;
+    size_t n = std::min(records_per_block_, static_cast<size_t>(count) - first);
+    std::memcpy(scratch_.data(), bytes.data() + first * record_bytes_, n * record_bytes_);
+    EMSIM_RETURN_IF_ERROR(device_->Write(b, scratch_));
+  }
+  return Status::OK();
+}
+
+Status PackedRecordFile::ReadRecord(uint64_t index, std::span<uint8_t> out, BlockLru* lru) {
+  if (out.size() != record_bytes_) {
+    return Status::InvalidArgument("output span must be one record");
+  }
+  int64_t block = static_cast<int64_t>(index / records_per_block_);
+  size_t within = (index % records_per_block_) * record_bytes_;
+  if (lru != nullptr) {
+    if (const std::vector<uint8_t>* cached = lru->Get(block)) {
+      std::memcpy(out.data(), cached->data() + within, record_bytes_);
+      return Status::OK();
+    }
+  }
+  EMSIM_RETURN_IF_ERROR(device_->Read(block, scratch_));
+  std::memcpy(out.data(), scratch_.data() + within, record_bytes_);
+  if (lru != nullptr) {
+    lru->Put(block, scratch_);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> PackedRecordFile::ScanKeys(uint64_t count) {
+  std::vector<uint64_t> keys;
+  keys.reserve(count);
+  int64_t blocks = BlocksFor(count);
+  for (int64_t b = 0; b < blocks; ++b) {
+    EMSIM_RETURN_IF_ERROR(device_->Read(b, scratch_));
+    size_t first = static_cast<size_t>(b) * records_per_block_;
+    size_t n = std::min(records_per_block_, static_cast<size_t>(count) - first);
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t key = 0;
+      std::memcpy(&key, scratch_.data() + i * record_bytes_, sizeof(key));
+      keys.push_back(key);
+    }
+  }
+  return keys;
+}
+
+Result<TagSortStats> TagSorter::Sort(BlockDevice* input, uint64_t count,
+                                     BlockDevice* tag_scratch, BlockDevice* output) {
+  if (count == 0) {
+    return Status::InvalidArgument("nothing to sort");
+  }
+  PackedRecordFile in(input, options_.record_bytes);
+  PackedRecordFile out(output, options_.record_bytes);
+  TagSortStats stats;
+  stats.records = count;
+
+  // Phase 1: scan keys and external-sort the (key, position) tags.
+  Result<std::vector<uint64_t>> keys = in.ScanKeys(count);
+  if (!keys.ok()) {
+    return keys.status();
+  }
+  std::vector<Record> tags;
+  tags.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    tags.push_back({(*keys)[i], i});
+  }
+  ExternalSortOptions sort_options;
+  sort_options.run_formation.memory_records = options_.tag_memory_records;
+  ExternalSorter tag_sorter(sort_options);
+  // Tag runs and the sorted tag file both live on the tag scratch device;
+  // place the merged output after the runs.
+  Result<RunFormationResult> runs = FormRuns(tags, tag_scratch, sort_options.run_formation);
+  if (!runs.ok()) {
+    return runs.status();
+  }
+  KWayMergeOptions merge_options;
+  merge_options.output_start_block = runs->next_free_block;
+  merge_options.record_depletion_trace = false;
+  Result<MergeOutcome> merged = MergeRuns(tag_scratch, runs->runs, tag_scratch, merge_options);
+  if (!merged.ok()) {
+    return merged.status();
+  }
+  stats.tag_blocks_sorted = static_cast<uint64_t>(merged->output.num_blocks);
+
+  // Phase 2: stream the sorted tags; gather each record by position.
+  RunReader tag_reader(tag_scratch, merged->output, /*buffer_blocks=*/4);
+  BlockLru lru(options_.permute_cache_blocks);
+  std::vector<uint8_t> out_bytes;
+  out_bytes.reserve(static_cast<size_t>(count) * options_.record_bytes);
+  std::vector<uint8_t> record(options_.record_bytes);
+  uint64_t reads_before = input->reads();
+  Record tag;
+  uint64_t previous_key = 0;
+  bool have_previous = false;
+  while (tag_reader.Next(&tag)) {
+    if (have_previous && tag.key < previous_key) {
+      return Status::Corruption("tag stream out of order");
+    }
+    previous_key = tag.key;
+    have_previous = true;
+    EMSIM_RETURN_IF_ERROR(in.ReadRecord(tag.value, record, &lru));
+    out_bytes.insert(out_bytes.end(), record.begin(), record.end());
+  }
+  EMSIM_RETURN_IF_ERROR(tag_reader.status());
+  if (out_bytes.size() != count * options_.record_bytes) {
+    return Status::Internal("tag permutation lost records");
+  }
+  stats.permute_block_reads = input->reads() - reads_before;
+  stats.lru_hits = lru.hits();
+
+  EMSIM_RETURN_IF_ERROR(out.WriteAll(out_bytes, count));
+  stats.output_blocks = out.BlocksFor(count);
+  return stats;
+}
+
+}  // namespace emsim::extsort

@@ -1,0 +1,106 @@
+#ifndef EMSIM_EXTSORT_TAG_SORT_H_
+#define EMSIM_EXTSORT_TAG_SORT_H_
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "extsort/block_device.h"
+#include "extsort/external_sort.h"
+#include "util/status.h"
+
+namespace emsim::extsort {
+
+/// A tiny LRU cache of decoded blocks for tag sort's permutation phase
+/// (random reads revisit hot blocks when keys are skewed).
+class BlockLru {
+ public:
+  /// `capacity` = 0 disables caching.
+  explicit BlockLru(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached bytes of `block` or nullptr.
+  const std::vector<uint8_t>* Get(int64_t block);
+
+  /// Inserts (or refreshes) a block's bytes, evicting the least recently
+  /// used entry beyond capacity.
+  void Put(int64_t block, std::vector<uint8_t> bytes);
+
+  size_t size() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<int64_t, std::vector<uint8_t>>> lru_;  // Front = most recent.
+  std::unordered_map<int64_t, decltype(lru_)::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Fixed-size packed record storage: `block_bytes / record_bytes` records
+/// per block, no header, key = first 8 bytes (little-endian). The raw
+/// substrate tag sort permutes.
+class PackedRecordFile {
+ public:
+  /// `record_bytes` >= 8 and <= block size.
+  PackedRecordFile(BlockDevice* device, size_t record_bytes);
+
+  size_t records_per_block() const { return records_per_block_; }
+  size_t record_bytes() const { return record_bytes_; }
+
+  /// Writes `count` records of `record_bytes` each from `bytes`, starting
+  /// at record index 0, padding the final block.
+  Status WriteAll(std::span<const uint8_t> bytes, uint64_t count);
+
+  /// Reads record `index` into `out` (size record_bytes). `lru` may be null.
+  Status ReadRecord(uint64_t index, std::span<uint8_t> out, BlockLru* lru);
+
+  /// Reads the 8-byte key of every record, in file order (sequential scan).
+  Result<std::vector<uint64_t>> ScanKeys(uint64_t count);
+
+  /// Blocks a file of `count` records occupies.
+  int64_t BlocksFor(uint64_t count) const;
+
+ private:
+  BlockDevice* device_;
+  size_t record_bytes_;
+  size_t records_per_block_;
+  std::vector<uint8_t> scratch_;
+};
+
+/// Tag sort (Kwan & Baer's comparison algorithm): extract (key, position)
+/// tags, external-sort the small tags, then permute the full records into
+/// order by random reads. Trades sorted volume (tags are 16 B regardless of
+/// record size) against a random read per record in the permute phase.
+struct TagSortOptions {
+  size_t record_bytes = 64;
+  size_t tag_memory_records = 4096;  ///< Workspace for the tag sort phase.
+  size_t permute_cache_blocks = 0;   ///< LRU blocks during permutation.
+};
+
+struct TagSortStats {
+  uint64_t records = 0;
+  uint64_t tag_blocks_sorted = 0;   ///< Blocks of tag data merged.
+  uint64_t permute_block_reads = 0; ///< Random block reads (after LRU).
+  uint64_t lru_hits = 0;
+  int64_t output_blocks = 0;
+};
+
+class TagSorter {
+ public:
+  explicit TagSorter(const TagSortOptions& options) : options_(options) {}
+
+  /// Sorts `count` packed records on `input` into `output` (same packed
+  /// format), using `tag_scratch` for the tag runs.
+  Result<TagSortStats> Sort(BlockDevice* input, uint64_t count, BlockDevice* tag_scratch,
+                            BlockDevice* output);
+
+ private:
+  TagSortOptions options_;
+};
+
+}  // namespace emsim::extsort
+
+#endif  // EMSIM_EXTSORT_TAG_SORT_H_

@@ -1,0 +1,90 @@
+#include "io/planner.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace emsim::io {
+
+namespace {
+
+/// Clamps an op's depth to what the run still holds on disk.
+FetchOp MakeOp(const RunStates& runs, int run, int64_t n, bool is_demand) {
+  const RunState& s = runs[run];
+  FetchOp op;
+  op.run = run;
+  op.offset = s.next_fetch_offset;
+  op.nblocks = std::min<int64_t>(n, s.RemainingOnDisk());
+  op.is_demand = is_demand;
+  EMSIM_CHECK(op.nblocks >= 1);
+  return op;
+}
+
+class DemandOnlyPlanner final : public PrefetchPlanner {
+ public:
+  explicit DemandOnlyPlanner(int n) : n_(n) { EMSIM_CHECK(n >= 1); }
+
+  std::vector<FetchOp> Plan(const VictimChooser::Context& ctx, int demand_run) override {
+    return {MakeOp(*ctx.runs, demand_run, n_, /*is_demand=*/true)};
+  }
+
+  std::string name() const override { return StrFormat("demand-only(N=%d)", n_); }
+
+ private:
+  int n_;
+};
+
+class AllDisksOneRunPlanner final : public PrefetchPlanner {
+ public:
+  AllDisksOneRunPlanner(int n, std::unique_ptr<VictimChooser> chooser)
+      : n_(n), chooser_(std::move(chooser)) {
+    EMSIM_CHECK(n >= 1);
+    EMSIM_CHECK(chooser_ != nullptr);
+  }
+
+  std::vector<FetchOp> Plan(const VictimChooser::Context& ctx, int demand_run) override {
+    std::vector<FetchOp> ops;
+    ops.push_back(MakeOp(*ctx.runs, demand_run, n_, /*is_demand=*/true));
+    const disk::RunLayout& layout = *ctx.layout;
+    int demand_disk = layout.DiskOf(demand_run);
+    for (int d = 0; d < layout.num_disks(); ++d) {
+      if (d == demand_disk) {
+        continue;
+      }
+      std::vector<int> candidates;
+      for (int r : layout.RunsOf(d)) {
+        if (r != demand_run && !(*ctx.runs)[r].FullyRequested()) {
+          candidates.push_back(r);
+        }
+      }
+      if (candidates.empty()) {
+        continue;  // This disk has nothing left to prefetch.
+      }
+      int victim = chooser_->Choose(ctx, candidates);
+      ops.push_back(MakeOp(*ctx.runs, victim, n_, /*is_demand=*/false));
+    }
+    return ops;
+  }
+
+  std::string name() const override {
+    return StrFormat("all-disks-one-run(N=%d, victim=%s)", n_, chooser_->name());
+  }
+
+ private:
+  int n_;
+  std::unique_ptr<VictimChooser> chooser_;
+};
+
+}  // namespace
+
+std::unique_ptr<PrefetchPlanner> MakeDemandOnlyPlanner(int n) {
+  return std::make_unique<DemandOnlyPlanner>(n);
+}
+
+std::unique_ptr<PrefetchPlanner> MakeAllDisksOneRunPlanner(
+    int n, std::unique_ptr<VictimChooser> chooser) {
+  return std::make_unique<AllDisksOneRunPlanner>(n, std::move(chooser));
+}
+
+}  // namespace emsim::io

@@ -1,0 +1,43 @@
+#include "io/run_state.h"
+
+#include "util/check.h"
+
+namespace emsim::io {
+
+RunStates::RunStates(int num_runs, int64_t blocks_per_run) {
+  EMSIM_CHECK(num_runs >= 1);
+  EMSIM_CHECK(blocks_per_run >= 1);
+  states_.resize(static_cast<size_t>(num_runs));
+  for (auto& s : states_) {
+    s.blocks_total = blocks_per_run;
+  }
+}
+
+RunStates::RunStates(const std::vector<int64_t>& run_blocks) {
+  EMSIM_CHECK(!run_blocks.empty());
+  states_.resize(run_blocks.size());
+  for (size_t r = 0; r < run_blocks.size(); ++r) {
+    EMSIM_CHECK(run_blocks[r] >= 1);
+    states_[r].blocks_total = run_blocks[r];
+  }
+}
+
+std::vector<int> RunStates::ActiveRuns() const {
+  std::vector<int> active;
+  for (int r = 0; r < size(); ++r) {
+    if (!states_[static_cast<size_t>(r)].FullyConsumed()) {
+      active.push_back(r);
+    }
+  }
+  return active;
+}
+
+int64_t RunStates::TotalRemaining() const {
+  int64_t total = 0;
+  for (const auto& s : states_) {
+    total += s.blocks_total - s.consumed;
+  }
+  return total;
+}
+
+}  // namespace emsim::io

@@ -1,0 +1,51 @@
+#ifndef EMSIM_IO_RUN_STATE_H_
+#define EMSIM_IO_RUN_STATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace emsim::io {
+
+/// Fetch-progress bookkeeping for one sorted run during the merge.
+struct RunState {
+  int64_t blocks_total = 0;
+  int64_t next_fetch_offset = 0;  ///< First block not yet requested from disk.
+  int64_t consumed = 0;           ///< Blocks fully merged (depleted).
+
+  /// Blocks still on disk and unrequested.
+  int64_t RemainingOnDisk() const { return blocks_total - next_fetch_offset; }
+
+  /// True when every block has been requested (possibly still in flight).
+  bool FullyRequested() const { return next_fetch_offset >= blocks_total; }
+
+  /// True when every block has been merged.
+  bool FullyConsumed() const { return consumed >= blocks_total; }
+};
+
+/// State of all runs; index is the run id.
+class RunStates {
+ public:
+  RunStates(int num_runs, int64_t blocks_per_run);
+
+  /// Per-run lengths variant.
+  explicit RunStates(const std::vector<int64_t>& run_blocks);
+
+  RunState& operator[](int run) { return states_.at(static_cast<size_t>(run)); }
+  const RunState& operator[](int run) const { return states_.at(static_cast<size_t>(run)); }
+
+  int size() const { return static_cast<int>(states_.size()); }
+
+  /// Runs with unmerged blocks remaining (the depletion candidates).
+  std::vector<int> ActiveRuns() const;
+
+  /// Total unmerged blocks across all runs.
+  int64_t TotalRemaining() const;
+
+ private:
+  std::vector<RunState> states_;
+};
+
+}  // namespace emsim::io
+
+#endif  // EMSIM_IO_RUN_STATE_H_

@@ -1,0 +1,142 @@
+#include "io/victim_chooser.h"
+
+#include <limits>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace emsim::io {
+
+namespace {
+
+class RandomChooser final : public VictimChooser {
+ public:
+  int Choose(const Context& ctx, const std::vector<int>& candidates) override {
+    EMSIM_CHECK(!candidates.empty());
+    EMSIM_CHECK(ctx.rng != nullptr);
+    return candidates[ctx.rng->UniformInt(candidates.size())];
+  }
+  const char* name() const override { return "random"; }
+};
+
+class RoundRobinChooser final : public VictimChooser {
+ public:
+  int Choose(const Context& ctx, const std::vector<int>& candidates) override {
+    EMSIM_CHECK(!candidates.empty());
+    int disk = ctx.layout->DiskOf(candidates.front());
+    size_t& cursor = cursors_[disk];
+    int pick = candidates[cursor % candidates.size()];
+    ++cursor;
+    return pick;
+  }
+  const char* name() const override { return "round-robin"; }
+
+ private:
+  std::unordered_map<int, size_t> cursors_;
+};
+
+class FewestBufferedChooser final : public VictimChooser {
+ public:
+  int Choose(const Context& ctx, const std::vector<int>& candidates) override {
+    EMSIM_CHECK(!candidates.empty());
+    int best = candidates.front();
+    int64_t best_buffered = std::numeric_limits<int64_t>::max();
+    for (int r : candidates) {
+      int64_t buffered = ctx.cache->CachedForRun(r) + ctx.cache->InFlightForRun(r);
+      if (buffered < best_buffered) {
+        best_buffered = buffered;
+        best = r;
+      }
+    }
+    return best;
+  }
+  const char* name() const override { return "fewest-buffered"; }
+};
+
+class NearestHeadChooser final : public VictimChooser {
+ public:
+  int Choose(const Context& ctx, const std::vector<int>& candidates) override {
+    EMSIM_CHECK(!candidates.empty());
+    if (ctx.disks == nullptr) {
+      return candidates.front();
+    }
+    int best = candidates.front();
+    int64_t best_dist = std::numeric_limits<int64_t>::max();
+    for (int r : candidates) {
+      int disk_id = ctx.layout->DiskOf(r);
+      int64_t next = (*ctx.runs)[r].next_fetch_offset;
+      int64_t cyl = ctx.layout->CylinderOf(r, next);
+      int64_t head = ctx.disks->disk(disk_id).mechanism().current_cylinder();
+      int64_t dist = cyl > head ? cyl - head : head - cyl;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = r;
+      }
+    }
+    return best;
+  }
+  const char* name() const override { return "nearest-head"; }
+};
+
+class ClairvoyantChooser final : public VictimChooser {
+ public:
+  int Choose(const Context& ctx, const std::vector<int>& candidates) override {
+    EMSIM_CHECK(!candidates.empty());
+    EMSIM_CHECK(ctx.depletion_trace != nullptr &&
+                "clairvoyant choice needs a depletion trace");
+    BuildIndex(ctx);
+    int best = candidates.front();
+    int64_t best_when = std::numeric_limits<int64_t>::max();
+    for (int r : candidates) {
+      // The next unrequested block of run r is its next_fetch_offset-th
+      // block, depleted at that occurrence of r in the trace.
+      int64_t block = (*ctx.runs)[r].next_fetch_offset;
+      const auto& occurrences = occurrences_[static_cast<size_t>(r)];
+      EMSIM_CHECK(block < static_cast<int64_t>(occurrences.size()));
+      int64_t when = occurrences[static_cast<size_t>(block)];
+      if (when < best_when) {
+        best_when = when;
+        best = r;
+      }
+    }
+    return best;
+  }
+  const char* name() const override { return "clairvoyant"; }
+
+ private:
+  void BuildIndex(const Context& ctx) {
+    if (!occurrences_.empty()) {
+      return;
+    }
+    occurrences_.resize(static_cast<size_t>(ctx.runs->size()));
+    const std::vector<int>& trace = *ctx.depletion_trace;
+    for (int64_t t = 0; t < static_cast<int64_t>(trace.size()); ++t) {
+      occurrences_[static_cast<size_t>(trace[static_cast<size_t>(t)])].push_back(t);
+    }
+  }
+
+  /// occurrences_[run][b] = trace position at which run's b-th block
+  /// depletes.
+  std::vector<std::vector<int64_t>> occurrences_;
+};
+
+}  // namespace
+
+std::unique_ptr<VictimChooser> MakeRandomVictimChooser() {
+  return std::make_unique<RandomChooser>();
+}
+std::unique_ptr<VictimChooser> MakeRoundRobinVictimChooser() {
+  return std::make_unique<RoundRobinChooser>();
+}
+std::unique_ptr<VictimChooser> MakeFewestBufferedVictimChooser() {
+  return std::make_unique<FewestBufferedChooser>();
+}
+std::unique_ptr<VictimChooser> MakeNearestHeadVictimChooser() {
+  return std::make_unique<NearestHeadChooser>();
+}
+
+std::unique_ptr<VictimChooser> MakeClairvoyantVictimChooser() {
+  return std::make_unique<ClairvoyantChooser>();
+}
+
+}  // namespace emsim::io

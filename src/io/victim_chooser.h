@@ -1,0 +1,65 @@
+#ifndef EMSIM_IO_VICTIM_CHOOSER_H_
+#define EMSIM_IO_VICTIM_CHOOSER_H_
+
+#include <memory>
+#include <vector>
+
+#include "cache/block_cache.h"
+#include "disk/array.h"
+#include "disk/layout.h"
+#include "io/run_state.h"
+#include "util/rng.h"
+
+namespace emsim::io {
+
+/// Picks which run to prefetch from on a non-demand disk during inter-run
+/// prefetching. The paper adopts the uniformly random choice after finding
+/// head-position heuristics not worth their bookkeeping; the alternatives
+/// here exist to reproduce that ablation.
+class VictimChooser {
+ public:
+  struct Context {
+    const disk::RunLayout* layout = nullptr;
+    const cache::BlockCache* cache = nullptr;
+    const RunStates* runs = nullptr;
+    const disk::DiskArray* disks = nullptr;  // May be null (head info absent).
+    Rng* rng = nullptr;
+    /// The full future depletion order when the merge replays a trace
+    /// (null otherwise). Lets the clairvoyant chooser rank candidates by
+    /// when their next block is actually needed (Aggarwal & Vitter's
+    /// "predict which D blocks to prefetch").
+    const std::vector<int>* depletion_trace = nullptr;
+  };
+
+  virtual ~VictimChooser() = default;
+
+  /// Chooses among `candidates` (runs on one disk with blocks left on disk);
+  /// never called with an empty candidate list.
+  virtual int Choose(const Context& ctx, const std::vector<int>& candidates) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Uniformly random choice (the paper's policy).
+std::unique_ptr<VictimChooser> MakeRandomVictimChooser();
+
+/// Cycles deterministically through each disk's runs.
+std::unique_ptr<VictimChooser> MakeRoundRobinVictimChooser();
+
+/// Prefers the run with the fewest cached + in-flight blocks (the run most
+/// likely to stall the merge next).
+std::unique_ptr<VictimChooser> MakeFewestBufferedVictimChooser();
+
+/// Prefers the run whose next block is closest to the disk arm (head-
+/// position heuristic the paper references from the companion TR).
+std::unique_ptr<VictimChooser> MakeNearestHeadVictimChooser();
+
+/// Clairvoyant: picks the candidate whose next unrequested block will be
+/// depleted soonest, using the full trace (Aggarwal & Vitter's optimal
+/// prediction). Only valid with trace-driven depletion; an upper bound on
+/// what any realizable heuristic can achieve.
+std::unique_ptr<VictimChooser> MakeClairvoyantVictimChooser();
+
+}  // namespace emsim::io
+
+#endif  // EMSIM_IO_VICTIM_CHOOSER_H_

@@ -1,0 +1,31 @@
+#include "sim/event.h"
+
+namespace emsim::sim {
+
+void Event::Set() {
+  if (set_) {
+    return;
+  }
+  set_ = true;
+  for (auto h : waiters_) {
+    sim_->ScheduleHandle(sim_->Now(), h);
+  }
+  waiters_.clear();
+}
+
+void Event::Reset() {
+  EMSIM_CHECK(waiters_.empty() && "Event::Reset with pending waiters");
+  set_ = false;
+}
+
+void Signal::Fire() {
+  // Swap first: a resumed waiter may immediately re-wait on this signal, and
+  // those re-waits belong to the *next* pulse.
+  std::vector<std::coroutine_handle<>> woken;
+  woken.swap(waiters_);
+  for (auto h : woken) {
+    sim_->ScheduleHandle(sim_->Now(), h);
+  }
+}
+
+}  // namespace emsim::sim

@@ -1,0 +1,95 @@
+#ifndef EMSIM_SIM_EVENT_H_
+#define EMSIM_SIM_EVENT_H_
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/process.h"
+#include "sim/simulation.h"
+
+namespace emsim::sim {
+
+/// A latch-style one-shot event (CSIM "event" with set semantics): waiting on
+/// a set event completes immediately; Set() releases every waiter. Reset()
+/// rearms the latch.
+class Event {
+ public:
+  explicit Event(Simulation* sim) : sim_(sim) { EMSIM_CHECK(sim != nullptr); }
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool IsSet() const { return set_; }
+
+  /// Marks the event set and schedules all waiters at the current time.
+  void Set();
+
+  /// Rearms the latch; must not be called while processes wait on it.
+  void Reset();
+
+  class Awaiter {
+   public:
+    explicit Awaiter(Event* event) : event_(event) {}
+    bool await_ready() const noexcept { return event_->set_; }
+    void await_suspend(std::coroutine_handle<Process::promise_type> h) {
+      event_->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Event* event_;
+  };
+
+  /// Awaitable: suspends until the event is set (or resumes immediately if
+  /// already set).
+  Awaiter Wait() { return Awaiter(this); }
+
+ private:
+  friend class Awaiter;
+  Simulation* sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// A pulse-style broadcast signal (condition variable without a lock): each
+/// Fire() wakes the processes currently waiting; late arrivals wait for the
+/// next pulse. Waiters must re-check their predicate in a loop:
+///
+///     while (!pred()) co_await signal.Wait();
+class Signal {
+ public:
+  explicit Signal(Simulation* sim) : sim_(sim) { EMSIM_CHECK(sim != nullptr); }
+
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  /// Wakes every currently-waiting process (scheduled at the current time).
+  void Fire();
+
+  /// Number of processes currently blocked on this signal.
+  size_t NumWaiters() const { return waiters_.size(); }
+
+  class Awaiter {
+   public:
+    explicit Awaiter(Signal* signal) : signal_(signal) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<Process::promise_type> h) {
+      signal_->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Signal* signal_;
+  };
+
+  Awaiter Wait() { return Awaiter(this); }
+
+ private:
+  friend class Awaiter;
+  Simulation* sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace emsim::sim
+
+#endif  // EMSIM_SIM_EVENT_H_

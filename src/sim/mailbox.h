@@ -1,0 +1,83 @@
+#ifndef EMSIM_SIM_MAILBOX_H_
+#define EMSIM_SIM_MAILBOX_H_
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/process.h"
+#include "sim/simulation.h"
+
+namespace emsim::sim {
+
+/// An unbounded FIFO message queue between processes (CSIM mailbox). `Put` is
+/// non-blocking; `Get` suspends until a message is available. Messages are
+/// delivered in arrival order; waiting receivers are served FIFO.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulation* sim) : sim_(sim) { EMSIM_CHECK(sim != nullptr); }
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues a message; delivers it directly to the head waiting receiver
+  /// if one exists.
+  void Put(T message) {
+    if (!receivers_.empty()) {
+      Getter* head = receivers_.front();
+      receivers_.pop_front();
+      head->message_ = std::move(message);
+      sim_->ScheduleHandle(sim_->Now(), head->handle_);
+      return;
+    }
+    messages_.push_back(std::move(message));
+  }
+
+  /// Messages currently buffered.
+  size_t Size() const { return messages_.size(); }
+
+  /// Receivers currently blocked in Get().
+  size_t NumWaiters() const { return receivers_.size(); }
+
+  class Getter {
+   public:
+    explicit Getter(Mailbox* box) : box_(box) {}
+    bool await_ready() noexcept {
+      if (!box_->messages_.empty()) {
+        message_ = std::move(box_->messages_.front());
+        box_->messages_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<Process::promise_type> h) {
+      handle_ = h;
+      box_->receivers_.push_back(this);
+    }
+    T await_resume() {
+      EMSIM_CHECK(message_.has_value());
+      return std::move(*message_);
+    }
+
+   private:
+    friend class Mailbox;
+    Mailbox* box_;
+    std::coroutine_handle<> handle_;
+    std::optional<T> message_;
+  };
+
+  /// Awaitable receive.
+  Getter Get() { return Getter(this); }
+
+ private:
+  friend class Getter;
+  Simulation* sim_;
+  std::deque<T> messages_;
+  std::deque<Getter*> receivers_;
+};
+
+}  // namespace emsim::sim
+
+#endif  // EMSIM_SIM_MAILBOX_H_

@@ -1,0 +1,105 @@
+#ifndef EMSIM_SIM_PROCESS_H_
+#define EMSIM_SIM_PROCESS_H_
+
+#include <coroutine>
+#include <utility>
+
+#include "sim/simulation.h"
+#include "util/check.h"
+
+namespace emsim::sim {
+
+/// A detached simulation process — the coroutine analogue of a CSIM process.
+///
+/// Usage:
+///
+///     Process Worker(Simulation& sim, Disk& disk) {
+///       co_await Delay(5.0);           // hold for 5 ms of simulated time
+///       co_await disk.idle().Wait();   // block on a synchronization object
+///     }
+///     sim.Spawn(Worker(sim, disk));
+///
+/// Processes are fire-and-forget: completion is communicated through Events,
+/// Semaphores or Mailboxes, exactly as in CSIM models. The coroutine frame is
+/// owned by the kernel once spawned and frees itself at completion.
+class Process {
+ public:
+  struct promise_type {
+    Simulation* sim = nullptr;
+
+    Process get_return_object() {
+      return Process(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        promise_type& p = h.promise();
+        if (p.sim != nullptr) {
+          p.sim->OnProcessFinished(h);
+        }
+        h.destroy();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() {
+      // Simulation models are exception-free; escaping exceptions are bugs.
+      EMSIM_CHECK(false && "exception escaped a sim::Process");
+    }
+  };
+
+  Process(Process&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      DestroyIfOwned();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ~Process() { DestroyIfOwned(); }
+
+  /// Internal: used by Simulation::Spawn to take ownership.
+  std::coroutine_handle<promise_type> Release() { return std::exchange(handle_, nullptr); }
+
+ private:
+  explicit Process(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+
+  void DestroyIfOwned() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Awaitable that suspends the current process for `dt` milliseconds of
+/// simulated time (CSIM's `hold`). `dt` must be >= 0; a zero delay yields to
+/// other events already scheduled at the current time.
+class Delay {
+ public:
+  explicit Delay(SimTime dt) : dt_(dt) { EMSIM_CHECK(dt >= 0); }
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<Process::promise_type> h) {
+    Simulation* sim = h.promise().sim;
+    EMSIM_CHECK(sim != nullptr);
+    sim->ScheduleHandle(sim->Now() + dt_, h);
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  SimTime dt_;
+};
+
+}  // namespace emsim::sim
+
+#endif  // EMSIM_SIM_PROCESS_H_

@@ -1,0 +1,45 @@
+#include "sim/resource.h"
+
+namespace emsim::sim {
+
+Resource::Resource(Simulation* sim, int num_servers)
+    : sim_(sim), num_servers_(num_servers), sem_(sim, num_servers) {
+  EMSIM_CHECK(num_servers >= 1);
+  busy_stat_.Update(sim_->Now(), 0.0);
+}
+
+void Resource::NoteAcquired() {
+  ++busy_;
+  EMSIM_DCHECK(busy_ <= num_servers_);
+  busy_stat_.Update(sim_->Now(), busy_);
+}
+
+bool Resource::TryAcquire() {
+  if (sem_.TryAcquire()) {
+    NoteAcquired();
+    return true;
+  }
+  return false;
+}
+
+void Resource::Release() {
+  EMSIM_CHECK(busy_ > 0);
+  ++completions_;
+  --busy_;
+  busy_stat_.Update(sim_->Now(), busy_);
+  sem_.Release();
+}
+
+double Resource::MeanBusyServers() const { return busy_stat_.Average(); }
+
+double Resource::BusyFraction() const {
+  double total = busy_stat_.TotalTime();
+  if (total <= 0) {
+    return 0.0;
+  }
+  return busy_stat_.PositiveTime() / total;
+}
+
+void Resource::FlushStats() { busy_stat_.Flush(sim_->Now()); }
+
+}  // namespace emsim::sim

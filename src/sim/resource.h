@@ -1,0 +1,84 @@
+#ifndef EMSIM_SIM_RESOURCE_H_
+#define EMSIM_SIM_RESOURCE_H_
+
+#include <cstdint>
+
+#include "sim/semaphore.h"
+#include "stats/time_weighted.h"
+
+namespace emsim::sim {
+
+/// A CSIM-style facility: `num_servers` identical servers with a FIFO queue,
+/// instrumented with utilization statistics. A disk arm is a one-server
+/// Resource whose holder computes its own service time:
+///
+///     co_await resource.Acquire();
+///     co_await Delay(service_time);
+///     resource.Release();
+class Resource {
+ public:
+  Resource(Simulation* sim, int num_servers);
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  class Acquirer {
+   public:
+    explicit Acquirer(Resource* res) : res_(res), inner_(&res->sem_) {}
+    bool await_ready() noexcept { return inner_.await_ready(); }
+    void await_suspend(std::coroutine_handle<Process::promise_type> h) {
+      inner_.await_suspend(h);
+    }
+    void await_resume() noexcept { res_->NoteAcquired(); }
+
+   private:
+    Resource* res_;
+    Semaphore::Awaiter inner_;
+  };
+
+  /// Awaitable FIFO acquire of one server.
+  Acquirer Acquire() { return Acquirer(this); }
+
+  /// Non-blocking acquire; true on success.
+  bool TryAcquire();
+
+  /// Releases one server (hands it to the head queued waiter, if any).
+  void Release();
+
+  int num_servers() const { return num_servers_; }
+
+  /// Servers currently held.
+  int busy_servers() const { return busy_; }
+
+  /// Processes queued waiting for a server.
+  size_t QueueLength() const { return sem_.NumWaiters(); }
+
+  /// Completed acquire/release cycles.
+  uint64_t completions() const { return completions_; }
+
+  /// Time-averaged number of busy servers (utilization = this / servers).
+  double MeanBusyServers() const;
+
+  /// Fraction of elapsed time with at least one busy server.
+  double BusyFraction() const;
+
+  /// Closes the statistics window at the current time (call before reading
+  /// statistics at the end of a run).
+  void FlushStats();
+
+ private:
+  friend class Acquirer;
+
+  void NoteAcquired();
+
+  Simulation* sim_;
+  int num_servers_;
+  int busy_ = 0;
+  uint64_t completions_ = 0;
+  Semaphore sem_;
+  stats::TimeWeighted busy_stat_;
+};
+
+}  // namespace emsim::sim
+
+#endif  // EMSIM_SIM_RESOURCE_H_

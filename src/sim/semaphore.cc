@@ -1,0 +1,24 @@
+#include "sim/semaphore.h"
+
+namespace emsim::sim {
+
+bool Semaphore::TryAcquire() {
+  if (count_ > 0) {
+    --count_;
+    return true;
+  }
+  return false;
+}
+
+void Semaphore::Release() {
+  if (!waiters_.empty()) {
+    Awaiter* head = waiters_.front();
+    waiters_.pop_front();
+    // Direct handoff: the token never becomes publicly visible.
+    sim_->ScheduleHandle(sim_->Now(), head->handle_);
+    return;
+  }
+  ++count_;
+}
+
+}  // namespace emsim::sim

@@ -1,0 +1,71 @@
+#ifndef EMSIM_SIM_SEMAPHORE_H_
+#define EMSIM_SIM_SEMAPHORE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "sim/process.h"
+#include "sim/simulation.h"
+
+namespace emsim::sim {
+
+/// Counting semaphore with FIFO wakeup order and direct token handoff:
+/// a token released while processes wait is granted to the longest-waiting
+/// process immediately (it can not be stolen by a TryAcquire that runs before
+/// the waiter is resumed), making acquisition order fair and deterministic.
+class Semaphore {
+ public:
+  Semaphore(Simulation* sim, int64_t initial_count) : sim_(sim), count_(initial_count) {
+    EMSIM_CHECK(sim != nullptr);
+    EMSIM_CHECK(initial_count >= 0);
+  }
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// Tokens currently available (not counting handoffs in flight).
+  int64_t count() const { return count_; }
+  size_t NumWaiters() const { return waiters_.size(); }
+
+  /// Non-blocking acquire; true on success.
+  bool TryAcquire();
+
+  /// Releases one token; the head waiter (if any) receives it directly.
+  void Release();
+
+  class Awaiter {
+   public:
+    explicit Awaiter(Semaphore* sem) : sem_(sem) {}
+    bool await_ready() noexcept {
+      if (sem_->count_ > 0) {
+        --sem_->count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<Process::promise_type> h) {
+      handle_ = h;
+      sem_->waiters_.push_back(this);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    friend class Semaphore;
+    Semaphore* sem_;
+    std::coroutine_handle<> handle_;
+  };
+
+  /// Awaitable acquire: suspends until a token is available, then owns it.
+  Awaiter Acquire() { return Awaiter(this); }
+
+ private:
+  friend class Awaiter;
+  Simulation* sim_;
+  int64_t count_;
+  std::deque<Awaiter*> waiters_;
+};
+
+}  // namespace emsim::sim
+
+#endif  // EMSIM_SIM_SEMAPHORE_H_

@@ -1,0 +1,66 @@
+#include "sim/simulation.h"
+
+#include "sim/process.h"
+
+namespace emsim::sim {
+
+Simulation::~Simulation() {
+  // Destroy frames of processes still blocked on synchronization objects.
+  // Their final awaiter never ran, so they are not in the calendar and no
+  // other owner exists. Frame-local destructors must not touch the kernel.
+  std::vector<std::coroutine_handle<>> leftover;
+  leftover.swap(live_handles_);
+  for (auto h : leftover) {
+    h.destroy();
+  }
+}
+
+void Simulation::Spawn(Process&& process) {
+  auto handle = process.Release();
+  EMSIM_CHECK(handle);
+  handle.promise().sim = this;
+  OnProcessCreated(handle);
+  ScheduleHandle(now_, handle);
+}
+
+void Simulation::ScheduleHandle(SimTime at, std::coroutine_handle<> handle) {
+  EMSIM_CHECK(at >= now_);
+  calendar_.push(Entry{at, next_seq_++, handle, nullptr});
+}
+
+void Simulation::ScheduleCallback(SimTime at, std::function<void()> callback) {
+  EMSIM_CHECK(at >= now_);
+  calendar_.push(Entry{at, next_seq_++, nullptr, std::move(callback)});
+}
+
+bool Simulation::Step() {
+  if (calendar_.empty()) {
+    return false;
+  }
+  Entry entry = calendar_.top();
+  calendar_.pop();
+  now_ = entry.time;
+  ++events_processed_;
+  if (entry.handle) {
+    entry.handle.resume();
+  } else if (entry.callback) {
+    entry.callback();
+  }
+  return true;
+}
+
+void Simulation::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulation::RunUntil(SimTime deadline) {
+  while (!calendar_.empty() && calendar_.top().time <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace emsim::sim

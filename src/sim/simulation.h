@@ -1,0 +1,114 @@
+#ifndef EMSIM_SIM_SIMULATION_H_
+#define EMSIM_SIM_SIMULATION_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+
+namespace emsim::sim {
+
+/// Simulated time in milliseconds (the paper's disk parameters are natural in
+/// ms; nothing in the kernel depends on the unit).
+using SimTime = double;
+
+class Process;
+
+/// Process-oriented discrete-event simulation kernel — the library's
+/// replacement for Rice CSIM, which the paper used. Model code is written as
+/// C++20 coroutines (`Process` functions) that `co_await` delays and
+/// synchronization primitives; the kernel owns the event calendar and resumes
+/// coroutines in nondecreasing time order with FIFO tie-breaking, which makes
+/// every simulation fully deterministic for a given RNG seed.
+///
+/// Single-threaded by design: determinism and reproducibility outrank
+/// parallel speed for a simulation that completes in milliseconds.
+class Simulation {
+ public:
+  Simulation() = default;
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Starts a process: the coroutine body begins executing at the current
+  /// simulated time (processes start suspended). Ownership of the coroutine
+  /// frame transfers to the kernel; the frame frees itself on completion.
+  void Spawn(Process&& process);
+
+  /// Schedules `handle` to be resumed at absolute time `at` (>= Now()).
+  void ScheduleHandle(SimTime at, std::coroutine_handle<> handle);
+
+  /// Schedules a plain callback at absolute time `at`.
+  void ScheduleCallback(SimTime at, std::function<void()> callback);
+
+  /// Executes the single next event. Returns false if the calendar is empty.
+  bool Step();
+
+  /// Runs until the calendar is empty. If live processes remain blocked on
+  /// synchronization objects afterwards, the model deadlocked; callers can
+  /// inspect live_processes().
+  void Run();
+
+  /// Runs until the calendar is empty or simulated time would exceed
+  /// `deadline`; events after the deadline stay queued.
+  void RunUntil(SimTime deadline);
+
+  /// Number of calendar events executed so far.
+  uint64_t events_processed() const { return events_processed_; }
+
+  /// Number of spawned processes that have not finished.
+  int live_processes() const { return live_processes_; }
+
+  /// Internal: process lifetime accounting (called by Spawn / the Process
+  /// promise). Live frames are tracked so that a Simulation destroyed while
+  /// processes are still blocked (e.g. server loops) reclaims their frames.
+  void OnProcessCreated(std::coroutine_handle<> handle) {
+    ++live_processes_;
+    live_handles_.push_back(handle);
+  }
+  void OnProcessFinished(std::coroutine_handle<> handle) {
+    --live_processes_;
+    for (auto& h : live_handles_) {
+      if (h.address() == handle.address()) {
+        h = live_handles_.back();
+        live_handles_.pop_back();
+        break;
+      }
+    }
+  }
+
+  ~Simulation();
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;  // FIFO tie-break for equal times.
+    std::coroutine_handle<> handle;
+    std::function<void()> callback;  // Used when handle is null.
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  int live_processes_ = 0;
+  std::vector<std::coroutine_handle<>> live_handles_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> calendar_;
+};
+
+}  // namespace emsim::sim
+
+#endif  // EMSIM_SIM_SIMULATION_H_

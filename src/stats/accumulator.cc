@@ -1,0 +1,56 @@
+#include "stats/accumulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emsim::stats {
+
+void Accumulator::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Accumulator::Merge(const Accumulator& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Accumulator::Reset() { *this = Accumulator(); }
+
+double Accumulator::Mean() const { return count_ ? mean_ : 0.0; }
+
+double Accumulator::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::StdDev() const { return std::sqrt(Variance()); }
+
+double Accumulator::StdError() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return StdDev() / std::sqrt(static_cast<double>(count_));
+}
+
+}  // namespace emsim::stats

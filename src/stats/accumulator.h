@@ -1,0 +1,50 @@
+#ifndef EMSIM_STATS_ACCUMULATOR_H_
+#define EMSIM_STATS_ACCUMULATOR_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace emsim::stats {
+
+/// Streaming scalar statistics (Welford's algorithm): mean, variance, min,
+/// max over an online sequence of observations without storing them.
+class Accumulator {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void Merge(const Accumulator& other);
+
+  /// Removes all observations.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Mean of the observations; 0 if empty.
+  double Mean() const;
+
+  /// Unbiased sample variance (n-1 denominator); 0 if fewer than 2 samples.
+  double Variance() const;
+
+  /// Sample standard deviation.
+  double StdDev() const;
+
+  /// Standard error of the mean: stddev / sqrt(n).
+  double StdError() const;
+
+  double Min() const { return count_ ? min_ : 0.0; }
+  double Max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace emsim::stats
+
+#endif  // EMSIM_STATS_ACCUMULATOR_H_

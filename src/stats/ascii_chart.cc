@@ -1,0 +1,101 @@
+#include "stats/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace emsim::stats {
+
+namespace {
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+}
+
+std::string RenderAsciiChart(const Figure& figure, const AsciiChartOptions& options) {
+  EMSIM_CHECK(options.width >= 8 && options.height >= 4);
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -min_x;
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_y = -min_y;
+  bool any = false;
+  for (const Series& series : figure.series()) {
+    for (const SeriesPoint& p : series.points()) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+      any = true;
+    }
+  }
+  if (!any) {
+    return "== " + figure.title() + " == (no data)\n";
+  }
+  if (max_x == min_x) {
+    max_x = min_x + 1;
+  }
+  if (max_y == min_y) {
+    max_y = min_y + 1;
+  }
+  const bool log_y = options.log_y && min_y > 0;
+
+  auto y_to_row = [&](double y) {
+    double lo = log_y ? std::log(min_y) : min_y;
+    double hi = log_y ? std::log(max_y) : max_y;
+    double v = log_y ? std::log(y) : y;
+    double frac = (v - lo) / (hi - lo);
+    int row = static_cast<int>(std::lround((1.0 - frac) * (options.height - 1)));
+    return std::clamp(row, 0, options.height - 1);
+  };
+  auto x_to_col = [&](double x) {
+    double frac = (x - min_x) / (max_x - min_x);
+    int col = static_cast<int>(std::lround(frac * (options.width - 1)));
+    return std::clamp(col, 0, options.width - 1);
+  };
+
+  std::vector<std::string> grid(static_cast<size_t>(options.height),
+                                std::string(static_cast<size_t>(options.width), ' '));
+  for (size_t s = 0; s < figure.series().size(); ++s) {
+    char glyph = kGlyphs[s % sizeof(kGlyphs)];
+    for (const SeriesPoint& p : figure.series()[s].points()) {
+      char& cell = grid[static_cast<size_t>(y_to_row(p.y))][static_cast<size_t>(x_to_col(p.x))];
+      // Overlapping series show a collision marker.
+      cell = (cell == ' ' || cell == glyph) ? glyph : '?';
+    }
+  }
+
+  std::string out = "== " + figure.title() + " ==\n";
+  const size_t gutter = 10;
+  for (int row = 0; row < options.height; ++row) {
+    std::string label;
+    if (row == 0) {
+      label = StrFormat("%9.4g", max_y);
+    } else if (row == options.height - 1) {
+      label = StrFormat("%9.4g", min_y);
+    } else {
+      label = std::string(9, ' ');
+    }
+    out += PadLeft(label, gutter - 1) + "|" + grid[static_cast<size_t>(row)] + "\n";
+  }
+  out += std::string(gutter - 1, ' ') + "+" + std::string(static_cast<size_t>(options.width), '-') +
+         "\n";
+  std::string x_axis = StrFormat("%-10.4g", min_x);
+  std::string max_label = StrFormat("%.4g", max_x);
+  x_axis = std::string(gutter, ' ') + x_axis;
+  size_t pad_to = gutter + static_cast<size_t>(options.width) - max_label.size();
+  if (x_axis.size() < pad_to) {
+    x_axis += std::string(pad_to - x_axis.size(), ' ');
+  }
+  out += x_axis + max_label + "\n";
+  out += "legend:";
+  for (size_t s = 0; s < figure.series().size(); ++s) {
+    out += StrFormat(" %c %s ", kGlyphs[s % sizeof(kGlyphs)],
+                     figure.series()[s].name().c_str());
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace emsim::stats

@@ -1,0 +1,33 @@
+#ifndef EMSIM_STATS_ASCII_CHART_H_
+#define EMSIM_STATS_ASCII_CHART_H_
+
+#include <string>
+
+#include "stats/series.h"
+
+namespace emsim::stats {
+
+/// Options for the terminal line-chart renderer.
+struct AsciiChartOptions {
+  int width = 72;    ///< Plot-area columns (excluding the y-axis gutter).
+  int height = 20;   ///< Plot-area rows.
+  bool log_y = false;  ///< Logarithmic y axis (all y must be > 0).
+};
+
+/// Renders a Figure as a terminal scatter/line chart with axes, per-series
+/// glyphs and a legend — so every bench binary's output is eyeballable
+/// against the paper's plots without leaving the terminal.
+///
+///     == Figure 3.2(a) ==
+///     292.7 |*
+///           | *
+///           |   *  o ...
+///       ...
+///      14.4 +------------------
+///            1               30
+///     legend: * Demand Run Only (1 disk) ...
+std::string RenderAsciiChart(const Figure& figure, const AsciiChartOptions& options = {});
+
+}  // namespace emsim::stats
+
+#endif  // EMSIM_STATS_ASCII_CHART_H_

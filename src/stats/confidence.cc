@@ -1,0 +1,29 @@
+#include "stats/confidence.h"
+
+namespace emsim::stats {
+
+double StudentT95(uint64_t df) {
+  // Two-sided 95% critical values, df = 1..30.
+  static const double kTable[31] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179,  2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+      2.074,  2.069,  2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) {
+    return 0.0;
+  }
+  if (df <= 30) {
+    return kTable[df];
+  }
+  return 1.96;  // Normal approximation.
+}
+
+ConfidenceInterval MeanConfidence95(const Accumulator& acc) {
+  ConfidenceInterval ci;
+  ci.mean = acc.Mean();
+  if (acc.count() >= 2) {
+    ci.half_width = StudentT95(acc.count() - 1) * acc.StdError();
+  }
+  return ci;
+}
+
+}  // namespace emsim::stats

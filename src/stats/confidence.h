@@ -1,0 +1,33 @@
+#ifndef EMSIM_STATS_CONFIDENCE_H_
+#define EMSIM_STATS_CONFIDENCE_H_
+
+#include <cstdint>
+
+#include "stats/accumulator.h"
+
+namespace emsim::stats {
+
+/// A symmetric confidence interval around a mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  // mean ± half_width
+
+  double lower() const { return mean - half_width; }
+  double upper() const { return mean + half_width; }
+
+  /// True if `value` lies within the interval.
+  bool Contains(double value) const { return value >= lower() && value <= upper(); }
+};
+
+/// Two-sided Student-t critical value for the given degrees of freedom at
+/// 95% confidence. Exact tabulated values for df <= 30, normal approximation
+/// beyond.
+double StudentT95(uint64_t degrees_of_freedom);
+
+/// 95% confidence interval for the mean of the accumulated observations.
+/// With fewer than 2 samples the half-width is 0.
+ConfidenceInterval MeanConfidence95(const Accumulator& acc);
+
+}  // namespace emsim::stats
+
+#endif  // EMSIM_STATS_CONFIDENCE_H_

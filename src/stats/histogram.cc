@@ -1,0 +1,81 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace emsim::stats {
+
+Histogram::Histogram(double lo, double hi, size_t num_buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(num_buckets)) {
+  EMSIM_CHECK(hi > lo);
+  EMSIM_CHECK(num_buckets >= 1);
+  buckets_.assign(num_buckets, 0);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    ++buckets_.front();
+    return;
+  }
+  size_t idx = static_cast<size_t>((x - lo_) / width_);
+  if (idx >= buckets_.size()) {
+    if (x >= hi_) {
+      ++overflow_;
+    }
+    idx = buckets_.size() - 1;
+  }
+  ++buckets_[idx];
+}
+
+double Histogram::BucketLow(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+double Histogram::Quantile(double p) const {
+  if (total_ == 0) {
+    return lo_;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  double target = p * static_cast<double>(total_);
+  double acc = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    double next = acc + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      double frac = buckets_[i] == 0 ? 0.0 : (target - acc) / static_cast<double>(buckets_[i]);
+      return BucketLow(i) + frac * width_;
+    }
+    acc = next;
+  }
+  return hi_;
+}
+
+double Histogram::ApproxMean() const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  double sum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    sum += static_cast<double>(buckets_[i]) * (BucketLow(i) + width_ / 2);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+std::string Histogram::ToAscii(size_t max_bar_width) const {
+  uint64_t peak = 0;
+  for (uint64_t c : buckets_) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    size_t bar =
+        peak == 0 ? 0 : static_cast<size_t>(static_cast<double>(buckets_[i]) / peak * max_bar_width);
+    out += StrFormat("[%10.3f, %10.3f) %8llu |%s\n", BucketLow(i), BucketLow(i) + width_,
+                     static_cast<unsigned long long>(buckets_[i]), std::string(bar, '#').c_str());
+  }
+  return out;
+}
+
+}  // namespace emsim::stats

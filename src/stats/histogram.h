@@ -1,0 +1,50 @@
+#ifndef EMSIM_STATS_HISTOGRAM_H_
+#define EMSIM_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emsim::stats {
+
+/// Fixed-width bucket histogram over [lo, hi); observations outside the range
+/// are clamped into the first/last bucket and counted as underflow/overflow.
+class Histogram {
+ public:
+  /// Requires hi > lo and num_buckets >= 1.
+  Histogram(double lo, double hi, size_t num_buckets);
+
+  void Add(double x);
+
+  uint64_t TotalCount() const { return total_; }
+  uint64_t BucketCount(size_t i) const { return buckets_.at(i); }
+  size_t NumBuckets() const { return buckets_.size(); }
+  uint64_t Underflow() const { return underflow_; }
+  uint64_t Overflow() const { return overflow_; }
+
+  /// Lower edge of bucket i.
+  double BucketLow(size_t i) const;
+
+  /// Approximate p-quantile (0 <= p <= 1) by linear interpolation within the
+  /// owning bucket. Returns lo if empty.
+  double Quantile(double p) const;
+
+  /// Mean approximated from bucket midpoints.
+  double ApproxMean() const;
+
+  /// Multi-line ASCII rendering with proportional bars.
+  std::string ToAscii(size_t max_bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+};
+
+}  // namespace emsim::stats
+
+#endif  // EMSIM_STATS_HISTOGRAM_H_

@@ -1,0 +1,122 @@
+#include "stats/series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/str.h"
+
+namespace emsim::stats {
+
+double Series::MinY() const {
+  double m = 0.0;
+  bool first = true;
+  for (const auto& p : points_) {
+    m = first ? p.y : std::min(m, p.y);
+    first = false;
+  }
+  return m;
+}
+
+double Series::MaxY() const {
+  double m = 0.0;
+  bool first = true;
+  for (const auto& p : points_) {
+    m = first ? p.y : std::max(m, p.y);
+    first = false;
+  }
+  return m;
+}
+
+double Series::LastY() const {
+  if (points_.empty()) {
+    return 0.0;
+  }
+  const SeriesPoint* best = &points_.front();
+  for (const auto& p : points_) {
+    if (p.x >= best->x) {
+      best = &p;
+    }
+  }
+  return best->y;
+}
+
+bool Series::IsNonIncreasing(double slack) const {
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].y > points_[i - 1].y + slack) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Series& Figure::AddSeries(const std::string& name) {
+  series_.emplace_back(name);
+  return series_.back();
+}
+
+std::string Figure::ToCsv() const {
+  // Collect the union of x values.
+  std::map<double, std::vector<const SeriesPoint*>> rows;
+  for (size_t s = 0; s < series_.size(); ++s) {
+    for (const auto& p : series_[s].points()) {
+      auto& row = rows[p.x];
+      row.resize(series_.size(), nullptr);
+      row[s] = &p;
+    }
+  }
+  std::string out = x_label_;
+  for (const auto& s : series_) {
+    out += "," + s.name() + "," + s.name() + "_err";
+  }
+  out += "\n";
+  for (const auto& [x, row] : rows) {
+    out += StrFormat("%g", x);
+    for (size_t s = 0; s < series_.size(); ++s) {
+      const SeriesPoint* p = s < row.size() ? row[s] : nullptr;
+      if (p != nullptr) {
+        out += StrFormat(",%g,%g", p->y, p->y_err);
+      } else {
+        out += ",,";
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Figure::ToTable() const {
+  std::map<double, std::vector<const SeriesPoint*>> rows;
+  for (size_t s = 0; s < series_.size(); ++s) {
+    for (const auto& p : series_[s].points()) {
+      auto& row = rows[p.x];
+      row.resize(series_.size(), nullptr);
+      row[s] = &p;
+    }
+  }
+  const size_t kColWidth = 26;
+  std::string out = "== " + title_ + " ==\n";
+  out += "   (" + y_label_ + " vs " + x_label_ + ")\n";
+  out += PadLeft(x_label_, 10);
+  for (const auto& s : series_) {
+    out += "  " + PadLeft(s.name(), kColWidth);
+  }
+  out += "\n";
+  for (const auto& [x, row] : rows) {
+    out += PadLeft(StrFormat("%g", x), 10);
+    for (size_t s = 0; s < series_.size(); ++s) {
+      const SeriesPoint* p = s < row.size() ? row[s] : nullptr;
+      if (p != nullptr) {
+        std::string cell = p->y_err > 0 ? StrFormat("%.2f ±%.2f", p->y, p->y_err)
+                                        : StrFormat("%.3f", p->y);
+        out += "  " + PadLeft(cell, kColWidth);
+      } else {
+        out += "  " + PadLeft("-", kColWidth);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace emsim::stats

@@ -1,0 +1,71 @@
+#ifndef EMSIM_STATS_SERIES_H_
+#define EMSIM_STATS_SERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace emsim::stats {
+
+/// One (x, y) point with an optional error half-width on y.
+struct SeriesPoint {
+  double x = 0.0;
+  double y = 0.0;
+  double y_err = 0.0;
+};
+
+/// A named curve, as plotted in the paper's figures (e.g. "Demand Run Only
+/// (25 runs, 5 disks)"). Benches build one Series per legend entry.
+class Series {
+ public:
+  Series() = default;
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  void Add(double x, double y, double y_err = 0.0) { points_.push_back({x, y, y_err}); }
+
+  const std::string& name() const { return name_; }
+  const std::vector<SeriesPoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Minimum/maximum y over the series; 0 if empty.
+  double MinY() const;
+  double MaxY() const;
+
+  /// y at the largest x (the asymptote proxy); 0 if empty.
+  double LastY() const;
+
+  /// True if y never increases as x increases by more than `slack` (absolute).
+  bool IsNonIncreasing(double slack = 0.0) const;
+
+ private:
+  std::string name_;
+  std::vector<SeriesPoint> points_;
+};
+
+/// A figure: a set of curves over a common x-axis, with CSV and gnuplot-ish
+/// ASCII rendering so each bench binary can print the same series the paper
+/// plots.
+class Figure {
+ public:
+  Figure(std::string title, std::string x_label, std::string y_label)
+      : title_(std::move(title)), x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+  Series& AddSeries(const std::string& name);
+  const std::vector<Series>& series() const { return series_; }
+  const std::string& title() const { return title_; }
+
+  /// CSV: header "x,<name1>,<name1>_err,..."; rows joined on x values.
+  std::string ToCsv() const;
+
+  /// Human-readable table: one row per x, one column per series.
+  std::string ToTable() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace emsim::stats
+
+#endif  // EMSIM_STATS_SERIES_H_

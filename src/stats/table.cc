@@ -1,0 +1,55 @@
+#include "stats/table.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace emsim::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Cell(double v, int precision) {
+  return StrFormat("%.*f", precision, v);
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += (c ? "  " : "") + PadLeft(headers_[c], widths[c]);
+  }
+  out += "\n";
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c ? 2 : 0);
+  }
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      out += (c ? "  " : "") + PadLeft(row[c], widths[c]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out = StrJoin(headers_, ",") + "\n";
+  for (const auto& row : rows_) {
+    out += StrJoin(row, ",") + "\n";
+  }
+  return out;
+}
+
+}  // namespace emsim::stats

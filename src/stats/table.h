@@ -1,0 +1,36 @@
+#ifndef EMSIM_STATS_TABLE_H_
+#define EMSIM_STATS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace emsim::stats {
+
+/// Simple column-aligned ASCII table builder used by the bench harnesses to
+/// print paper-vs-measured comparisons.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Cell(double v, int precision = 2);
+
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Renders with a header rule and column padding.
+  std::string ToString() const;
+
+  /// Comma-separated rendering (no escaping; callers avoid commas in cells).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace emsim::stats
+
+#endif  // EMSIM_STATS_TABLE_H_

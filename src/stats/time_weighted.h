@@ -1,0 +1,47 @@
+#ifndef EMSIM_STATS_TIME_WEIGHTED_H_
+#define EMSIM_STATS_TIME_WEIGHTED_H_
+
+namespace emsim::stats {
+
+/// Time-weighted average of a piecewise-constant signal, e.g. queue length or
+/// the number of busy disks. Call `Update(t, v)` whenever the signal changes
+/// to value `v` at time `t`; queries integrate up to the last update.
+class TimeWeighted {
+ public:
+  /// Records that the signal takes value `value` starting at time `now`.
+  /// Times must be non-decreasing.
+  void Update(double now, double value);
+
+  /// Closes the window at time `now` without changing the value.
+  void Flush(double now);
+
+  /// Average over all elapsed time since the first update.
+  double Average() const;
+
+  /// Average restricted to intervals where the signal was > 0 (e.g. mean
+  /// concurrency while at least one disk is busy). 0 if never positive.
+  double AverageWhilePositive() const;
+
+  /// Total time with signal > 0.
+  double PositiveTime() const { return positive_time_; }
+
+  /// Total observed time span.
+  double TotalTime() const { return total_time_; }
+
+  double Current() const { return value_; }
+
+ private:
+  void Accumulate(double now);
+
+  bool started_ = false;
+  double last_time_ = 0.0;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double positive_weighted_sum_ = 0.0;
+  double positive_time_ = 0.0;
+  double total_time_ = 0.0;
+};
+
+}  // namespace emsim::stats
+
+#endif  // EMSIM_STATS_TIME_WEIGHTED_H_

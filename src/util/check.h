@@ -1,0 +1,39 @@
+#ifndef EMSIM_UTIL_CHECK_H_
+#define EMSIM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// EMSIM_CHECK(cond): fatal invariant check, enabled in all build modes.
+/// EMSIM_DCHECK(cond): fatal invariant check, enabled only in debug builds.
+///
+/// These are used for programming errors (broken invariants), never for
+/// recoverable conditions — those return Status.
+
+#define EMSIM_CHECK(cond)                                                           \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::fprintf(stderr, "EMSIM_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+                   #cond);                                                          \
+      std::abort();                                                                 \
+    }                                                                               \
+  } while (false)
+
+#define EMSIM_CHECK_MSG(cond, msg)                                                     \
+  do {                                                                                 \
+    if (!(cond)) {                                                                     \
+      std::fprintf(stderr, "EMSIM_CHECK failed at %s:%d: %s (%s)\n", __FILE__,         \
+                   __LINE__, #cond, (msg));                                            \
+      std::abort();                                                                    \
+    }                                                                                  \
+  } while (false)
+
+#ifdef NDEBUG
+#define EMSIM_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define EMSIM_DCHECK(cond) EMSIM_CHECK(cond)
+#endif
+
+#endif  // EMSIM_UTIL_CHECK_H_

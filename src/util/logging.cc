@@ -1,0 +1,37 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace emsim {
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (!Enabled(level)) {
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), message.c_str());
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace emsim

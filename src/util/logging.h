@@ -1,0 +1,56 @@
+#ifndef EMSIM_UTIL_LOGGING_H_
+#define EMSIM_UTIL_LOGGING_H_
+
+#include <string>
+
+namespace emsim {
+
+/// Severity levels for the library logger.
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Minimal leveled logger writing to stderr. The simulator logs nothing at or
+/// above kInfo by default so benchmark output stays clean; tests may lower
+/// the threshold to trace event scheduling.
+class Logger {
+ public:
+  /// Process-wide logger instance.
+  static Logger& Get();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  bool Enabled(LogLevel level) const { return level >= level_; }
+
+  /// Emits one line: "[LEVEL] message".
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarning;
+};
+
+const char* LogLevelName(LogLevel level);
+
+}  // namespace emsim
+
+/// Convenience macros; the message expression is only evaluated when enabled.
+#define EMSIM_LOG(level, msg)                               \
+  do {                                                      \
+    if (::emsim::Logger::Get().Enabled(level)) {            \
+      ::emsim::Logger::Get().Log(level, (msg));             \
+    }                                                       \
+  } while (false)
+
+#define EMSIM_LOG_DEBUG(msg) EMSIM_LOG(::emsim::LogLevel::kDebug, msg)
+#define EMSIM_LOG_INFO(msg) EMSIM_LOG(::emsim::LogLevel::kInfo, msg)
+#define EMSIM_LOG_WARN(msg) EMSIM_LOG(::emsim::LogLevel::kWarning, msg)
+#define EMSIM_LOG_ERROR(msg) EMSIM_LOG(::emsim::LogLevel::kError, msg)
+
+#endif  // EMSIM_UTIL_LOGGING_H_

@@ -1,0 +1,157 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace emsim {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) {
+    s = sm.Next();
+  }
+}
+
+uint64_t Rng::Next64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  EMSIM_CHECK(bound > 0);
+  // Lemire's method: multiply-shift with rejection to remove modulo bias.
+  uint64_t x = Next64();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next64();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  EMSIM_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(UniformInt(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 uniform mantissa bits.
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) { return lo + (hi - lo) * UniformDouble(); }
+
+double Rng::Exponential(double mean) {
+  EMSIM_CHECK(mean > 0);
+  double u = UniformDouble();
+  // Avoid log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(1.0 - u);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) {
+    return false;
+  }
+  if (p >= 1) {
+    return true;
+  }
+  return UniformDouble() < p;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  EMSIM_CHECK(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  EMSIM_CHECK(total > 0);
+  double u = UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EMSIM_CHECK(weights[i] >= 0);
+    acc += weights[i];
+    if (u < acc) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // Floating-point slack: return the last index.
+}
+
+std::vector<uint32_t> Rng::Permutation(uint32_t n) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0U);
+  for (uint32_t i = n; i > 1; --i) {
+    uint32_t j = static_cast<uint32_t>(UniformInt(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+Rng Rng::Split() { return Rng(Next64() ^ 0x9E3779B97F4A7C15ULL); }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  EMSIM_CHECK(n >= 1);
+  EMSIM_CHECK(theta >= 0);
+  h_integral_x1_ = H(1.5) - 1.0;
+  h_integral_num_elements_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta));
+}
+
+double ZipfGenerator::H(double x) const {
+  // Integral of x^-theta: handles theta == 1 (log) separately.
+  if (theta_ == 1.0) {
+    return std::log(x);
+  }
+  return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  if (theta_ == 1.0) {
+    return std::exp(x);
+  }
+  return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  if (n_ == 1) {
+    return 0;
+  }
+  if (theta_ == 0.0) {
+    return rng.UniformInt(n_);
+  }
+  while (true) {
+    double u =
+        h_integral_num_elements_ + rng.UniformDouble() * (h_integral_x1_ - h_integral_num_elements_);
+    double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) {
+      k = 1.0;
+    } else if (k > static_cast<double>(n_)) {
+      k = static_cast<double>(n_);
+    }
+    if (k - x <= s_ || u >= H(k + 0.5) - std::pow(k, -theta_)) {
+      return static_cast<uint64_t>(k) - 1;  // 0-based rank.
+    }
+  }
+}
+
+}  // namespace emsim

@@ -1,0 +1,34 @@
+#ifndef EMSIM_UTIL_STR_H_
+#define EMSIM_UTIL_STR_H_
+
+#include <string>
+#include <vector>
+
+namespace emsim {
+
+/// printf-style formatting into a std::string. (GCC 12 ships no <format>, so
+/// the library carries its own helper.)
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits `s` at every occurrence of `sep` (single character); keeps empty
+/// fields.
+std::vector<std::string> StrSplit(const std::string& s, char sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Formats a millisecond quantity as seconds with 2 decimals, e.g. "294.53 s".
+std::string FormatSeconds(double ms);
+
+/// Right-pads or truncates `s` to exactly `width` characters.
+std::string PadRight(const std::string& s, size_t width);
+
+/// Left-pads `s` with spaces to at least `width` characters.
+std::string PadLeft(const std::string& s, size_t width);
+
+}  // namespace emsim
+
+#endif  // EMSIM_UTIL_STR_H_

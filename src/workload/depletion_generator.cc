@@ -1,0 +1,75 @@
+#include "workload/depletion_generator.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace emsim::workload {
+
+std::vector<int> UniformDepletionTrace(int num_runs, int64_t blocks_per_run, uint64_t seed) {
+  EMSIM_CHECK(num_runs >= 1 && blocks_per_run >= 1);
+  Rng rng(seed);
+  std::vector<int64_t> remaining(static_cast<size_t>(num_runs), blocks_per_run);
+  std::vector<int> active(static_cast<size_t>(num_runs));
+  for (int r = 0; r < num_runs; ++r) {
+    active[static_cast<size_t>(r)] = r;
+  }
+  std::vector<int> trace;
+  trace.reserve(static_cast<size_t>(num_runs) * static_cast<size_t>(blocks_per_run));
+  while (!active.empty()) {
+    size_t i = static_cast<size_t>(rng.UniformInt(active.size()));
+    int run = active[i];
+    trace.push_back(run);
+    if (--remaining[static_cast<size_t>(run)] == 0) {
+      active[i] = active.back();
+      active.pop_back();
+    }
+  }
+  return trace;
+}
+
+std::vector<int> RoundRobinDepletionTrace(int num_runs, int64_t blocks_per_run) {
+  EMSIM_CHECK(num_runs >= 1 && blocks_per_run >= 1);
+  std::vector<int> trace;
+  trace.reserve(static_cast<size_t>(num_runs) * static_cast<size_t>(blocks_per_run));
+  for (int64_t b = 0; b < blocks_per_run; ++b) {
+    for (int r = 0; r < num_runs; ++r) {
+      trace.push_back(r);
+    }
+  }
+  return trace;
+}
+
+std::vector<int> SequentialDepletionTrace(int num_runs, int64_t blocks_per_run) {
+  EMSIM_CHECK(num_runs >= 1 && blocks_per_run >= 1);
+  std::vector<int> trace;
+  trace.reserve(static_cast<size_t>(num_runs) * static_cast<size_t>(blocks_per_run));
+  for (int r = 0; r < num_runs; ++r) {
+    for (int64_t b = 0; b < blocks_per_run; ++b) {
+      trace.push_back(r);
+    }
+  }
+  return trace;
+}
+
+bool IsValidDepletionTrace(const std::vector<int>& trace, int num_runs,
+                           int64_t blocks_per_run) {
+  if (static_cast<int64_t>(trace.size()) !=
+      static_cast<int64_t>(num_runs) * blocks_per_run) {
+    return false;
+  }
+  std::vector<int64_t> counts(static_cast<size_t>(num_runs), 0);
+  for (int r : trace) {
+    if (r < 0 || r >= num_runs) {
+      return false;
+    }
+    ++counts[static_cast<size_t>(r)];
+  }
+  for (int64_t c : counts) {
+    if (c != blocks_per_run) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace emsim::workload

@@ -1,0 +1,32 @@
+#ifndef EMSIM_WORKLOAD_DEPLETION_GENERATOR_H_
+#define EMSIM_WORKLOAD_DEPLETION_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace emsim::workload {
+
+/// Pre-materialized depletion sequences for trace-driven simulation and for
+/// property tests that need identical depletion orders across strategies.
+
+/// A uniformly random depletion order of k runs x blocks_per_run blocks
+/// (every run depleted exactly blocks_per_run times, order random) — the
+/// sequence a Kwan-Baer merge would follow, frozen.
+std::vector<int> UniformDepletionTrace(int num_runs, int64_t blocks_per_run, uint64_t seed);
+
+/// A round-robin depletion order (run 0, 1, ..., k-1, 0, 1, ...): the
+/// best case for inter-run prefetching (perfectly predictable demand).
+std::vector<int> RoundRobinDepletionTrace(int num_runs, int64_t blocks_per_run);
+
+/// A run-at-a-time order (run 0 fully, then run 1, ...): the degenerate
+/// case where merging is pure concatenation (disjoint key ranges).
+std::vector<int> SequentialDepletionTrace(int num_runs, int64_t blocks_per_run);
+
+/// Validates that `trace` depletes each of the k runs exactly
+/// blocks_per_run times; used by tests and the trace loader.
+bool IsValidDepletionTrace(const std::vector<int>& trace, int num_runs,
+                           int64_t blocks_per_run);
+
+}  // namespace emsim::workload
+
+#endif  // EMSIM_WORKLOAD_DEPLETION_GENERATOR_H_

@@ -1,0 +1,304 @@
+#include "workload/experiment_spec.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/str.h"
+
+namespace emsim::workload {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+Status ApplyKey(const std::string& key, const std::string& value, ExperimentSpec* spec,
+                int line) {
+  auto bad = [&](const std::string& why) {
+    return Status::InvalidArgument(
+        StrFormat("line %d: %s", line, why.c_str()));
+  };
+  auto parse_int = [&](int64_t* out) -> Status {
+    char* end = nullptr;
+    long long v = std::strtoll(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+      return bad(StrFormat("'%s' is not an integer for key '%s'", value.c_str(),
+                           key.c_str()));
+    }
+    *out = v;
+    return Status::OK();
+  };
+  auto parse_double = [&](double* out) -> Status {
+    char* end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return bad(StrFormat("'%s' is not a number for key '%s'", value.c_str(), key.c_str()));
+    }
+    *out = v;
+    return Status::OK();
+  };
+
+  core::MergeConfig& cfg = spec->config;
+  int64_t v = 0;
+  if (key == "runs") {
+    EMSIM_RETURN_IF_ERROR(parse_int(&v));
+    cfg.num_runs = static_cast<int>(v);
+  } else if (key == "disks") {
+    EMSIM_RETURN_IF_ERROR(parse_int(&v));
+    cfg.num_disks = static_cast<int>(v);
+  } else if (key == "blocks") {
+    EMSIM_RETURN_IF_ERROR(parse_int(&v));
+    cfg.blocks_per_run = v;
+  } else if (key == "n") {
+    EMSIM_RETURN_IF_ERROR(parse_int(&v));
+    cfg.prefetch_depth = static_cast<int>(v);
+  } else if (key == "cache") {
+    EMSIM_RETURN_IF_ERROR(parse_int(&v));
+    cfg.cache_blocks = v;
+  } else if (key == "seed") {
+    EMSIM_RETURN_IF_ERROR(parse_int(&v));
+    cfg.seed = static_cast<uint64_t>(v);
+  } else if (key == "trials") {
+    EMSIM_RETURN_IF_ERROR(parse_int(&v));
+    if (v < 1) {
+      return bad("trials must be >= 1");
+    }
+    spec->trials = static_cast<int>(v);
+  } else if (key == "strategy") {
+    auto parsed = core::ParseStrategy(value);
+    if (!parsed.ok()) {
+      return bad(parsed.status().message());
+    }
+    cfg.strategy = *parsed;
+  } else if (key == "sync") {
+    auto parsed = core::ParseSyncMode(value);
+    if (!parsed.ok()) {
+      return bad(parsed.status().message());
+    }
+    cfg.sync = *parsed;
+  } else if (key == "admission") {
+    auto parsed = core::ParseAdmissionPolicy(value);
+    if (!parsed.ok()) {
+      return bad(parsed.status().message());
+    }
+    cfg.admission = *parsed;
+  } else if (key == "victim") {
+    auto parsed = core::ParseVictimPolicy(value);
+    if (!parsed.ok()) {
+      return bad(parsed.status().message());
+    }
+    cfg.victim = *parsed;
+  } else if (key == "depletion") {
+    auto parsed = core::ParseDepletionKind(value);
+    if (!parsed.ok()) {
+      return bad(parsed.status().message());
+    }
+    if (*parsed == core::DepletionKind::kTrace) {
+      return bad("trace depletion cannot be expressed in a spec file");
+    }
+    cfg.depletion = *parsed;
+  } else if (key == "zipf_theta") {
+    EMSIM_RETURN_IF_ERROR(parse_double(&cfg.zipf_theta));
+  } else if (key == "cpu_ms") {
+    EMSIM_RETURN_IF_ERROR(parse_double(&cfg.cpu_ms_per_block));
+  } else if (key == "write_traffic") {
+    auto parsed = core::ParseWriteTraffic(value);
+    if (!parsed.ok()) {
+      return bad(parsed.status().message());
+    }
+    cfg.write_traffic = *parsed;
+  } else if (key == "write_disks") {
+    EMSIM_RETURN_IF_ERROR(parse_int(&v));
+    cfg.num_write_disks = static_cast<int>(v);
+  } else if (key == "write_batch") {
+    EMSIM_RETURN_IF_ERROR(parse_int(&v));
+    cfg.write_batch_blocks = static_cast<int>(v);
+  } else {
+    return bad(StrFormat("unknown key '%s'", key.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace {
+
+struct RawKv {
+  std::string key;
+  std::string value;  // May contain commas: a sweep over values.
+  int line;
+};
+
+struct RawSection {
+  std::string name;
+  std::vector<RawKv> kvs;
+};
+
+/// Expands a section's sweep keys (comma-separated values) into the cross
+/// product of concrete experiments, suffixing names with "/key=value".
+Status ExpandSection(const ExperimentSpec& defaults, const RawSection& section,
+                     std::vector<ExperimentSpec>* out) {
+  std::vector<std::pair<ExperimentSpec, std::string>> variants;
+  variants.emplace_back(defaults, section.name);
+  constexpr size_t kMaxVariants = 1024;
+  for (const RawKv& kv : section.kvs) {
+    std::vector<std::string> values = StrSplit(kv.value, ',');
+    for (std::string& v : values) {
+      v.erase(0, v.find_first_not_of(" \t"));
+      size_t end = v.find_last_not_of(" \t");
+      if (end != std::string::npos) {
+        v.resize(end + 1);
+      }
+      if (v.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: empty value in sweep for key '%s'", kv.line,
+                      kv.key.c_str()));
+      }
+    }
+    std::vector<std::pair<ExperimentSpec, std::string>> next;
+    for (const auto& [spec, name] : variants) {
+      for (const std::string& v : values) {
+        ExperimentSpec candidate = spec;
+        EMSIM_RETURN_IF_ERROR(ApplyKey(kv.key, v, &candidate, kv.line));
+        std::string candidate_name =
+            values.size() == 1 ? name : name + "/" + kv.key + "=" + v;
+        next.emplace_back(std::move(candidate), std::move(candidate_name));
+        if (next.size() > kMaxVariants) {
+          return Status::InvalidArgument(
+              StrFormat("section [%s] sweeps expand past %zu experiments",
+                        section.name.c_str(), kMaxVariants));
+        }
+      }
+    }
+    variants = std::move(next);
+  }
+  for (auto& [spec, name] : variants) {
+    spec.name = name;
+    out->push_back(std::move(spec));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<ExperimentSpec>> ParseExperimentSpec(const std::string& text) {
+  ExperimentSpec defaults;
+  std::vector<RawSection> sections;
+  RawSection* current = nullptr;
+
+  int line_number = 0;
+  for (const std::string& raw : StrSplit(text, '\n')) {
+    ++line_number;
+    std::string line = Trim(raw);
+    size_t comment = line.find('#');
+    if (comment != std::string::npos) {
+      line = Trim(line.substr(0, comment));
+    }
+    if (line.empty()) {
+      continue;
+    }
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return Status::InvalidArgument(
+            StrFormat("line %d: unterminated section header", line_number));
+      }
+      std::string name = Trim(line.substr(1, line.size() - 2));
+      if (name.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: empty section name", line_number));
+      }
+      sections.push_back(RawSection{name, {}});
+      current = &sections.back();
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: expected 'key = value'", line_number));
+    }
+    std::string key = Trim(line.substr(0, eq));
+    std::string value = Trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: empty key or value", line_number));
+    }
+    if (current == nullptr) {
+      // Defaults: applied immediately; no sweeps here.
+      if (value.find(',') != std::string::npos) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: sweeps are only allowed inside sections", line_number));
+      }
+      EMSIM_RETURN_IF_ERROR(ApplyKey(key, value, &defaults, line_number));
+    } else {
+      current->kvs.push_back(RawKv{key, value, line_number});
+    }
+  }
+  if (sections.empty()) {
+    return Status::InvalidArgument("spec defines no [experiment] sections");
+  }
+  std::vector<ExperimentSpec> specs;
+  for (const RawSection& section : sections) {
+    EMSIM_RETURN_IF_ERROR(ExpandSection(defaults, section, &specs));
+  }
+  for (const ExperimentSpec& spec : specs) {
+    Status status = spec.config.Validate();
+    if (!status.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("experiment [%s]: %s", spec.name.c_str(), status.message().c_str()));
+    }
+  }
+  return specs;
+}
+
+Result<std::vector<ExperimentSpec>> LoadExperimentSpec(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open spec file '%s'", path.c_str()));
+  }
+  std::string text;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(f);
+  return ParseExperimentSpec(text);
+}
+
+std::string ToSpec(const ExperimentSpec& spec) {
+  const core::MergeConfig& cfg = spec.config;
+  std::string out = StrFormat("[%s]\n", spec.name.empty() ? "experiment" : spec.name.c_str());
+  out += StrFormat("runs = %d\n", cfg.num_runs);
+  out += StrFormat("disks = %d\n", cfg.num_disks);
+  out += StrFormat("blocks = %lld\n", static_cast<long long>(cfg.blocks_per_run));
+  out += StrFormat("n = %d\n", cfg.prefetch_depth);
+  if (cfg.cache_blocks != core::MergeConfig::kAutoCache) {
+    out += StrFormat("cache = %lld\n", static_cast<long long>(cfg.cache_blocks));
+  }
+  out += StrFormat("strategy = %s\n", core::StrategyName(cfg.strategy));
+  out += StrFormat("sync = %s\n", core::SyncModeName(cfg.sync));
+  out += StrFormat("admission = %s\n", core::AdmissionPolicyName(cfg.admission));
+  out += StrFormat("victim = %s\n", core::VictimPolicyName(cfg.victim));
+  out += StrFormat("depletion = %s\n", core::DepletionKindName(cfg.depletion));
+  if (cfg.depletion == core::DepletionKind::kZipf) {
+    out += StrFormat("zipf_theta = %g\n", cfg.zipf_theta);
+  }
+  if (cfg.cpu_ms_per_block > 0) {
+    out += StrFormat("cpu_ms = %g\n", cfg.cpu_ms_per_block);
+  }
+  if (cfg.write_traffic != core::WriteTraffic::kNone) {
+    out += StrFormat("write_traffic = %s\n", core::WriteTrafficName(cfg.write_traffic));
+    out += StrFormat("write_disks = %d\n", cfg.num_write_disks);
+    out += StrFormat("write_batch = %d\n", cfg.write_batch_blocks);
+  }
+  out += StrFormat("trials = %d\n", spec.trials);
+  return out;
+}
+
+}  // namespace emsim::workload

@@ -1,0 +1,54 @@
+#ifndef EMSIM_WORKLOAD_EXPERIMENT_SPEC_H_
+#define EMSIM_WORKLOAD_EXPERIMENT_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "util/status.h"
+
+namespace emsim::workload {
+
+/// A named experiment parsed from a spec file.
+struct ExperimentSpec {
+  std::string name;
+  core::MergeConfig config;
+  int trials = 5;
+};
+
+/// Parses a simple INI-style experiment spec:
+///
+///     # defaults apply to every experiment
+///     trials = 5
+///     disks = 5
+///
+///     [baseline]
+///     runs = 25
+///     strategy = demand-run-only
+///     n = 1
+///
+///     [best]
+///     runs = 25
+///     strategy = all-disks-one-run
+///     n = 10
+///     sync = unsync
+///
+/// Recognized keys: runs, disks, blocks, n, cache, strategy
+/// (demand-run-only | all-disks-one-run), sync (sync | unsync), admission
+/// (conservative | greedy), victim (random | round-robin | fewest-buffered
+/// | nearest-head), depletion (uniform | zipf), zipf_theta, cpu_ms,
+/// write_traffic (none | separate | shared), write_disks, write_batch,
+/// trials, seed. Keys before the first section set defaults. Unknown keys,
+/// bad values and empty specs are errors with line numbers.
+Result<std::vector<ExperimentSpec>> ParseExperimentSpec(const std::string& text);
+
+/// Reads and parses a spec file from disk.
+Result<std::vector<ExperimentSpec>> LoadExperimentSpec(const std::string& path);
+
+/// Renders a config back into spec syntax (round-trip aid and
+/// self-documentation for tools).
+std::string ToSpec(const ExperimentSpec& spec);
+
+}  // namespace emsim::workload
+
+#endif  // EMSIM_WORKLOAD_EXPERIMENT_SPEC_H_

@@ -1,0 +1,52 @@
+#include "workload/paper_configs.h"
+
+#include "util/str.h"
+
+namespace emsim::workload {
+
+using core::MergeConfig;
+using core::Strategy;
+using core::SyncMode;
+
+std::vector<int> Fig32DepthSweep() { return {1, 2, 3, 5, 7, 10, 15, 20, 25, 30}; }
+
+std::vector<int64_t> CacheSweep(int num_runs, int num_disks) {
+  int64_t max_cache;
+  if (num_runs <= 25) {
+    max_cache = 1200;
+  } else {
+    max_cache = num_disks >= 10 ? 3500 : 1600;
+  }
+  std::vector<int64_t> sweep;
+  // Start at the smallest legal cache (k blocks) and step in ~1/16ths of the
+  // paper's x range, densified at the start where the curves move fastest.
+  for (int64_t c = num_runs; c < max_cache; c += std::max<int64_t>(25, max_cache / 16)) {
+    sweep.push_back(c);
+  }
+  sweep.push_back(max_cache);
+  return sweep;
+}
+
+std::vector<double> Fig33CpuSweep() {
+  return {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
+}
+
+MergeConfig PaperConfig(int num_runs, int num_disks, int n, Strategy strategy, SyncMode sync) {
+  return MergeConfig::Paper(num_runs, num_disks, n, strategy, sync);
+}
+
+std::vector<NamedConfig> Fig33Curves() {
+  std::vector<NamedConfig> curves;
+  auto add = [&curves](const std::string& name, Strategy s, SyncMode m) {
+    curves.push_back({name, PaperConfig(25, 5, 10, s, m)});
+  };
+  add("All Disks One Run (Unsynchronized)", Strategy::kAllDisksOneRun,
+      SyncMode::kUnsynchronized);
+  add("All Disks One Run (Synchronized)", Strategy::kAllDisksOneRun, SyncMode::kSynchronized);
+  add("Demand Run Only (Unsynchronized)", Strategy::kDemandRunOnly,
+      SyncMode::kUnsynchronized);
+  add("Demand Run Only (Synchronized)", Strategy::kDemandRunOnly, SyncMode::kSynchronized);
+  return curves;
+}
+
+}  // namespace emsim::workload

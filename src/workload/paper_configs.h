@@ -1,0 +1,37 @@
+#ifndef EMSIM_WORKLOAD_PAPER_CONFIGS_H_
+#define EMSIM_WORKLOAD_PAPER_CONFIGS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+
+namespace emsim::workload {
+
+/// A named experiment point, as the benches sweep them.
+struct NamedConfig {
+  std::string name;
+  core::MergeConfig config;
+};
+
+/// The prefetch depths the paper's Fig. 3.2 sweeps (x axis N = 1..30).
+std::vector<int> Fig32DepthSweep();
+
+/// The cache sizes swept in Fig. 3.5/3.6 for a (k, D) configuration — the
+/// paper's x ranges: 25r/5d up to 1200, 50r/5d up to 1600, 50r/10d up to
+/// 3500 blocks.
+std::vector<int64_t> CacheSweep(int num_runs, int num_disks);
+
+/// The CPU per-block merge times swept in Fig. 3.3 (0..0.7 ms).
+std::vector<double> Fig33CpuSweep();
+
+/// The four Fig. 3.3 curves at k=25, D=5, N=10.
+std::vector<NamedConfig> Fig33Curves();
+
+/// Builds the paper's standard config, leaving the cache on auto sizing.
+core::MergeConfig PaperConfig(int num_runs, int num_disks, int n, core::Strategy strategy,
+                              core::SyncMode sync);
+
+}  // namespace emsim::workload
+
+#endif  // EMSIM_WORKLOAD_PAPER_CONFIGS_H_

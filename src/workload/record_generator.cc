@@ -1,0 +1,36 @@
+#include "workload/record_generator.h"
+
+namespace emsim::workload {
+
+RecordGenerator::RecordGenerator(const RecordGeneratorOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      zipf_(options.zipf_universe, options.zipf_theta) {}
+
+uint64_t RecordGenerator::NextKey() {
+  switch (options_.distribution) {
+    case KeyDistribution::kUniform:
+      return rng_.Next64();
+    case KeyDistribution::kZipf:
+      // Scramble the rank so hot keys are not numerically adjacent.
+      return SplitMix64(zipf_.Next(rng_)).Next();
+    case KeyDistribution::kNearlySorted: {
+      uint64_t jitter = rng_.UniformInt(options_.nearly_sorted_window + 1);
+      return counter_++ + jitter;
+    }
+    case KeyDistribution::kReverseSorted:
+      return ~counter_++;
+  }
+  return rng_.Next64();
+}
+
+std::vector<uint64_t> RecordGenerator::Keys(size_t n) {
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(NextKey());
+  }
+  return keys;
+}
+
+}  // namespace emsim::workload

@@ -1,0 +1,50 @@
+#ifndef EMSIM_WORKLOAD_RECORD_GENERATOR_H_
+#define EMSIM_WORKLOAD_RECORD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace emsim::workload {
+
+/// Key distributions for generated sort inputs.
+enum class KeyDistribution {
+  kUniform,        ///< Uniform 64-bit keys.
+  kZipf,           ///< Zipf-skewed keys (many duplicates of hot keys).
+  kNearlySorted,   ///< Ascending keys with bounded random displacement.
+  kReverseSorted,  ///< Strictly descending (worst case for run formation
+                   ///< heuristics like replacement selection).
+};
+
+/// Options for the record key generator.
+struct RecordGeneratorOptions {
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  double zipf_theta = 0.99;            ///< For kZipf.
+  uint64_t zipf_universe = 1 << 20;    ///< Distinct keys for kZipf.
+  uint64_t nearly_sorted_window = 64;  ///< Max displacement for kNearlySorted.
+  uint64_t seed = 42;
+};
+
+/// Streams pseudo-random record keys for the external-sort examples and
+/// benchmarks. Deterministic for a given options struct.
+class RecordGenerator {
+ public:
+  explicit RecordGenerator(const RecordGeneratorOptions& options);
+
+  /// Next key in the stream.
+  uint64_t NextKey();
+
+  /// Convenience: materializes `n` keys.
+  std::vector<uint64_t> Keys(size_t n);
+
+ private:
+  RecordGeneratorOptions options_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace emsim::workload
+
+#endif  // EMSIM_WORKLOAD_RECORD_GENERATOR_H_

@@ -1,0 +1,229 @@
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "analysis/equations.h"
+#include "analysis/model_params.h"
+#include "analysis/predictor.h"
+#include "analysis/seek_distribution.h"
+#include "analysis/urn_game.h"
+
+namespace emsim::analysis {
+namespace {
+
+TEST(ModelParamsTest, PaperDefaults) {
+  ModelParams p = ModelParams::Paper(25, 5);
+  EXPECT_NEAR(p.transfer_ms, 2.5641, 1e-4);
+  EXPECT_NEAR(p.rotational_ms, 8.3333, 1e-4);
+  EXPECT_NEAR(p.run_cylinders, 9.6154, 1e-4);
+  EXPECT_DOUBLE_EQ(p.seek_ms_per_cylinder, 0.01);
+  EXPECT_EQ(p.TotalBlocks(), 25000);
+}
+
+TEST(ModelParamsTest, FromDiskAndLayout) {
+  disk::DiskParams dp = disk::DiskParams::Paper();
+  disk::RunLayout layout(
+      disk::RunLayout::Options{50, 10, 1000, dp.geometry, disk::RunPlacement::kRoundRobin, {}});
+  ModelParams p = ModelParams::From(dp, layout);
+  EXPECT_EQ(p.num_runs, 50);
+  EXPECT_EQ(p.num_disks, 10);
+  EXPECT_NEAR(p.transfer_ms, dp.TransferMsPerBlock(), 1e-12);
+  EXPECT_NEAR(p.run_cylinders, 1000.0 / 104.0, 1e-12);
+}
+
+TEST(SeekDistributionTest, PmfSumsToOne) {
+  for (int k : {1, 2, 5, 25, 50}) {
+    SeekDistribution dist(k);
+    auto pmf = dist.PmfVector();
+    double sum = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(SeekDistributionTest, KwanBaerForm) {
+  SeekDistribution dist(25);
+  EXPECT_DOUBLE_EQ(dist.Pmf(0), 1.0 / 25);
+  EXPECT_DOUBLE_EQ(dist.Pmf(1), 2.0 * 24 / 625);
+  EXPECT_DOUBLE_EQ(dist.Pmf(24), 2.0 * 1 / 625);
+  EXPECT_EQ(dist.Pmf(25), 0.0);
+  EXPECT_EQ(dist.Pmf(-1), 0.0);
+}
+
+TEST(SeekDistributionTest, ExpectedMoves) {
+  SeekDistribution dist(25);
+  // Exact: (k^2 - 1)/(3k); and it must agree with the PMF.
+  EXPECT_NEAR(dist.ExpectedMovesExact(), (625.0 - 1) / 75.0, 1e-12);
+  auto pmf = dist.PmfVector();
+  double mean = 0;
+  for (size_t i = 0; i < pmf.size(); ++i) {
+    mean += static_cast<double>(i) * pmf[i];
+  }
+  EXPECT_NEAR(mean, dist.ExpectedMovesExact(), 1e-10);
+  EXPECT_NEAR(dist.ExpectedMovesApprox(), 25.0 / 3.0, 1e-12);
+  EXPECT_NEAR(dist.ExpectedMovesApprox(), dist.ExpectedMovesExact(), 0.02);
+}
+
+TEST(SeekDistributionTest, CdfMonotoneToOne) {
+  SeekDistribution dist(10);
+  double prev = 0;
+  for (int i = 0; i < 10; ++i) {
+    double c = dist.Cdf(i);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(dist.Cdf(9), 1.0, 1e-12);
+}
+
+// The in-text numbers of Section 3 (paper values from the reconstruction in
+// DESIGN.md).
+TEST(EquationsTest, PaperSection31SingleDisk) {
+  ModelParams k25 = ModelParams::Paper(25, 1);
+  ModelParams k50 = ModelParams::Paper(50, 1);
+  EXPECT_NEAR(Eq1NoPrefetchSingleDisk(k25), 11.699, 1e-3);
+  EXPECT_NEAR(TotalMs(k25, Eq1NoPrefetchSingleDisk(k25)) / 1e3, 292.5, 0.1);
+  EXPECT_NEAR(TotalMs(k50, Eq1NoPrefetchSingleDisk(k50)) / 1e3, 625.1, 0.2);
+  EXPECT_NEAR(TotalMs(k25, Eq2IntraRunSingleDisk(k25, 10)) / 1e3, 86.9, 0.1);
+  EXPECT_NEAR(TotalMs(k50, Eq2IntraRunSingleDisk(k50, 10)) / 1e3, 177.9, 0.1);
+  // Lower bounds: pure transfer.
+  EXPECT_NEAR(TotalMs(k25, LowerBoundPerBlockSingleDisk(k25)) / 1e3, 64.1, 0.1);
+  EXPECT_NEAR(TotalMs(k50, LowerBoundPerBlockSingleDisk(k50)) / 1e3, 128.2, 0.1);
+}
+
+TEST(EquationsTest, PaperSection32MultiDisk) {
+  ModelParams k25d5 = ModelParams::Paper(25, 5);
+  ModelParams k50d10 = ModelParams::Paper(50, 10);
+  EXPECT_NEAR(TotalMs(k25d5, Eq3NoPrefetchMultiDisk(k25d5)) / 1e3, 276.4, 0.1);
+  EXPECT_NEAR(TotalMs(k50d10, Eq3NoPrefetchMultiDisk(k50d10)) / 1e3, 552.7, 0.3);
+  EXPECT_NEAR(TotalMs(k25d5, Eq4IntraRunMultiDiskSync(k25d5, 10)) / 1e3, 85.3, 0.1);
+  EXPECT_NEAR(TotalMs(k25d5, Eq4IntraRunMultiDiskSync(k25d5, 30)) / 1e3, 71.2, 0.1);
+  EXPECT_NEAR(TotalMs(k25d5, Eq5InterRunSync(k25d5, 10)) / 1e3, 19.8, 0.1);
+  EXPECT_NEAR(Eq5InterRunSync(k25d5, 10), 0.794, 1e-3);
+  EXPECT_NEAR(TotalMs(k25d5, LowerBoundPerBlockMultiDisk(k25d5)) / 1e3, 12.8, 0.1);
+}
+
+TEST(EquationsTest, LargeNLimits) {
+  ModelParams p = ModelParams::Paper(25, 5);
+  // Intra-run per-block time approaches T as N grows.
+  EXPECT_NEAR(Eq2IntraRunSingleDisk(p, 100000), p.transfer_ms, 1e-3);
+  EXPECT_NEAR(Eq4IntraRunMultiDiskSync(p, 100000), p.transfer_ms, 1e-3);
+  // Inter-run approaches T/D.
+  EXPECT_NEAR(Eq5InterRunSync(p, 100000), p.transfer_ms / 5, 1e-3);
+}
+
+TEST(EquationsTest, MonotoneInN) {
+  ModelParams p = ModelParams::Paper(50, 5);
+  double prev = 1e18;
+  for (int n = 1; n <= 64; n *= 2) {
+    double tau = Eq4IntraRunMultiDiskSync(p, n);
+    EXPECT_LT(tau, prev);
+    prev = tau;
+  }
+}
+
+TEST(EquationsTest, ExpectedMaxUniform) {
+  EXPECT_DOUBLE_EQ(ExpectedMaxUniform(10.0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(ExpectedMaxUniform(10.0, 4), 8.0);
+  EXPECT_NEAR(ExpectedMaxUniform(2 * 8.3333, 5), 2 * 8.3333 * 5 / 6.0, 1e-9);
+}
+
+TEST(UrnGameTest, PaperOverlapValues) {
+  EXPECT_NEAR(UrnGame(5).ExpectedLength(), 2.51, 0.005);
+  EXPECT_NEAR(UrnGame(10).ExpectedLength(), 3.66, 0.005);
+  EXPECT_NEAR(UrnGame(20).ExpectedLength(), 5.29, 0.005);
+}
+
+TEST(UrnGameTest, PmfSumsToOne) {
+  for (int d : {1, 2, 3, 5, 10, 32}) {
+    UrnGame game(d);
+    auto pmf = game.PmfVector();
+    double sum = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "D=" << d;
+  }
+}
+
+TEST(UrnGameTest, SurvivalRecurrence) {
+  UrnGame game(5);
+  EXPECT_DOUBLE_EQ(game.SurvivalQ(1), 1.0);
+  EXPECT_DOUBLE_EQ(game.SurvivalQ(2), 0.8);
+  EXPECT_DOUBLE_EQ(game.SurvivalQ(3), 0.48);
+  EXPECT_DOUBLE_EQ(game.SurvivalQ(6), 0.0);
+  // E = sum of survival probabilities.
+  double sum = 0;
+  for (int j = 1; j <= 5; ++j) {
+    sum += game.SurvivalQ(j);
+  }
+  EXPECT_NEAR(game.ExpectedLength(), sum, 1e-12);
+}
+
+TEST(UrnGameTest, DegenerateSingleDisk) {
+  UrnGame game(1);
+  EXPECT_DOUBLE_EQ(game.ExpectedLength(), 1.0);
+  EXPECT_DOUBLE_EQ(game.LengthPmf(1), 1.0);
+}
+
+TEST(UrnGameTest, AsymptoticFormConverges) {
+  // sqrt(pi D/2) - 1/3 approaches the exact value as D grows.
+  for (int d : {20, 50, 100}) {
+    UrnGame game(d);
+    double rel = std::fabs(game.AsymptoticLength() - game.ExpectedLength()) /
+                 game.ExpectedLength();
+    EXPECT_LT(rel, 0.02) << "D=" << d;
+  }
+}
+
+TEST(UrnGameTest, ExpectedLengthGrowsSublinearly) {
+  // The paper's headline: concurrency ~ sqrt(D), far from D.
+  EXPECT_LT(UrnGame(100).ExpectedLength(), 14.0);
+  EXPECT_GT(UrnGame(100).ExpectedLength(), 12.0);
+}
+
+TEST(PredictorTest, ClassifiesScenarios) {
+  EXPECT_EQ(ClassifyScenario(false, true, 1, 1), Scenario::kNoPrefetchSingleDisk);
+  EXPECT_EQ(ClassifyScenario(false, false, 1, 10), Scenario::kIntraRunSingleDisk);
+  EXPECT_EQ(ClassifyScenario(false, false, 5, 1), Scenario::kNoPrefetchMultiDisk);
+  EXPECT_EQ(ClassifyScenario(false, true, 5, 10), Scenario::kIntraRunMultiDiskSync);
+  EXPECT_EQ(ClassifyScenario(false, false, 5, 10), Scenario::kIntraRunMultiDiskUnsync);
+  EXPECT_EQ(ClassifyScenario(true, true, 5, 10), Scenario::kInterRunSync);
+  EXPECT_EQ(ClassifyScenario(true, false, 5, 10), Scenario::kInterRunUnsyncBound);
+}
+
+TEST(PredictorTest, PredictionsMatchEquations) {
+  ModelParams p = ModelParams::Paper(25, 5);
+  Prediction pred = Predict(p, Scenario::kInterRunSync, 10);
+  EXPECT_NEAR(pred.per_block_ms, Eq5InterRunSync(p, 10), 1e-12);
+  EXPECT_NEAR(pred.total_ms, TotalMs(p, pred.per_block_ms), 1e-9);
+  EXPECT_FALSE(pred.asymptotic);
+  EXPECT_FALSE(pred.formula.empty());
+
+  Prediction unsync = Predict(p, Scenario::kIntraRunMultiDiskUnsync, 30);
+  EXPECT_TRUE(unsync.asymptotic);
+  EXPECT_NEAR(unsync.per_block_ms,
+              Eq4IntraRunMultiDiskSync(p, 30) / UrnGame(5).ExpectedLength(), 1e-12);
+  // Paper: 71.2 / 2.51 = 28.4 s.
+  EXPECT_NEAR(unsync.total_ms / 1e3, 28.4, 0.1);
+}
+
+TEST(PredictorTest, UnsyncIntraBeatsSyncByUrnFactor) {
+  ModelParams p = ModelParams::Paper(50, 10);
+  double sync = Predict(p, Scenario::kIntraRunMultiDiskSync, 30).total_ms;
+  double unsync = Predict(p, Scenario::kIntraRunMultiDiskUnsync, 30).total_ms;
+  EXPECT_NEAR(sync / unsync, UrnGame(10).ExpectedLength(), 1e-9);
+  // Paper: 142.4 / 3.66 = 38.9 s.
+  EXPECT_NEAR(unsync / 1e3, 38.9, 0.2);
+}
+
+TEST(PredictorTest, ScenarioNamesUnique) {
+  std::set<std::string> names;
+  for (auto s :
+       {Scenario::kNoPrefetchSingleDisk, Scenario::kIntraRunSingleDisk,
+        Scenario::kNoPrefetchMultiDisk, Scenario::kIntraRunMultiDiskSync,
+        Scenario::kIntraRunMultiDiskUnsync, Scenario::kInterRunSync,
+        Scenario::kInterRunUnsyncBound}) {
+    names.insert(ScenarioName(s));
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+}  // namespace
+}  // namespace emsim::analysis

@@ -1,0 +1,123 @@
+#include "stats/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+namespace emsim::stats {
+namespace {
+
+Figure SampleFigure() {
+  Figure fig("Fig T", "N", "seconds");
+  Series& a = fig.AddSeries("down");
+  a.Add(1, 100);
+  a.Add(10, 50);
+  a.Add(30, 20);
+  Series& b = fig.AddSeries("flat");
+  b.Add(1, 40);
+  b.Add(30, 40);
+  return fig;
+}
+
+TEST(AsciiChartTest, ContainsStructure) {
+  std::string chart = RenderAsciiChart(SampleFigure());
+  EXPECT_NE(chart.find("Fig T"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);   // Series 0 glyph.
+  EXPECT_NE(chart.find('o'), std::string::npos);   // Series 1 glyph.
+  EXPECT_NE(chart.find("legend:"), std::string::npos);
+  EXPECT_NE(chart.find("down"), std::string::npos);
+  EXPECT_NE(chart.find("flat"), std::string::npos);
+  EXPECT_NE(chart.find("100"), std::string::npos);  // Max y label.
+  EXPECT_NE(chart.find("20"), std::string::npos);   // Min y label.
+  EXPECT_NE(chart.find("30"), std::string::npos);   // Max x label.
+}
+
+TEST(AsciiChartTest, RespectsDimensions) {
+  AsciiChartOptions opt;
+  opt.width = 40;
+  opt.height = 10;
+  std::string chart = RenderAsciiChart(SampleFigure(), opt);
+  int plot_rows = 0;
+  size_t pos = 0;
+  while ((pos = chart.find('|', pos)) != std::string::npos) {
+    ++plot_rows;
+    ++pos;
+  }
+  EXPECT_EQ(plot_rows, 10);
+}
+
+TEST(AsciiChartTest, MonotoneSeriesDescendsVisually) {
+  Figure fig("mono", "x", "y");
+  Series& s = fig.AddSeries("s");
+  for (int x = 0; x <= 10; ++x) {
+    s.Add(x, 100 - 10 * x);
+  }
+  AsciiChartOptions opt;
+  opt.width = 11;
+  opt.height = 11;
+  std::string chart = RenderAsciiChart(fig, opt);
+  // The first plotted row (max y) holds the leftmost point, the last row
+  // the rightmost: find the column of '*' in each plot row and check it
+  // increases.
+  std::vector<int> cols;
+  size_t start = 0;
+  while (true) {
+    size_t bar = chart.find('|', start);
+    if (bar == std::string::npos) {
+      break;
+    }
+    size_t eol = chart.find('\n', bar);
+    size_t star = chart.find('*', bar);
+    if (star != std::string::npos && star < eol) {
+      cols.push_back(static_cast<int>(star - bar));
+    }
+    start = eol;
+  }
+  ASSERT_GE(cols.size(), 5u);
+  for (size_t i = 1; i < cols.size(); ++i) {
+    EXPECT_GT(cols[i], cols[i - 1]);
+  }
+}
+
+TEST(AsciiChartTest, EmptyFigureHandled) {
+  Figure fig("empty", "x", "y");
+  std::string chart = RenderAsciiChart(fig);
+  EXPECT_NE(chart.find("no data"), std::string::npos);
+}
+
+TEST(AsciiChartTest, CollisionsMarked) {
+  Figure fig("overlap", "x", "y");
+  fig.AddSeries("a").Add(1, 1);
+  fig.AddSeries("b").Add(1, 1);
+  std::string chart = RenderAsciiChart(fig);
+  EXPECT_NE(chart.find('?'), std::string::npos);
+}
+
+TEST(AsciiChartTest, LogScaleCompressesLargeRanges) {
+  Figure fig("log", "x", "y");
+  Series& s = fig.AddSeries("s");
+  s.Add(0, 1);
+  s.Add(1, 10);
+  s.Add(2, 100);
+  s.Add(3, 1000);
+  AsciiChartOptions opt;
+  opt.width = 20;
+  opt.height = 7;
+  opt.log_y = true;
+  std::string chart = RenderAsciiChart(fig, opt);
+  // Under log scale the four decades land on four distinct, evenly spread
+  // rows; count the populated rows.
+  int rows_with_glyph = 0;
+  size_t start = 0;
+  while (true) {
+    size_t bar = chart.find('|', start);
+    if (bar == std::string::npos) {
+      break;
+    }
+    size_t eol = chart.find('\n', bar);
+    rows_with_glyph += chart.find('*', bar) < eol;
+    start = eol;
+  }
+  EXPECT_EQ(rows_with_glyph, 4);
+}
+
+}  // namespace
+}  // namespace emsim::stats

@@ -1,0 +1,157 @@
+// Property-based sweeps over the configuration space: invariants that must
+// hold for EVERY strategy/geometry combination, exercised with parameterized
+// gtest suites.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "analysis/equations.h"
+#include "analysis/model_params.h"
+#include "core/config.h"
+#include "core/experiment.h"
+#include "core/merge_simulator.h"
+
+namespace emsim::core {
+namespace {
+
+using ConfigPoint = std::tuple<int, int, int, Strategy, SyncMode, AdmissionPolicy>;
+
+class MergeInvariants : public ::testing::TestWithParam<ConfigPoint> {
+ protected:
+  MergeConfig Config() const {
+    auto [k, d, n, strategy, sync, admission] = GetParam();
+    MergeConfig cfg = MergeConfig::Paper(k, d, n, strategy, sync);
+    cfg.blocks_per_run = 60;  // Small enough to sweep broadly.
+    cfg.admission = admission;
+    cfg.check_invariants = true;
+    cfg.seed = 1234;
+    return cfg;
+  }
+};
+
+TEST_P(MergeInvariants, CompletesWithConservedBlocks) {
+  MergeConfig cfg = Config();
+  auto result = SimulateMerge(cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  int64_t total = cfg.TotalBlocks();
+  EXPECT_EQ(result->blocks_merged, total);
+  EXPECT_EQ(result->cache_stats.consumptions, static_cast<uint64_t>(total));
+  EXPECT_EQ(result->disk_totals.blocks_transferred, static_cast<uint64_t>(total));
+}
+
+TEST_P(MergeInvariants, TimeRespectsTransferLowerBound) {
+  MergeConfig cfg = Config();
+  auto result = SimulateMerge(cfg);
+  ASSERT_TRUE(result.ok());
+  double bound = cfg.disk_params.TransferMsPerBlock() *
+                 static_cast<double>(cfg.TotalBlocks()) / cfg.num_disks;
+  EXPECT_GE(result->total_ms, bound * 0.999);
+}
+
+TEST_P(MergeInvariants, StatisticsWithinRanges) {
+  MergeConfig cfg = Config();
+  auto result = SimulateMerge(cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->SuccessRatio(), 0.0);
+  EXPECT_LE(result->SuccessRatio(), 1.0);
+  EXPECT_GE(result->avg_concurrency, 0.99);
+  EXPECT_LE(result->avg_concurrency, cfg.num_disks + 1e-9);
+  EXPECT_GE(result->disk_active_fraction, 0.0);
+  EXPECT_LE(result->disk_active_fraction, 1.0 + 1e-9);
+  EXPECT_LE(result->cache_stats.peak_occupancy, cfg.EffectiveCacheBlocks());
+  EXPECT_GE(result->mean_cache_occupancy, 0.0);
+  EXPECT_LE(result->mean_cache_occupancy,
+            static_cast<double>(cfg.EffectiveCacheBlocks()));
+}
+
+TEST_P(MergeInvariants, SyncNeverFasterThanUnsync) {
+  MergeConfig cfg = Config();
+  cfg.sync = SyncMode::kSynchronized;
+  auto sync_result = SimulateMerge(cfg);
+  cfg.sync = SyncMode::kUnsynchronized;
+  auto unsync_result = SimulateMerge(cfg);
+  ASSERT_TRUE(sync_result.ok());
+  ASSERT_TRUE(unsync_result.ok());
+  // Identical depletion RNG stream; overlap can only help. Allow slack for
+  // different rotational draws along the divergent schedules.
+  EXPECT_LE(unsync_result->total_ms, sync_result->total_ms * 1.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategyGrid, MergeInvariants,
+    ::testing::Combine(::testing::Values(3, 10, 25),         // k
+                       ::testing::Values(1, 2, 5),           // D
+                       ::testing::Values(1, 4, 15),          // N
+                       ::testing::Values(Strategy::kDemandRunOnly,
+                                         Strategy::kAllDisksOneRun),
+                       ::testing::Values(SyncMode::kSynchronized,
+                                         SyncMode::kUnsynchronized),
+                       ::testing::Values(AdmissionPolicy::kConservative,
+                                         AdmissionPolicy::kGreedy)));
+
+class DepthMonotonicity : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DepthMonotonicity, DeeperPrefetchNeverMuchSlower) {
+  auto [k, d] = GetParam();
+  double prev = 1e18;
+  for (int n : {1, 2, 5, 10, 20}) {
+    MergeConfig cfg =
+        MergeConfig::Paper(k, d, n, Strategy::kDemandRunOnly, SyncMode::kUnsynchronized);
+    cfg.blocks_per_run = 200;
+    auto result = RunTrials(cfg, 2);
+    double t = result.total_ms.Mean();
+    EXPECT_LE(t, prev * 1.02) << "k=" << k << " D=" << d << " N=" << n;
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, DepthMonotonicity,
+                         ::testing::Combine(::testing::Values(10, 25),
+                                            ::testing::Values(1, 5)));
+
+class CacheMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheMonotonicity, SuccessRatioNonDecreasingInCache) {
+  int n = GetParam();
+  double prev_success = -1.0;
+  double prev_time = 1e18;
+  for (int64_t c : {100, 300, 600, 1000, 1400}) {
+    MergeConfig cfg = MergeConfig::Paper(25, 5, n, Strategy::kAllDisksOneRun,
+                                         SyncMode::kUnsynchronized);
+    cfg.blocks_per_run = 400;
+    cfg.cache_blocks = c;
+    auto result = RunTrials(cfg, 3);
+    double success = result.MeanSuccessRatio();
+    EXPECT_GE(success, prev_success - 0.03) << "N=" << n << " C=" << c;
+    EXPECT_LE(result.total_ms.Mean(), prev_time * 1.05) << "N=" << n << " C=" << c;
+    prev_success = success;
+    prev_time = result.total_ms.Mean();
+  }
+  EXPECT_GT(prev_success, 0.9);  // Ample cache ends near success ratio 1.
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, CacheMonotonicity, ::testing::Values(1, 5, 10));
+
+class AnalyticAgreement
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(AnalyticAgreement, SimulationWithinTwoPercentOfFormula) {
+  auto [k, d, n] = GetParam();
+  // Synchronized demand-run-only is eq.4 (eq.1-3 are its special cases).
+  MergeConfig cfg =
+      MergeConfig::Paper(k, d, n, Strategy::kDemandRunOnly, SyncMode::kSynchronized);
+  auto result = RunTrials(cfg, 3);
+  analysis::ModelParams p = analysis::ModelParams::Paper(k, d);
+  double expect = analysis::TotalMs(p, analysis::Eq4IntraRunMultiDiskSync(p, n));
+  EXPECT_NEAR(result.total_ms.Mean(), expect, expect * 0.02)
+      << "k=" << k << " D=" << d << " N=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGrid, AnalyticAgreement,
+                         ::testing::Combine(::testing::Values(25, 50),
+                                            ::testing::Values(1, 5),
+                                            ::testing::Values(1, 5, 10, 20)));
+
+}  // namespace
+}  // namespace emsim::core

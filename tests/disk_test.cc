@@ -1,0 +1,469 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "disk/array.h"
+#include "disk/disk.h"
+#include "disk/disk_params.h"
+#include "disk/geometry.h"
+#include "disk/layout.h"
+#include "disk/mechanism.h"
+#include "sim/simulation.h"
+
+namespace emsim::disk {
+namespace {
+
+TEST(GeometryTest, PaperDerivedValues) {
+  Geometry g;  // Defaults = the paper's drive.
+  EXPECT_EQ(g.SectorsPerBlock(), 8);
+  EXPECT_EQ(g.BlocksPerCylinder(), 104);
+  EXPECT_EQ(g.TotalBlocks(), 104 * 625);
+  EXPECT_EQ(g.CylinderOf(0), 0);
+  EXPECT_EQ(g.CylinderOf(103), 0);
+  EXPECT_EQ(g.CylinderOf(104), 1);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GeometryTest, ValidationCatchesBadShapes) {
+  Geometry g;
+  g.block_bytes = 4000;  // Not a sector multiple.
+  EXPECT_FALSE(g.Validate().ok());
+  g = Geometry{};
+  g.heads = 0;
+  EXPECT_FALSE(g.Validate().ok());
+  g = Geometry{};
+  g.block_bytes = 1 << 20;  // Bigger than a cylinder.
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(DiskParamsTest, PaperTimings) {
+  DiskParams p = DiskParams::Paper();
+  EXPECT_NEAR(p.TransferMsPerBlock(), 2.5641, 1e-4);
+  EXPECT_NEAR(p.MeanRotationalLatencyMs(), 8.3333, 1e-4);
+  EXPECT_DOUBLE_EQ(p.seek_ms_per_cylinder, 0.01);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(DiskParamsTest, SeekIsLinearWithZeroAtNoMove) {
+  DiskParams p;
+  EXPECT_DOUBLE_EQ(p.SeekMs(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.SeekMs(100), 1.0);
+  EXPECT_DOUBLE_EQ(p.SeekMs(-100), 1.0);
+  p.seek_settle_ms = 0.5;
+  EXPECT_DOUBLE_EQ(p.SeekMs(1), 0.51);
+  EXPECT_DOUBLE_EQ(p.SeekMs(0), 0.0);  // Settle only applies when moving.
+}
+
+TEST(MechanismTest, FixedRotationCosts) {
+  DiskParams p;
+  p.rotation = RotationalLatencyModel::kFixedMean;
+  Mechanism mech(p);
+  Rng rng(1);
+  AccessCost c = mech.Access(0, 1, rng);
+  EXPECT_DOUBLE_EQ(c.seek_ms, 0.0);  // Head starts at cylinder 0.
+  EXPECT_NEAR(c.rotation_ms, 8.3333, 1e-4);
+  EXPECT_NEAR(c.transfer_ms, 2.5641, 1e-4);
+
+  // Move to cylinder 10 (block 1040): 10 cylinders of seek.
+  c = mech.Access(1040, 4, rng);
+  EXPECT_EQ(c.seek_cylinders, 10);
+  EXPECT_NEAR(c.seek_ms, 0.1, 1e-9);
+  EXPECT_NEAR(c.transfer_ms, 4 * 2.5641, 1e-3);
+  EXPECT_EQ(mech.current_cylinder(), 10);
+}
+
+TEST(MechanismTest, UniformRotationHasMeanR) {
+  DiskParams p;
+  p.rotation = RotationalLatencyModel::kUniform;
+  Mechanism mech(p);
+  Rng rng(7);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    AccessCost c = mech.Access(0, 1, rng);
+    EXPECT_GE(c.rotation_ms, 0.0);
+    EXPECT_LT(c.rotation_ms, p.revolution_ms);
+    sum += c.rotation_ms;
+  }
+  EXPECT_NEAR(sum / n, p.MeanRotationalLatencyMs(), 0.1);
+}
+
+TEST(MechanismTest, SequentialOptimizationSkipsPositioning) {
+  DiskParams p;
+  p.sequential_optimization = true;
+  p.rotation = RotationalLatencyModel::kFixedMean;
+  Mechanism mech(p);
+  Rng rng(1);
+  mech.Access(0, 10, rng);
+  AccessCost c = mech.Access(10, 5, rng);  // Continues where we stopped.
+  EXPECT_TRUE(c.sequential);
+  EXPECT_DOUBLE_EQ(c.PositioningMs(), 0.0);
+  // A gap breaks sequentiality.
+  c = mech.Access(30, 1, rng);
+  EXPECT_FALSE(c.sequential);
+  EXPECT_GT(c.rotation_ms, 0.0);
+}
+
+TEST(MechanismTest, PaperModelChargesRotationEvenWithoutSeek) {
+  DiskParams p;  // sequential_optimization off by default (the paper's model).
+  p.rotation = RotationalLatencyModel::kFixedMean;
+  Mechanism mech(p);
+  Rng rng(1);
+  mech.Access(0, 10, rng);
+  AccessCost c = mech.Access(10, 5, rng);
+  EXPECT_FALSE(c.sequential);
+  EXPECT_EQ(c.seek_cylinders, 0);
+  EXPECT_NEAR(c.rotation_ms, 8.3333, 1e-4);
+}
+
+TEST(MechanismTest, BlockAngles) {
+  DiskParams p;
+  Mechanism mech(p);
+  EXPECT_DOUBLE_EQ(mech.BlockAngle(0), 0.0);
+  EXPECT_DOUBLE_EQ(mech.BlockAngle(1), 8.0 / 52);
+  EXPECT_DOUBLE_EQ(mech.BlockAngle(6), 48.0 / 52);
+  EXPECT_DOUBLE_EQ(mech.BlockAngle(7), 4.0 / 52);     // Wraps the track.
+  EXPECT_DOUBLE_EQ(mech.BlockAngle(104), 0.0);        // Next cylinder restarts.
+}
+
+TEST(MechanismTest, AngularModelSequentialIsFree) {
+  DiskParams p;
+  p.rotation = RotationalLatencyModel::kAngular;
+  Mechanism mech(p);
+  Rng rng(1);
+  double t = p.TransferMsPerBlock();
+  AccessCost first = mech.Access(0, 2, rng, /*now_ms=*/0.0);
+  EXPECT_DOUBLE_EQ(first.rotation_ms, 0.0);  // Sector 0 is under the head at t=0.
+  // The platter has rotated exactly past blocks 0 and 1; block 2 starts now.
+  AccessCost second = mech.Access(2, 1, rng, /*now_ms=*/2 * t);
+  EXPECT_NEAR(second.rotation_ms, 0.0, 1e-9);
+}
+
+TEST(MechanismTest, AngularModelRereadWaitsFullRevolution) {
+  DiskParams p;
+  p.rotation = RotationalLatencyModel::kAngular;
+  Mechanism mech(p);
+  Rng rng(1);
+  double t = p.TransferMsPerBlock();
+  mech.Access(0, 1, rng, 0.0);
+  AccessCost again = mech.Access(0, 1, rng, /*now_ms=*/t);
+  EXPECT_NEAR(again.rotation_ms, p.revolution_ms - t, 1e-9);
+}
+
+TEST(MechanismTest, AngularModelMeanNearHalfRevolutionForRandomArrivals) {
+  DiskParams p;
+  p.rotation = RotationalLatencyModel::kAngular;
+  Mechanism mech(p);
+  Rng rng(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double now = rng.UniformDouble(0, 1000.0);
+    int64_t block = static_cast<int64_t>(rng.UniformInt(60000));
+    AccessCost c = mech.Access(block, 1, rng, now);
+    EXPECT_GE(c.rotation_ms, 0.0);
+    EXPECT_LT(c.rotation_ms, p.revolution_ms);
+    sum += c.rotation_ms;
+  }
+  EXPECT_NEAR(sum / n, p.MeanRotationalLatencyMs(), 0.2);
+}
+
+TEST(MechanismTest, SeekDistanceQuery) {
+  DiskParams p;
+  Mechanism mech(p);
+  Rng rng(1);
+  EXPECT_EQ(mech.SeekDistanceTo(104 * 20), 20);
+  mech.Access(104 * 20, 1, rng);
+  EXPECT_EQ(mech.SeekDistanceTo(104 * 15), 5);
+}
+
+TEST(RunLayoutTest, RoundRobinPlacement) {
+  RunLayout::Options opt;
+  opt.num_runs = 25;
+  opt.num_disks = 5;
+  opt.blocks_per_run = 1000;
+  RunLayout layout(opt);
+  EXPECT_TRUE(layout.Validate().ok());
+  EXPECT_EQ(layout.DiskOf(0), 0);
+  EXPECT_EQ(layout.DiskOf(7), 2);
+  EXPECT_EQ(layout.IndexOnDisk(7), 1);
+  EXPECT_EQ(layout.RunsOnDisk(0), 5);
+  EXPECT_EQ(layout.LocalBlock(7, 3), 1003);
+  EXPECT_EQ(layout.CylinderOf(0, 0), 0);
+  EXPECT_EQ(layout.CylinderOf(5, 0), 1000 / 104);  // Second run on disk 0.
+  EXPECT_NEAR(layout.RunLengthCylinders(), 9.6154, 1e-4);
+  EXPECT_EQ(layout.TotalBlocks(), 25000);
+}
+
+TEST(RunLayoutTest, BlockedPlacement) {
+  RunLayout::Options opt;
+  opt.num_runs = 10;
+  opt.num_disks = 2;
+  opt.blocks_per_run = 100;
+  opt.placement = RunPlacement::kBlocked;
+  RunLayout layout(opt);
+  EXPECT_EQ(layout.DiskOf(0), 0);
+  EXPECT_EQ(layout.DiskOf(4), 0);
+  EXPECT_EQ(layout.DiskOf(5), 1);
+  EXPECT_EQ(layout.IndexOnDisk(5), 0);
+  EXPECT_EQ(layout.RunsOnDisk(1), 5);
+}
+
+TEST(RunLayoutTest, UnevenRunsPerDisk) {
+  RunLayout::Options opt;
+  opt.num_runs = 7;
+  opt.num_disks = 3;
+  opt.blocks_per_run = 10;
+  RunLayout layout(opt);
+  EXPECT_EQ(layout.RunsOnDisk(0), 3);  // Runs 0, 3, 6.
+  EXPECT_EQ(layout.RunsOnDisk(1), 2);
+  EXPECT_EQ(layout.RunsOnDisk(2), 2);
+  int total = 0;
+  for (int d = 0; d < 3; ++d) {
+    total += layout.RunsOnDisk(d);
+  }
+  EXPECT_EQ(total, 7);
+}
+
+TEST(RunLayoutTest, VariableLengthRuns) {
+  RunLayout::Options opt;
+  opt.num_runs = 4;
+  opt.num_disks = 2;
+  opt.blocks_per_run = 100;  // Ignored given run_blocks.
+  opt.run_blocks = {10, 20, 30, 40};
+  RunLayout layout(opt);
+  EXPECT_EQ(layout.TotalBlocks(), 100);
+  EXPECT_EQ(layout.RunBlocks(2), 30);
+  // Disk 0 holds runs 0 and 2: run 2 starts after run 0's 10 blocks.
+  EXPECT_EQ(layout.LocalBlock(0, 0), 0);
+  EXPECT_EQ(layout.LocalBlock(2, 0), 10);
+  EXPECT_EQ(layout.LocalBlock(2, 29), 39);
+  // Disk 1 holds runs 1 and 3.
+  EXPECT_EQ(layout.LocalBlock(1, 0), 0);
+  EXPECT_EQ(layout.LocalBlock(3, 5), 25);
+}
+
+TEST(RunLayoutTest, StripedLocations) {
+  RunLayout::Options opt;
+  opt.num_runs = 4;
+  opt.num_disks = 2;
+  opt.blocks_per_run = 10;
+  opt.placement = RunPlacement::kStriped;
+  RunLayout layout(opt);
+  EXPECT_TRUE(layout.Validate().ok());
+  EXPECT_TRUE(layout.striped());
+  // Block o of run r: disk o%2, local r*5 + o/2.
+  EXPECT_EQ(layout.Locate(0, 0).disk, 0);
+  EXPECT_EQ(layout.Locate(0, 0).local_block, 0);
+  EXPECT_EQ(layout.Locate(0, 1).disk, 1);
+  EXPECT_EQ(layout.Locate(0, 1).local_block, 0);
+  EXPECT_EQ(layout.Locate(0, 4).disk, 0);
+  EXPECT_EQ(layout.Locate(0, 4).local_block, 2);
+  EXPECT_EQ(layout.Locate(3, 9).disk, 1);
+  EXPECT_EQ(layout.Locate(3, 9).local_block, 3 * 5 + 4);
+}
+
+TEST(RunLayoutTest, StripedSpansCoverEveryOffsetOnce) {
+  RunLayout::Options opt;
+  opt.num_runs = 2;
+  opt.num_disks = 3;
+  opt.blocks_per_run = 12;
+  opt.placement = RunPlacement::kStriped;
+  RunLayout layout(opt);
+  for (int64_t offset : {0, 1, 2, 5}) {
+    for (int64_t n : {1, 2, 3, 4, 7}) {
+      auto spans = layout.Spans(1, offset, n);
+      std::vector<int64_t> covered;
+      for (const auto& span : spans) {
+        EXPECT_GE(span.nblocks, 1);
+        for (int64_t i = 0; i < span.nblocks; ++i) {
+          int64_t o = span.first_offset + i * span.offset_stride;
+          covered.push_back(o);
+          // The span's physical blocks are where Locate says.
+          auto loc = layout.Locate(1, o);
+          EXPECT_EQ(loc.disk, span.disk);
+          EXPECT_EQ(loc.local_block, span.local_start + i);
+        }
+      }
+      std::sort(covered.begin(), covered.end());
+      ASSERT_EQ(covered.size(), static_cast<size_t>(n)) << "offset=" << offset;
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(covered[static_cast<size_t>(i)], offset + i);
+      }
+    }
+  }
+}
+
+TEST(RunLayoutTest, ContiguousSpanIsSingle) {
+  RunLayout::Options opt;
+  opt.num_runs = 6;
+  opt.num_disks = 3;
+  opt.blocks_per_run = 100;
+  RunLayout layout(opt);
+  auto spans = layout.Spans(4, 20, 10);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].disk, layout.DiskOf(4));
+  EXPECT_EQ(spans[0].local_start, layout.LocalBlock(4, 20));
+  EXPECT_EQ(spans[0].nblocks, 10);
+  EXPECT_EQ(spans[0].offset_stride, 1);
+}
+
+TEST(RunLayoutTest, StripedValidation) {
+  RunLayout::Options opt;
+  opt.num_runs = 4;
+  opt.num_disks = 3;
+  opt.blocks_per_run = 10;  // Not divisible by 3.
+  opt.placement = RunPlacement::kStriped;
+  EXPECT_FALSE(RunLayout(opt).Validate().ok());
+  opt.blocks_per_run = 12;
+  EXPECT_TRUE(RunLayout(opt).Validate().ok());
+}
+
+TEST(RunLayoutTest, OverflowDetected) {
+  RunLayout::Options opt;
+  opt.num_runs = 10;
+  opt.num_disks = 1;
+  opt.blocks_per_run = 10000;  // 100k blocks >> 65k capacity.
+  RunLayout layout(opt);
+  EXPECT_FALSE(layout.Validate().ok());
+}
+
+struct Served {
+  int64_t block;
+  double completed_at;
+};
+
+TEST(DiskServerTest, FcfsOrderAndPerBlockDelivery) {
+  sim::Simulation sim;
+  DiskParams params;
+  params.rotation = RotationalLatencyModel::kFixedMean;
+  Disk disk(&sim, params, 0, /*seed=*/1);
+  disk.Start();
+
+  std::vector<Served> served;
+  std::vector<double> block_times;
+  auto submit = [&](int64_t start, int n) {
+    DiskRequest req;
+    req.start_block = start;
+    req.nblocks = n;
+    req.on_block = [&block_times, &sim](int) { block_times.push_back(sim.Now()); };
+    req.on_complete = [&served, &sim, start] { served.push_back({start, sim.Now()}); };
+    disk.Submit(req);
+  };
+  sim.ScheduleCallback(0, [&] {
+    submit(0, 2);
+    submit(1040, 1);  // Queued behind the first.
+  });
+  sim.Run();
+
+  ASSERT_EQ(served.size(), 2u);
+  EXPECT_EQ(served[0].block, 0);
+  EXPECT_EQ(served[1].block, 1040);
+  // First request: R + 2T; second: +seek(10cyl) + R + T.
+  double t = params.TransferMsPerBlock();
+  double r = params.MeanRotationalLatencyMs();
+  EXPECT_NEAR(served[0].completed_at, r + 2 * t, 1e-9);
+  EXPECT_NEAR(served[1].completed_at, r + 2 * t + 0.1 + r + t, 1e-9);
+  // Per-block deliveries: after each transfer.
+  ASSERT_EQ(block_times.size(), 3u);
+  EXPECT_NEAR(block_times[0], r + t, 1e-9);
+  EXPECT_NEAR(block_times[1], r + 2 * t, 1e-9);
+
+  const DiskStats& s = disk.stats();
+  EXPECT_EQ(s.requests, 2u);
+  EXPECT_EQ(s.blocks_transferred, 3u);
+  EXPECT_EQ(s.seeks, 1u);
+  EXPECT_EQ(s.seek_cylinders, 10);
+}
+
+TEST(DiskServerTest, SstfPicksNearestRequest) {
+  sim::Simulation sim;
+  DiskParams params;
+  params.rotation = RotationalLatencyModel::kFixedMean;
+  params.scheduling = SchedulingPolicy::kSstf;
+  Disk disk(&sim, params, 0, 1);
+  disk.Start();
+
+  std::vector<int64_t> order;
+  auto submit = [&](int64_t start) {
+    DiskRequest req;
+    req.start_block = start;
+    req.nblocks = 1;
+    req.on_complete = [&order, start] { order.push_back(start); };
+    disk.Submit(req);
+  };
+  // While the disk serves block 0, queue far then near; SSTF should take the
+  // near one first.
+  sim.ScheduleCallback(0, [&] {
+    submit(0);
+    submit(104 * 100);  // Cylinder 100.
+    submit(104 * 5);    // Cylinder 5.
+  });
+  sim.Run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 104 * 5);
+  EXPECT_EQ(order[2], 104 * 100);
+}
+
+TEST(DiskServerTest, BusyObserverFires) {
+  sim::Simulation sim;
+  DiskParams params;
+  Disk disk(&sim, params, 3, 1);
+  std::vector<std::pair<int, bool>> transitions;
+  disk.on_busy_changed = [&](int id, bool busy) { transitions.push_back({id, busy}); };
+  disk.Start();
+  DiskRequest req;
+  req.start_block = 0;
+  req.nblocks = 1;
+  sim.ScheduleCallback(0, [&] { disk.Submit(req); });
+  sim.Run();
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], (std::pair<int, bool>{3, true}));
+  EXPECT_EQ(transitions[1], (std::pair<int, bool>{3, false}));
+}
+
+sim::Process SubmitAt(sim::Simulation& /*sim*/, DiskArray& array, int disk, double at,
+                      int64_t block, int nblocks) {
+  co_await sim::Delay(at);
+  DiskRequest req;
+  req.start_block = block;
+  req.nblocks = nblocks;
+  array.Submit(disk, req);
+}
+
+TEST(DiskArrayTest, ConcurrencyStatistic) {
+  sim::Simulation sim;
+  DiskArray::Options opt;
+  opt.params.rotation = RotationalLatencyModel::kFixedMean;
+  opt.num_disks = 2;
+  DiskArray array(&sim, opt);
+  array.Start();
+  // Two equal requests at t=0 on different disks: concurrency 2 while busy.
+  sim.Spawn(SubmitAt(sim, array, 0, 0, 0, 4));
+  sim.Spawn(SubmitAt(sim, array, 1, 0, 0, 4));
+  sim.Run();
+  array.FlushStats();
+  EXPECT_NEAR(array.MeanConcurrencyWhileActive(), 2.0, 1e-9);
+  EXPECT_EQ(array.TotalStats().requests, 2u);
+  EXPECT_EQ(array.TotalStats().blocks_transferred, 8u);
+}
+
+TEST(DiskArrayTest, SerializedRequestsHaveConcurrencyOne) {
+  sim::Simulation sim;
+  DiskArray::Options opt;
+  opt.params.rotation = RotationalLatencyModel::kFixedMean;
+  opt.num_disks = 2;
+  DiskArray array(&sim, opt);
+  array.Start();
+  double service = opt.params.MeanRotationalLatencyMs() + opt.params.TransferMsPerBlock();
+  sim.Spawn(SubmitAt(sim, array, 0, 0.0, 0, 1));
+  sim.Spawn(SubmitAt(sim, array, 1, service + 1.0, 0, 1));  // After the first ends.
+  sim.Run();
+  array.FlushStats();
+  EXPECT_NEAR(array.MeanConcurrencyWhileActive(), 1.0, 1e-9);
+  EXPECT_LT(array.ActiveFraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace emsim::disk

@@ -1,0 +1,95 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "extsort/block_device.h"
+
+namespace emsim::extsort {
+namespace {
+
+TEST(MemoryBlockDeviceTest, WriteThenReadRoundTrips) {
+  MemoryBlockDevice dev(8, 64);
+  std::vector<uint8_t> out(64, 0xCD);
+  ASSERT_TRUE(dev.Write(3, out).ok());
+  std::vector<uint8_t> in(64, 0);
+  ASSERT_TRUE(dev.Read(3, in).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(dev.reads(), 1u);
+  EXPECT_EQ(dev.writes(), 1u);
+}
+
+TEST(MemoryBlockDeviceTest, ReadingUnwrittenBlockFails) {
+  MemoryBlockDevice dev(4, 64);
+  std::vector<uint8_t> buf(64);
+  Status s = dev.Read(0, buf);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(MemoryBlockDeviceTest, OutOfRangeRejected) {
+  MemoryBlockDevice dev(4, 64);
+  std::vector<uint8_t> buf(64);
+  EXPECT_EQ(dev.Read(4, buf).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dev.Read(-1, buf).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dev.Write(99, buf).code(), StatusCode::kOutOfRange);
+}
+
+TEST(MemoryBlockDeviceTest, WrongBufferSizeRejected) {
+  MemoryBlockDevice dev(4, 64);
+  std::vector<uint8_t> small(32);
+  EXPECT_EQ(dev.Write(0, small).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dev.Read(0, small).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MemoryBlockDeviceTest, OverwriteAllowed) {
+  MemoryBlockDevice dev(2, 64);
+  std::vector<uint8_t> a(64, 1);
+  std::vector<uint8_t> b(64, 2);
+  ASSERT_TRUE(dev.Write(0, a).ok());
+  ASSERT_TRUE(dev.Write(0, b).ok());
+  std::vector<uint8_t> in(64);
+  ASSERT_TRUE(dev.Read(0, in).ok());
+  EXPECT_EQ(in, b);
+}
+
+TEST(TimedBlockDeviceTest, AccumulatesSimulatedTime) {
+  disk::DiskParams params;
+  params.rotation = disk::RotationalLatencyModel::kFixedMean;
+  TimedBlockDevice dev(std::make_unique<MemoryBlockDevice>(1000, 4096), params, 1);
+  std::vector<uint8_t> buf(4096, 0);
+  ASSERT_TRUE(dev.Write(520, buf).ok());  // Pre-populate the target block.
+  dev.ResetClock();
+  ASSERT_TRUE(dev.Write(0, buf).ok());
+  double after_write = dev.elapsed_ms();
+  // The arm sits at cylinder 5 after the pre-population write (ResetClock
+  // zeroes the clock, not the position), so this write seeks back 5
+  // cylinders and pays R + T.
+  EXPECT_NEAR(after_write, 0.05 + 8.3333 + 2.5641, 1e-3);
+  ASSERT_TRUE(dev.Read(520, buf).ok());  // Cylinder 5: 0.05 ms seek + R + T.
+  EXPECT_NEAR(dev.elapsed_ms() - after_write, 0.05 + 8.3333 + 2.5641, 1e-3);
+  EXPECT_EQ(dev.reads(), 1u);
+  EXPECT_EQ(dev.writes(), 2u);
+}
+
+TEST(TimedBlockDeviceTest, SequentialOptimizationReducesTime) {
+  disk::DiskParams params;
+  params.rotation = disk::RotationalLatencyModel::kFixedMean;
+  params.sequential_optimization = true;
+  TimedBlockDevice dev(std::make_unique<MemoryBlockDevice>(100, 4096), params, 1);
+  std::vector<uint8_t> buf(4096, 0);
+  ASSERT_TRUE(dev.Write(0, buf).ok());
+  double first = dev.elapsed_ms();
+  ASSERT_TRUE(dev.Write(1, buf).ok());  // Sequential: transfer only.
+  EXPECT_NEAR(dev.elapsed_ms() - first, 2.5641, 1e-3);
+}
+
+TEST(TimedBlockDeviceTest, PropagatesBaseErrors) {
+  disk::DiskParams params;
+  TimedBlockDevice dev(std::make_unique<MemoryBlockDevice>(4, 4096), params, 1);
+  std::vector<uint8_t> buf(4096);
+  double before = dev.elapsed_ms();
+  EXPECT_FALSE(dev.Read(0, buf).ok());      // Unwritten.
+  EXPECT_EQ(dev.elapsed_ms(), before);      // Failed I/O costs nothing.
+}
+
+}  // namespace
+}  // namespace emsim::extsort

@@ -1,0 +1,150 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "extsort/loser_tree.h"
+#include "util/rng.h"
+
+namespace emsim::extsort {
+namespace {
+
+/// Merges k pre-sorted integer sequences through the loser tree and returns
+/// the merged output with the winning source of each element.
+std::vector<std::pair<int, int>> MergeWithTree(
+    const std::vector<std::vector<int>>& sources) {
+  int k = static_cast<int>(sources.size());
+  LoserTree<int> tree(k);
+  std::vector<size_t> pos(sources.size(), 0);
+  for (int s = 0; s < k; ++s) {
+    if (!sources[static_cast<size_t>(s)].empty()) {
+      tree.SetInitial(s, sources[static_cast<size_t>(s)][0]);
+      pos[static_cast<size_t>(s)] = 1;
+    } else {
+      tree.MarkExhausted(s);
+    }
+  }
+  tree.Build();
+  std::vector<std::pair<int, int>> out;
+  while (!tree.Empty()) {
+    int s = tree.WinnerSource();
+    out.push_back({tree.WinnerItem(), s});
+    auto& p = pos[static_cast<size_t>(s)];
+    if (p < sources[static_cast<size_t>(s)].size()) {
+      tree.ReplaceWinner(sources[static_cast<size_t>(s)][p++]);
+    } else {
+      tree.ExhaustWinner();
+    }
+  }
+  return out;
+}
+
+std::vector<int> Flatten(const std::vector<std::vector<int>>& sources) {
+  std::vector<int> all;
+  for (const auto& s : sources) {
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+TEST(LoserTreeTest, MergesTwoSources) {
+  auto out = MergeWithTree({{1, 4, 7}, {2, 3, 9}});
+  std::vector<int> values;
+  for (auto [v, s] : out) {
+    values.push_back(v);
+  }
+  EXPECT_EQ(values, (std::vector<int>{1, 2, 3, 4, 7, 9}));
+}
+
+TEST(LoserTreeTest, SingleSourcePassesThrough) {
+  auto out = MergeWithTree({{5, 6, 7}});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, 5);
+  EXPECT_EQ(out[2].first, 7);
+  for (auto [v, s] : out) {
+    EXPECT_EQ(s, 0);
+  }
+}
+
+TEST(LoserTreeTest, EmptySourcesAtInit) {
+  auto out = MergeWithTree({{}, {3, 4}, {}, {1}});
+  std::vector<int> values;
+  for (auto [v, s] : out) {
+    values.push_back(v);
+  }
+  EXPECT_EQ(values, (std::vector<int>{1, 3, 4}));
+}
+
+TEST(LoserTreeTest, AllEmpty) {
+  auto out = MergeWithTree({{}, {}, {}});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LoserTreeTest, DuplicatesBreakTiesBySourceId) {
+  auto out = MergeWithTree({{5}, {5}, {5}});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].second, 0);
+  EXPECT_EQ(out[1].second, 1);
+  EXPECT_EQ(out[2].second, 2);
+}
+
+TEST(LoserTreeTest, SkewedLengths) {
+  std::vector<std::vector<int>> sources = {{}, {}, {}, {}};
+  for (int i = 0; i < 100; ++i) {
+    sources[0].push_back(i * 4);
+  }
+  sources[1] = {1};
+  sources[2] = {2, 350};
+  auto out = MergeWithTree(sources);
+  std::vector<int> values;
+  for (auto [v, s] : out) {
+    values.push_back(v);
+  }
+  EXPECT_EQ(values, Flatten(sources));
+}
+
+class LoserTreeRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoserTreeRandomized, MatchesStdSort) {
+  int k = GetParam();
+  Rng rng(static_cast<uint64_t>(k) * 7919);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::vector<int>> sources(static_cast<size_t>(k));
+    for (auto& src : sources) {
+      size_t len = rng.UniformInt(40);
+      for (size_t i = 0; i < len; ++i) {
+        src.push_back(static_cast<int>(rng.UniformInt(1000)));
+      }
+      std::sort(src.begin(), src.end());
+    }
+    auto out = MergeWithTree(sources);
+    std::vector<int> values;
+    for (auto [v, s] : out) {
+      values.push_back(v);
+    }
+    EXPECT_EQ(values, Flatten(sources)) << "k=" << k << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FanIns, LoserTreeRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 25, 50, 64, 100));
+
+TEST(LoserTreeTest, OutputIsStreamedNotBatched) {
+  // The winner is available before downstream sources are touched: verify
+  // incremental consumption.
+  LoserTree<int> tree(2);
+  tree.SetInitial(0, 10);
+  tree.SetInitial(1, 20);
+  tree.Build();
+  EXPECT_EQ(tree.WinnerItem(), 10);
+  tree.ReplaceWinner(30);
+  EXPECT_EQ(tree.WinnerItem(), 20);
+  tree.ExhaustWinner();
+  EXPECT_EQ(tree.WinnerItem(), 30);
+  tree.ExhaustWinner();
+  EXPECT_TRUE(tree.Empty());
+}
+
+}  // namespace
+}  // namespace emsim::extsort

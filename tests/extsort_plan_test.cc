@@ -1,0 +1,170 @@
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "extsort/external_sort.h"
+#include "extsort/merge_plan.h"
+#include "workload/record_generator.h"
+
+namespace emsim::extsort {
+namespace {
+
+TEST(PlanMergeTest, SingleRunNeedsNoSteps) {
+  MergePlan plan = PlanMerge({100}, 4);
+  EXPECT_TRUE(plan.steps.empty());
+  EXPECT_EQ(plan.blocks_moved, 0);
+  EXPECT_EQ(plan.depth, 0);
+}
+
+TEST(PlanMergeTest, WithinFanInIsOnePass) {
+  MergePlan plan = PlanMerge({10, 20, 30}, 4);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.depth, 1);
+  EXPECT_EQ(plan.blocks_moved, 60);
+  EXPECT_EQ(plan.steps[0].inputs.size(), 3u);
+  EXPECT_EQ(plan.steps[0].output, 3);
+}
+
+TEST(PlanMergeTest, RespectsFanInLimit) {
+  std::vector<int64_t> runs(20, 50);
+  for (int f : {2, 3, 4, 7}) {
+    MergePlan plan = PlanMerge(runs, f);
+    for (const MergeStep& step : plan.steps) {
+      EXPECT_LE(static_cast<int>(step.inputs.size()), f);
+      EXPECT_GE(step.inputs.size(), 1u);
+    }
+    // Every initial run consumed exactly once; every intermediate run
+    // produced once and consumed once except the final output.
+    std::vector<int> consumed(20 + plan.steps.size(), 0);
+    for (const MergeStep& step : plan.steps) {
+      for (int idx : step.inputs) {
+        ++consumed[static_cast<size_t>(idx)];
+      }
+    }
+    for (size_t i = 0; i + 1 < consumed.size(); ++i) {
+      EXPECT_EQ(consumed[i], 1) << "f=" << f << " run " << i;
+    }
+    EXPECT_EQ(consumed.back(), 0);  // The final output is never consumed.
+  }
+}
+
+TEST(PlanMergeTest, EqualRunsBalancedDepth) {
+  // 16 equal runs, fan-in 4: exactly 2 passes moving every block twice.
+  std::vector<int64_t> runs(16, 100);
+  MergePlan plan = PlanMerge(runs, 4);
+  EXPECT_EQ(plan.depth, 2);
+  EXPECT_EQ(plan.blocks_moved, 2 * 1600);
+  EXPECT_EQ(plan.steps.size(), 5u);  // 4 leaf merges + 1 root.
+}
+
+TEST(PlanMergeTest, HuffmanPrefersMergingSmallRunsFirst) {
+  // Two big runs and three tiny ones, fan-in 2. Optimal: combine the tiny
+  // runs deep in the tree, the big runs near the root.
+  MergePlan plan = PlanMerge({1000, 1000, 1, 1, 1}, 2);
+  // Lower bound by construction: tiny runs move multiple times, big twice.
+  // Naive left-to-right pairing would move a big run 3+ times (>= 5000).
+  EXPECT_LE(plan.blocks_moved, 1000 * 2 + 1000 * 2 + 3 * 4);
+}
+
+TEST(PlanMergeTest, DummyPaddingKeepsStepsFull) {
+  // 4 runs, fan-in 3: (4-1) % 2 == 1, so one dummy pads the first step,
+  // which then takes 2 real runs; total 2 steps.
+  MergePlan plan = PlanMerge({10, 10, 10, 10}, 3);
+  EXPECT_EQ(plan.steps.size(), 2u);
+  EXPECT_EQ(plan.steps[0].inputs.size(), 2u);  // 2 real + 1 dummy.
+  EXPECT_EQ(plan.steps[1].inputs.size(), 3u);
+  // Optimal volume: two cheapest runs move twice, others once -> 60.
+  EXPECT_EQ(plan.blocks_moved, 60);
+}
+
+std::vector<Record> MakeRecords(size_t n, uint64_t seed) {
+  workload::RecordGeneratorOptions opt;
+  opt.seed = seed;
+  workload::RecordGenerator gen(opt);
+  std::vector<Record> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back({gen.NextKey(), i});
+  }
+  return records;
+}
+
+class MultiPassMerge : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiPassMerge, SortsCorrectlyUnderFanInLimit) {
+  int fan_in = GetParam();
+  auto input = MakeRecords(20000, 77);
+  MemoryBlockDevice scratch(1 << 14, 4096);
+  MemoryBlockDevice output(1 << 12, 4096);
+
+  RunFormationOptions rf;
+  rf.memory_records = 1000;  // 20 initial runs.
+  auto runs = FormRuns(input, &scratch, rf);
+  ASSERT_TRUE(runs.ok());
+  ASSERT_EQ(runs->runs.size(), 20u);
+
+  std::vector<int64_t> blocks;
+  for (const auto& run : runs->runs) {
+    blocks.push_back(run.num_blocks);
+  }
+  MergePlan plan = PlanMerge(blocks, fan_in);
+  KWayMergeOptions options;
+  auto outcome = ExecuteMergePlan(plan, runs->runs, &scratch, runs->next_free_block,
+                                  &output, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->records_merged, 20000u);
+
+  auto sorted = ExternalSorter::ReadRun(&output, outcome->output);
+  ASSERT_TRUE(sorted.ok());
+  std::vector<Record> expect = input;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(*sorted, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(FanIns, MultiPassMerge, ::testing::Values(2, 3, 5, 8, 20, 64));
+
+TEST(MultiPassMergeTest, SingleRunCopiesThrough) {
+  auto input = MakeRecords(500, 5);
+  std::sort(input.begin(), input.end());
+  MemoryBlockDevice scratch(64, 4096);
+  MemoryBlockDevice output(64, 4096);
+  RunWriter writer(&scratch, 0);
+  for (const Record& r : input) {
+    ASSERT_TRUE(writer.Append(r).ok());
+  }
+  auto run = writer.Finish();
+  ASSERT_TRUE(run.ok());
+
+  MergePlan plan = PlanMerge({run->num_blocks}, 4);
+  auto outcome = ExecuteMergePlan(plan, {*run}, &scratch, run->num_blocks, &output,
+                                  KWayMergeOptions{});
+  ASSERT_TRUE(outcome.ok());
+  auto sorted = ExternalSorter::ReadRun(&output, outcome->output);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(*sorted, input);
+}
+
+TEST(MultiPassMergeTest, BlocksMovedMatchesDeviceTraffic) {
+  auto input = MakeRecords(10000, 11);
+  MemoryBlockDevice scratch(1 << 14, 4096);
+  MemoryBlockDevice output(1 << 11, 4096);
+  RunFormationOptions rf;
+  rf.memory_records = 1000;
+  auto runs = FormRuns(input, &scratch, rf);
+  ASSERT_TRUE(runs.ok());
+  std::vector<int64_t> blocks;
+  for (const auto& run : runs->runs) {
+    blocks.push_back(run.num_blocks);
+  }
+  MergePlan plan = PlanMerge(blocks, 3);
+  uint64_t reads_before = scratch.reads();
+  auto outcome = ExecuteMergePlan(plan, runs->runs, &scratch, runs->next_free_block,
+                                  &output, KWayMergeOptions{});
+  ASSERT_TRUE(outcome.ok());
+  // Every planned block movement is one block read from scratch.
+  EXPECT_EQ(scratch.reads() - reads_before, static_cast<uint64_t>(plan.blocks_moved));
+}
+
+}  // namespace
+}  // namespace emsim::extsort

@@ -1,0 +1,79 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "extsort/record.h"
+
+namespace emsim::extsort {
+namespace {
+
+TEST(RecordTest, OrderingByKeyThenValue) {
+  Record a{1, 5};
+  Record b{2, 0};
+  Record c{1, 9};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_FALSE(b < a);
+  EXPECT_EQ(a, (Record{1, 5}));
+}
+
+TEST(RecordBlockTest, CapacityForPaperBlock) {
+  EXPECT_EQ(RecordBlock::Capacity(4096), (4096 - 4) / 16);
+  EXPECT_EQ(RecordBlock::Capacity(64), 3u);
+}
+
+TEST(RecordBlockTest, EncodeDecodeRoundTrip) {
+  std::vector<Record> records;
+  for (uint64_t i = 0; i < 100; ++i) {
+    records.push_back({i * 3, i});
+  }
+  std::vector<uint8_t> block(4096);
+  RecordBlock::Encode(records, block);
+  std::vector<Record> decoded;
+  ASSERT_TRUE(RecordBlock::Decode(block, &decoded).ok());
+  EXPECT_EQ(decoded, records);
+}
+
+TEST(RecordBlockTest, EmptyBlock) {
+  std::vector<uint8_t> block(4096, 0xFF);
+  RecordBlock::Encode({}, block);
+  std::vector<Record> decoded = {{1, 1}};
+  ASSERT_TRUE(RecordBlock::Decode(block, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(RecordBlockTest, PartialBlockZeroPads) {
+  std::vector<Record> records = {{42, 7}};
+  std::vector<uint8_t> block(4096, 0xAB);
+  RecordBlock::Encode(records, block);
+  // Everything past the payload is zeroed.
+  for (size_t i = 4 + 16; i < block.size(); ++i) {
+    EXPECT_EQ(block[i], 0) << i;
+  }
+}
+
+TEST(RecordBlockTest, DecodeRejectsCorruptCount) {
+  std::vector<uint8_t> block(4096);
+  uint32_t bogus = 100000;
+  std::memcpy(block.data(), &bogus, sizeof(bogus));
+  std::vector<Record> decoded;
+  Status s = RecordBlock::Decode(block, &decoded);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(RecordBlockTest, DecodeRejectsTinyBlock) {
+  std::vector<uint8_t> tiny(2);
+  std::vector<Record> decoded;
+  EXPECT_EQ(RecordBlock::Decode(tiny, &decoded).code(), StatusCode::kCorruption);
+}
+
+TEST(IsSortedTest, Basics) {
+  std::vector<Record> sorted = {{1, 0}, {1, 1}, {2, 0}};
+  EXPECT_TRUE(IsSorted(sorted));
+  std::vector<Record> unsorted = {{2, 0}, {1, 0}};
+  EXPECT_FALSE(IsSorted(unsorted));
+  EXPECT_TRUE(IsSorted({}));
+}
+
+}  // namespace
+}  // namespace emsim::extsort

@@ -1,0 +1,184 @@
+// Randomized robustness sweep: 200 random-but-valid merge configurations
+// must all complete with conserved blocks and in-range statistics, and 200
+// random invalid-ish configurations must be either rejected by Validate or
+// complete cleanly — never crash.
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/merge_simulator.h"
+#include "util/rng.h"
+#include "workload/depletion_generator.h"
+
+namespace emsim::core {
+namespace {
+
+MergeConfig RandomConfig(Rng& rng) {
+  MergeConfig cfg;
+  cfg.num_runs = static_cast<int>(rng.UniformRange(1, 30));
+  cfg.num_disks = static_cast<int>(rng.UniformRange(1, 8));
+  cfg.blocks_per_run = rng.UniformRange(1, 80);
+  cfg.prefetch_depth =
+      static_cast<int>(rng.UniformRange(1, std::max<int64_t>(1, cfg.blocks_per_run)));
+  cfg.strategy =
+      rng.Bernoulli(0.5) ? Strategy::kDemandRunOnly : Strategy::kAllDisksOneRun;
+  cfg.sync = rng.Bernoulli(0.5) ? SyncMode::kSynchronized : SyncMode::kUnsynchronized;
+  cfg.admission =
+      rng.Bernoulli(0.5) ? AdmissionPolicy::kConservative : AdmissionPolicy::kGreedy;
+  switch (rng.UniformInt(4)) {
+    case 0:
+      cfg.victim = VictimPolicy::kRandom;
+      break;
+    case 1:
+      cfg.victim = VictimPolicy::kRoundRobin;
+      break;
+    case 2:
+      cfg.victim = VictimPolicy::kFewestBuffered;
+      break;
+    default:
+      cfg.victim = VictimPolicy::kNearestHead;
+      break;
+  }
+  if (rng.Bernoulli(0.3)) {
+    cfg.cache_blocks = rng.UniformRange(
+        cfg.num_runs, cfg.num_runs + static_cast<int64_t>(rng.UniformInt(400)));
+  }
+  if (rng.Bernoulli(0.3)) {
+    cfg.cpu_ms_per_block = rng.UniformDouble() * 0.5;
+  }
+  if (rng.Bernoulli(0.25)) {
+    cfg.depletion = DepletionKind::kZipf;
+    cfg.zipf_theta = rng.UniformDouble() * 1.5;
+  }
+  if (rng.Bernoulli(0.2)) {
+    cfg.write_traffic =
+        rng.Bernoulli(0.5) ? WriteTraffic::kSeparateDisks : WriteTraffic::kSharedDisks;
+    cfg.num_write_disks = static_cast<int>(rng.UniformRange(1, 4));
+    cfg.write_batch_blocks = static_cast<int>(rng.UniformRange(1, 16));
+    cfg.write_buffer_blocks = cfg.write_batch_blocks + rng.UniformRange(0, 64);
+  }
+  if (rng.Bernoulli(0.2)) {
+    cfg.disk_params.scheduling = disk::SchedulingPolicy::kSstf;
+  }
+  if (rng.Bernoulli(0.2)) {
+    cfg.disk_params.sequential_optimization = true;
+  }
+  switch (rng.UniformInt(3)) {
+    case 0:
+      cfg.disk_params.rotation = disk::RotationalLatencyModel::kFixedMean;
+      break;
+    case 1:
+      cfg.disk_params.rotation = disk::RotationalLatencyModel::kAngular;
+      break;
+    default:
+      break;  // kUniform.
+  }
+  if (cfg.strategy == Strategy::kDemandRunOnly && rng.Bernoulli(0.2) &&
+      cfg.blocks_per_run % cfg.num_disks == 0) {
+    cfg.placement = disk::RunPlacement::kStriped;
+  }
+  if (rng.Bernoulli(0.15)) {
+    cfg.run_lengths.clear();
+    if (cfg.placement != disk::RunPlacement::kStriped) {
+      for (int r = 0; r < cfg.num_runs; ++r) {
+        cfg.run_lengths.push_back(rng.UniformRange(1, 60));
+      }
+      cfg.prefetch_depth = 1 + static_cast<int>(rng.UniformInt(4));
+    }
+  }
+  cfg.seed = rng.Next64();
+  cfg.check_invariants = true;
+  return cfg;
+}
+
+TEST(FuzzRobustnessTest, RandomValidConfigsComplete) {
+  Rng rng(20260707);
+  int completed = 0;
+  for (int i = 0; i < 200; ++i) {
+    MergeConfig cfg = RandomConfig(rng);
+    Status valid = cfg.Validate();
+    if (!valid.ok()) {
+      continue;  // Some random combinations are legitimately rejected.
+    }
+    auto result = SimulateMerge(cfg);
+    ASSERT_TRUE(result.ok()) << cfg.ToString() << " -> " << result.status().ToString();
+    EXPECT_EQ(result->blocks_merged, cfg.TotalBlocks()) << cfg.ToString();
+    EXPECT_GE(result->total_ms, 0.0);
+    EXPECT_LE(result->SuccessRatio(), 1.0);
+    EXPECT_LE(result->avg_concurrency, cfg.num_disks + 1e-9);
+    EXPECT_LE(result->cache_stats.peak_occupancy, cfg.EffectiveCacheBlocks());
+    if (cfg.write_traffic != WriteTraffic::kNone) {
+      EXPECT_EQ(result->write_blocks, static_cast<uint64_t>(cfg.TotalBlocks()));
+    }
+    ++completed;
+  }
+  EXPECT_GT(completed, 120);  // The generator mostly produces valid configs.
+}
+
+TEST(FuzzRobustnessTest, HostileConfigsRejectedNotCrashed) {
+  Rng rng(404);
+  for (int i = 0; i < 200; ++i) {
+    MergeConfig cfg = RandomConfig(rng);
+    // Sabotage one field.
+    switch (rng.UniformInt(7)) {
+      case 0:
+        cfg.num_runs = static_cast<int>(rng.UniformRange(-2, 0));
+        break;
+      case 1:
+        cfg.prefetch_depth = static_cast<int>(cfg.blocks_per_run + rng.UniformRange(1, 5));
+        break;
+      case 2:
+        cfg.cache_blocks = rng.UniformRange(0, std::max(1, cfg.num_runs - 1));
+        break;
+      case 3:
+        cfg.cpu_ms_per_block = -1.0;
+        break;
+      case 4:
+        cfg.run_lengths.assign(static_cast<size_t>(cfg.num_runs) + 1, 10);
+        break;
+      case 5:
+        cfg.depletion = DepletionKind::kTrace;
+        cfg.trace = {0};  // Wrong length.
+        break;
+      case 6:
+        cfg.write_traffic = WriteTraffic::kSeparateDisks;
+        cfg.num_write_disks = 0;
+        break;
+    }
+    auto result = SimulateMerge(cfg);
+    if (result.ok()) {
+      // The sabotage happened to leave a valid config; it must then behave.
+      EXPECT_EQ(result->blocks_merged, cfg.TotalBlocks());
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, TraceReplayFuzz) {
+  Rng rng(777);
+  for (int i = 0; i < 40; ++i) {
+    int k = static_cast<int>(rng.UniformRange(2, 12));
+    int64_t blocks = rng.UniformRange(5, 40);
+    MergeConfig cfg;
+    cfg.num_runs = k;
+    cfg.num_disks = static_cast<int>(rng.UniformRange(1, 4));
+    cfg.blocks_per_run = blocks;
+    cfg.prefetch_depth = 1 + static_cast<int>(rng.UniformInt(5));
+    if (cfg.prefetch_depth > blocks) {
+      cfg.prefetch_depth = static_cast<int>(blocks);
+    }
+    cfg.strategy = rng.Bernoulli(0.5) ? Strategy::kDemandRunOnly : Strategy::kAllDisksOneRun;
+    cfg.depletion = DepletionKind::kTrace;
+    cfg.trace = workload::UniformDepletionTrace(k, blocks, rng.Next64());
+    cfg.victim = rng.Bernoulli(0.5) ? VictimPolicy::kClairvoyant : VictimPolicy::kRandom;
+    cfg.check_invariants = true;
+    cfg.seed = rng.Next64();
+    auto result = SimulateMerge(cfg);
+    ASSERT_TRUE(result.ok()) << cfg.ToString() << result.status().ToString();
+    EXPECT_EQ(result->blocks_merged, k * blocks);
+  }
+}
+
+}  // namespace
+}  // namespace emsim::core

@@ -1,0 +1,207 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cache/block_cache.h"
+#include "disk/layout.h"
+#include "io/planner.h"
+#include "io/run_state.h"
+#include "io/victim_chooser.h"
+#include "sim/simulation.h"
+
+namespace emsim::io {
+namespace {
+
+struct Fixture {
+  Fixture(int k, int d, int64_t blocks)
+      : layout(disk::RunLayout::Options{k, d, blocks, disk::Geometry{},
+                                        disk::RunPlacement::kRoundRobin, {}}),
+        cache(&sim, cache::BlockCache::Options{1000, k}),
+        runs(k, blocks),
+        rng(99) {}
+
+  VictimChooser::Context Ctx() {
+    VictimChooser::Context ctx;
+    ctx.layout = &layout;
+    ctx.cache = &cache;
+    ctx.runs = &runs;
+    ctx.disks = nullptr;
+    ctx.rng = &rng;
+    return ctx;
+  }
+
+  sim::Simulation sim;
+  disk::RunLayout layout;
+  cache::BlockCache cache;
+  RunStates runs;
+  Rng rng;
+};
+
+TEST(RunStatesTest, TracksProgress) {
+  RunStates runs(3, 100);
+  EXPECT_EQ(runs.size(), 3);
+  EXPECT_EQ(runs.TotalRemaining(), 300);
+  runs[0].consumed = 100;
+  runs[1].consumed = 50;
+  EXPECT_EQ(runs.TotalRemaining(), 150);
+  auto active = runs.ActiveRuns();
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0], 1);
+  EXPECT_EQ(active[1], 2);
+  EXPECT_TRUE(runs[0].FullyConsumed());
+}
+
+TEST(RunStatesTest, FetchBookkeeping) {
+  RunStates runs(1, 10);
+  RunState& s = runs[0];
+  EXPECT_EQ(s.RemainingOnDisk(), 10);
+  EXPECT_FALSE(s.FullyRequested());
+  s.next_fetch_offset = 10;
+  EXPECT_TRUE(s.FullyRequested());
+  EXPECT_EQ(s.RemainingOnDisk(), 0);
+}
+
+TEST(RunStatesTest, VariableLengths) {
+  RunStates runs(std::vector<int64_t>{5, 15});
+  EXPECT_EQ(runs[0].blocks_total, 5);
+  EXPECT_EQ(runs[1].blocks_total, 15);
+  EXPECT_EQ(runs.TotalRemaining(), 20);
+}
+
+TEST(DemandOnlyPlannerTest, FetchesNFromDemandRun) {
+  Fixture f(10, 2, 100);
+  auto planner = MakeDemandOnlyPlanner(7);
+  auto ops = planner->Plan(f.Ctx(), 3);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].run, 3);
+  EXPECT_EQ(ops[0].offset, 0);
+  EXPECT_EQ(ops[0].nblocks, 7);
+  EXPECT_TRUE(ops[0].is_demand);
+}
+
+TEST(DemandOnlyPlannerTest, TrimsAtRunEnd) {
+  Fixture f(4, 1, 100);
+  f.runs[2].next_fetch_offset = 98;
+  auto planner = MakeDemandOnlyPlanner(10);
+  auto ops = planner->Plan(f.Ctx(), 2);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].offset, 98);
+  EXPECT_EQ(ops[0].nblocks, 2);
+}
+
+TEST(AllDisksOneRunPlannerTest, OneOpPerDisk) {
+  Fixture f(25, 5, 1000);
+  auto planner = MakeAllDisksOneRunPlanner(10, MakeRandomVictimChooser());
+  auto ops = planner->Plan(f.Ctx(), 7);  // Run 7 lives on disk 2.
+  ASSERT_EQ(ops.size(), 5u);
+  EXPECT_TRUE(ops[0].is_demand);
+  EXPECT_EQ(ops[0].run, 7);
+  std::set<int> disks;
+  for (const auto& op : ops) {
+    disks.insert(f.layout.DiskOf(op.run));
+    EXPECT_EQ(op.nblocks, 10);
+  }
+  EXPECT_EQ(disks.size(), 5u);  // Every disk covered exactly once.
+  for (size_t i = 1; i < ops.size(); ++i) {
+    EXPECT_FALSE(ops[i].is_demand);
+    EXPECT_NE(ops[i].run, 7);
+  }
+}
+
+TEST(AllDisksOneRunPlannerTest, SkipsExhaustedDisks) {
+  Fixture f(6, 3, 10);
+  // Exhaust both runs of disk 1 (runs 1 and 4).
+  f.runs[1].next_fetch_offset = 10;
+  f.runs[4].next_fetch_offset = 10;
+  auto planner = MakeAllDisksOneRunPlanner(2, MakeRandomVictimChooser());
+  auto ops = planner->Plan(f.Ctx(), 0);
+  ASSERT_EQ(ops.size(), 2u);  // Demand disk 0 + disk 2 only.
+  EXPECT_EQ(f.layout.DiskOf(ops[1].run), 2);
+}
+
+TEST(AllDisksOneRunPlannerTest, VictimsHaveBlocksLeft) {
+  Fixture f(9, 3, 10);
+  f.runs[2].next_fetch_offset = 10;  // Disk 2's first run exhausted.
+  auto planner = MakeAllDisksOneRunPlanner(2, MakeRandomVictimChooser());
+  for (int trial = 0; trial < 50; ++trial) {
+    auto ops = planner->Plan(f.Ctx(), 0);
+    for (const auto& op : ops) {
+      EXPECT_GT(f.runs[op.run].RemainingOnDisk(), 0);
+    }
+  }
+}
+
+TEST(VictimChooserTest, RandomCoversAllCandidates) {
+  Fixture f(9, 3, 10);
+  auto chooser = MakeRandomVictimChooser();
+  std::vector<int> candidates = {1, 4, 7};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) {
+    int pick = chooser->Choose(f.Ctx(), candidates);
+    seen.insert(pick);
+    EXPECT_TRUE(pick == 1 || pick == 4 || pick == 7);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(VictimChooserTest, RoundRobinCycles) {
+  Fixture f(9, 3, 10);
+  auto chooser = MakeRoundRobinVictimChooser();
+  std::vector<int> candidates = {1, 4, 7};
+  EXPECT_EQ(chooser->Choose(f.Ctx(), candidates), 1);
+  EXPECT_EQ(chooser->Choose(f.Ctx(), candidates), 4);
+  EXPECT_EQ(chooser->Choose(f.Ctx(), candidates), 7);
+  EXPECT_EQ(chooser->Choose(f.Ctx(), candidates), 1);
+}
+
+TEST(VictimChooserTest, FewestBufferedPrefersStarvedRun) {
+  Fixture f(9, 3, 10);
+  ASSERT_TRUE(f.cache.TryReserve(1, 5));
+  ASSERT_TRUE(f.cache.TryReserve(4, 1));
+  // Run 7 has nothing buffered or in flight.
+  auto chooser = MakeFewestBufferedVictimChooser();
+  EXPECT_EQ(chooser->Choose(f.Ctx(), {1, 4, 7}), 7);
+}
+
+TEST(VictimChooserTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  names.insert(MakeRandomVictimChooser()->name());
+  names.insert(MakeRoundRobinVictimChooser()->name());
+  names.insert(MakeFewestBufferedVictimChooser()->name());
+  names.insert(MakeNearestHeadVictimChooser()->name());
+  names.insert(MakeClairvoyantVictimChooser()->name());
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(VictimChooserTest, ClairvoyantPicksSoonestNeededRun) {
+  Fixture f(9, 3, 10);
+  // Runs 1, 4, 7 live on disk 1. Craft a trace where run 7's next block is
+  // needed before run 1's and run 4's.
+  std::vector<int> trace;
+  for (int b = 0; b < 10; ++b) {
+    for (int r = 0; r < 9; ++r) {
+      trace.push_back(r);
+    }
+  }
+  // Prefix: runs 7, 7 deplete first.
+  trace.insert(trace.begin(), {7, 7});
+  trace.resize(90);  // Keep it simple; the chooser only reads occurrence order.
+  VictimChooser::Context ctx = f.Ctx();
+  ctx.depletion_trace = &trace;
+  auto chooser = MakeClairvoyantVictimChooser();
+  EXPECT_EQ(chooser->Choose(ctx, {1, 4, 7}), 7);
+  // After run 7's first two blocks are requested, its third occurrence is
+  // later than run 1's first.
+  f.runs[7].next_fetch_offset = 2;
+  EXPECT_EQ(chooser->Choose(ctx, {1, 4, 7}), 1);
+}
+
+TEST(PlannerTest, NamesDescribeConfiguration) {
+  auto p1 = MakeDemandOnlyPlanner(10);
+  EXPECT_NE(p1->name().find("N=10"), std::string::npos);
+  auto p2 = MakeAllDisksOneRunPlanner(5, MakeRandomVictimChooser());
+  EXPECT_NE(p2->name().find("random"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emsim::io

@@ -1,0 +1,138 @@
+#include "extsort/packed_sort.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace emsim::extsort {
+namespace {
+
+std::vector<uint8_t> MakePacked(size_t count, size_t record_bytes, uint64_t seed,
+                                std::vector<uint64_t>* keys) {
+  Rng rng(seed);
+  std::vector<uint8_t> bytes(count * record_bytes, 0);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t key = rng.Next64();
+    keys->push_back(key);
+    std::memcpy(bytes.data() + i * record_bytes, &key, 8);
+    uint64_t idx = i;
+    std::memcpy(bytes.data() + i * record_bytes + 8, &idx, 8);
+  }
+  return bytes;
+}
+
+class PackedSortCorrectness
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(PackedSortCorrectness, SortsAndConserves) {
+  auto [record_bytes, memory_records] = GetParam();
+  const size_t count = 4000;
+  MemoryBlockDevice input(1 << 12, 1024);
+  MemoryBlockDevice scratch(1 << 12, 1024);
+  MemoryBlockDevice output(1 << 12, 1024);
+
+  std::vector<uint64_t> keys;
+  auto bytes = MakePacked(count, record_bytes, 23, &keys);
+  PackedRecordFile in(&input, record_bytes);
+  ASSERT_TRUE(in.WriteAll(bytes, count).ok());
+
+  PackedSortOptions options;
+  options.record_bytes = record_bytes;
+  options.memory_records = memory_records;
+  PackedExternalSorter sorter(options);
+  auto stats = sorter.Sort(&input, count, &scratch, &output);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->records, count);
+  EXPECT_EQ(stats->runs, (count + memory_records - 1) / memory_records);
+
+  PackedRecordFile out(&output, record_bytes);
+  auto out_keys = out.ScanKeys(count);
+  ASSERT_TRUE(out_keys.ok());
+  std::vector<uint64_t> expect = keys;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(*out_keys, expect);
+
+  // Payload permutation intact.
+  std::vector<bool> seen(count, false);
+  std::vector<uint8_t> record(record_bytes);
+  for (size_t i = 0; i < count; ++i) {
+    ASSERT_TRUE(out.ReadRecord(i, record, nullptr).ok());
+    uint64_t idx = 0;
+    std::memcpy(&idx, record.data() + 8, 8);
+    ASSERT_LT(idx, count);
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PackedSortCorrectness,
+    ::testing::Combine(::testing::Values(size_t{16}, size_t{48}, size_t{128}, size_t{512}),
+                       ::testing::Values(size_t{100}, size_t{700}, size_t{5000})));
+
+TEST(PackedSortTest, SingleChunkIsOneRun) {
+  const size_t count = 100;
+  MemoryBlockDevice input(64, 1024);
+  MemoryBlockDevice scratch(64, 1024);
+  MemoryBlockDevice output(64, 1024);
+  std::vector<uint64_t> keys;
+  auto bytes = MakePacked(count, 32, 1, &keys);
+  PackedRecordFile in(&input, 32);
+  ASSERT_TRUE(in.WriteAll(bytes, count).ok());
+  PackedSortOptions options;
+  options.record_bytes = 32;
+  options.memory_records = 1000;
+  auto stats = PackedExternalSorter(options).Sort(&input, count, &scratch, &output);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->runs, 1u);
+}
+
+TEST(PackedSortTest, AgreesWithTagSort) {
+  const size_t count = 3000;
+  const size_t record_bytes = 64;
+  MemoryBlockDevice input(1 << 11, 1024);
+  std::vector<uint64_t> keys;
+  auto bytes = MakePacked(count, record_bytes, 9, &keys);
+  PackedRecordFile in(&input, record_bytes);
+  ASSERT_TRUE(in.WriteAll(bytes, count).ok());
+
+  MemoryBlockDevice scratch_a(1 << 11, 1024);
+  MemoryBlockDevice out_a(1 << 11, 1024);
+  PackedSortOptions merge_options;
+  merge_options.record_bytes = record_bytes;
+  merge_options.memory_records = 500;
+  auto merge_stats =
+      PackedExternalSorter(merge_options).Sort(&input, count, &scratch_a, &out_a);
+  ASSERT_TRUE(merge_stats.ok());
+
+  MemoryBlockDevice scratch_b(1 << 11, 1024);
+  MemoryBlockDevice out_b(1 << 11, 1024);
+  TagSortOptions tag_options;
+  tag_options.record_bytes = record_bytes;
+  tag_options.tag_memory_records = 500;
+  auto tag_stats = TagSorter(tag_options).Sort(&input, count, &scratch_b, &out_b);
+  ASSERT_TRUE(tag_stats.ok());
+
+  PackedRecordFile a(&out_a, record_bytes);
+  PackedRecordFile b(&out_b, record_bytes);
+  auto keys_a = a.ScanKeys(count);
+  auto keys_b = b.ScanKeys(count);
+  ASSERT_TRUE(keys_a.ok());
+  ASSERT_TRUE(keys_b.ok());
+  EXPECT_EQ(*keys_a, *keys_b);
+}
+
+TEST(PackedSortTest, EmptyInputRejected) {
+  MemoryBlockDevice input(8, 1024);
+  MemoryBlockDevice scratch(8, 1024);
+  MemoryBlockDevice output(8, 1024);
+  PackedExternalSorter sorter(PackedSortOptions{});
+  EXPECT_FALSE(sorter.Sort(&input, 0, &scratch, &output).ok());
+}
+
+}  // namespace
+}  // namespace emsim::extsort

@@ -1,0 +1,69 @@
+// Golden regression values: the simulator is deterministic per seed, so key
+// headline numbers are pinned here (loose 0.5% tolerance absorbs FP-order
+// differences across compilers). If one of these moves, either a model
+// change was intended — update the constant and EXPERIMENTS.md — or a
+// regression slipped in.
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/merge_simulator.h"
+
+namespace emsim::core {
+namespace {
+
+double RunSeconds(MergeConfig cfg) {
+  cfg.seed = 1;
+  auto result = SimulateMerge(cfg);
+  EXPECT_TRUE(result.ok());
+  return result->total_ms / 1e3;
+}
+
+TEST(GoldenTest, PaperHeadlineNumbers) {
+  EXPECT_NEAR(RunSeconds(MergeConfig::Paper(25, 1, 1, Strategy::kDemandRunOnly,
+                                            SyncMode::kUnsynchronized)),
+              292.62, 292.62 * 0.005);
+  EXPECT_NEAR(RunSeconds(MergeConfig::Paper(25, 1, 10, Strategy::kDemandRunOnly,
+                                            SyncMode::kUnsynchronized)),
+              87.05, 87.05 * 0.005);
+  EXPECT_NEAR(RunSeconds(MergeConfig::Paper(25, 5, 10, Strategy::kDemandRunOnly,
+                                            SyncMode::kSynchronized)),
+              84.83, 84.83 * 0.005);
+  EXPECT_NEAR(RunSeconds(MergeConfig::Paper(25, 5, 10, Strategy::kAllDisksOneRun,
+                                            SyncMode::kSynchronized)),
+              19.86, 19.86 * 0.005);
+  EXPECT_NEAR(RunSeconds(MergeConfig::Paper(25, 5, 10, Strategy::kAllDisksOneRun,
+                                            SyncMode::kUnsynchronized)),
+              17.63, 17.63 * 0.005);
+}
+
+TEST(GoldenTest, StallAccountingConsistent) {
+  // With an infinitely fast CPU, total time = preload + the summed stalls.
+  MergeConfig cfg = MergeConfig::Paper(25, 5, 10, Strategy::kAllDisksOneRun,
+                                       SyncMode::kUnsynchronized);
+  auto result = SimulateMerge(cfg);
+  ASSERT_TRUE(result.ok());
+  double stalled = result->stall_ms.sum();
+  EXPECT_GT(result->stall_ms.count(), 0u);
+  EXPECT_LE(stalled, result->total_ms);
+  EXPECT_GT(stalled, result->total_ms * 0.8);  // Preload is the small rest.
+  EXPECT_GT(result->stall_ms.Max(), result->stall_ms.Mean());
+}
+
+TEST(GoldenTest, StallDistributionsDifferByStrategy) {
+  MergeConfig demand = MergeConfig::Paper(25, 5, 10, Strategy::kDemandRunOnly,
+                                          SyncMode::kUnsynchronized);
+  MergeConfig ador = MergeConfig::Paper(25, 5, 10, Strategy::kAllDisksOneRun,
+                                        SyncMode::kUnsynchronized);
+  auto d = SimulateMerge(demand);
+  auto a = SimulateMerge(ador);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(a.ok());
+  // Inter-run prefetching converts many stalls into cache hits and shortens
+  // the ones that remain on average.
+  EXPECT_LT(a->stall_ms.Mean() * static_cast<double>(a->stall_ms.count()),
+            d->stall_ms.Mean() * static_cast<double>(d->stall_ms.count()));
+}
+
+}  // namespace
+}  // namespace emsim::core

@@ -1,0 +1,117 @@
+// Statistical validation: the arm movements produced by random demand
+// fetches over a contiguous run layout follow the Kwan-Baer seek-distance
+// distribution that every formula in the paper builds on.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/seek_distribution.h"
+#include "disk/layout.h"
+#include "disk/mechanism.h"
+#include "util/rng.h"
+
+namespace emsim {
+namespace {
+
+struct SeekSample {
+  std::vector<double> pmf;   // Empirical, indexed by run distance.
+  double mean_cylinders = 0;
+};
+
+/// Simulates `steps` random demand fetches (one block each, like the
+/// Kwan-Baer baseline) on a single disk holding `k` contiguous runs and
+/// returns the empirical run-distance PMF.
+SeekSample SampleSeeks(int k, int64_t blocks_per_run, int steps, uint64_t seed) {
+  disk::RunLayout layout(disk::RunLayout::Options{k, 1, blocks_per_run, disk::Geometry{},
+                                                  disk::RunPlacement::kRoundRobin, {}});
+  disk::DiskParams params;
+  params.rotation = disk::RotationalLatencyModel::kFixedMean;
+  disk::Mechanism mech(params);
+  Rng rng(seed);
+  std::vector<int64_t> next(static_cast<size_t>(k), 0);
+  double m = layout.RunLengthCylinders();
+
+  SeekSample sample;
+  sample.pmf.assign(static_cast<size_t>(k), 0.0);
+  double total_cylinders = 0;
+  for (int step = 0; step < steps; ++step) {
+    int run = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(k)));
+    int64_t offset = next[static_cast<size_t>(run)];
+    next[static_cast<size_t>(run)] = (offset + 1) % blocks_per_run;  // Wrap: steady state.
+    disk::AccessCost cost = mech.Access(layout.LocalBlock(run, offset), 1, rng);
+    total_cylinders += static_cast<double>(cost.seek_cylinders);
+    int run_distance =
+        static_cast<int>(std::lround(static_cast<double>(cost.seek_cylinders) / m));
+    if (run_distance >= k) {
+      run_distance = k - 1;
+    }
+    sample.pmf[static_cast<size_t>(run_distance)] += 1.0;
+  }
+  for (double& p : sample.pmf) {
+    p /= steps;
+  }
+  sample.mean_cylinders = total_cylinders / steps;
+  return sample;
+}
+
+TEST(SeekValidationTest, MeanSeekMatchesKwanBaer) {
+  for (int k : {10, 25, 50}) {
+    SeekSample sample = SampleSeeks(k, 1000, 200000, /*seed=*/k);
+    analysis::SeekDistribution dist(k);
+    double m = 1000.0 / 104.0;
+    double expect = m * dist.ExpectedMovesExact();
+    EXPECT_NEAR(sample.mean_cylinders, expect, expect * 0.02) << "k=" << k;
+  }
+}
+
+TEST(SeekValidationTest, RunDistancePmfMatchesWithinTotalVariation) {
+  const int k = 25;
+  SeekSample sample = SampleSeeks(k, 1000, 400000, /*seed=*/99);
+  analysis::SeekDistribution dist(k);
+  double tv = 0;
+  for (int i = 0; i < k; ++i) {
+    tv += std::fabs(sample.pmf[static_cast<size_t>(i)] - dist.Pmf(i));
+  }
+  tv /= 2;
+  EXPECT_LT(tv, 0.05);  // Quantization blurs bins by < a run; 5% TV bound.
+  // Spot-check the two structural features: the P(0) = 1/k atom and the
+  // linear decay tail.
+  EXPECT_NEAR(sample.pmf[0], 1.0 / k, 0.015);
+  EXPECT_GT(sample.pmf[2], sample.pmf[k - 2]);
+}
+
+TEST(SeekValidationTest, MultiDiskSeeksShrinkByDiskCount) {
+  // The multi-disk result behind eq. 3: per-disk seek distance scales with
+  // the runs on that disk (k/D), so doubling D halves the mean seek.
+  auto mean_for = [](int k, int d) {
+    disk::RunLayout layout(disk::RunLayout::Options{k, d, 1000, disk::Geometry{},
+                                                    disk::RunPlacement::kRoundRobin, {}});
+    disk::DiskParams params;
+    params.rotation = disk::RotationalLatencyModel::kFixedMean;
+    std::vector<disk::Mechanism> mechs(static_cast<size_t>(d),
+                                       disk::Mechanism(params));
+    Rng rng(7);
+    std::vector<int64_t> next(static_cast<size_t>(k), 0);
+    double total = 0;
+    const int steps = 100000;
+    for (int i = 0; i < steps; ++i) {
+      int run = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(k)));
+      int64_t offset = next[static_cast<size_t>(run)];
+      next[static_cast<size_t>(run)] = (offset + 1) % 1000;
+      auto& mech = mechs[static_cast<size_t>(layout.DiskOf(run))];
+      total += static_cast<double>(
+          mech.Access(layout.LocalBlock(run, offset), 1, rng).seek_cylinders);
+    }
+    return total / steps;
+  };
+  double d1 = mean_for(50, 1);
+  double d5 = mean_for(50, 5);
+  double d10 = mean_for(50, 10);
+  EXPECT_NEAR(d5, d1 / 5, d1 / 5 * 0.1);
+  EXPECT_NEAR(d10, d1 / 10, d1 / 10 * 0.1);
+}
+
+}  // namespace
+}  // namespace emsim

@@ -1,0 +1,63 @@
+#include "util/str.h"
+
+#include <gtest/gtest.h>
+
+namespace emsim {
+namespace {
+
+TEST(StrFormatTest, Basic) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f s=%s", 3, 1.5, "hi"), "x=3 y=1.50 s=hi");
+}
+
+TEST(StrFormatTest, Empty) { EXPECT_EQ(StrFormat("%s", ""), ""); }
+
+TEST(StrFormatTest, Long) {
+  std::string big(500, 'a');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 500u);
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StrSplitTest, SplitsKeepingEmpties) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StrSplitTest, NoSeparator) {
+  auto parts = StrSplit("plain", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "plain");
+}
+
+TEST(StrSplitTest, RoundTripsWithJoin) {
+  std::string s = "1,2,3,4";
+  EXPECT_EQ(StrJoin(StrSplit(s, ','), ","), s);
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("figure32", "fig"));
+  EXPECT_FALSE(StartsWith("fig", "figure"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(FormatSecondsTest, ConvertsMs) { EXPECT_EQ(FormatSeconds(294530.0), "294.53 s"); }
+
+TEST(PadTest, PadRightPadsAndTruncates) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadRight("abcdef", 4), "abcd");
+}
+
+TEST(PadTest, PadLeftNeverTruncates) {
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadLeft("abcdef", 4), "abcdef");
+}
+
+}  // namespace
+}  // namespace emsim

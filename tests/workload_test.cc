@@ -1,0 +1,128 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/depletion_generator.h"
+#include "workload/paper_configs.h"
+#include "workload/record_generator.h"
+
+namespace emsim::workload {
+namespace {
+
+TEST(RecordGeneratorTest, DeterministicForOptions) {
+  RecordGeneratorOptions opt;
+  opt.seed = 9;
+  RecordGenerator a(opt);
+  RecordGenerator b(opt);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextKey(), b.NextKey());
+  }
+}
+
+TEST(RecordGeneratorTest, UniformKeysMostlyDistinct) {
+  RecordGeneratorOptions opt;
+  auto keys = RecordGenerator(opt).Keys(10000);
+  std::set<uint64_t> distinct(keys.begin(), keys.end());
+  EXPECT_GT(distinct.size(), 9990u);
+}
+
+TEST(RecordGeneratorTest, ZipfKeysRepeatHotValues) {
+  RecordGeneratorOptions opt;
+  opt.distribution = KeyDistribution::kZipf;
+  opt.zipf_theta = 1.0;
+  opt.zipf_universe = 1000;
+  auto keys = RecordGenerator(opt).Keys(10000);
+  std::set<uint64_t> distinct(keys.begin(), keys.end());
+  EXPECT_LT(distinct.size(), 1000u);  // Heavy reuse of hot keys.
+}
+
+TEST(RecordGeneratorTest, NearlySortedIsNearlySorted) {
+  RecordGeneratorOptions opt;
+  opt.distribution = KeyDistribution::kNearlySorted;
+  opt.nearly_sorted_window = 8;
+  auto keys = RecordGenerator(opt).Keys(5000);
+  size_t inversions = 0;
+  for (size_t i = 1; i < keys.size(); ++i) {
+    inversions += keys[i] < keys[i - 1];
+  }
+  EXPECT_LT(inversions, keys.size() / 2);
+  EXPECT_GT(inversions, 0u);  // But not exactly sorted.
+}
+
+TEST(RecordGeneratorTest, ReverseSortedDescends) {
+  RecordGeneratorOptions opt;
+  opt.distribution = KeyDistribution::kReverseSorted;
+  auto keys = RecordGenerator(opt).Keys(100);
+  EXPECT_TRUE(std::is_sorted(keys.rbegin(), keys.rend()));
+}
+
+TEST(DepletionTraceTest, UniformTraceIsValid) {
+  auto trace = UniformDepletionTrace(7, 31, /*seed=*/5);
+  EXPECT_TRUE(IsValidDepletionTrace(trace, 7, 31));
+  // Different seeds give different orders.
+  auto other = UniformDepletionTrace(7, 31, /*seed=*/6);
+  EXPECT_NE(trace, other);
+  EXPECT_TRUE(IsValidDepletionTrace(other, 7, 31));
+}
+
+TEST(DepletionTraceTest, RoundRobinShape) {
+  auto trace = RoundRobinDepletionTrace(3, 2);
+  std::vector<int> expect = {0, 1, 2, 0, 1, 2};
+  EXPECT_EQ(trace, expect);
+  EXPECT_TRUE(IsValidDepletionTrace(trace, 3, 2));
+}
+
+TEST(DepletionTraceTest, SequentialShape) {
+  auto trace = SequentialDepletionTrace(2, 3);
+  std::vector<int> expect = {0, 0, 0, 1, 1, 1};
+  EXPECT_EQ(trace, expect);
+  EXPECT_TRUE(IsValidDepletionTrace(trace, 2, 3));
+}
+
+TEST(DepletionTraceTest, ValidatorCatchesCorruption) {
+  auto trace = RoundRobinDepletionTrace(3, 2);
+  EXPECT_FALSE(IsValidDepletionTrace(trace, 3, 3));   // Wrong length.
+  trace[0] = 1;                                       // Unbalanced counts.
+  EXPECT_FALSE(IsValidDepletionTrace(trace, 3, 2));
+  trace[0] = 5;                                       // Out of range.
+  EXPECT_FALSE(IsValidDepletionTrace(trace, 3, 2));
+}
+
+TEST(PaperConfigsTest, DepthSweepMatchesFigureAxis) {
+  auto sweep = Fig32DepthSweep();
+  EXPECT_EQ(sweep.front(), 1);
+  EXPECT_EQ(sweep.back(), 30);
+  EXPECT_TRUE(std::is_sorted(sweep.begin(), sweep.end()));
+}
+
+TEST(PaperConfigsTest, CacheSweepsMatchPaperRanges) {
+  EXPECT_EQ(CacheSweep(25, 5).back(), 1200);
+  EXPECT_EQ(CacheSweep(50, 5).back(), 1600);
+  EXPECT_EQ(CacheSweep(50, 10).back(), 3500);
+  for (int64_t c : CacheSweep(25, 5)) {
+    EXPECT_GE(c, 25);  // Never below one block per run.
+  }
+}
+
+TEST(PaperConfigsTest, CpuSweepCoversFigure33) {
+  auto sweep = Fig33CpuSweep();
+  EXPECT_DOUBLE_EQ(sweep.front(), 0.0);
+  EXPECT_DOUBLE_EQ(sweep.back(), 0.7);
+}
+
+TEST(PaperConfigsTest, Fig33CurvesAreTheFourStrategies) {
+  auto curves = Fig33Curves();
+  ASSERT_EQ(curves.size(), 4u);
+  for (const auto& c : curves) {
+    EXPECT_EQ(c.config.num_runs, 25);
+    EXPECT_EQ(c.config.num_disks, 5);
+    EXPECT_EQ(c.config.prefetch_depth, 10);
+    EXPECT_TRUE(c.config.Validate().ok());
+  }
+  EXPECT_EQ(curves[0].config.strategy, core::Strategy::kAllDisksOneRun);
+  EXPECT_EQ(curves[2].config.strategy, core::Strategy::kDemandRunOnly);
+}
+
+}  // namespace
+}  // namespace emsim::workload

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/experiment.h"
+#include "core/merge_simulator.h"
+
+namespace emsim::core {
+namespace {
+
+MergeConfig Base() {
+  MergeConfig cfg = MergeConfig::Paper(10, 5, 10, Strategy::kAllDisksOneRun,
+                                       SyncMode::kUnsynchronized);
+  cfg.blocks_per_run = 300;
+  cfg.check_invariants = true;
+  return cfg;
+}
+
+TEST(WriteTrafficTest, ValidationRejectsBadParameters) {
+  MergeConfig cfg = Base();
+  cfg.write_traffic = WriteTraffic::kSeparateDisks;
+  cfg.num_write_disks = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = Base();
+  cfg.write_traffic = WriteTraffic::kSharedDisks;
+  cfg.write_batch_blocks = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = Base();
+  cfg.write_traffic = WriteTraffic::kSeparateDisks;
+  cfg.write_buffer_blocks = 5;
+  cfg.write_batch_blocks = 10;  // Buffer smaller than one batch.
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(WriteTrafficTest, EveryMergedBlockIsWritten) {
+  MergeConfig cfg = Base();
+  cfg.write_traffic = WriteTraffic::kSeparateDisks;
+  cfg.num_write_disks = 2;
+  auto result = SimulateMerge(cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->write_blocks, static_cast<uint64_t>(cfg.TotalBlocks()));
+  EXPECT_GT(result->write_requests, 0u);
+  // Batched: far fewer requests than blocks.
+  EXPECT_LE(result->write_requests, result->write_blocks / 5);
+}
+
+TEST(WriteTrafficTest, SeparateDisksValidatePaperAssumption) {
+  // With a dedicated write set of matching bandwidth (the inter-run merge
+  // reads ~T/D per block, so D write arms with generous batching keep up),
+  // total time is within a few percent of the paper's no-write model —
+  // exactly why the paper could ignore the traffic.
+  MergeConfig cfg = Base();
+  auto none = RunTrials(cfg, 3);
+  cfg.write_traffic = WriteTraffic::kSeparateDisks;
+  cfg.num_write_disks = cfg.num_disks;
+  cfg.write_batch_blocks = 25;
+  cfg.write_buffer_blocks = 400;
+  auto separate = RunTrials(cfg, 3);
+  EXPECT_NEAR(separate.MeanTotalSeconds(), none.MeanTotalSeconds(),
+              none.MeanTotalSeconds() * 0.10);
+}
+
+TEST(WriteTrafficTest, SharedDisksContendSignificantly) {
+  MergeConfig cfg = Base();
+  auto none = RunTrials(cfg, 3);
+  cfg.write_traffic = WriteTraffic::kSharedDisks;
+  auto shared = RunTrials(cfg, 3);
+  EXPECT_GT(shared.MeanTotalSeconds(), none.MeanTotalSeconds() * 1.3);
+}
+
+TEST(WriteTrafficTest, OneSlowWriteDiskBottlenecks) {
+  // 5 input disks streaming into a single write disk: the writer becomes
+  // the bottleneck (write bandwidth T per block on one arm vs T/5 read).
+  MergeConfig cfg = Base();
+  cfg.write_traffic = WriteTraffic::kSeparateDisks;
+  cfg.num_write_disks = 1;
+  cfg.write_buffer_blocks = 50;
+  auto one = RunTrials(cfg, 3);
+  cfg.num_write_disks = 3;
+  auto three = RunTrials(cfg, 3);
+  EXPECT_GT(one.MeanTotalSeconds(), three.MeanTotalSeconds());
+  EXPECT_GT(one.trials.front().write_stalls, 0u);
+}
+
+TEST(WriteTrafficTest, BackpressureStallsAreBounded) {
+  MergeConfig cfg = Base();
+  cfg.write_traffic = WriteTraffic::kSeparateDisks;
+  cfg.num_write_disks = 1;
+  cfg.write_batch_blocks = 5;
+  cfg.write_buffer_blocks = 10;
+  auto result = SimulateMerge(cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->write_blocks, static_cast<uint64_t>(cfg.TotalBlocks()));
+  EXPECT_GT(result->write_stalls, 0u);
+}
+
+TEST(WriteTrafficTest, DrainTimeReported) {
+  MergeConfig cfg = Base();
+  cfg.write_traffic = WriteTraffic::kSeparateDisks;
+  auto result = SimulateMerge(cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->write_drain_ms, 0.0);
+  EXPECT_LT(result->write_drain_ms, 1000.0);  // One tail batch, not a re-run.
+}
+
+TEST(WriteTrafficTest, NoWritesMeansNoWriteStats) {
+  auto result = SimulateMerge(Base());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->write_blocks, 0u);
+  EXPECT_EQ(result->write_requests, 0u);
+  EXPECT_EQ(result->write_stalls, 0u);
+  EXPECT_EQ(result->write_drain_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace emsim::core

@@ -1,0 +1,153 @@
+// emsim_cli — run merge-phase simulations from the command line or from an
+// experiment spec file, emitting a table or CSV.
+//
+//   # single configuration from flags
+//   $ emsim_cli --runs 25 --disks 5 --n 10 --strategy all-disks-one-run
+//
+//   # batch of experiments from a spec file (see workload/experiment_spec.h)
+//   $ emsim_cli --spec experiments.ini --format csv
+
+#include <cstdio>
+#include <string>
+
+#include "core/config.h"
+#include "core/experiment.h"
+#include "stats/table.h"
+#include "util/flags.h"
+#include "util/str.h"
+#include "workload/experiment_spec.h"
+
+using namespace emsim;
+
+namespace {
+
+void AddResultRow(stats::Table& table, const std::string& name,
+                  const core::MergeConfig& cfg, const core::ExperimentResult& result) {
+  auto ci = result.TotalSecondsCi();
+  const core::MergeResult& first = result.trials.front();
+  table.AddRow({name, core::StrategyName(cfg.strategy),
+                StrFormat("%d", cfg.prefetch_depth), core::SyncModeName(cfg.sync),
+                StrFormat("%lld", static_cast<long long>(cfg.EffectiveCacheBlocks())),
+                StrFormat("%.2f", ci.mean), StrFormat("%.2f", ci.half_width),
+                stats::Table::Cell(result.MeanSuccessRatio(), 3),
+                stats::Table::Cell(result.MeanConcurrency(), 2),
+                stats::Table::Cell(first.stall_ms.Mean(), 2),
+                StrFormat("%llu", static_cast<unsigned long long>(first.stall_ms.count()))});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("emsim_cli");
+  int runs = 25;
+  int disks = 5;
+  int64_t blocks = 1000;
+  int n = 10;
+  int64_t cache = core::MergeConfig::kAutoCache;
+  double cpu_ms = 0.0;
+  double zipf_theta = 0.0;
+  int trials = 5;
+  int64_t seed = 1;
+  std::string strategy = "all-disks-one-run";
+  std::string sync = "unsync";
+  std::string admission = "conservative";
+  std::string victim = "random";
+  std::string depletion = "uniform";
+  std::string write_traffic = "none";
+  std::string spec_path;
+  std::string format = "table";
+  bool help = false;
+  bool print_spec = false;
+
+  flags.AddInt("runs", &runs, "number of sorted runs (k)");
+  flags.AddInt("disks", &disks, "number of input disks (D)");
+  flags.AddInt64("blocks", &blocks, "blocks per run");
+  flags.AddInt("n", &n, "prefetch depth (N)");
+  flags.AddInt64("cache", &cache, "cache size in blocks (-1 = auto)");
+  flags.AddDouble("cpu_ms", &cpu_ms, "CPU time to merge one block (ms)");
+  flags.AddDouble("zipf_theta", &zipf_theta, "depletion skew for --depletion zipf");
+  flags.AddInt("trials", &trials, "trials to average");
+  flags.AddInt64("seed", &seed, "base RNG seed");
+  flags.AddString("strategy", &strategy, "demand-run-only | all-disks-one-run");
+  flags.AddString("sync", &sync, "sync | unsync");
+  flags.AddString("admission", &admission, "conservative | greedy");
+  flags.AddString("victim", &victim,
+                  "random | round-robin | fewest-buffered | nearest-head");
+  flags.AddString("depletion", &depletion, "uniform | zipf");
+  flags.AddString("write_traffic", &write_traffic, "none | separate | shared");
+  flags.AddString("spec", &spec_path, "experiment spec file (overrides other flags)");
+  flags.AddString("format", &format, "table | csv");
+  flags.AddBool("print_spec", &print_spec, "echo each experiment as spec syntax");
+  flags.AddBool("help", &help, "show usage");
+
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(), flags.Usage().c_str());
+    return 2;
+  }
+  if (help) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  std::vector<workload::ExperimentSpec> specs;
+  if (!spec_path.empty()) {
+    auto loaded = workload::LoadExperimentSpec(spec_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    specs = *std::move(loaded);
+  } else {
+    workload::ExperimentSpec spec;
+    spec.name = "cli";
+    spec.trials = trials;
+    core::MergeConfig& cfg = spec.config;
+    cfg.num_runs = runs;
+    cfg.num_disks = disks;
+    cfg.blocks_per_run = blocks;
+    cfg.prefetch_depth = n;
+    cfg.cache_blocks = cache;
+    cfg.cpu_ms_per_block = cpu_ms;
+    cfg.zipf_theta = zipf_theta;
+    cfg.seed = static_cast<uint64_t>(seed);
+    auto parsed_strategy = core::ParseStrategy(strategy);
+    auto parsed_sync = core::ParseSyncMode(sync);
+    auto parsed_admission = core::ParseAdmissionPolicy(admission);
+    auto parsed_victim = core::ParseVictimPolicy(victim);
+    auto parsed_depletion = core::ParseDepletionKind(depletion);
+    auto parsed_write = core::ParseWriteTraffic(write_traffic);
+    for (const Status& s :
+         {parsed_strategy.status(), parsed_sync.status(), parsed_admission.status(),
+          parsed_victim.status(), parsed_depletion.status(), parsed_write.status()}) {
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 2;
+      }
+    }
+    cfg.strategy = *parsed_strategy;
+    cfg.sync = *parsed_sync;
+    cfg.admission = *parsed_admission;
+    cfg.victim = *parsed_victim;
+    cfg.depletion = *parsed_depletion;
+    cfg.write_traffic = *parsed_write;
+    Status valid = cfg.Validate();
+    if (!valid.ok()) {
+      std::fprintf(stderr, "invalid configuration: %s\n", valid.ToString().c_str());
+      return 2;
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  stats::Table table({"experiment", "strategy", "N", "sync", "cache", "time_s",
+                      "ci95_s", "success", "concurrency", "stall_ms", "stalls"});
+  for (const auto& spec : specs) {
+    if (print_spec) {
+      std::printf("%s\n", workload::ToSpec(spec).c_str());
+    }
+    auto result = core::RunTrials(spec.config, spec.trials);
+    AddResultRow(table, spec.name, spec.config, result);
+  }
+  std::printf("%s", format == "csv" ? table.ToCsv().c_str() : table.ToString().c_str());
+  return 0;
+}
