@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_run_choice.dir/bench_ablation_run_choice.cc.o"
+  "CMakeFiles/bench_ablation_run_choice.dir/bench_ablation_run_choice.cc.o.d"
+  "bench_ablation_run_choice"
+  "bench_ablation_run_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_run_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_write_traffic.dir/bench_ablation_write_traffic.cc.o"
+  "CMakeFiles/bench_ablation_write_traffic.dir/bench_ablation_write_traffic.cc.o.d"
+  "bench_ablation_write_traffic"
+  "bench_ablation_write_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_write_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extsort.dir/bench_extsort.cc.o"
+  "CMakeFiles/bench_extsort.dir/bench_extsort.cc.o.d"
+  "bench_extsort"
+  "bench_extsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

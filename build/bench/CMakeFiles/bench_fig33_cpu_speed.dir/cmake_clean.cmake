@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig33_cpu_speed.dir/bench_fig33_cpu_speed.cc.o"
+  "CMakeFiles/bench_fig33_cpu_speed.dir/bench_fig33_cpu_speed.cc.o.d"
+  "bench_fig33_cpu_speed"
+  "bench_fig33_cpu_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig33_cpu_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_kernel_micro.cc" "bench/CMakeFiles/bench_kernel_micro.dir/bench_kernel_micro.cc.o" "gcc" "bench/CMakeFiles/bench_kernel_micro.dir/bench_kernel_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extsort/CMakeFiles/emsim_extsort.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/emsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/emsim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/emsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/emsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/emsim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/emsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_markov_policy.dir/bench_markov_policy.cc.o"
+  "CMakeFiles/bench_markov_policy.dir/bench_markov_policy.cc.o.d"
+  "bench_markov_policy"
+  "bench_markov_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_markov_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

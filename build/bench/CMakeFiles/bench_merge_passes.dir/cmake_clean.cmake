@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_merge_passes.dir/bench_merge_passes.cc.o"
+  "CMakeFiles/bench_merge_passes.dir/bench_merge_passes.cc.o.d"
+  "bench_merge_passes"
+  "bench_merge_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merge_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

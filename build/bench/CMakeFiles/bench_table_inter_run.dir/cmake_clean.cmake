@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_inter_run.dir/bench_table_inter_run.cc.o"
+  "CMakeFiles/bench_table_inter_run.dir/bench_table_inter_run.cc.o.d"
+  "bench_table_inter_run"
+  "bench_table_inter_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_inter_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

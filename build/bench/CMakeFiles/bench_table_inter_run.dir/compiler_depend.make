@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table_inter_run.
+# This may be replaced when dependencies are built.

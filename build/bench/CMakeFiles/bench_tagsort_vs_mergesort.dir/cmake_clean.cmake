@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tagsort_vs_mergesort.dir/bench_tagsort_vs_mergesort.cc.o"
+  "CMakeFiles/bench_tagsort_vs_mergesort.dir/bench_tagsort_vs_mergesort.cc.o.d"
+  "bench_tagsort_vs_mergesort"
+  "bench_tagsort_vs_mergesort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tagsort_vs_mergesort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

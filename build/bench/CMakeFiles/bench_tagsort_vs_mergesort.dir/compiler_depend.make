@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tagsort_vs_mergesort.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tagsort_vs_mergesort.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_urn_concurrency.dir/bench_urn_concurrency.cc.o"
+  "CMakeFiles/bench_urn_concurrency.dir/bench_urn_concurrency.cc.o.d"
+  "bench_urn_concurrency"
+  "bench_urn_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_urn_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/equations.cc" "src/analysis/CMakeFiles/emsim_analysis.dir/equations.cc.o" "gcc" "src/analysis/CMakeFiles/emsim_analysis.dir/equations.cc.o.d"
+  "/root/repo/src/analysis/markov.cc" "src/analysis/CMakeFiles/emsim_analysis.dir/markov.cc.o" "gcc" "src/analysis/CMakeFiles/emsim_analysis.dir/markov.cc.o.d"
+  "/root/repo/src/analysis/model_params.cc" "src/analysis/CMakeFiles/emsim_analysis.dir/model_params.cc.o" "gcc" "src/analysis/CMakeFiles/emsim_analysis.dir/model_params.cc.o.d"
+  "/root/repo/src/analysis/predictor.cc" "src/analysis/CMakeFiles/emsim_analysis.dir/predictor.cc.o" "gcc" "src/analysis/CMakeFiles/emsim_analysis.dir/predictor.cc.o.d"
+  "/root/repo/src/analysis/seek_distribution.cc" "src/analysis/CMakeFiles/emsim_analysis.dir/seek_distribution.cc.o" "gcc" "src/analysis/CMakeFiles/emsim_analysis.dir/seek_distribution.cc.o.d"
+  "/root/repo/src/analysis/urn_game.cc" "src/analysis/CMakeFiles/emsim_analysis.dir/urn_game.cc.o" "gcc" "src/analysis/CMakeFiles/emsim_analysis.dir/urn_game.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/emsim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/emsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsim_analysis.dir/equations.cc.o"
+  "CMakeFiles/emsim_analysis.dir/equations.cc.o.d"
+  "CMakeFiles/emsim_analysis.dir/markov.cc.o"
+  "CMakeFiles/emsim_analysis.dir/markov.cc.o.d"
+  "CMakeFiles/emsim_analysis.dir/model_params.cc.o"
+  "CMakeFiles/emsim_analysis.dir/model_params.cc.o.d"
+  "CMakeFiles/emsim_analysis.dir/predictor.cc.o"
+  "CMakeFiles/emsim_analysis.dir/predictor.cc.o.d"
+  "CMakeFiles/emsim_analysis.dir/seek_distribution.cc.o"
+  "CMakeFiles/emsim_analysis.dir/seek_distribution.cc.o.d"
+  "CMakeFiles/emsim_analysis.dir/urn_game.cc.o"
+  "CMakeFiles/emsim_analysis.dir/urn_game.cc.o.d"
+  "libemsim_analysis.a"
+  "libemsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

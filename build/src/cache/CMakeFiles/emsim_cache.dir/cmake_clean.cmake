@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsim_cache.dir/block_cache.cc.o"
+  "CMakeFiles/emsim_cache.dir/block_cache.cc.o.d"
+  "libemsim_cache.a"
+  "libemsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsim_core.dir/config.cc.o"
+  "CMakeFiles/emsim_core.dir/config.cc.o.d"
+  "CMakeFiles/emsim_core.dir/depletion.cc.o"
+  "CMakeFiles/emsim_core.dir/depletion.cc.o.d"
+  "CMakeFiles/emsim_core.dir/experiment.cc.o"
+  "CMakeFiles/emsim_core.dir/experiment.cc.o.d"
+  "CMakeFiles/emsim_core.dir/merge_simulator.cc.o"
+  "CMakeFiles/emsim_core.dir/merge_simulator.cc.o.d"
+  "CMakeFiles/emsim_core.dir/result.cc.o"
+  "CMakeFiles/emsim_core.dir/result.cc.o.d"
+  "libemsim_core.a"
+  "libemsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/array.cc" "src/disk/CMakeFiles/emsim_disk.dir/array.cc.o" "gcc" "src/disk/CMakeFiles/emsim_disk.dir/array.cc.o.d"
+  "/root/repo/src/disk/disk.cc" "src/disk/CMakeFiles/emsim_disk.dir/disk.cc.o" "gcc" "src/disk/CMakeFiles/emsim_disk.dir/disk.cc.o.d"
+  "/root/repo/src/disk/disk_params.cc" "src/disk/CMakeFiles/emsim_disk.dir/disk_params.cc.o" "gcc" "src/disk/CMakeFiles/emsim_disk.dir/disk_params.cc.o.d"
+  "/root/repo/src/disk/geometry.cc" "src/disk/CMakeFiles/emsim_disk.dir/geometry.cc.o" "gcc" "src/disk/CMakeFiles/emsim_disk.dir/geometry.cc.o.d"
+  "/root/repo/src/disk/layout.cc" "src/disk/CMakeFiles/emsim_disk.dir/layout.cc.o" "gcc" "src/disk/CMakeFiles/emsim_disk.dir/layout.cc.o.d"
+  "/root/repo/src/disk/mechanism.cc" "src/disk/CMakeFiles/emsim_disk.dir/mechanism.cc.o" "gcc" "src/disk/CMakeFiles/emsim_disk.dir/mechanism.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/emsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/emsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsim_disk.dir/array.cc.o"
+  "CMakeFiles/emsim_disk.dir/array.cc.o.d"
+  "CMakeFiles/emsim_disk.dir/disk.cc.o"
+  "CMakeFiles/emsim_disk.dir/disk.cc.o.d"
+  "CMakeFiles/emsim_disk.dir/disk_params.cc.o"
+  "CMakeFiles/emsim_disk.dir/disk_params.cc.o.d"
+  "CMakeFiles/emsim_disk.dir/geometry.cc.o"
+  "CMakeFiles/emsim_disk.dir/geometry.cc.o.d"
+  "CMakeFiles/emsim_disk.dir/layout.cc.o"
+  "CMakeFiles/emsim_disk.dir/layout.cc.o.d"
+  "CMakeFiles/emsim_disk.dir/mechanism.cc.o"
+  "CMakeFiles/emsim_disk.dir/mechanism.cc.o.d"
+  "libemsim_disk.a"
+  "libemsim_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsim_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

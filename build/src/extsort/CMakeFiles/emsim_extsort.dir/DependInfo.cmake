@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extsort/block_device.cc" "src/extsort/CMakeFiles/emsim_extsort.dir/block_device.cc.o" "gcc" "src/extsort/CMakeFiles/emsim_extsort.dir/block_device.cc.o.d"
+  "/root/repo/src/extsort/external_sort.cc" "src/extsort/CMakeFiles/emsim_extsort.dir/external_sort.cc.o" "gcc" "src/extsort/CMakeFiles/emsim_extsort.dir/external_sort.cc.o.d"
+  "/root/repo/src/extsort/merge_plan.cc" "src/extsort/CMakeFiles/emsim_extsort.dir/merge_plan.cc.o" "gcc" "src/extsort/CMakeFiles/emsim_extsort.dir/merge_plan.cc.o.d"
+  "/root/repo/src/extsort/merger.cc" "src/extsort/CMakeFiles/emsim_extsort.dir/merger.cc.o" "gcc" "src/extsort/CMakeFiles/emsim_extsort.dir/merger.cc.o.d"
+  "/root/repo/src/extsort/packed_sort.cc" "src/extsort/CMakeFiles/emsim_extsort.dir/packed_sort.cc.o" "gcc" "src/extsort/CMakeFiles/emsim_extsort.dir/packed_sort.cc.o.d"
+  "/root/repo/src/extsort/record.cc" "src/extsort/CMakeFiles/emsim_extsort.dir/record.cc.o" "gcc" "src/extsort/CMakeFiles/emsim_extsort.dir/record.cc.o.d"
+  "/root/repo/src/extsort/run_formation.cc" "src/extsort/CMakeFiles/emsim_extsort.dir/run_formation.cc.o" "gcc" "src/extsort/CMakeFiles/emsim_extsort.dir/run_formation.cc.o.d"
+  "/root/repo/src/extsort/run_io.cc" "src/extsort/CMakeFiles/emsim_extsort.dir/run_io.cc.o" "gcc" "src/extsort/CMakeFiles/emsim_extsort.dir/run_io.cc.o.d"
+  "/root/repo/src/extsort/tag_sort.cc" "src/extsort/CMakeFiles/emsim_extsort.dir/tag_sort.cc.o" "gcc" "src/extsort/CMakeFiles/emsim_extsort.dir/tag_sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/emsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/emsim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/emsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/emsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/emsim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/emsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsim_extsort.dir/block_device.cc.o"
+  "CMakeFiles/emsim_extsort.dir/block_device.cc.o.d"
+  "CMakeFiles/emsim_extsort.dir/external_sort.cc.o"
+  "CMakeFiles/emsim_extsort.dir/external_sort.cc.o.d"
+  "CMakeFiles/emsim_extsort.dir/merge_plan.cc.o"
+  "CMakeFiles/emsim_extsort.dir/merge_plan.cc.o.d"
+  "CMakeFiles/emsim_extsort.dir/merger.cc.o"
+  "CMakeFiles/emsim_extsort.dir/merger.cc.o.d"
+  "CMakeFiles/emsim_extsort.dir/packed_sort.cc.o"
+  "CMakeFiles/emsim_extsort.dir/packed_sort.cc.o.d"
+  "CMakeFiles/emsim_extsort.dir/record.cc.o"
+  "CMakeFiles/emsim_extsort.dir/record.cc.o.d"
+  "CMakeFiles/emsim_extsort.dir/run_formation.cc.o"
+  "CMakeFiles/emsim_extsort.dir/run_formation.cc.o.d"
+  "CMakeFiles/emsim_extsort.dir/run_io.cc.o"
+  "CMakeFiles/emsim_extsort.dir/run_io.cc.o.d"
+  "CMakeFiles/emsim_extsort.dir/tag_sort.cc.o"
+  "CMakeFiles/emsim_extsort.dir/tag_sort.cc.o.d"
+  "libemsim_extsort.a"
+  "libemsim_extsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsim_extsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

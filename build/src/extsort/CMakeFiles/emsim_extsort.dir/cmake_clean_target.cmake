@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemsim_extsort.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/planner.cc" "src/io/CMakeFiles/emsim_io.dir/planner.cc.o" "gcc" "src/io/CMakeFiles/emsim_io.dir/planner.cc.o.d"
+  "/root/repo/src/io/run_state.cc" "src/io/CMakeFiles/emsim_io.dir/run_state.cc.o" "gcc" "src/io/CMakeFiles/emsim_io.dir/run_state.cc.o.d"
+  "/root/repo/src/io/victim_chooser.cc" "src/io/CMakeFiles/emsim_io.dir/victim_chooser.cc.o" "gcc" "src/io/CMakeFiles/emsim_io.dir/victim_chooser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/emsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/emsim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/emsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

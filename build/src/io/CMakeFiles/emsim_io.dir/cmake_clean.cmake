@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsim_io.dir/planner.cc.o"
+  "CMakeFiles/emsim_io.dir/planner.cc.o.d"
+  "CMakeFiles/emsim_io.dir/run_state.cc.o"
+  "CMakeFiles/emsim_io.dir/run_state.cc.o.d"
+  "CMakeFiles/emsim_io.dir/victim_chooser.cc.o"
+  "CMakeFiles/emsim_io.dir/victim_chooser.cc.o.d"
+  "libemsim_io.a"
+  "libemsim_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsim_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event.cc" "src/sim/CMakeFiles/emsim_sim.dir/event.cc.o" "gcc" "src/sim/CMakeFiles/emsim_sim.dir/event.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "src/sim/CMakeFiles/emsim_sim.dir/resource.cc.o" "gcc" "src/sim/CMakeFiles/emsim_sim.dir/resource.cc.o.d"
+  "/root/repo/src/sim/semaphore.cc" "src/sim/CMakeFiles/emsim_sim.dir/semaphore.cc.o" "gcc" "src/sim/CMakeFiles/emsim_sim.dir/semaphore.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/sim/CMakeFiles/emsim_sim.dir/simulation.cc.o" "gcc" "src/sim/CMakeFiles/emsim_sim.dir/simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/emsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsim_sim.dir/event.cc.o"
+  "CMakeFiles/emsim_sim.dir/event.cc.o.d"
+  "CMakeFiles/emsim_sim.dir/resource.cc.o"
+  "CMakeFiles/emsim_sim.dir/resource.cc.o.d"
+  "CMakeFiles/emsim_sim.dir/semaphore.cc.o"
+  "CMakeFiles/emsim_sim.dir/semaphore.cc.o.d"
+  "CMakeFiles/emsim_sim.dir/simulation.cc.o"
+  "CMakeFiles/emsim_sim.dir/simulation.cc.o.d"
+  "libemsim_sim.a"
+  "libemsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

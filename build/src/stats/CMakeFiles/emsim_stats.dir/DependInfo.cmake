@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/accumulator.cc" "src/stats/CMakeFiles/emsim_stats.dir/accumulator.cc.o" "gcc" "src/stats/CMakeFiles/emsim_stats.dir/accumulator.cc.o.d"
+  "/root/repo/src/stats/ascii_chart.cc" "src/stats/CMakeFiles/emsim_stats.dir/ascii_chart.cc.o" "gcc" "src/stats/CMakeFiles/emsim_stats.dir/ascii_chart.cc.o.d"
+  "/root/repo/src/stats/confidence.cc" "src/stats/CMakeFiles/emsim_stats.dir/confidence.cc.o" "gcc" "src/stats/CMakeFiles/emsim_stats.dir/confidence.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/emsim_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/emsim_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/series.cc" "src/stats/CMakeFiles/emsim_stats.dir/series.cc.o" "gcc" "src/stats/CMakeFiles/emsim_stats.dir/series.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/stats/CMakeFiles/emsim_stats.dir/table.cc.o" "gcc" "src/stats/CMakeFiles/emsim_stats.dir/table.cc.o.d"
+  "/root/repo/src/stats/time_weighted.cc" "src/stats/CMakeFiles/emsim_stats.dir/time_weighted.cc.o" "gcc" "src/stats/CMakeFiles/emsim_stats.dir/time_weighted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsim_stats.dir/accumulator.cc.o"
+  "CMakeFiles/emsim_stats.dir/accumulator.cc.o.d"
+  "CMakeFiles/emsim_stats.dir/ascii_chart.cc.o"
+  "CMakeFiles/emsim_stats.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/emsim_stats.dir/confidence.cc.o"
+  "CMakeFiles/emsim_stats.dir/confidence.cc.o.d"
+  "CMakeFiles/emsim_stats.dir/histogram.cc.o"
+  "CMakeFiles/emsim_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/emsim_stats.dir/series.cc.o"
+  "CMakeFiles/emsim_stats.dir/series.cc.o.d"
+  "CMakeFiles/emsim_stats.dir/table.cc.o"
+  "CMakeFiles/emsim_stats.dir/table.cc.o.d"
+  "CMakeFiles/emsim_stats.dir/time_weighted.cc.o"
+  "CMakeFiles/emsim_stats.dir/time_weighted.cc.o.d"
+  "libemsim_stats.a"
+  "libemsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsim_util.dir/flags.cc.o"
+  "CMakeFiles/emsim_util.dir/flags.cc.o.d"
+  "CMakeFiles/emsim_util.dir/logging.cc.o"
+  "CMakeFiles/emsim_util.dir/logging.cc.o.d"
+  "CMakeFiles/emsim_util.dir/rng.cc.o"
+  "CMakeFiles/emsim_util.dir/rng.cc.o.d"
+  "CMakeFiles/emsim_util.dir/status.cc.o"
+  "CMakeFiles/emsim_util.dir/status.cc.o.d"
+  "CMakeFiles/emsim_util.dir/str.cc.o"
+  "CMakeFiles/emsim_util.dir/str.cc.o.d"
+  "libemsim_util.a"
+  "libemsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsim_workload.dir/depletion_generator.cc.o"
+  "CMakeFiles/emsim_workload.dir/depletion_generator.cc.o.d"
+  "CMakeFiles/emsim_workload.dir/experiment_spec.cc.o"
+  "CMakeFiles/emsim_workload.dir/experiment_spec.cc.o.d"
+  "CMakeFiles/emsim_workload.dir/paper_configs.cc.o"
+  "CMakeFiles/emsim_workload.dir/paper_configs.cc.o.d"
+  "CMakeFiles/emsim_workload.dir/record_generator.cc.o"
+  "CMakeFiles/emsim_workload.dir/record_generator.cc.o.d"
+  "libemsim_workload.a"
+  "libemsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

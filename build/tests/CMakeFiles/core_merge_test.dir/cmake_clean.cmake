@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_merge_test.dir/core_merge_test.cc.o"
+  "CMakeFiles/core_merge_test.dir/core_merge_test.cc.o.d"
+  "core_merge_test"
+  "core_merge_test.pdb"
+  "core_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

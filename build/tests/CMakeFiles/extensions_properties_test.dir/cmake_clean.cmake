@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions_properties_test.dir/extensions_properties_test.cc.o"
+  "CMakeFiles/extensions_properties_test.dir/extensions_properties_test.cc.o.d"
+  "extensions_properties_test"
+  "extensions_properties_test.pdb"
+  "extensions_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extsort_device_test.dir/extsort_device_test.cc.o"
+  "CMakeFiles/extsort_device_test.dir/extsort_device_test.cc.o.d"
+  "extsort_device_test"
+  "extsort_device_test.pdb"
+  "extsort_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extsort_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

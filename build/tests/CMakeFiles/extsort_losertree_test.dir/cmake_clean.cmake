@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extsort_losertree_test.dir/extsort_losertree_test.cc.o"
+  "CMakeFiles/extsort_losertree_test.dir/extsort_losertree_test.cc.o.d"
+  "extsort_losertree_test"
+  "extsort_losertree_test.pdb"
+  "extsort_losertree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extsort_losertree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extsort_plan_test.dir/extsort_plan_test.cc.o"
+  "CMakeFiles/extsort_plan_test.dir/extsort_plan_test.cc.o.d"
+  "extsort_plan_test"
+  "extsort_plan_test.pdb"
+  "extsort_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extsort_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

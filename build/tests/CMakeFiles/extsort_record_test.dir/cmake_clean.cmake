@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extsort_record_test.dir/extsort_record_test.cc.o"
+  "CMakeFiles/extsort_record_test.dir/extsort_record_test.cc.o.d"
+  "extsort_record_test"
+  "extsort_record_test.pdb"
+  "extsort_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extsort_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extsort_runio_test.dir/extsort_runio_test.cc.o"
+  "CMakeFiles/extsort_runio_test.dir/extsort_runio_test.cc.o.d"
+  "extsort_runio_test"
+  "extsort_runio_test.pdb"
+  "extsort_runio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extsort_runio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extsort_sort_test.dir/extsort_sort_test.cc.o"
+  "CMakeFiles/extsort_sort_test.dir/extsort_sort_test.cc.o.d"
+  "extsort_sort_test"
+  "extsort_sort_test.pdb"
+  "extsort_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extsort_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

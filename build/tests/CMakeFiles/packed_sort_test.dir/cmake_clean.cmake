@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_sort_test.dir/packed_sort_test.cc.o"
+  "CMakeFiles/packed_sort_test.dir/packed_sort_test.cc.o.d"
+  "packed_sort_test"
+  "packed_sort_test.pdb"
+  "packed_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

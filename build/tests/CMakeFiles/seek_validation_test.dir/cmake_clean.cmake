@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seek_validation_test.dir/seek_validation_test.cc.o"
+  "CMakeFiles/seek_validation_test.dir/seek_validation_test.cc.o.d"
+  "seek_validation_test"
+  "seek_validation_test.pdb"
+  "seek_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seek_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

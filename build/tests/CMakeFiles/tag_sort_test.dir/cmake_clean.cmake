@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_sort_test.dir/tag_sort_test.cc.o"
+  "CMakeFiles/tag_sort_test.dir/tag_sort_test.cc.o.d"
+  "tag_sort_test"
+  "tag_sort_test.pdb"
+  "tag_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

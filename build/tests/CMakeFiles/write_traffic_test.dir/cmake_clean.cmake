@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_traffic_test.dir/write_traffic_test.cc.o"
+  "CMakeFiles/write_traffic_test.dir/write_traffic_test.cc.o.d"
+  "write_traffic_test"
+  "write_traffic_test.pdb"
+  "write_traffic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsim_cli.dir/emsim_cli.cc.o"
+  "CMakeFiles/emsim_cli.dir/emsim_cli.cc.o.d"
+  "emsim_cli"
+  "emsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
