@@ -50,5 +50,6 @@ int main() {
                             : "greedy wins at depth: partial fetches keep seek "
                               "amortization (deviation from the paper's conjecture)");
   }
+  emsim::bench::WriteJsonArtifact("ablation_cache_policy");
   return 0;
 }

@@ -56,5 +56,6 @@ int main() {
                                                           : "All Disks One Run",
                      table);
   }
+  emsim::bench::WriteJsonArtifact("ablation_disk_sched");
   return 0;
 }

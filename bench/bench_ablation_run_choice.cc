@@ -81,5 +81,6 @@ int main() {
                      "realizable heuristic could recover — the paper found it "
                      "not worth the bookkeeping");
   }
+  emsim::bench::WriteJsonArtifact("ablation_run_choice");
   return 0;
 }

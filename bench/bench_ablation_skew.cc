@@ -43,5 +43,6 @@ int main() {
                               2)});
   }
   bench::EmitTable("Strategy robustness under depletion skew", table);
+  emsim::bench::WriteJsonArtifact("ablation_skew");
   return 0;
 }

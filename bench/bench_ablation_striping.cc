@@ -50,5 +50,6 @@ int main() {
                    "at k*N cache the inter-run strategy is admission-starved; "
                    "striping wins there, while ADOR needs ~4x the cache to beat it "
                    "(cf. Fig 3.5)");
+  emsim::bench::WriteJsonArtifact("ablation_striping");
   return 0;
 }

@@ -57,5 +57,6 @@ int main() {
                                                           : "All Disks One Run",
                      table);
   }
+  emsim::bench::WriteJsonArtifact("ablation_write_traffic");
   return 0;
 }

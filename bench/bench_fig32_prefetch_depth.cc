@@ -65,5 +65,6 @@ int main() {
   emsim::PanelA();
   emsim::PanelB();
   emsim::PanelC();
+  emsim::bench::WriteJsonArtifact("fig32_prefetch_depth");
   return 0;
 }

@@ -28,5 +28,6 @@ int main() {
     }
   }
   emsim::bench::EmitFigure(fig);
+  emsim::bench::WriteJsonArtifact("fig33_cpu_speed");
   return 0;
 }

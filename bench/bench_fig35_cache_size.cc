@@ -47,5 +47,6 @@ int main() {
   emsim::Panel(25, 5);
   emsim::Panel(50, 5);
   emsim::Panel(50, 10);
+  emsim::bench::WriteJsonArtifact("fig35_cache_size");
   return 0;
 }

@@ -45,5 +45,6 @@ int main() {
   emsim::Panel(25, 5);
   emsim::Panel(50, 5);
   emsim::Panel(50, 10);
+  emsim::bench::WriteJsonArtifact("fig36_success_ratio");
   return 0;
 }

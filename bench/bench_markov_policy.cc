@@ -54,5 +54,6 @@ int main() {
                      "chain vs simulator success ratios agree; conservative >= "
                      "greedy on success everywhere, on parallelism at C >= ~3D");
   }
+  emsim::bench::WriteJsonArtifact("markov_policy");
   return 0;
 }

@@ -61,5 +61,6 @@ int main() {
                      "the bound is approached from above as N (and cache) grow; "
                      "N=50 lands within ~10%, as in the paper");
   }
+  emsim::bench::WriteJsonArtifact("table_inter_run");
   return 0;
 }

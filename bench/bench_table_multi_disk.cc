@@ -95,5 +95,6 @@ int main() {
                      "paper reports the same gap: simulated N=30 sits above the "
                      "large-N asymptote (29.x vs 28.4 in the paper)");
   }
+  emsim::bench::WriteJsonArtifact("table_multi_disk");
   return 0;
 }

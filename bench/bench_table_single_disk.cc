@@ -44,5 +44,6 @@ int main() {
   }
   bench::EmitTable("Single disk: analytic vs simulated", table,
                    "transfer-time lower bounds: 64.1 s (k=25), 128.2 s (k=50)");
+  emsim::bench::WriteJsonArtifact("table_single_disk");
   return 0;
 }

@@ -37,5 +37,6 @@ int main() {
   bench::EmitTable("Measured disk overlap vs urn-game model", table,
                    "finite N keeps the measurement slightly below the model; "
                    "the sqrt(D) scaling (not D) is the key shape");
+  emsim::bench::WriteJsonArtifact("urn_concurrency");
   return 0;
 }

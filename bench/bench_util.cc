@@ -1,14 +1,53 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
 
+#include "core/result_json.h"
 #include "stats/ascii_chart.h"
 #include "util/str.h"
 
 namespace emsim::bench {
 
-core::ExperimentResult Run(const core::MergeConfig& config) {
-  return core::RunTrialsParallel(config, kTrials);
+namespace {
+
+/// Experiments recorded by Run() for the JSON artifact. Heap-held results
+/// keep NamedExperiment pointers stable as the log grows.
+struct RecordedExperiment {
+  std::string name;
+  core::MergeConfig config;
+  std::unique_ptr<core::ExperimentResult> result;
+};
+
+std::vector<RecordedExperiment>& Recorded() {
+  static std::vector<RecordedExperiment>* log = new std::vector<RecordedExperiment>();
+  return *log;
+}
+
+}  // namespace
+
+int Trials() {
+  static int trials = [] {
+    const char* env = std::getenv("EMSIM_BENCH_TRIALS");
+    if (env == nullptr || *env == '\0') {
+      return kTrials;
+    }
+    int parsed = std::atoi(env);
+    return parsed >= 1 ? parsed : kTrials;
+  }();
+  return trials;
+}
+
+core::ExperimentResult Run(const core::MergeConfig& config, const std::string& name) {
+  auto result = std::make_unique<core::ExperimentResult>(
+      core::RunTrialsParallel(config, Trials()));
+  core::ExperimentResult copy = *result;
+  std::string point_name =
+      name.empty() ? StrFormat("point_%03zu", Recorded().size()) : name;
+  Recorded().push_back(RecordedExperiment{std::move(point_name), config, std::move(result)});
+  return copy;
 }
 
 void EmitFigure(const stats::Figure& figure) {
@@ -26,12 +65,37 @@ void EmitTable(const std::string& title, const stats::Table& table,
   std::printf("\n");
 }
 
+void WriteJsonArtifact(const std::string& bench_name) {
+  const char* toggle = std::getenv("EMSIM_BENCH_JSON");
+  if (toggle != nullptr && std::string(toggle) == "0") {
+    return;
+  }
+  std::vector<core::NamedExperiment> named;
+  named.reserve(Recorded().size());
+  for (const RecordedExperiment& r : Recorded()) {
+    named.push_back(core::NamedExperiment{r.name, r.config, r.result.get()});
+  }
+  std::string doc = core::ExperimentSetToJson(named);
+  const char* dir = std::getenv("EMSIM_BENCH_JSON_DIR");
+  std::string path = StrFormat("%s%sBENCH_%s.json", dir != nullptr ? dir : "",
+                               dir != nullptr && *dir != '\0' ? "/" : "",
+                               bench_name.c_str());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_util: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  std::printf("json artifact: %s (%zu experiments)\n", path.c_str(), named.size());
+}
+
 void Banner(const std::string& experiment_id, const std::string& what) {
   std::printf("==============================================================\n");
   std::printf("emsim reproduction | %s\n", experiment_id.c_str());
   std::printf("%s\n", what.c_str());
   std::printf("disk: S=0.01 ms/cyl, R=8.33 ms, T=2.5641 ms/block, 1000 blocks/run\n");
-  std::printf("trials per point: %d (mean reported, ±95%% CI where shown)\n", kTrials);
+  std::printf("trials per point: %d (mean reported, ±95%% CI where shown)\n", Trials());
   std::printf("==============================================================\n\n");
 }
 

@@ -10,12 +10,19 @@
 
 namespace emsim::bench {
 
-/// Number of averaged trials per experiment point (paper's count is
+/// Default number of averaged trials per experiment point (paper's count is
 /// OCR-lost; 5 keeps every bench binary under a minute).
 inline constexpr int kTrials = 5;
 
-/// Runs the config for kTrials trials and returns the aggregate.
-core::ExperimentResult Run(const core::MergeConfig& config);
+/// Trials per point actually used: kTrials, or the EMSIM_BENCH_TRIALS
+/// environment override (CI smoke jobs run with EMSIM_BENCH_TRIALS=2).
+int Trials();
+
+/// Runs the config for Trials() trials and returns the aggregate. Every call
+/// is also recorded (as "point_NNN" in call order, or under `name`) for
+/// WriteJsonArtifact.
+core::ExperimentResult Run(const core::MergeConfig& config,
+                           const std::string& name = "");
 
 /// Prints a figure (table + CSV) with a standard banner.
 void EmitFigure(const stats::Figure& figure);
@@ -23,6 +30,13 @@ void EmitFigure(const stats::Figure& figure);
 /// Prints a paper-vs-measured table with a banner and a shape note.
 void EmitTable(const std::string& title, const stats::Table& table,
                const std::string& note = "");
+
+/// Writes every experiment recorded by Run() since process start as a
+/// schema-stable JSON document (core::ExperimentSetToJson) to
+/// BENCH_<bench_name>.json — the artifact CI uploads and diffs. Directory
+/// from EMSIM_BENCH_JSON_DIR (default: working directory); set
+/// EMSIM_BENCH_JSON=0 to disable. Call once at the end of main.
+void WriteJsonArtifact(const std::string& bench_name);
 
 /// Standard banner for a bench binary.
 void Banner(const std::string& experiment_id, const std::string& what);

@@ -15,7 +15,15 @@ BlockCache::BlockCache(sim::Simulation* sim, const Options& options)
   for (auto& slot : runs_) {
     slot.signal = std::make_unique<sim::Signal>(sim);
   }
+  if (options.metrics != nullptr) {
+    metric_occupancy_ = &options.metrics->GetTimeline("cache.occupancy");
+    metric_deposits_ = &options.metrics->GetCounter("cache.deposits");
+    metric_denied_ = &options.metrics->GetCounter("cache.admission_denied");
+  }
   occupancy_.Update(sim->Now(), 0.0);
+  if (metric_occupancy_ != nullptr) {
+    metric_occupancy_->Update(sim->Now(), 0.0);
+  }
 }
 
 bool BlockCache::HasLeadingBlock(int run) const {
@@ -30,6 +38,9 @@ bool BlockCache::TryReserve(int run, int64_t n) {
   }
   if (FreeBlocks() < n) {
     ++stats_.reservations_denied;
+    if (metric_denied_ != nullptr) {
+      metric_denied_->Increment();
+    }
     return false;
   }
   RunOf(run).reserved += n;
@@ -65,6 +76,9 @@ void BlockCache::Deposit(int run, int64_t offset) {
   }
   cached_total_ += 1;
   ++stats_.deposits;
+  if (metric_deposits_ != nullptr) {
+    metric_deposits_->Increment();
+  }
   NoteOccupancy();
   slot.signal->Fire();
 }
@@ -81,7 +95,12 @@ int64_t BlockCache::ConsumeLeading(int run) {
   return offset;
 }
 
-void BlockCache::NoteOccupancy() { occupancy_.Update(sim_->Now(), static_cast<double>(cached_total_)); }
+void BlockCache::NoteOccupancy() {
+  occupancy_.Update(sim_->Now(), static_cast<double>(cached_total_));
+  if (metric_occupancy_ != nullptr) {
+    metric_occupancy_->Update(sim_->Now(), static_cast<double>(cached_total_));
+  }
+}
 
 void BlockCache::FlushStats() { occupancy_.Flush(sim_->Now()); }
 

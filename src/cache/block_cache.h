@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/event.h"
 #include "sim/simulation.h"
 #include "stats/time_weighted.h"
@@ -41,6 +42,9 @@ class BlockCache {
   struct Options {
     int64_t capacity_blocks = 25;
     int num_runs = 25;
+    /// Optional metrics registry; wires the "cache.occupancy" timeline and
+    /// the deposit/denied-admission counters.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   BlockCache(sim::Simulation* sim, const Options& options);
@@ -122,6 +126,11 @@ class BlockCache {
   std::vector<RunSlot> runs_;
   CacheStats stats_;
   stats::TimeWeighted occupancy_;
+
+  // Optional registry mirrors (null unless Options.metrics was set).
+  obs::Timeline* metric_occupancy_ = nullptr;
+  obs::Counter* metric_deposits_ = nullptr;
+  obs::Counter* metric_denied_ = nullptr;
 };
 
 }  // namespace emsim::cache

@@ -117,6 +117,12 @@ struct MergeConfig {
   /// Run full cache-invariant checks on every step (tests; slow).
   bool check_invariants = false;
 
+  /// Collect the named metrics registry (sim kernel, per-disk and cache
+  /// timelines) into MergeResult::metrics. Off by default: the merge's
+  /// headline statistics are always collected and the hooks then cost one
+  /// pointer test each.
+  bool collect_metrics = false;
+
   static constexpr int64_t kAutoCache = -1;
 
   /// Resolved cache size.

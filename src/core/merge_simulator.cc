@@ -10,6 +10,7 @@
 #include "disk/layout.h"
 #include "io/planner.h"
 #include "io/run_state.h"
+#include "obs/metrics.h"
 #include "sim/event.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
@@ -63,13 +64,14 @@ class Engine {
  public:
   explicit Engine(const MergeConfig& config)
       : config_(config),
+        metrics_(config.collect_metrics),
         layout_(disk::RunLayout::Options{config.num_runs, config.num_disks,
                                          config.blocks_per_run, config.disk_params.geometry,
                                          config.placement, config.run_lengths}),
-        disks_(&sim_,
-               disk::DiskArray::Options{config.disk_params, config.num_disks, config.seed}),
+        disks_(&sim_, disk::DiskArray::Options{config.disk_params, config.num_disks,
+                                               config.seed, &metrics_}),
         cache_(&sim_, cache::BlockCache::Options{config.EffectiveCacheBlocks(),
-                                                 config.num_runs}),
+                                                 config.num_runs, &metrics_}),
         runs_(config.run_lengths.empty()
                   ? io::RunStates(config.num_runs, config.blocks_per_run)
                   : io::RunStates(config.run_lengths)),
@@ -77,6 +79,9 @@ class Engine {
         depletion_rng_(rng_.Split()),
         planner_rng_(rng_.Split()),
         depletion_(MakeDepletion(config)) {
+    sim_.AttachMetrics(&metrics_);
+    metric_stalls_ = &metrics_.GetCounter("merge.demand_stalls");
+    metric_stall_ms_ = &metrics_.GetGauge("merge.stall_ms");
     if (config.strategy == Strategy::kAllDisksOneRun) {
       planner_ = io::MakeAllDisksOneRunPlanner(config.prefetch_depth,
                                                MakeChooser(config.victim));
@@ -280,6 +285,13 @@ class Engine {
     }
   }
 
+  /// Records one completed demand wait in the result and the registry.
+  void NoteStall(double ms) {
+    result_.stall_ms.Add(ms);
+    metric_stalls_->Increment();
+    metric_stall_ms_->Add(ms);
+  }
+
   sim::Process MergeLoop() {
     // Initial state: the cache holds (up to) N blocks of every run.
     {
@@ -303,7 +315,7 @@ class Engine {
           EMSIM_DCHECK(cache_.InFlightForRun(run) > 0);
           co_await cache_.DepositSignal(run).Wait();
         }
-        result_.stall_ms.Add(sim_.Now() - stall_start);
+        NoteStall(sim_.Now() - stall_start);
       }
 
       cache_.ConsumeLeading(run);
@@ -357,7 +369,7 @@ class Engine {
               co_await cache_.DepositSignal(run).Wait();
             }
           }
-          result_.stall_ms.Add(sim_.Now() - stall_start);
+          NoteStall(sim_.Now() - stall_start);
         } else {
           // Blocks already in flight; wait for the leading one.
           ++result_.demand_stalls;
@@ -365,7 +377,7 @@ class Engine {
           while (!cache_.HasLeadingBlock(run)) {
             co_await cache_.DepositSignal(run).Wait();
           }
-          result_.stall_ms.Add(sim_.Now() - stall_start);
+          NoteStall(sim_.Now() - stall_start);
         }
       }
     }
@@ -391,12 +403,19 @@ class Engine {
     result_.mean_cache_occupancy = cache_.MeanOccupancy();
     result_.disk_totals = disks_.TotalStats();
     result_.cache_stats = cache_.stats();
+    result_.per_disk = disks_.UtilizationSnapshot();
+    if (metrics_.enabled()) {
+      metrics_.FlushTimelines(sim_.Now());
+      result_.metrics = metrics_.Samples();
+    }
     merge_finished_ = true;
     co_return;
   }
 
   MergeConfig config_;
   sim::Simulation sim_;
+  /// Declared before disks_/cache_: their Options carry its address.
+  obs::MetricsRegistry metrics_;
   disk::RunLayout layout_;
   disk::DiskArray disks_;
   cache::BlockCache cache_;
@@ -406,6 +425,8 @@ class Engine {
   Rng planner_rng_;
   std::unique_ptr<DepletionModel> depletion_;
   std::unique_ptr<io::PrefetchPlanner> planner_;
+  obs::Counter* metric_stalls_ = nullptr;
+  obs::Gauge* metric_stall_ms_ = nullptr;
 
   // Write-behind state (extension).
   std::unique_ptr<disk::DiskArray> write_disks_;

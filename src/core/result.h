@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cache/block_cache.h"
 #include "disk/disk.h"
+#include "obs/metrics.h"
 #include "stats/accumulator.h"
 
 namespace emsim::core {
@@ -56,6 +58,14 @@ struct MergeResult {
   double write_drain_ms = 0.0;     ///< Time spent flushing after the last merge.
 
   uint64_t sim_events = 0;
+
+  /// Per-disk utilization (busy fraction, mean queue length, cumulative
+  /// counters), ordered by disk id. Always collected.
+  std::vector<disk::DiskUtilization> per_disk;
+
+  /// Flat registry export (sorted by name); empty unless the trial ran with
+  /// MergeConfig::collect_metrics.
+  std::vector<obs::MetricsRegistry::Sample> metrics;
 
   /// The paper's success ratio: P(full prefetch could be initiated).
   double SuccessRatio() const {

@@ -15,8 +15,18 @@ DiskArray::DiskArray(sim::Simulation* sim, const Options& options) : sim_(sim) {
       busy_count_ += busy ? 1 : -1;
       EMSIM_DCHECK(busy_count_ >= 0 && busy_count_ <= num_disks());
       concurrency_.Update(sim_->Now(), busy_count_);
+      if (metric_concurrency_ != nullptr) {
+        metric_concurrency_->Update(sim_->Now(), busy_count_);
+      }
     };
+    if (options.metrics != nullptr) {
+      d->AttachMetrics(options.metrics);
+    }
     disks_.push_back(std::move(d));
+  }
+  if (options.metrics != nullptr) {
+    metric_concurrency_ = &options.metrics->GetTimeline("disks.concurrency");
+    metric_concurrency_->Update(sim->Now(), 0.0);
   }
   concurrency_.Update(sim->Now(), 0.0);
 }
@@ -59,6 +69,20 @@ DiskStats DiskArray::TotalStats() const {
   return total;
 }
 
-void DiskArray::FlushStats() { concurrency_.Flush(sim_->Now()); }
+std::vector<DiskUtilization> DiskArray::UtilizationSnapshot() const {
+  std::vector<DiskUtilization> out;
+  out.reserve(disks_.size());
+  for (const auto& d : disks_) {
+    out.push_back(d->Utilization());
+  }
+  return out;
+}
+
+void DiskArray::FlushStats() {
+  concurrency_.Flush(sim_->Now());
+  for (auto& d : disks_) {
+    d->FlushLocalStats();
+  }
+}
 
 }  // namespace emsim::disk

@@ -20,6 +20,9 @@ class DiskArray {
     DiskParams params;
     int num_disks = 5;
     uint64_t seed = 1;
+    /// Optional metrics registry; wires per-disk busy/queue timelines, the
+    /// shared request counters, and the "disks.concurrency" timeline.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   DiskArray(sim::Simulation* sim, const Options& options);
@@ -56,7 +59,12 @@ class DiskArray {
   /// Aggregated statistics over all disks.
   DiskStats TotalStats() const;
 
-  /// Closes statistic windows at the current simulated time.
+  /// Per-disk utilization snapshots, ordered by disk id (call FlushStats
+  /// first for end-of-run figures).
+  std::vector<DiskUtilization> UtilizationSnapshot() const;
+
+  /// Closes statistic windows (array-wide and per-disk) at the current
+  /// simulated time.
   void FlushStats();
 
  private:
@@ -64,6 +72,7 @@ class DiskArray {
   std::vector<std::unique_ptr<Disk>> disks_;
   int busy_count_ = 0;
   stats::TimeWeighted concurrency_;
+  obs::Timeline* metric_concurrency_ = nullptr;
 };
 
 }  // namespace emsim::disk

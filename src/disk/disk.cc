@@ -9,6 +9,45 @@ namespace emsim::disk {
 Disk::Disk(sim::Simulation* sim, const DiskParams& params, int id, uint64_t seed)
     : sim_(sim), id_(id), mechanism_(params), rng_(seed), work_(sim) {
   EMSIM_CHECK(sim != nullptr);
+  busy_timeline_.Update(sim->Now(), 0.0);
+  queue_timeline_.Update(sim->Now(), 0.0);
+}
+
+void Disk::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_busy_ = nullptr;
+    metric_queue_ = nullptr;
+    metric_requests_ = nullptr;
+    metric_blocks_ = nullptr;
+    return;
+  }
+  metric_busy_ = &metrics->GetTimeline(StrFormat("disk%d.busy", id_));
+  metric_queue_ = &metrics->GetTimeline(StrFormat("disk%d.queue_len", id_));
+  metric_requests_ = &metrics->GetCounter("disk.requests");
+  metric_blocks_ = &metrics->GetCounter("disk.blocks_transferred");
+  metric_busy_->Update(sim_->Now(), busy_ ? 1.0 : 0.0);
+  metric_queue_->Update(sim_->Now(), static_cast<double>(queue_.size()));
+}
+
+void Disk::NoteQueueLength() {
+  queue_timeline_.Update(sim_->Now(), static_cast<double>(queue_.size()));
+  if (metric_queue_ != nullptr) {
+    metric_queue_->Update(sim_->Now(), static_cast<double>(queue_.size()));
+  }
+}
+
+void Disk::FlushLocalStats() {
+  busy_timeline_.Flush(sim_->Now());
+  queue_timeline_.Flush(sim_->Now());
+}
+
+DiskUtilization Disk::Utilization() const {
+  DiskUtilization u;
+  u.id = id_;
+  u.busy_fraction = BusyFraction();
+  u.mean_queue_length = MeanQueueLength();
+  u.stats = stats_;
+  return u;
 }
 
 void Disk::Start() {
@@ -30,6 +69,7 @@ void Disk::Submit(DiskRequest request) {
   request.enqueue_time = sim_->Now();
   queue_.push_back(std::move(request));
   stats_.max_queue_length = std::max(stats_.max_queue_length, queue_.size());
+  NoteQueueLength();
   work_.Fire();
 }
 
@@ -56,6 +96,10 @@ void Disk::SetBusy(bool busy) {
     return;
   }
   busy_ = busy;
+  busy_timeline_.Update(sim_->Now(), busy ? 1.0 : 0.0);
+  if (metric_busy_ != nullptr) {
+    metric_busy_->Update(sim_->Now(), busy ? 1.0 : 0.0);
+  }
   if (on_busy_changed) {
     on_busy_changed(id_, busy);
   }
@@ -70,11 +114,15 @@ sim::Process Disk::Serve() {
       co_await work_.Wait();
     }
     DiskRequest req = PopNext();
+    NoteQueueLength();
     SetBusy(true);
     stats_.queue_wait_ms += sim_->Now() - req.enqueue_time;
     ++stats_.requests;
     if (req.kind == RequestKind::kDemand) {
       ++stats_.demand_requests;
+    }
+    if (metric_requests_ != nullptr) {
+      metric_requests_->Increment();
     }
 
     AccessCost cost = mechanism_.Access(req.start_block, req.nblocks, rng_, sim_->Now());
@@ -96,6 +144,9 @@ sim::Process Disk::Serve() {
     for (int i = 0; i < req.nblocks; ++i) {
       co_await sim::Delay(per_block);
       ++stats_.blocks_transferred;
+      if (metric_blocks_ != nullptr) {
+        metric_blocks_->Increment();
+      }
       if (req.on_block) {
         req.on_block(i);
       }

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "disk/mechanism.h"
+#include "obs/metrics.h"
 #include "sim/event.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
@@ -55,6 +56,17 @@ struct DiskStats {
   double BusyMs() const { return seek_ms + rotation_ms + transfer_ms; }
 };
 
+/// End-of-run utilization snapshot of one disk: the time-weighted view the
+/// cumulative DiskStats cannot express (busy fraction of elapsed time, mean
+/// queue length) plus the cumulative counters. This is what the JSON
+/// exporters emit per disk.
+struct DiskUtilization {
+  int id = 0;
+  double busy_fraction = 0.0;      ///< Fraction of elapsed time in service.
+  double mean_queue_length = 0.0;  ///< Time-averaged waiting requests.
+  DiskStats stats;
+};
+
 /// A single disk unit: a FIFO (or SSTF) queue served by one simulation
 /// process that prices each request with the Mechanism and delivers blocks
 /// at transfer-time granularity. Matches the paper's model where every
@@ -83,6 +95,24 @@ class Disk {
   const DiskStats& stats() const { return stats_; }
   const Mechanism& mechanism() const { return mechanism_; }
 
+  /// Fraction of elapsed simulated time this disk spent servicing requests
+  /// (integrates to the last update; call FlushLocalStats first for an
+  /// end-of-run figure).
+  double BusyFraction() const { return busy_timeline_.Average(); }
+
+  /// Time-averaged number of requests waiting in this disk's queue.
+  double MeanQueueLength() const { return queue_timeline_.Average(); }
+
+  /// Closes the busy/queue timelines at the current simulated time.
+  void FlushLocalStats();
+
+  /// Utilization snapshot (flush first for end-of-run accuracy).
+  DiskUtilization Utilization() const;
+
+  /// Registers this disk's timelines ("disk<i>.busy", "disk<i>.queue_len")
+  /// and request counters with `metrics`. Call before the simulation runs.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
   /// Observer invoked on busy-state transitions; wired by DiskArray to
   /// maintain the cross-disk concurrency statistic.
   std::function<void(int disk_id, bool busy)> on_busy_changed;
@@ -102,6 +132,8 @@ class Disk {
 
   void SetBusy(bool busy);
 
+  void NoteQueueLength();
+
   sim::Simulation* sim_;
   int id_;
   Mechanism mechanism_;
@@ -113,6 +145,16 @@ class Disk {
   bool busy_ = false;
   bool started_ = false;
   bool stopping_ = false;
+
+  // Always-on utilization timelines (a few arithmetic ops per transition).
+  stats::TimeWeighted busy_timeline_;
+  stats::TimeWeighted queue_timeline_;
+
+  // Optional registry mirrors (null unless AttachMetrics was called).
+  obs::Timeline* metric_busy_ = nullptr;
+  obs::Timeline* metric_queue_ = nullptr;
+  obs::Counter* metric_requests_ = nullptr;
+  obs::Counter* metric_blocks_ = nullptr;
 };
 
 }  // namespace emsim::disk

@@ -1,0 +1,118 @@
+#ifndef EMSIM_OBS_METRICS_H_
+#define EMSIM_OBS_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/time_weighted.h"
+
+namespace emsim::obs {
+
+/// Monotonically increasing event count (requests served, events dispatched).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-value-wins instantaneous measurement with a running maximum
+/// (calendar depth, outstanding writes). Meaningful for signals >= 0.
+class Gauge {
+ public:
+  void Set(double v) {
+    value_ = v;
+    max_ = std::max(max_, v);
+  }
+  void Add(double delta) { Set(value_ + delta); }
+  double value() const { return value_; }
+  double max() const { return max_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Piecewise-constant signal integrated over simulated time (disk busy
+/// state, queue length, cache occupancy). A thin veneer over
+/// stats::TimeWeighted so exporters can treat it uniformly with the other
+/// instrument kinds.
+class Timeline {
+ public:
+  /// Signal takes value `value` from time `now` on; times non-decreasing.
+  void Update(double now, double value) { series_.Update(now, value); }
+
+  /// Closes the integration window at `now` without changing the value.
+  void Flush(double now) { series_.Flush(now); }
+
+  const stats::TimeWeighted& series() const { return series_; }
+
+ private:
+  stats::TimeWeighted series_;
+};
+
+/// Name-keyed registry of Counters, Gauges and Timelines for one simulation.
+///
+/// Instrument references stay valid for the registry's lifetime (node-based
+/// storage), so components look their instruments up once at wiring time and
+/// touch only the instrument on the hot path.
+///
+/// A registry constructed disabled hands every caller the same internal
+/// sink instruments: the instrumented code runs unchanged (one arithmetic
+/// op per hook, no branches, no allocation, no lookup) but nothing is
+/// retained per name and Samples() is empty. This is the "near-zero
+/// overhead when off" mode the simulator uses by default.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Finds or creates the named instrument. Disabled registries return a
+  /// shared sink instead (never exported).
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Timeline& GetTimeline(const std::string& name);
+
+  /// True if the named instrument exists (always false when disabled).
+  bool HasCounter(const std::string& name) const { return counters_.count(name) != 0; }
+  bool HasGauge(const std::string& name) const { return gauges_.count(name) != 0; }
+  bool HasTimeline(const std::string& name) const { return timelines_.count(name) != 0; }
+
+  /// Closes every timeline's window at `now` (call once at end of run).
+  void FlushTimelines(double now);
+
+  /// One exported scalar. Timelines fan out into derived samples
+  /// ("<name>.avg", "<name>.avg_active", "<name>.active_ms"), gauges into
+  /// "<name>" and "<name>.max".
+  struct Sample {
+    std::string name;
+    double value;
+  };
+
+  /// Deterministic flat export: samples sorted by name, one vector for all
+  /// instrument kinds. Empty when the registry is disabled.
+  std::vector<Sample> Samples() const;
+
+ private:
+  bool enabled_;
+  // std::map: stable references + deterministic (sorted) iteration.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Timeline> timelines_;
+  Counter sink_counter_;
+  Gauge sink_gauge_;
+  Timeline sink_timeline_;
+};
+
+}  // namespace emsim::obs
+
+#endif  // EMSIM_OBS_METRICS_H_

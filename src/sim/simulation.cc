@@ -41,12 +41,30 @@ bool Simulation::Step() {
   calendar_.pop();
   now_ = entry.time;
   ++events_processed_;
+  if (metric_calendar_depth_ != nullptr) {
+    metric_calendar_depth_->Update(now_, static_cast<double>(calendar_.size()));
+    (entry.handle ? metric_resumes_ : metric_callbacks_)->Increment();
+  }
   if (entry.handle) {
     entry.handle.resume();
   } else if (entry.callback) {
     entry.callback();
   }
   return true;
+}
+
+void Simulation::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_resumes_ = nullptr;
+    metric_callbacks_ = nullptr;
+    metric_spawns_ = nullptr;
+    metric_calendar_depth_ = nullptr;
+    return;
+  }
+  metric_resumes_ = &metrics->GetCounter("sim.resumes");
+  metric_callbacks_ = &metrics->GetCounter("sim.callbacks");
+  metric_spawns_ = &metrics->GetCounter("sim.spawns");
+  metric_calendar_depth_ = &metrics->GetTimeline("sim.calendar_depth");
 }
 
 void Simulation::Run() {

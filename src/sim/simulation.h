@@ -7,6 +7,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace emsim::sim {
@@ -62,6 +63,15 @@ class Simulation {
   /// Number of calendar events executed so far.
   uint64_t events_processed() const { return events_processed_; }
 
+  /// Events waiting in the calendar right now.
+  size_t CalendarDepth() const { return calendar_.size(); }
+
+  /// Wires kernel instrumentation into `metrics` ("sim.*" namespace):
+  /// coroutine resumes vs plain callbacks dispatched, processes spawned,
+  /// and the calendar-depth timeline. Pass nullptr to detach. When nothing
+  /// is attached (the default) the kernel hot path pays one pointer test.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
   /// Number of spawned processes that have not finished.
   int live_processes() const { return live_processes_; }
 
@@ -71,6 +81,9 @@ class Simulation {
   void OnProcessCreated(std::coroutine_handle<> handle) {
     ++live_processes_;
     live_handles_.push_back(handle);
+    if (metric_spawns_ != nullptr) {
+      metric_spawns_->Increment();
+    }
   }
   void OnProcessFinished(std::coroutine_handle<> handle) {
     --live_processes_;
@@ -107,6 +120,12 @@ class Simulation {
   int live_processes_ = 0;
   std::vector<std::coroutine_handle<>> live_handles_;
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> calendar_;
+
+  // Instrumentation (all null unless AttachMetrics was called).
+  obs::Counter* metric_resumes_ = nullptr;
+  obs::Counter* metric_callbacks_ = nullptr;
+  obs::Counter* metric_spawns_ = nullptr;
+  obs::Timeline* metric_calendar_depth_ = nullptr;
 };
 
 }  // namespace emsim::sim

@@ -1,0 +1,183 @@
+#include "stats/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace emsim::stats {
+
+void JsonWriter::NewlineIndent() {
+  out_.push_back('\n');
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    EMSIM_CHECK(out_.empty() && "one top-level value per document");
+    return;
+  }
+  if (key_pending_) {
+    // Value follows "key": on the same line.
+    key_pending_ = false;
+    return;
+  }
+  EMSIM_CHECK(stack_.back() == Scope::kArray && "object members need a Key()");
+  if (counts_.back() > 0) {
+    out_.push_back(',');
+  }
+  ++counts_.back();
+  NewlineIndent();
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  stack_.push_back(Scope::kObject);
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndObject() {
+  EMSIM_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  EMSIM_CHECK(!key_pending_);
+  bool empty = counts_.back() == 0;
+  stack_.pop_back();
+  counts_.pop_back();
+  if (!empty) {
+    NewlineIndent();
+  }
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  stack_.push_back(Scope::kArray);
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndArray() {
+  EMSIM_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  bool empty = counts_.back() == 0;
+  stack_.pop_back();
+  counts_.pop_back();
+  if (!empty) {
+    NewlineIndent();
+  }
+  out_.push_back(']');
+}
+
+void JsonWriter::Key(std::string_view name) {
+  EMSIM_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  EMSIM_CHECK(!key_pending_);
+  if (counts_.back() > 0) {
+    out_.push_back(',');
+  }
+  ++counts_.back();
+  NewlineIndent();
+  out_.push_back('"');
+  out_.append(Escape(name));
+  out_.append("\": ");
+  key_pending_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_.push_back('"');
+  out_.append(Escape(value));
+  out_.push_back('"');
+}
+
+void JsonWriter::Number(double value) {
+  BeforeValue();
+  out_.append(FormatDouble(value));
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  out_.append(buf);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(value));
+  out_.append(buf);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_.append(value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_.append("null");
+}
+
+std::string JsonWriter::Take() {
+  EMSIM_CHECK(stack_.empty() && "unbalanced Begin/End");
+  EMSIM_CHECK(!key_pending_);
+  out_.push_back('\n');
+  std::string doc;
+  doc.swap(out_);
+  return doc;
+}
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\b':
+        out.append("\\b");
+        break;
+      case '\f':
+        out.append("\\f");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::FormatDouble(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) {
+      break;  // Shortest form that survives the round trip.
+    }
+  }
+  return buf;
+}
+
+}  // namespace emsim::stats

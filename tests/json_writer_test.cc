@@ -1,0 +1,190 @@
+#include "stats/json_writer.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/experiment.h"
+#include "core/result_json.h"
+
+namespace emsim::stats {
+namespace {
+
+TEST(JsonEscapeTest, EscapesControlAndStructuralCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::Escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::Escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::Escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::Escape(std::string("nul\x01" "byte")), "nul\\u0001byte");
+}
+
+TEST(JsonFormatDoubleTest, RoundTripsThroughStrtod) {
+  const double cases[] = {0.0,    1.0,     -1.0,   0.1,   1.0 / 3.0,
+                          2.5641, 1e300,   1e-300, 1e6,   123456789.123456,
+                          -0.25,  8.33333, 3.5e-5};
+  for (double v : cases) {
+    std::string s = JsonWriter::FormatDouble(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << "via " << s;
+  }
+}
+
+TEST(JsonFormatDoubleTest, IsShortForRepresentableValues) {
+  EXPECT_EQ(JsonWriter::FormatDouble(0.0), "0");
+  EXPECT_EQ(JsonWriter::FormatDouble(1.0), "1");
+  EXPECT_EQ(JsonWriter::FormatDouble(0.5), "0.5");
+  EXPECT_EQ(JsonWriter::FormatDouble(2.5641), "2.5641");
+}
+
+TEST(JsonFormatDoubleTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonWriter::FormatDouble(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(JsonWriter::FormatDouble(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(JsonWriter::FormatDouble(-std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(JsonWriterTest, EmitsExactPrettyPrintedBytes) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("name", "fig32");
+  w.Field("depth", 4);
+  w.Field("ratio", 0.5);
+  w.Field("ok", true);
+  w.Key("tags");
+  w.BeginArray();
+  w.String("a");
+  w.String("b");
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.Field("count", uint64_t{7});
+  w.EndObject();
+  w.EndObject();
+
+  EXPECT_EQ(w.Take(),
+            "{\n"
+            "  \"name\": \"fig32\",\n"
+            "  \"depth\": 4,\n"
+            "  \"ratio\": 0.5,\n"
+            "  \"ok\": true,\n"
+            "  \"tags\": [\n"
+            "    \"a\",\n"
+            "    \"b\"\n"
+            "  ],\n"
+            "  \"nested\": {\n"
+            "    \"count\": 7\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, EmptyContainersStayOnOneLine) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("empty_arr");
+  w.BeginArray();
+  w.EndArray();
+  w.Key("empty_obj");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.Take(),
+            "{\n"
+            "  \"empty_arr\": [],\n"
+            "  \"empty_obj\": {}\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, WriterIsReusableAfterTake) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Int(1);
+  w.EndArray();
+  std::string first = w.Take();
+  w.BeginArray();
+  w.Int(1);
+  w.EndArray();
+  EXPECT_EQ(first, w.Take());
+}
+
+}  // namespace
+}  // namespace emsim::stats
+
+namespace emsim::core {
+namespace {
+
+MergeConfig SmallConfig() {
+  MergeConfig cfg;
+  cfg.num_runs = 5;
+  cfg.num_disks = 2;
+  cfg.blocks_per_run = 30;
+  cfg.prefetch_depth = 2;
+  cfg.strategy = Strategy::kAllDisksOneRun;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(ResultJsonTest, DocumentContainsTheAcceptanceFields) {
+  MergeConfig cfg = SmallConfig();
+  ExperimentResult result = RunTrials(cfg, 2);
+  std::string doc =
+      ExperimentSetToJson({NamedExperiment{"small", cfg, &result}});
+
+  EXPECT_NE(doc.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"generator\": \"emsim\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"small\""), std::string::npos);
+  EXPECT_NE(doc.find("\"total_seconds\""), std::string::npos);
+  EXPECT_NE(doc.find("\"success_ratio\""), std::string::npos);
+  EXPECT_NE(doc.find("\"avg_concurrency\""), std::string::npos);
+  EXPECT_NE(doc.find("\"per_disk\""), std::string::npos);
+  EXPECT_NE(doc.find("\"busy_fraction\""), std::string::npos);
+  EXPECT_NE(doc.find("\"mean_queue_length\""), std::string::npos);
+  EXPECT_NE(doc.find("\"per_trial\""), std::string::npos);
+  EXPECT_NE(doc.find("\"aggregate\""), std::string::npos);
+}
+
+TEST(ResultJsonTest, MetricsSectionAppearsOnlyWhenCollected) {
+  MergeConfig cfg = SmallConfig();
+  ExperimentResult plain = RunTrials(cfg, 1);
+  std::string plain_doc =
+      ExperimentSetToJson({NamedExperiment{"plain", cfg, &plain}});
+  EXPECT_EQ(plain_doc.find("\"metrics\""), std::string::npos);
+
+  cfg.collect_metrics = true;
+  ExperimentResult collected = RunTrials(cfg, 1);
+  std::string metrics_doc =
+      ExperimentSetToJson({NamedExperiment{"metrics", cfg, &collected}});
+  EXPECT_NE(metrics_doc.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(metrics_doc.find("\"sim.resumes\""), std::string::npos);
+  EXPECT_NE(metrics_doc.find("\"cache.occupancy.avg\""), std::string::npos);
+}
+
+// The acceptance criterion behind `emsim_cli --json`: a fixed seed must
+// serialize to identical bytes on every run.
+TEST(ResultJsonTest, FixedSeedExportIsByteStable) {
+  MergeConfig cfg = SmallConfig();
+  cfg.collect_metrics = true;
+
+  ExperimentResult first = RunTrials(cfg, 3);
+  ExperimentResult second = RunTrials(cfg, 3);
+  std::string doc_a =
+      ExperimentSetToJson({NamedExperiment{"stability", cfg, &first}});
+  std::string doc_b =
+      ExperimentSetToJson({NamedExperiment{"stability", cfg, &second}});
+  EXPECT_EQ(doc_a, doc_b);
+
+  // Parallel trial fan-out must not change the bytes either.
+  ExperimentResult parallel = RunTrialsParallel(cfg, 3);
+  std::string doc_c =
+      ExperimentSetToJson({NamedExperiment{"stability", cfg, &parallel}});
+  EXPECT_EQ(doc_a, doc_c);
+}
+
+}  // namespace
+}  // namespace emsim::core

@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/merge_simulator.h"
+
+namespace emsim::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, TracksLastValueAndMax) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.0);
+  g.Set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  EXPECT_DOUBLE_EQ(g.max(), 3.0);
+  g.Add(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 11.5);
+  EXPECT_DOUBLE_EQ(g.max(), 11.5);
+}
+
+TEST(TimelineTest, TimeWeightedUtilizationMath) {
+  // A disk busy from t=10 to t=30 inside a 40 ms window: 50% utilization
+  // overall, 100% while positive, 20 ms of positive time.
+  Timeline t;
+  t.Update(0.0, 0.0);
+  t.Update(10.0, 1.0);
+  t.Update(30.0, 0.0);
+  t.Flush(40.0);
+  EXPECT_DOUBLE_EQ(t.series().Average(), 0.5);
+  EXPECT_DOUBLE_EQ(t.series().AverageWhilePositive(), 1.0);
+  EXPECT_DOUBLE_EQ(t.series().PositiveTime(), 20.0);
+  EXPECT_DOUBLE_EQ(t.series().TotalTime(), 40.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("x");
+  a.Increment(5);
+  EXPECT_EQ(reg.GetCounter("x").value(), 5u);
+  EXPECT_NE(&reg.GetCounter("x"), &reg.GetCounter("y"));
+  EXPECT_TRUE(reg.HasCounter("x"));
+  EXPECT_FALSE(reg.HasCounter("z"));
+}
+
+TEST(MetricsRegistryTest, ReferencesStayValidAcrossGrowth) {
+  MetricsRegistry reg;
+  Counter& first = reg.GetCounter("a");
+  for (int i = 0; i < 100; ++i) {
+    reg.GetCounter("c" + std::to_string(i));
+  }
+  first.Increment();
+  EXPECT_EQ(reg.GetCounter("a").value(), 1u);
+}
+
+TEST(MetricsRegistryTest, SamplesAreSortedAndDerived) {
+  MetricsRegistry reg;
+  reg.GetCounter("zeta").Increment(7);
+  reg.GetGauge("alpha").Set(2.0);
+  Timeline& t = reg.GetTimeline("mid");
+  t.Update(0.0, 4.0);
+  reg.FlushTimelines(10.0);
+
+  std::vector<MetricsRegistry::Sample> samples = reg.Samples();
+  ASSERT_EQ(samples.size(), 6u);  // 1 counter + 2 gauge + 3 timeline samples.
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+  }
+  EXPECT_EQ(samples[0].name, "alpha");
+  EXPECT_DOUBLE_EQ(samples[0].value, 2.0);
+  EXPECT_EQ(samples[1].name, "alpha.max");
+  EXPECT_EQ(samples[2].name, "mid.active_ms");
+  EXPECT_DOUBLE_EQ(samples[2].value, 10.0);
+  EXPECT_EQ(samples[3].name, "mid.avg");
+  EXPECT_DOUBLE_EQ(samples[3].value, 4.0);
+  EXPECT_EQ(samples[4].name, "mid.avg_active");
+  EXPECT_EQ(samples[5].name, "zeta");
+  EXPECT_DOUBLE_EQ(samples[5].value, 7.0);
+}
+
+TEST(MetricsRegistryTest, DisabledModeIsANoOp) {
+  MetricsRegistry reg(/*enabled=*/false);
+  EXPECT_FALSE(reg.enabled());
+  // Every name maps to the shared sink; writes are accepted but nothing is
+  // registered and nothing is exported.
+  Counter& a = reg.GetCounter("a");
+  Counter& b = reg.GetCounter("b");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  reg.GetGauge("g").Set(1.0);
+  reg.GetTimeline("t").Update(0.0, 1.0);
+  reg.FlushTimelines(5.0);
+  EXPECT_FALSE(reg.HasCounter("a"));
+  EXPECT_FALSE(reg.HasGauge("g"));
+  EXPECT_FALSE(reg.HasTimeline("t"));
+  EXPECT_TRUE(reg.Samples().empty());
+}
+
+core::MergeConfig SmallConfig() {
+  core::MergeConfig cfg;
+  cfg.num_runs = 4;
+  cfg.num_disks = 2;
+  cfg.blocks_per_run = 25;
+  cfg.prefetch_depth = 2;
+  cfg.strategy = core::Strategy::kAllDisksOneRun;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(MergeMetricsTest, CollectedRegistryReachesMergeResult) {
+  core::MergeConfig cfg = SmallConfig();
+  cfg.collect_metrics = true;
+  auto result = core::SimulateMerge(cfg);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->metrics.empty());
+
+  auto value_of = [&](const std::string& name) -> double {
+    for (const auto& sample : result->metrics) {
+      if (sample.name == name) {
+        return sample.value;
+      }
+    }
+    ADD_FAILURE() << "missing metric " << name;
+    return -1.0;
+  };
+  // Kernel: every recorded resume/callback is a calendar event.
+  EXPECT_GT(value_of("sim.resumes"), 0.0);
+  EXPECT_LE(value_of("sim.resumes") + value_of("sim.callbacks"),
+            static_cast<double>(result->sim_events));
+  // Disk: per-disk busy timelines and the shared request counter.
+  EXPECT_EQ(value_of("disk.requests"), static_cast<double>(result->disk_totals.requests));
+  EXPECT_GT(value_of("disk0.busy.avg"), 0.0);
+  EXPECT_LE(value_of("disk0.busy.avg"), 1.0);
+  EXPECT_GT(value_of("disks.concurrency.avg_active"), 0.0);
+  // Cache: occupancy timeline matches the always-on statistic.
+  EXPECT_NEAR(value_of("cache.occupancy.avg"), result->mean_cache_occupancy, 1e-9);
+  EXPECT_EQ(value_of("cache.deposits"), static_cast<double>(result->cache_stats.deposits));
+  // Merge loop: stall wait-time accounting.
+  EXPECT_EQ(value_of("merge.demand_stalls"), static_cast<double>(result->stall_ms.count()));
+  EXPECT_NEAR(value_of("merge.stall_ms"), result->stall_ms.sum(),
+              1e-6 * (1.0 + result->stall_ms.sum()));
+}
+
+TEST(MergeMetricsTest, DisabledByDefaultButPerDiskAlwaysOn) {
+  core::MergeConfig cfg = SmallConfig();
+  auto result = core::SimulateMerge(cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->metrics.empty());
+  ASSERT_EQ(result->per_disk.size(), 2u);
+  for (const auto& u : result->per_disk) {
+    EXPECT_GT(u.busy_fraction, 0.0);
+    EXPECT_LE(u.busy_fraction, 1.0);
+    EXPECT_GE(u.mean_queue_length, 0.0);
+    EXPECT_GT(u.stats.requests, 0u);
+  }
+}
+
+TEST(MergeMetricsTest, CollectionDoesNotPerturbTheSimulation) {
+  core::MergeConfig cfg = SmallConfig();
+  auto plain = core::SimulateMerge(cfg);
+  cfg.collect_metrics = true;
+  auto collected = core::SimulateMerge(cfg);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(collected.ok());
+  EXPECT_EQ(plain->total_ms, collected->total_ms);
+  EXPECT_EQ(plain->sim_events, collected->sim_events);
+  EXPECT_EQ(plain->io_operations, collected->io_operations);
+}
+
+}  // namespace
+}  // namespace emsim::obs

@@ -6,12 +6,18 @@
 //
 //   # batch of experiments from a spec file (see workload/experiment_spec.h)
 //   $ emsim_cli --spec experiments.ini --format csv
+//
+//   # machine-readable export for CI / regression diffing (docs/USAGE.md)
+//   $ emsim_cli --runs 25 --disks 5 --n 10 --json results.json
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/config.h"
 #include "core/experiment.h"
+#include "core/result_json.h"
 #include "stats/table.h"
 #include "util/flags.h"
 #include "util/str.h"
@@ -56,6 +62,8 @@ int main(int argc, char** argv) {
   std::string write_traffic = "none";
   std::string spec_path;
   std::string format = "table";
+  std::string json_path;
+  bool collect_metrics = false;
   bool help = false;
   bool print_spec = false;
 
@@ -77,6 +85,10 @@ int main(int argc, char** argv) {
   flags.AddString("write_traffic", &write_traffic, "none | separate | shared");
   flags.AddString("spec", &spec_path, "experiment spec file (overrides other flags)");
   flags.AddString("format", &format, "table | csv");
+  flags.AddString("json", &json_path,
+                  "also write a schema-stable JSON document here ('-' = stdout)");
+  flags.AddBool("metrics", &collect_metrics,
+                "collect the full metrics registry into the JSON export");
   flags.AddBool("print_spec", &print_spec, "echo each experiment as spec syntax");
   flags.AddBool("help", &help, "show usage");
 
@@ -141,13 +153,37 @@ int main(int argc, char** argv) {
 
   stats::Table table({"experiment", "strategy", "N", "sync", "cache", "time_s",
                       "ci95_s", "success", "concurrency", "stall_ms", "stalls"});
-  for (const auto& spec : specs) {
+  // Results owned here so the JSON export can reference all of them at once.
+  std::vector<std::unique_ptr<core::ExperimentResult>> results;
+  std::vector<core::NamedExperiment> named;
+  for (auto& spec : specs) {
     if (print_spec) {
       std::printf("%s\n", workload::ToSpec(spec).c_str());
     }
-    auto result = core::RunTrials(spec.config, spec.trials);
-    AddResultRow(table, spec.name, spec.config, result);
+    spec.config.collect_metrics = collect_metrics;
+    auto result = std::make_unique<core::ExperimentResult>(
+        core::RunTrials(spec.config, spec.trials));
+    AddResultRow(table, spec.name, spec.config, *result);
+    named.push_back(core::NamedExperiment{spec.name, spec.config, result.get()});
+    results.push_back(std::move(result));
   }
-  std::printf("%s", format == "csv" ? table.ToCsv().c_str() : table.ToString().c_str());
+  // With --json -, stdout belongs to the JSON document (so it can be piped
+  // into jq and friends); the human table moves to stderr.
+  std::fprintf(json_path == "-" ? stderr : stdout, "%s",
+               format == "csv" ? table.ToCsv().c_str() : table.ToString().c_str());
+  if (!json_path.empty()) {
+    std::string doc = core::ExperimentSetToJson(named);
+    if (json_path == "-") {
+      std::printf("%s", doc.c_str());
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+        return 1;
+      }
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fclose(f);
+    }
+  }
   return 0;
 }
