@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
       if (plan.has_value()) {
         plans.AddRow({stats::Table::Cell(plan->disks, 0), stats::Table::Cell(plan->n, 0),
                       stats::Table::Cell(static_cast<double>(plan->cache), 0),
-                      stats::Table::Cell(plan->cache * 4096 / 1e6, 1),
+                      stats::Table::Cell(static_cast<double>(plan->cache * 4096) / 1e6, 1),
                       stats::Table::Cell(plan->seconds), stats::Table::Cell(plan->success, 3)});
         found = true;
       }

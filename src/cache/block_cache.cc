@@ -118,8 +118,8 @@ void BlockCache::CheckInvariants() const {
       }
     }
   }
-  EMSIM_CHECK(cached == cached_total_);
-  EMSIM_CHECK(reserved == reserved_total_);
+  EMSIM_CHECK_EQ(cached, cached_total_);
+  EMSIM_CHECK_EQ(reserved, reserved_total_);
   EMSIM_CHECK(cached_total_ + reserved_total_ <= capacity_);
 }
 

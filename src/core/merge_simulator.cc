@@ -197,7 +197,7 @@ class Engine {
     std::vector<Pending> pending;
     for (const auto& op : ops) {
       io::RunState& state = runs_[op.run];
-      EMSIM_CHECK(op.offset == state.next_fetch_offset);
+      EMSIM_CHECK_EQ(op.offset, state.next_fetch_offset);
       state.next_fetch_offset += op.nblocks;
 
       for (const disk::RunLayout::Span& span : layout_.Spans(op.run, op.offset, op.nblocks)) {

@@ -10,7 +10,7 @@ RunLayout::RunLayout(const Options& options) : options_(options) {
   EMSIM_CHECK(options.num_disks >= 1);
   EMSIM_CHECK(options.blocks_per_run >= 1);
   if (!options.run_blocks.empty()) {
-    EMSIM_CHECK(static_cast<int>(options.run_blocks.size()) == options.num_runs);
+    EMSIM_CHECK_EQ(static_cast<int>(options.run_blocks.size()), options.num_runs);
     for (int64_t b : options.run_blocks) {
       EMSIM_CHECK(b >= 1);
     }

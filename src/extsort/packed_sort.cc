@@ -158,7 +158,7 @@ Result<PackedSortStats> PackedExternalSorter::Sort(BlockDevice* input, uint64_t 
       EMSIM_RETURN_IF_ERROR(scratch->Write(next_run_block + blocks_written, out_block));
       ++blocks_written;
     }
-    EMSIM_CHECK(blocks_written == run.blocks);
+    EMSIM_CHECK_EQ(blocks_written, run.blocks);
     next_run_block += run.blocks;
     stats.run_blocks += run.blocks;
     runs.push_back(run);

@@ -83,9 +83,9 @@ class MetricsRegistry {
   Timeline& GetTimeline(const std::string& name);
 
   /// True if the named instrument exists (always false when disabled).
-  bool HasCounter(const std::string& name) const { return counters_.count(name) != 0; }
-  bool HasGauge(const std::string& name) const { return gauges_.count(name) != 0; }
-  bool HasTimeline(const std::string& name) const { return timelines_.count(name) != 0; }
+  bool HasCounter(const std::string& name) const { return counters_.contains(name); }
+  bool HasGauge(const std::string& name) const { return gauges_.contains(name); }
+  bool HasTimeline(const std::string& name) const { return timelines_.contains(name); }
 
   /// Closes every timeline's window at `now` (call once at end of run).
   void FlushTimelines(double now);

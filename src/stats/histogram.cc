@@ -70,8 +70,10 @@ std::string Histogram::ToAscii(size_t max_bar_width) const {
   }
   std::string out;
   for (size_t i = 0; i < buckets_.size(); ++i) {
-    size_t bar =
-        peak == 0 ? 0 : static_cast<size_t>(static_cast<double>(buckets_[i]) / peak * max_bar_width);
+    size_t bar = peak == 0 ? 0
+                           : static_cast<size_t>(static_cast<double>(buckets_[i]) /
+                                                 static_cast<double>(peak) *
+                                                 static_cast<double>(max_bar_width));
     out += StrFormat("[%10.3f, %10.3f) %8llu |%s\n", BucketLow(i), BucketLow(i) + width_,
                      static_cast<unsigned long long>(buckets_[i]), std::string(bar, '#').c_str());
   }

@@ -3,8 +3,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
 
 /// EMSIM_CHECK(cond): fatal invariant check, enabled in all build modes.
+/// EMSIM_CHECK_EQ/NE(a, b): fatal comparison checks that print both values.
 /// EMSIM_DCHECK(cond): fatal invariant check, enabled only in debug builds.
 ///
 /// These are used for programming errors (broken invariants), never for
@@ -28,9 +31,43 @@
     }                                                                                  \
   } while (false)
 
+namespace emsim::internal {
+
+/// Stringifies a checked operand for the failure message. Values without a
+/// stream inserter would fail to compile, so the comparison macros only
+/// accept streamable operands — every type they are used with today.
+template <typename T>
+std::string CheckOpValue(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace emsim::internal
+
+#define EMSIM_CHECK_OP_IMPL(a, b, op)                                                  \
+  do {                                                                                 \
+    const auto& _emsim_check_a = (a);                                                  \
+    const auto& _emsim_check_b = (b);                                                  \
+    if (!(_emsim_check_a op _emsim_check_b)) {                                         \
+      std::fprintf(stderr, "EMSIM_CHECK failed at %s:%d: %s %s %s (%s vs %s)\n",       \
+                   __FILE__, __LINE__, #a, #op, #b,                                    \
+                   ::emsim::internal::CheckOpValue(_emsim_check_a).c_str(),            \
+                   ::emsim::internal::CheckOpValue(_emsim_check_b).c_str());           \
+      std::abort();                                                                    \
+    }                                                                                  \
+  } while (false)
+
+#define EMSIM_CHECK_EQ(a, b) EMSIM_CHECK_OP_IMPL(a, b, ==)
+#define EMSIM_CHECK_NE(a, b) EMSIM_CHECK_OP_IMPL(a, b, !=)
+
 #ifdef NDEBUG
-#define EMSIM_DCHECK(cond) \
-  do {                     \
+// The condition is still type-checked (and the variables it references are
+// "used") in release builds, but never evaluated: sizeof's operand is an
+// unevaluated context.
+#define EMSIM_DCHECK(cond)            \
+  do {                                \
+    (void)sizeof((cond) ? 1 : 0);     \
   } while (false)
 #else
 #define EMSIM_DCHECK(cond) EMSIM_CHECK(cond)

@@ -31,7 +31,11 @@ const char* StatusCodeName(StatusCode code);
 
 /// A lightweight success-or-error value. An OK status carries no message and
 /// no allocation; error statuses carry a code and a message.
-class Status {
+///
+/// The class is [[nodiscard]]: a call site that receives a Status must
+/// consult it (or explicitly cast it to void). Silently dropped error codes
+/// are the bug class the determinism lint and clang-tidy gate exist to stop.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -41,30 +45,36 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
-  static Status Corruption(std::string msg) {
+  [[nodiscard]] static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
-  static Status IoError(std::string msg) { return Status(StatusCode::kIoError, std::move(msg)); }
+  [[nodiscard]] static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -82,7 +92,7 @@ class Status {
 
 /// A value-or-Status, the library's equivalent of absl::StatusOr<T>.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
@@ -93,7 +103,7 @@ class Result {
     EMSIM_CHECK(!status_.ok() && "Result constructed from OK status without a value");
   }
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
   /// Returns the contained value; it is a fatal error if !ok().

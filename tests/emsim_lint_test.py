@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint/emsim_lint.py (registered with ctest as
+`lint_test`, label `lint`).
+
+Two halves: fixture strings prove each rule fires (and each suppression /
+comment / string-literal escape hatch works), and a full-tree run proves the
+repository itself is clean — the same gate CI enforces.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools" / "lint"))
+
+import emsim_lint  # noqa: E402
+
+
+def rules_fired(relpath, text):
+    findings, _ = emsim_lint.lint_text(relpath, text)
+    return {f["rule"] for f in findings}
+
+
+class RuleFixtureTest(unittest.TestCase):
+    def test_libc_rand_fires(self):
+        self.assertIn("no-libc-rand", rules_fired("src/x.cc", "int r = rand();\n"))
+        self.assertIn("no-libc-rand", rules_fired("src/x.cc", "srand(42);\n"))
+        self.assertIn("no-libc-rand", rules_fired("src/x.cc", "double d = drand48();\n"))
+
+    def test_member_named_rand_does_not_fire(self):
+        self.assertEqual(set(), rules_fired("src/x.cc", "g.rand(7);\n"))
+        self.assertEqual(set(), rules_fired("src/x.cc", "int operand(int);\n"))
+
+    def test_wall_clock_fires(self):
+        for line in [
+            "time_t t = time(nullptr);",
+            "std::time(nullptr);",
+            "clock();",
+            "auto now = std::chrono::system_clock::now();",
+            "auto now = std::chrono::high_resolution_clock::now();",
+        ]:
+            self.assertIn("no-wall-clock", rules_fired("src/x.cc", line + "\n"), line)
+
+    def test_simulated_time_does_not_fire(self):
+        self.assertEqual(set(), rules_fired("src/x.cc", "double now = sim.Now();\n"))
+        self.assertEqual(set(), rules_fired("src/x.cc", "double total_time(int n);\n"))
+        self.assertEqual(
+            set(), rules_fired("src/x.cc", "auto t0 = std::chrono::steady_clock::now();\n"))
+
+    def test_std_random_engine_fires(self):
+        for line in [
+            "std::mt19937 gen;",
+            "std::mt19937_64 gen(seed);",
+            "std::default_random_engine e;",
+            "std::random_device rd;",
+        ]:
+            self.assertIn("no-std-random-engine", rules_fired("src/x.cc", line + "\n"), line)
+
+    def test_emsim_rng_does_not_fire(self):
+        self.assertEqual(set(), rules_fired("src/x.cc", "Rng rng(config.seed);\n"))
+
+    def test_unordered_fires_only_in_export_paths(self):
+        line = "std::unordered_map<std::string, int> index;\n"
+        self.assertIn("no-unordered-in-export",
+                      rules_fired("src/stats/json_writer.cc", line))
+        self.assertIn("no-unordered-in-export", rules_fired("src/obs/metrics.h", line))
+        self.assertIn("no-unordered-in-export", rules_fired("src/core/result_json.cc", line))
+        self.assertNotIn("no-unordered-in-export", rules_fired("src/cache/block_cache.cc", line))
+        self.assertNotIn("no-unordered-in-export", rules_fired("src/extsort/tag_sort.h", line))
+
+    def test_assert_fires_but_static_assert_and_gtest_do_not(self):
+        self.assertIn("check-over-assert", rules_fired("src/x.cc", "assert(n > 0);\n"))
+        self.assertEqual(set(), rules_fired("src/x.cc", "static_assert(sizeof(int) == 4);\n"))
+        self.assertEqual(set(), rules_fired("tests/x.cc", "ASSERT_TRUE(result.ok());\n"))
+
+    def test_comments_and_strings_do_not_fire(self):
+        self.assertEqual(set(), rules_fired("src/x.cc", "// calling rand() would be bad\n"))
+        self.assertEqual(set(), rules_fired("src/x.cc", "/* time(nullptr) */ int x;\n"))
+        self.assertEqual(set(), rules_fired("src/x.cc", 'Log("rand() is forbidden");\n'))
+        self.assertEqual(
+            set(), rules_fired("src/x.cc", "/* block\n   with rand();\n   inside */ int y;\n"))
+
+    def test_allow_directive_suppresses_and_is_reported(self):
+        findings, suppressions = emsim_lint.lint_text(
+            "src/x.cc", "int r = rand();  // emsim-lint: allow(no-libc-rand)\n")
+        self.assertEqual([], findings)
+        self.assertEqual(1, len(suppressions))
+        self.assertEqual("no-libc-rand", suppressions[0]["rule"])
+
+    def test_allow_directive_is_rule_specific(self):
+        findings, _ = emsim_lint.lint_text(
+            "src/x.cc", "int r = rand();  // emsim-lint: allow(no-wall-clock)\n")
+        self.assertEqual(["no-libc-rand"], [f["rule"] for f in findings])
+
+
+class IncludeGuardTest(unittest.TestCase):
+    def test_expected_guard_derivation(self):
+        self.assertEqual("EMSIM_UTIL_CHECK_H_", emsim_lint.expected_guard("src/util/check.h"))
+        self.assertEqual("EMSIM_CORE_RESULT_JSON_H_",
+                         emsim_lint.expected_guard("src/core/result_json.h"))
+        self.assertEqual("EMSIM_BENCH_BENCH_UTIL_H_",
+                         emsim_lint.expected_guard("bench/bench_util.h"))
+
+    def test_wrong_guard_fires(self):
+        text = "#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n"
+        self.assertIn("include-guard", rules_fired("src/util/check.h", text))
+
+    def test_missing_guard_fires(self):
+        self.assertIn("include-guard", rules_fired("src/util/check.h", "int x;\n"))
+
+    def test_correct_guard_is_clean(self):
+        text = "#ifndef EMSIM_UTIL_CHECK_H_\n#define EMSIM_UTIL_CHECK_H_\n#endif\n"
+        self.assertEqual(set(), rules_fired("src/util/check.h", text))
+
+    def test_sources_are_not_guard_checked(self):
+        self.assertEqual(set(), rules_fired("src/util/check.cc", "int x;\n"))
+
+
+class FullTreeTest(unittest.TestCase):
+    def test_repository_is_clean_and_report_is_machine_readable(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            report_path = Path(tmp) / "lint-report.json"
+            proc = subprocess.run(
+                [sys.executable,
+                 str(REPO_ROOT / "tools" / "lint" / "emsim_lint.py"),
+                 "--root", str(REPO_ROOT),
+                 "--report", str(report_path)],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+            self.assertEqual(0, proc.returncode, proc.stdout)
+            report = json.loads(report_path.read_text())
+            self.assertEqual("emsim_lint", report["tool"])
+            self.assertEqual([], report["findings"])
+            self.assertGreater(report["files_scanned"], 100)
+
+    def test_exit_code_is_nonzero_on_findings(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = Path(tmp) / "src"
+            bad.mkdir()
+            (bad / "dirty.cc").write_text("int r = rand();\n")
+            proc = subprocess.run(
+                [sys.executable,
+                 str(REPO_ROOT / "tools" / "lint" / "emsim_lint.py"),
+                 "--root", tmp],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+            self.assertEqual(1, proc.returncode, proc.stdout)
+            self.assertIn("no-libc-rand", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

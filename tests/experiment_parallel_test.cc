@@ -1,0 +1,105 @@
+// RunTrialsParallel promises aggregates bit-identical to the serial path —
+// the whole paper-reproduction rests on trials being deterministic per seed
+// regardless of how they are scheduled onto threads. These tests pin that
+// contract across thread counts, including the MergeResult::metrics export
+// and the JSON projection. They carry the `thread` ctest label so the
+// EMSIM_SANITIZE=thread CI job runs them under TSan.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/result_json.h"
+
+namespace emsim::core {
+namespace {
+
+MergeConfig SmallConfig() {
+  MergeConfig cfg = MergeConfig::Paper(5, 2, 2, Strategy::kDemandRunOnly,
+                                       SyncMode::kUnsynchronized);
+  cfg.blocks_per_run = 40;
+  cfg.check_invariants = true;
+  cfg.collect_metrics = true;  // Exercise the registry under concurrent trials.
+  return cfg;
+}
+
+// EXPECT_EQ on doubles is exact comparison — deliberate: the contract is
+// bit-identity, not closeness.
+void ExpectTrialsIdentical(const ExperimentResult& serial, const ExperimentResult& parallel) {
+  ASSERT_EQ(parallel.trials.size(), serial.trials.size());
+  for (size_t t = 0; t < serial.trials.size(); ++t) {
+    const MergeResult& a = serial.trials[t];
+    const MergeResult& b = parallel.trials[t];
+    EXPECT_EQ(b.total_ms, a.total_ms) << "trial " << t;
+    EXPECT_EQ(b.blocks_merged, a.blocks_merged) << "trial " << t;
+    EXPECT_EQ(b.io_operations, a.io_operations) << "trial " << t;
+    EXPECT_EQ(b.full_admissions, a.full_admissions) << "trial " << t;
+    EXPECT_EQ(b.demand_stalls, a.demand_stalls) << "trial " << t;
+    EXPECT_EQ(b.cache_hits, a.cache_hits) << "trial " << t;
+    EXPECT_EQ(b.avg_concurrency, a.avg_concurrency) << "trial " << t;
+    EXPECT_EQ(b.mean_cache_occupancy, a.mean_cache_occupancy) << "trial " << t;
+    EXPECT_EQ(b.sim_events, a.sim_events) << "trial " << t;
+    ASSERT_EQ(b.per_disk.size(), a.per_disk.size()) << "trial " << t;
+    for (size_t d = 0; d < a.per_disk.size(); ++d) {
+      EXPECT_EQ(b.per_disk[d].busy_fraction, a.per_disk[d].busy_fraction)
+          << "trial " << t << " disk " << d;
+    }
+    ASSERT_EQ(b.metrics.size(), a.metrics.size()) << "trial " << t;
+    for (size_t m = 0; m < a.metrics.size(); ++m) {
+      EXPECT_EQ(b.metrics[m].name, a.metrics[m].name) << "trial " << t;
+      EXPECT_EQ(b.metrics[m].value, a.metrics[m].value)
+          << "trial " << t << " metric " << a.metrics[m].name;
+    }
+  }
+  EXPECT_EQ(parallel.total_ms.Mean(), serial.total_ms.Mean());
+  EXPECT_EQ(parallel.total_ms.Variance(), serial.total_ms.Variance());
+  EXPECT_EQ(parallel.success_ratio.Mean(), serial.success_ratio.Mean());
+  EXPECT_EQ(parallel.concurrency.Mean(), serial.concurrency.Mean());
+  EXPECT_EQ(parallel.io_operations.Mean(), serial.io_operations.Mean());
+  EXPECT_EQ(parallel.cache_occupancy.Mean(), serial.cache_occupancy.Mean());
+}
+
+TEST(RunTrialsParallelTest, BitIdenticalToSerialAcrossThreadCounts) {
+  MergeConfig cfg = SmallConfig();
+  const int trials = 6;
+  ExperimentResult serial = RunTrials(cfg, trials);
+
+  int hardware = static_cast<int>(std::thread::hardware_concurrency());
+  if (hardware <= 0) {
+    hardware = 2;
+  }
+  for (int threads : {1, 2, hardware}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExperimentResult parallel = RunTrialsParallel(cfg, trials, threads);
+    ExpectTrialsIdentical(serial, parallel);
+  }
+}
+
+TEST(RunTrialsParallelTest, DefaultThreadCountUsesHardwareConcurrency) {
+  MergeConfig cfg = SmallConfig();
+  ExperimentResult serial = RunTrials(cfg, 4);
+  ExperimentResult parallel = RunTrialsParallel(cfg, 4);  // num_threads = 0.
+  ExpectTrialsIdentical(serial, parallel);
+}
+
+TEST(RunTrialsParallelTest, JsonExportBytesIdenticalToSerial) {
+  MergeConfig cfg = SmallConfig();
+  ExperimentResult serial = RunTrials(cfg, 5);
+  ExperimentResult parallel = RunTrialsParallel(cfg, 5, 2);
+  std::string doc_serial = ExperimentSetToJson({NamedExperiment{"t", cfg, &serial}});
+  std::string doc_parallel = ExperimentSetToJson({NamedExperiment{"t", cfg, &parallel}});
+  EXPECT_EQ(doc_serial, doc_parallel);
+}
+
+TEST(RunTrialsParallelTest, MetricsCollectedForEveryTrial) {
+  MergeConfig cfg = SmallConfig();
+  ExperimentResult parallel = RunTrialsParallel(cfg, 4, 2);
+  for (const MergeResult& trial : parallel.trials) {
+    EXPECT_FALSE(trial.metrics.empty());
+  }
+}
+
+}  // namespace
+}  // namespace emsim::core

@@ -56,7 +56,11 @@ TEST(MetricsRegistryTest, ReferencesStayValidAcrossGrowth) {
   MetricsRegistry reg;
   Counter& first = reg.GetCounter("a");
   for (int i = 0; i < 100; ++i) {
-    reg.GetCounter("c" + std::to_string(i));
+    // Built with += because string operator+ trips gcc 12's -Wrestrict
+    // false positive in inlined libstdc++ code (GCC PR 105329) under -O2.
+    std::string name = "c";
+    name += std::to_string(i);
+    reg.GetCounter(name);
   }
   first.Increment();
   EXPECT_EQ(reg.GetCounter("a").value(), 1u);

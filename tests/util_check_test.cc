@@ -1,0 +1,53 @@
+#include "util/check.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  EMSIM_CHECK(1 + 1 == 2);
+  EMSIM_CHECK_MSG(true, "never printed");
+  EMSIM_CHECK_EQ(4, 2 + 2);
+  EMSIM_CHECK_NE(std::string("a"), std::string("b"));
+  EMSIM_DCHECK(true);
+}
+
+TEST(CheckDeathTest, CheckAbortsWithCondition) {
+  EXPECT_DEATH(EMSIM_CHECK(2 < 1), "EMSIM_CHECK failed");
+}
+
+TEST(CheckDeathTest, CheckEqPrintsBothValues) {
+  int lhs = 3;
+  int rhs = 7;
+  EXPECT_DEATH(EMSIM_CHECK_EQ(lhs, rhs), "3 vs 7");
+}
+
+TEST(CheckDeathTest, CheckNePrintsBothValues) {
+  std::string word = "same";
+  EXPECT_DEATH(EMSIM_CHECK_NE(word, std::string("same")), "same vs same");
+}
+
+TEST(CheckTest, DcheckConditionIsTypeCheckedButUnevaluatedInRelease) {
+  int evaluations = 0;
+  // `evaluations` is referenced by the DCHECK in both build modes, so this
+  // compiles warning-free under -Werror with or without NDEBUG — the bug the
+  // old empty-expansion DCHECK had.
+  EMSIM_DCHECK(++evaluations >= 0);
+#ifdef NDEBUG
+  EXPECT_EQ(evaluations, 0) << "NDEBUG DCHECK must not evaluate its condition";
+#else
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+TEST(CheckDeathTest, DcheckFiresOnlyInDebugBuilds) {
+#ifdef NDEBUG
+  EMSIM_DCHECK(false);  // No-op in release.
+#else
+  EXPECT_DEATH(EMSIM_DCHECK(false), "EMSIM_CHECK failed");
+#endif
+}
+
+}  // namespace

@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""emsim determinism lint.
+
+Project-specific static checks that no off-the-shelf tool knows about. The
+simulator's contract is that equal seeds produce byte-identical output
+(aggregates, JSON exports, golden files), so this lint forbids every known
+source of run-to-run nondeterminism at the source level:
+
+  no-libc-rand         rand()/srand()/random() — unseeded global C RNG.
+  no-wall-clock        time(), clock(), gettimeofday(), std::chrono
+                       system_clock/high_resolution_clock — wall-clock reads
+                       leak real time into simulated results.
+  no-std-random-engine std:: random engines and std::random_device — the only
+                       sanctioned generator is emsim::Rng (explicitly seeded,
+                       identical streams on every platform).
+  no-unordered-in-export
+                       unordered_{map,set} in result/JSON-export paths —
+                       their iteration order is not byte-stable across
+                       libstdc++ versions, so exports must use sorted
+                       containers (std::map) or explicit sorting.
+  check-over-assert    assert() — compiled out under NDEBUG, so Release and
+                       Debug runs would diverge in what they enforce; use
+                       EMSIM_CHECK / EMSIM_DCHECK.
+  include-guard        headers must guard with EMSIM_<PATH>_H_ derived from
+                       their repo-relative path (e.g. src/util/check.h ->
+                       EMSIM_UTIL_CHECK_H_).
+
+A finding can be suppressed for one line with a trailing
+`// emsim-lint: allow(<rule-id>)` comment; suppressions are themselves
+reported in the JSON report so they stay auditable.
+
+Usage:
+  tools/lint/emsim_lint.py --root . [--report lint-report.json] [--list-rules]
+
+Exit status: 0 when clean, 1 when any finding, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# Directories scanned relative to --root. Headers and sources only.
+SCAN_DIRS = ("src", "tools", "bench", "tests", "examples")
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+# Result/JSON-export paths: files whose output must be byte-stable. A file
+# belongs to the export surface when any of these regexes matches its
+# repo-relative POSIX path.
+EXPORT_PATH_PATTERNS = (
+    r"^src/core/result",      # MergeResult + its JSON projection
+    r"^src/core/experiment",  # trial aggregation feeding every bench artifact
+    r"^src/stats/json_writer",
+    r"^src/stats/table",      # formatted tables embedded in bench output
+    r"^src/obs/",             # metrics registry exported into MergeResult
+)
+
+ALLOW_RE = re.compile(r"//\s*emsim-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
+LINE_COMMENT_RE = re.compile(r"//(?!\s*emsim-lint:).*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+class Rule:
+    """One lint rule: a regex applied per physical line after comment and
+    string-literal stripping, restricted to a path predicate."""
+
+    def __init__(self, rule_id, pattern, message, applies=None):
+        self.rule_id = rule_id
+        self.pattern = re.compile(pattern)
+        self.message = message
+        self.applies = applies or (lambda relpath: True)
+
+
+def _in_export_path(relpath: str) -> bool:
+    return any(re.search(p, relpath) for p in EXPORT_PATH_PATTERNS)
+
+
+RULES = [
+    Rule(
+        "no-libc-rand",
+        r"(?<![\w:.])(?:s?rand|random|rand_r|drand48)\s*\(",
+        "libc RNG is unseeded global state; draw from an explicitly seeded emsim::Rng",
+    ),
+    Rule(
+        "no-wall-clock",
+        r"(?:(?<![\w:.])|(?<=std::))(?:time|clock|gettimeofday|clock_gettime|localtime|gmtime)\s*\("
+        r"|std::chrono::(?:system_clock|high_resolution_clock)",
+        "wall-clock reads make output depend on real time; use simulated time "
+        "(sim::Simulation::Now) or steady_clock strictly for bench wall timing",
+    ),
+    Rule(
+        "no-std-random-engine",
+        r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|random_device|"
+        r"ranlux\w+|knuth_b)",
+        "std:: random engines are not byte-stable across platforms and invite "
+        "unseeded construction; the sanctioned generator is emsim::Rng",
+    ),
+    Rule(
+        "no-unordered-in-export",
+        r"\bunordered_(?:map|set|multimap|multiset)\b",
+        "unordered container in a result/JSON-export path: iteration order is not "
+        "byte-stable; use std::map or sort explicitly before emitting",
+        applies=_in_export_path,
+    ),
+    Rule(
+        "check-over-assert",
+        r"(?<![\w._])assert\s*\(",
+        "assert() vanishes under NDEBUG so Release and Debug enforce different "
+        "invariants; use EMSIM_CHECK (always on) or EMSIM_DCHECK (debug-only, "
+        "still type-checked)",
+    ),
+]
+
+
+def expected_guard(relpath: str) -> str:
+    """src/util/check.h -> EMSIM_UTIL_CHECK_H_; bench/bench_util.h ->
+    EMSIM_BENCH_BENCH_UTIL_H_. The leading src/ is dropped (library headers
+    are included as util/check.h), every other directory is kept."""
+    parts = Path(relpath).parts
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "/".join(parts)
+    stem = re.sub(r"\.(h|hpp)$", "", stem)
+    return "EMSIM_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def strip_noncode(line: str) -> str:
+    """Removes string literals and non-directive comments so rule regexes do
+    not fire on prose. Keeps `emsim-lint:` directives intact."""
+    line = STRING_RE.sub('""', line)
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def lint_text(relpath: str, text: str):
+    """Returns (findings, suppressions) for one file's contents. Pure so the
+    unit test can feed fixture strings."""
+    findings = []
+    suppressions = []
+    in_block_comment = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        # Block comments: drop commented regions, tracking continuation.
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        while "/*" in line:
+            start = line.find("/*")
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2:]
+        allow = ALLOW_RE.search(raw)
+        allowed = set()
+        if allow:
+            allowed = {r.strip() for r in allow.group(1).split(",")}
+        code = strip_noncode(line)
+        for rule in RULES:
+            if not rule.applies(relpath):
+                continue
+            if not rule.pattern.search(code):
+                continue
+            entry = {
+                "rule": rule.rule_id,
+                "path": relpath,
+                "line": lineno,
+                "message": rule.message,
+                "snippet": raw.strip()[:160],
+            }
+            if rule.rule_id in allowed:
+                suppressions.append(entry)
+            else:
+                findings.append(entry)
+    if relpath.endswith((".h", ".hpp")):
+        want = expected_guard(relpath)
+        guard_re = re.compile(r"^#ifndef\s+(\S+)\s*$", re.MULTILINE)
+        m = guard_re.search(text)
+        got = m.group(1) if m else None
+        if got != want or f"#define {want}" not in text:
+            findings.append({
+                "rule": "include-guard",
+                "path": relpath,
+                "line": (text[: m.start()].count("\n") + 1) if m else 1,
+                "message": f"include guard must be {want}" +
+                           (f" (found {got})" if got else " (none found)"),
+                "snippet": (m.group(0) if m else "").strip()[:160],
+            })
+    return findings, suppressions
+
+
+def iter_sources(root: Path):
+    for top in SCAN_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                yield path
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="repository root to scan")
+    parser.add_argument("--report", help="write a machine-readable JSON findings report")
+    parser.add_argument("--list-rules", action="store_true", help="print rule ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.rule_id}: {rule.message}")
+        print("include-guard: headers must guard with EMSIM_<PATH>_H_")
+        return 0
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"emsim_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    suppressions = []
+    scanned = 0
+    for path in iter_sources(root):
+        relpath = path.relative_to(root).as_posix()
+        text = path.read_text(encoding="utf-8", errors="replace")
+        file_findings, file_suppressions = lint_text(relpath, text)
+        findings.extend(file_findings)
+        suppressions.extend(file_suppressions)
+        scanned += 1
+
+    report = {
+        "tool": "emsim_lint",
+        "version": 1,
+        "files_scanned": scanned,
+        "findings": findings,
+        "suppressions": suppressions,
+    }
+    if args.report:
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    for f in findings:
+        print(f"{f['path']}:{f['line']}: [{f['rule']}] {f['message']}")
+        if f["snippet"]:
+            print(f"    {f['snippet']}")
+    summary = (f"emsim_lint: {scanned} files, {len(findings)} finding(s), "
+               f"{len(suppressions)} suppression(s)")
+    print(summary, file=sys.stderr if findings else sys.stdout)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

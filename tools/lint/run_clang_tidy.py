@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy (curated profile in .clang-tidy, warnings-as-errors) over
+every translation unit in the compilation database that lives under
+src/ tools/ bench/ or tests/.
+
+A thin, dependency-free replacement for LLVM's run-clang-tidy wrapper so the
+lint gate does not depend on which clang-tidy packaging the host installed.
+
+Usage:
+  tools/lint/run_clang_tidy.py --build-dir build [--clang-tidy clang-tidy]
+                               [--source-root .] [--jobs N] [--report out.txt]
+
+Exit status: 0 when clang-tidy is clean on every file, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import subprocess
+import sys
+from pathlib import Path
+
+LINT_DIRS = ("src", "tools", "bench", "tests")
+
+
+def tidy_one(task):
+    clang_tidy, build_dir, path = task
+    try:
+        proc = subprocess.run(
+            [clang_tidy, "-p", build_dir, "--warnings-as-errors=*", "--quiet", path],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+    except FileNotFoundError:
+        return path, 127, f"run_clang_tidy: {clang_tidy}: no such executable\n"
+    return path, proc.returncode, proc.stdout
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", required=True,
+                        help="build tree containing compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--source-root", default=".")
+    parser.add_argument("--jobs", type=int, default=0, help="0 = one per CPU")
+    parser.add_argument("--report", help="write the aggregated clang-tidy output here")
+    args = parser.parse_args(argv)
+
+    build_dir = Path(args.build_dir).resolve()
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        print(f"run_clang_tidy: {db_path} not found; configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON first", file=sys.stderr)
+        return 1
+    root = Path(args.source_root).resolve()
+
+    files = []
+    for entry in json.loads(db_path.read_text(encoding="utf-8")):
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = Path(entry["directory"]) / path
+        path = path.resolve()
+        try:
+            rel = path.relative_to(root)
+        except ValueError:
+            continue
+        if rel.parts and rel.parts[0] in LINT_DIRS:
+            files.append(str(path))
+    files = sorted(set(files))
+    if not files:
+        print("run_clang_tidy: no files under "
+              f"{'/'.join(LINT_DIRS)} in the compilation database", file=sys.stderr)
+        return 1
+
+    jobs = args.jobs if args.jobs > 0 else (multiprocessing.cpu_count() or 1)
+    tasks = [(args.clang_tidy, str(build_dir), f) for f in files]
+    failures = 0
+    chunks = []
+    with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+        for path, code, output in pool.imap_unordered(tidy_one, tasks):
+            if code != 0:
+                failures += 1
+                sys.stdout.write(output)
+            chunks.append(f"==> {path} (exit {code})\n{output}")
+    if args.report:
+        Path(args.report).write_text("".join(chunks), encoding="utf-8")
+    print(f"run_clang_tidy: {len(files)} files, {failures} with findings",
+          file=sys.stderr if failures else sys.stdout)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
