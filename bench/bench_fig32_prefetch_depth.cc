@@ -9,7 +9,6 @@
 namespace emsim {
 namespace {
 
-using bench::Run;
 using core::MergeConfig;
 using core::Strategy;
 using core::SyncMode;
@@ -17,11 +16,18 @@ using core::SyncMode;
 void AddCurve(stats::Figure& fig, const std::string& name, int k, int d,
               Strategy strategy) {
   stats::Series& series = fig.AddSeries(name);
-  for (int n : workload::Fig32DepthSweep()) {
-    MergeConfig cfg = MergeConfig::Paper(k, d, n, strategy, SyncMode::kUnsynchronized);
-    auto result = Run(cfg);
-    auto ci = result.TotalSecondsCi();
-    series.Add(n, ci.mean, ci.half_width);
+  std::vector<int> depths = workload::Fig32DepthSweep();
+  std::vector<MergeConfig> configs;
+  configs.reserve(depths.size());
+  for (int n : depths) {
+    configs.push_back(MergeConfig::Paper(k, d, n, strategy, SyncMode::kUnsynchronized));
+  }
+  // One batched sweep per curve: the config x trial grid shares the worker
+  // pool, so every thread stays busy even with small trial counts.
+  std::vector<core::ExperimentResult> results = bench::RunSweep(configs);
+  for (size_t i = 0; i < results.size(); ++i) {
+    auto ci = results[i].TotalSecondsCi();
+    series.Add(depths[i], ci.mean, ci.half_width);
   }
 }
 

@@ -5,11 +5,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "core/config.h"
 #include "core/merge_simulator.h"
 #include "disk/mechanism.h"
 #include "extsort/loser_tree.h"
 #include "sim/event.h"
+#include "sim/frame_pool.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
 #include "util/rng.h"
@@ -17,7 +22,30 @@
 namespace emsim {
 namespace {
 
+// Counts every global heap allocation (see the replaced operator new below).
+// The kernel benches report allocs_per_op so a regression that silently
+// reintroduces per-event or per-frame heap traffic shows up in the numbers,
+// not just in wall time.
+std::atomic<uint64_t> g_heap_allocs{0};
+
+uint64_t HeapAllocs() { return g_heap_allocs.load(std::memory_order_relaxed); }
+
+/// Attaches the standard kernel counters to `state` after the timed loop:
+/// events per wall second, simulation events per benchmark op, and global
+/// heap allocations per op.
+void SetKernelCounters(benchmark::State& state, uint64_t events,
+                       uint64_t heap_allocs_before) {
+  auto ops = static_cast<double>(state.iterations());
+  state.counters["events_per_second"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["events_per_op"] = static_cast<double>(events) / ops;
+  state.counters["allocs_per_op"] =
+      static_cast<double>(HeapAllocs() - heap_allocs_before) / ops;
+}
+
 void BM_CalendarScheduleExecute(benchmark::State& state) {
+  uint64_t events = 0;
+  uint64_t allocs0 = HeapAllocs();
   for (auto _ : state) {
     sim::Simulation sim;
     int64_t counter = 0;
@@ -26,8 +54,10 @@ void BM_CalendarScheduleExecute(benchmark::State& state) {
     }
     sim.Run();
     benchmark::DoNotOptimize(counter);
+    events += sim.events_processed();
   }
   state.SetItemsProcessed(state.iterations() * 1000);
+  SetKernelCounters(state, events, allocs0);
 }
 BENCHMARK(BM_CalendarScheduleExecute);
 
@@ -38,14 +68,45 @@ sim::Process Hopper(sim::Simulation& /*sim*/, int hops) {
 }
 
 void BM_CoroutineContextSwitch(benchmark::State& state) {
+  uint64_t events = 0;
+  uint64_t allocs0 = HeapAllocs();
   for (auto _ : state) {
     sim::Simulation sim;
     sim.Spawn(Hopper(sim, 1000));
     sim.Run();
+    events += sim.events_processed();
   }
   state.SetItemsProcessed(state.iterations() * 1000);
+  SetKernelCounters(state, events, allocs0);
 }
 BENCHMARK(BM_CoroutineContextSwitch);
+
+sim::Process Nop(sim::Simulation& /*sim*/) { co_return; }
+
+// Spawn/finish cost of a shortest-possible process: one frame-pool
+// allocation, live-table insert, inline completion, frame free. The
+// frame-pool counters confirm the frames recycle (pool_allocs grows,
+// bytes_reserved does not).
+void BM_ProcessSpawnFinish(benchmark::State& state) {
+  uint64_t allocs0 = HeapAllocs();
+  sim::FramePool::ResetThreadStats();
+  uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Spawn(Nop(sim));
+    }
+    sim.Run();
+    events += sim.events_processed();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  SetKernelCounters(state, events, allocs0);
+  sim::FramePool::Stats fp = sim::FramePool::ThreadStats();
+  state.counters["frame_pool_allocs_per_op"] =
+      static_cast<double>(fp.pool_allocs) / static_cast<double>(state.iterations());
+  state.counters["frame_pool_bytes_reserved"] = static_cast<double>(fp.bytes_reserved);
+}
+BENCHMARK(BM_ProcessSpawnFinish);
 
 void BM_MechanismAccess(benchmark::State& state) {
   disk::Mechanism mech{disk::DiskParams::Paper()};
@@ -80,16 +141,45 @@ void BM_FullMergeTrial(benchmark::State& state) {
                                core::Strategy::kAllDisksOneRun,
                                core::SyncMode::kUnsynchronized);
   uint64_t seed = 1;
+  uint64_t allocs0 = HeapAllocs();
+  uint64_t events = 0;
   for (auto _ : state) {
     cfg.seed = seed++;
     auto result = core::SimulateMerge(cfg);
     benchmark::DoNotOptimize(result->total_ms);
+    events += result->sim_events;
   }
   state.SetItemsProcessed(state.iterations() * 25000);  // Blocks per trial.
+  SetKernelCounters(state, events, allocs0);
 }
 BENCHMARK(BM_FullMergeTrial)->Arg(1)->Arg(10);
 
 }  // namespace
 }  // namespace emsim
+
+// Counting replacements for the global allocation functions. Replacing
+// operator new/delete is the standard-sanctioned hook ([replacement.functions]);
+// malloc keeps its libc definition, so the counter covers exactly the C++
+// allocations the kernel could issue (std::function boxes, vector growth,
+// coroutine frames that miss the pool). GCC flags free() on new-ed pointers
+// when it inlines both sides, but pairing malloc with the replaced operator
+// new is exactly the sanctioned layout.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  emsim::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  emsim::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 BENCHMARK_MAIN();

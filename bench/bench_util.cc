@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/result_json.h"
@@ -30,6 +32,7 @@ std::vector<RecordedExperiment>& Recorded() {
 
 int Trials() {
   static int trials = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) - read once before any pool work
     const char* env = std::getenv("EMSIM_BENCH_TRIALS");
     if (env == nullptr || *env == '\0') {
       return kTrials;
@@ -40,14 +43,50 @@ int Trials() {
   return trials;
 }
 
-core::ExperimentResult Run(const core::MergeConfig& config, const std::string& name) {
-  auto result = std::make_unique<core::ExperimentResult>(
-      core::RunTrialsParallel(config, Trials()));
-  core::ExperimentResult copy = *result;
+int Threads() {
+  static int threads = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) - read once before any pool work
+    const char* env = std::getenv("EMSIM_BENCH_THREADS");
+    if (env == nullptr || *env == '\0') {
+      return 1;  // Serial by default: stable numbers beat idle-core usage.
+    }
+    int parsed = std::atoi(env);
+    if (parsed == 0) {
+      unsigned hw = std::thread::hardware_concurrency();
+      return hw > 0 ? static_cast<int>(hw) : 2;
+    }
+    return parsed >= 1 ? parsed : 1;
+  }();
+  return threads;
+}
+
+namespace {
+
+core::ExperimentResult Record(const core::MergeConfig& config,
+                              core::ExperimentResult result, const std::string& name) {
+  auto held = std::make_unique<core::ExperimentResult>(std::move(result));
+  core::ExperimentResult copy = *held;
   std::string point_name =
       name.empty() ? StrFormat("point_%03zu", Recorded().size()) : name;
-  Recorded().push_back(RecordedExperiment{std::move(point_name), config, std::move(result)});
+  Recorded().push_back(RecordedExperiment{std::move(point_name), config, std::move(held)});
   return copy;
+}
+
+}  // namespace
+
+core::ExperimentResult Run(const core::MergeConfig& config, const std::string& name) {
+  return Record(config, core::RunTrialsParallel(config, Trials(), Threads()), name);
+}
+
+std::vector<core::ExperimentResult> RunSweep(const std::vector<core::MergeConfig>& configs) {
+  std::vector<core::ExperimentResult> results =
+      core::RunSweepParallel(configs, Trials(), Threads());
+  std::vector<core::ExperimentResult> out;
+  out.reserve(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    out.push_back(Record(configs[i], std::move(results[i]), ""));
+  }
+  return out;
 }
 
 void EmitFigure(const stats::Figure& figure) {
@@ -66,6 +105,7 @@ void EmitTable(const std::string& title, const stats::Table& table,
 }
 
 void WriteJsonArtifact(const std::string& bench_name) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) - called from main after workers idle
   const char* toggle = std::getenv("EMSIM_BENCH_JSON");
   if (toggle != nullptr && std::string(toggle) == "0") {
     return;
@@ -76,6 +116,7 @@ void WriteJsonArtifact(const std::string& bench_name) {
     named.push_back(core::NamedExperiment{r.name, r.config, r.result.get()});
   }
   std::string doc = core::ExperimentSetToJson(named);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) - called from main after workers idle
   const char* dir = std::getenv("EMSIM_BENCH_JSON_DIR");
   std::string path = StrFormat("%s%sBENCH_%s.json", dir != nullptr ? dir : "",
                                dir != nullptr && *dir != '\0' ? "/" : "",

@@ -2,6 +2,7 @@
 #define EMSIM_BENCH_BENCH_UTIL_H_
 
 #include <string>
+#include <vector>
 
 #include "core/config.h"
 #include "core/experiment.h"
@@ -18,11 +19,24 @@ inline constexpr int kTrials = 5;
 /// environment override (CI smoke jobs run with EMSIM_BENCH_TRIALS=2).
 int Trials();
 
+/// Worker-pool parallelism for experiment points: 1 (serial — the default,
+/// so bench numbers on developer machines are not polluted by oversubscribed
+/// threads), or the EMSIM_BENCH_THREADS override ("0" = hardware
+/// concurrency, N = exactly N threads).
+int Threads();
+
 /// Runs the config for Trials() trials and returns the aggregate. Every call
 /// is also recorded (as "point_NNN" in call order, or under `name`) for
 /// WriteJsonArtifact.
 core::ExperimentResult Run(const core::MergeConfig& config,
                            const std::string& name = "");
+
+/// Runs a batch of configs — Trials() trials each — through one flattened
+/// config × trial task space on the shared worker pool, so small per-point
+/// trial counts still fill every thread. Results come back in input order,
+/// and each point is recorded for WriteJsonArtifact exactly as if Run() had
+/// been called in sequence (identical artifact bytes).
+std::vector<core::ExperimentResult> RunSweep(const std::vector<core::MergeConfig>& configs);
 
 /// Prints a figure (table + CSV) with a standard banner.
 void EmitFigure(const stats::Figure& figure);

@@ -26,11 +26,6 @@ BlockCache::BlockCache(sim::Simulation* sim, const Options& options)
   }
 }
 
-bool BlockCache::HasLeadingBlock(int run) const {
-  const RunSlot& slot = RunOf(run);
-  return !slot.blocks.empty() && slot.blocks.front() == slot.next_consume;
-}
-
 bool BlockCache::TryReserve(int run, int64_t n) {
   EMSIM_CHECK(n >= 0);
   if (n == 0) {
@@ -57,49 +52,6 @@ void BlockCache::CancelReservation(int run, int64_t n) {
   EMSIM_CHECK(slot.reserved >= n);
   slot.reserved -= n;
   reserved_total_ -= n;
-}
-
-void BlockCache::Deposit(int run, int64_t offset) {
-  RunSlot& slot = RunOf(run);
-  EMSIM_CHECK(slot.reserved >= 1 && "Deposit without reservation");
-  slot.reserved -= 1;
-  reserved_total_ -= 1;
-  EMSIM_CHECK(offset >= slot.next_consume && "Deposit of an already-consumed offset");
-  // Insert preserving ascending order; deposits are in order under FCFS so
-  // the common case is an append.
-  if (slot.blocks.empty() || offset > slot.blocks.back()) {
-    slot.blocks.push_back(offset);
-  } else {
-    auto pos = std::lower_bound(slot.blocks.begin(), slot.blocks.end(), offset);
-    EMSIM_CHECK(pos == slot.blocks.end() || *pos != offset);
-    slot.blocks.insert(pos, offset);
-  }
-  cached_total_ += 1;
-  ++stats_.deposits;
-  if (metric_deposits_ != nullptr) {
-    metric_deposits_->Increment();
-  }
-  NoteOccupancy();
-  slot.signal->Fire();
-}
-
-int64_t BlockCache::ConsumeLeading(int run) {
-  RunSlot& slot = RunOf(run);
-  EMSIM_CHECK(HasLeadingBlock(run));
-  int64_t offset = slot.blocks.front();
-  slot.blocks.pop_front();
-  slot.next_consume = offset + 1;
-  cached_total_ -= 1;
-  ++stats_.consumptions;
-  NoteOccupancy();
-  return offset;
-}
-
-void BlockCache::NoteOccupancy() {
-  occupancy_.Update(sim_->Now(), static_cast<double>(cached_total_));
-  if (metric_occupancy_ != nullptr) {
-    metric_occupancy_->Update(sim_->Now(), static_cast<double>(cached_total_));
-  }
 }
 
 void BlockCache::FlushStats() { occupancy_.Flush(sim_->Now()); }

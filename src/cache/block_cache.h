@@ -1,6 +1,7 @@
 #ifndef EMSIM_CACHE_BLOCK_CACHE_H_
 #define EMSIM_CACHE_BLOCK_CACHE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -10,6 +11,7 @@
 #include "sim/event.h"
 #include "sim/simulation.h"
 #include "stats/time_weighted.h"
+#include "util/check.h"
 
 namespace emsim::cache {
 
@@ -62,8 +64,12 @@ class BlockCache {
   int64_t FreeBlocks() const { return capacity_ - cached_total_ - reserved_total_; }
 
   /// True if `run`'s *leading* block (the next one the merge will consume)
-  /// is resident.
-  bool HasLeadingBlock(int run) const;
+  /// is resident. Inline: the merge polls this on every block consumed and
+  /// every fetch planned.
+  bool HasLeadingBlock(int run) const {
+    const RunSlot& slot = RunOf(run);
+    return !slot.blocks.empty() && slot.blocks.front() == slot.next_consume;
+  }
 
   /// Cached blocks held for `run`.
   int64_t CachedForRun(int run) const { return static_cast<int64_t>(RunOf(run).blocks.size()); }
@@ -84,12 +90,46 @@ class BlockCache {
   void CancelReservation(int run, int64_t n);
 
   /// A reserved frame of `run` receives block `offset` from disk. Fires the
-  /// run's deposit signal so waiting processes can recheck.
-  void Deposit(int run, int64_t offset);
+  /// run's deposit signal so waiting processes can recheck. Inline along
+  /// with ConsumeLeading: the pair runs once per block transferred, which is
+  /// the per-block unit of work the whole simulation scales by.
+  void Deposit(int run, int64_t offset) {
+    RunSlot& slot = RunOf(run);
+    EMSIM_CHECK(slot.reserved >= 1 && "Deposit without reservation");
+    slot.reserved -= 1;
+    reserved_total_ -= 1;
+    EMSIM_CHECK(offset >= slot.next_consume && "Deposit of an already-consumed offset");
+    // Insert preserving ascending order; deposits are in order under FCFS so
+    // the common case is an append.
+    if (slot.blocks.empty() || offset > slot.blocks.back()) {
+      slot.blocks.push_back(offset);
+    } else {
+      auto pos = std::lower_bound(slot.blocks.begin(), slot.blocks.end(), offset);
+      EMSIM_CHECK(pos == slot.blocks.end() || *pos != offset);
+      slot.blocks.insert(pos, offset);
+    }
+    cached_total_ += 1;
+    ++stats_.deposits;
+    if (metric_deposits_ != nullptr) {
+      metric_deposits_->Increment();
+    }
+    NoteOccupancy();
+    slot.signal->Fire();
+  }
 
   /// Consumes (depletes) the leading cached block of `run`, freeing its
   /// frame. Returns the consumed offset. Requires HasLeadingBlock(run).
-  int64_t ConsumeLeading(int run);
+  int64_t ConsumeLeading(int run) {
+    RunSlot& slot = RunOf(run);
+    EMSIM_CHECK(HasLeadingBlock(run));
+    int64_t offset = slot.blocks.front();
+    slot.blocks.pop_front();
+    slot.next_consume = offset + 1;
+    cached_total_ -= 1;
+    ++stats_.consumptions;
+    NoteOccupancy();
+    return offset;
+  }
 
   /// Pulse signal fired on every deposit into `run`; processes waiting for
   /// a block of `run` wait on this and recheck HasLeadingBlock.
@@ -115,9 +155,23 @@ class BlockCache {
     std::unique_ptr<sim::Signal> signal;
   };
 
-  RunSlot& RunOf(int run) { return runs_.at(static_cast<size_t>(run)); }
-  const RunSlot& RunOf(int run) const { return runs_.at(static_cast<size_t>(run)); }
-  void NoteOccupancy();
+  // Unchecked in release builds: run ids come from the planner, which is
+  // constructed against the same num_runs.
+  RunSlot& RunOf(int run) {
+    EMSIM_DCHECK(run >= 0 && static_cast<size_t>(run) < runs_.size());
+    return runs_[static_cast<size_t>(run)];
+  }
+  const RunSlot& RunOf(int run) const {
+    EMSIM_DCHECK(run >= 0 && static_cast<size_t>(run) < runs_.size());
+    return runs_[static_cast<size_t>(run)];
+  }
+
+  void NoteOccupancy() {
+    occupancy_.Update(sim_->Now(), static_cast<double>(cached_total_));
+    if (metric_occupancy_ != nullptr) {
+      metric_occupancy_->Update(sim_->Now(), static_cast<double>(cached_total_));
+    }
+  }
 
   sim::Simulation* sim_;
   int64_t capacity_;

@@ -1,13 +1,55 @@
 #include "core/experiment.h"
 
+#include <limits>
+#include <mutex>
 #include <thread>
+#include <utility>
 
 #include "util/check.h"
 #include "util/str.h"
+#include "util/thread_pool.h"
 
 namespace emsim::core {
 
 namespace {
+
+/// Collects the first failure by *task index* (not arrival order) so the
+/// abort message is deterministic across thread counts, and defers the abort
+/// itself to the joining thread: pool workers must never call abort() while
+/// sibling tasks are mid-flight.
+class FailureCapture {
+ public:
+  void Record(int index, const Status& status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index < first_index_) {
+      first_index_ = index;
+      status_ = status;
+    }
+  }
+
+  /// Called on the joining thread after all tasks completed.
+  void CheckOk(const char* what) const {
+    if (first_index_ == std::numeric_limits<int>::max()) {
+      return;
+    }
+    EMSIM_CHECK_MSG(false, StrFormat("%s %d failed: %s", what, first_index_,
+                                     status_.ToString().c_str())
+                               .c_str());
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int first_index_ = std::numeric_limits<int>::max();
+  Status status_;
+};
+
+int ResolveThreads(int num_threads) {
+  if (num_threads > 0) {
+    return num_threads;
+  }
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 2;
+}
 
 ExperimentResult Aggregate(std::vector<MergeResult> trials) {
   ExperimentResult out;
@@ -48,31 +90,55 @@ ExperimentResult RunTrials(const MergeConfig& config, int num_trials) {
 ExperimentResult RunTrialsParallel(const MergeConfig& config, int num_trials,
                                    int num_threads) {
   EMSIM_CHECK(num_trials >= 1);
-  if (num_threads <= 0) {
-    num_threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (num_threads <= 0) {
-      num_threads = 2;
-    }
-  }
-  num_threads = std::min(num_threads, num_trials);
   std::vector<MergeResult> trials(static_cast<size_t>(num_trials));
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(num_threads));
-  for (int w = 0; w < num_threads; ++w) {
-    workers.emplace_back([&, w] {
-      for (int t = w; t < num_trials; t += num_threads) {
-        MergeConfig trial_config = config;
-        trial_config.seed = config.seed + static_cast<uint64_t>(t);
-        Result<MergeResult> result = SimulateMerge(trial_config);
-        EMSIM_CHECK_MSG(result.ok(), result.status().ToString().c_str());
-        trials[static_cast<size_t>(t)] = *std::move(result);
-      }
-    });
-  }
-  for (std::thread& worker : workers) {
-    worker.join();
-  }
+  FailureCapture failure;
+  auto task = [&](int t) {
+    MergeConfig trial_config = config;
+    trial_config.seed = config.seed + static_cast<uint64_t>(t);
+    Result<MergeResult> result = SimulateMerge(trial_config);
+    if (!result.ok()) {
+      failure.Record(t, result.status());
+      return;
+    }
+    trials[static_cast<size_t>(t)] = *std::move(result);
+  };
+  ThreadPool::Instance().Run(ResolveThreads(num_threads), num_trials, task);
+  failure.CheckOk("trial");
   return Aggregate(std::move(trials));
+}
+
+std::vector<ExperimentResult> RunSweepParallel(const std::vector<MergeConfig>& configs,
+                                               int num_trials, int num_threads) {
+  EMSIM_CHECK(num_trials >= 1);
+  if (configs.empty()) {
+    return {};
+  }
+  const int num_configs = static_cast<int>(configs.size());
+  const int total = num_configs * num_trials;
+  std::vector<MergeResult> grid(static_cast<size_t>(total));
+  FailureCapture failure;
+  auto task = [&](int index) {
+    int c = index / num_trials;
+    int t = index % num_trials;
+    MergeConfig trial_config = configs[static_cast<size_t>(c)];
+    trial_config.seed = trial_config.seed + static_cast<uint64_t>(t);
+    Result<MergeResult> result = SimulateMerge(trial_config);
+    if (!result.ok()) {
+      failure.Record(index, result.status());
+      return;
+    }
+    grid[static_cast<size_t>(index)] = *std::move(result);
+  };
+  ThreadPool::Instance().Run(ResolveThreads(num_threads), total, task);
+  failure.CheckOk("sweep task");
+  std::vector<ExperimentResult> out;
+  out.reserve(configs.size());
+  for (int c = 0; c < num_configs; ++c) {
+    auto first = grid.begin() + static_cast<ptrdiff_t>(c) * num_trials;
+    out.push_back(Aggregate(std::vector<MergeResult>(
+        std::make_move_iterator(first), std::make_move_iterator(first + num_trials))));
+  }
+  return out;
 }
 
 }  // namespace emsim::core

@@ -40,11 +40,23 @@ struct ExperimentResult {
 /// input); use MergeSimulator::Run directly for Status-based handling.
 ExperimentResult RunTrials(const MergeConfig& config, int num_trials);
 
-/// Same trials, run on `num_threads` OS threads (0 = hardware concurrency).
-/// Each trial's simulation is fully independent and deterministic per seed,
-/// so the aggregate is bit-identical to RunTrials.
+/// Same trials, run on the process-wide worker pool with `num_threads`-way
+/// parallelism (0 = hardware concurrency). Each trial's simulation is fully
+/// independent and deterministic per seed, and trials are aggregated in seed
+/// order, so the aggregate is bit-identical to RunTrials for every thread
+/// count. A trial failure is reported from the joining thread (the worker
+/// records the failure with the lowest trial index; the join aborts with its
+/// status), never from inside a pool worker.
 ExperimentResult RunTrialsParallel(const MergeConfig& config, int num_trials,
                                    int num_threads = 0);
+
+/// Runs `num_trials` trials of every config in `configs` on the shared
+/// worker pool, flattening the config × trial grid into one task space so a
+/// sweep keeps all threads busy even when per-config trial counts are small.
+/// Results are aggregated per config, in the order given, with the same
+/// bit-identical-to-serial guarantee as RunTrialsParallel.
+std::vector<ExperimentResult> RunSweepParallel(const std::vector<MergeConfig>& configs,
+                                               int num_trials, int num_threads = 0);
 
 /// Default trial count used by the benches (the paper's count is lost to
 /// OCR; 5 gives sub-1% confidence half-widths at these run lengths).

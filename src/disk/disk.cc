@@ -29,13 +29,6 @@ void Disk::AttachMetrics(obs::MetricsRegistry* metrics) {
   metric_queue_->Update(sim_->Now(), static_cast<double>(queue_.size()));
 }
 
-void Disk::NoteQueueLength() {
-  queue_timeline_.Update(sim_->Now(), static_cast<double>(queue_.size()));
-  if (metric_queue_ != nullptr) {
-    metric_queue_->Update(sim_->Now(), static_cast<double>(queue_.size()));
-  }
-}
-
 void Disk::FlushLocalStats() {
   busy_timeline_.Flush(sim_->Now());
   queue_timeline_.Flush(sim_->Now());
@@ -87,22 +80,12 @@ DiskRequest Disk::PopNext() {
     }
   }
   DiskRequest req = std::move(queue_[pick]);
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+  if (pick == 0) {
+    queue_.pop_front();  // FCFS and front-winning SSTF: O(1), no shifting.
+  } else {
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
   return req;
-}
-
-void Disk::SetBusy(bool busy) {
-  if (busy_ == busy) {
-    return;
-  }
-  busy_ = busy;
-  busy_timeline_.Update(sim_->Now(), busy ? 1.0 : 0.0);
-  if (metric_busy_ != nullptr) {
-    metric_busy_->Update(sim_->Now(), busy ? 1.0 : 0.0);
-  }
-  if (on_busy_changed) {
-    on_busy_changed(id_, busy);
-  }
 }
 
 sim::Process Disk::Serve() {

@@ -130,9 +130,28 @@ class Disk {
   /// Removes and returns the next request per the scheduling policy.
   DiskRequest PopNext();
 
-  void SetBusy(bool busy);
+  // Inline: both run on every request transition (twice per request for the
+  // busy flag), bracketing every block of simulated I/O.
+  void SetBusy(bool busy) {
+    if (busy_ == busy) {
+      return;
+    }
+    busy_ = busy;
+    busy_timeline_.Update(sim_->Now(), busy ? 1.0 : 0.0);
+    if (metric_busy_ != nullptr) {
+      metric_busy_->Update(sim_->Now(), busy ? 1.0 : 0.0);
+    }
+    if (on_busy_changed) {
+      on_busy_changed(id_, busy);
+    }
+  }
 
-  void NoteQueueLength();
+  void NoteQueueLength() {
+    queue_timeline_.Update(sim_->Now(), static_cast<double>(queue_.size()));
+    if (metric_queue_ != nullptr) {
+      metric_queue_->Update(sim_->Now(), static_cast<double>(queue_.size()));
+    }
+  }
 
   sim::Simulation* sim_;
   int id_;

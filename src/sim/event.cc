@@ -14,15 +14,18 @@ void Event::Set() {
 }
 
 void Event::Reset() {
+  // Resetting under waiters would strand their coroutine frames: they were
+  // queued against the previous arming and no future Set() owes them a
+  // wakeup. The contract ("must not be called while processes wait") is
+  // enforced, not just documented.
   EMSIM_CHECK(waiters_.empty() && "Event::Reset with pending waiters");
   set_ = false;
 }
 
-void Signal::Fire() {
-  // Swap first: a resumed waiter may immediately re-wait on this signal, and
-  // those re-waits belong to the *next* pulse.
-  std::vector<std::coroutine_handle<>> woken;
-  woken.swap(waiters_);
+void Signal::FireSlow() {
+  // Detach first: a resumed waiter may immediately re-wait on this signal,
+  // and those re-waits belong to the *next* pulse.
+  InlineVec<std::coroutine_handle<>, 4> woken(std::move(waiters_));
   for (auto h : woken) {
     sim_->ScheduleHandle(sim_->Now(), h);
   }

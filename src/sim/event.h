@@ -2,10 +2,10 @@
 #define EMSIM_SIM_EVENT_H_
 
 #include <coroutine>
-#include <vector>
 
 #include "sim/process.h"
 #include "sim/simulation.h"
+#include "util/inline_vec.h"
 
 namespace emsim::sim {
 
@@ -48,7 +48,9 @@ class Event {
   friend class Awaiter;
   Simulation* sim_;
   bool set_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  // Typical occupancy is 0–2 waiters; the inline buffer keeps the wait/set
+  // cycle allocation-free.
+  InlineVec<std::coroutine_handle<>, 4> waiters_;
 };
 
 /// A pulse-style broadcast signal (condition variable without a lock): each
@@ -64,7 +66,14 @@ class Signal {
   Signal& operator=(const Signal&) = delete;
 
   /// Wakes every currently-waiting process (scheduled at the current time).
-  void Fire();
+  /// Inline empty fast path: producers fire once per deposited block, and
+  /// most pulses find nobody waiting.
+  void Fire() {
+    if (waiters_.empty()) {
+      return;
+    }
+    FireSlow();
+  }
 
   /// Number of processes currently blocked on this signal.
   size_t NumWaiters() const { return waiters_.size(); }
@@ -86,8 +95,10 @@ class Signal {
 
  private:
   friend class Awaiter;
+  void FireSlow();
+
   Simulation* sim_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  InlineVec<std::coroutine_handle<>, 4> waiters_;
 };
 
 }  // namespace emsim::sim

@@ -1,0 +1,91 @@
+#include "sim/frame_pool.h"
+
+#include <new>
+#include <vector>
+
+namespace emsim::sim {
+
+namespace {
+
+// 64-byte classes keep every block max_align_t-aligned (slabs come from
+// operator new) and waste at most 63 bytes per frame.
+constexpr std::size_t kClassBytes = 64;
+constexpr std::size_t kNumClasses = 16;  // Classes cover frames up to 1 KiB.
+constexpr std::size_t kMaxPooledBytes = kClassBytes * kNumClasses;
+constexpr std::size_t kSlabBlocks = 64;  // Blocks carved per slab.
+
+struct FreeNode {
+  FreeNode* next;
+};
+
+struct Pool {
+  FreeNode* free_lists[kNumClasses] = {};
+  std::vector<void*> slabs;
+  FramePool::Stats stats;
+
+  ~Pool() {
+    // Runs at thread exit, after every Simulation on this thread is gone
+    // (frames never outlive their simulation's thread).
+    for (void* slab : slabs) {
+      ::operator delete(slab);
+    }
+  }
+};
+
+Pool& LocalPool() {
+  thread_local Pool pool;
+  return pool;
+}
+
+std::size_t ClassIndex(std::size_t bytes) { return (bytes + kClassBytes - 1) / kClassBytes - 1; }
+
+}  // namespace
+
+void* FramePool::Allocate(std::size_t bytes) {
+  Pool& pool = LocalPool();
+  if (bytes == 0 || bytes > kMaxPooledBytes) {
+    ++pool.stats.fallback_allocs;
+    ++pool.stats.live_frames;
+    return ::operator new(bytes);
+  }
+  std::size_t cls = ClassIndex(bytes);
+  if (pool.free_lists[cls] == nullptr) {
+    const std::size_t block_bytes = (cls + 1) * kClassBytes;
+    char* slab = static_cast<char*>(::operator new(block_bytes * kSlabBlocks));
+    pool.slabs.push_back(slab);
+    ++pool.stats.slabs_allocated;
+    pool.stats.bytes_reserved += block_bytes * kSlabBlocks;
+    for (std::size_t i = 0; i < kSlabBlocks; ++i) {
+      auto* node = reinterpret_cast<FreeNode*>(slab + i * block_bytes);
+      node->next = pool.free_lists[cls];
+      pool.free_lists[cls] = node;
+    }
+  }
+  FreeNode* node = pool.free_lists[cls];
+  pool.free_lists[cls] = node->next;
+  ++pool.stats.pool_allocs;
+  ++pool.stats.live_frames;
+  return node;
+}
+
+void FramePool::Deallocate(void* ptr, std::size_t bytes) noexcept {
+  if (ptr == nullptr) {
+    return;
+  }
+  Pool& pool = LocalPool();
+  --pool.stats.live_frames;
+  if (bytes == 0 || bytes > kMaxPooledBytes) {
+    ::operator delete(ptr);
+    return;
+  }
+  std::size_t cls = ClassIndex(bytes);
+  auto* node = static_cast<FreeNode*>(ptr);
+  node->next = pool.free_lists[cls];
+  pool.free_lists[cls] = node;
+}
+
+FramePool::Stats FramePool::ThreadStats() { return LocalPool().stats; }
+
+void FramePool::ResetThreadStats() { LocalPool().stats = Stats{}; }
+
+}  // namespace emsim::sim

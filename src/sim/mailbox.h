@@ -8,6 +8,7 @@
 
 #include "sim/process.h"
 #include "sim/simulation.h"
+#include "util/inline_vec.h"
 
 namespace emsim::sim {
 
@@ -75,7 +76,7 @@ class Mailbox {
   friend class Getter;
   Simulation* sim_;
   std::deque<T> messages_;
-  std::deque<Getter*> receivers_;
+  InlineQueue<Getter*, 2> receivers_;
 };
 
 }  // namespace emsim::sim

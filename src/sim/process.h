@@ -2,8 +2,11 @@
 #define EMSIM_SIM_PROCESS_H_
 
 #include <coroutine>
+#include <cstddef>
+#include <cstdint>
 #include <utility>
 
+#include "sim/frame_pool.h"
 #include "sim/simulation.h"
 #include "util/check.h"
 
@@ -26,6 +29,16 @@ class Process {
  public:
   struct promise_type {
     Simulation* sim = nullptr;
+    /// Index into the owning Simulation's live-process table; kept current
+    /// by the kernel so finishing is O(1) instead of a linear scan.
+    uint32_t live_slot = 0;
+
+    /// Coroutine frames come from the thread-local FramePool slab allocator:
+    /// steady-state spawn/finish cycles never touch the heap.
+    static void* operator new(std::size_t bytes) { return FramePool::Allocate(bytes); }
+    static void operator delete(void* ptr, std::size_t bytes) noexcept {
+      FramePool::Deallocate(ptr, bytes);
+    }
 
     Process get_return_object() {
       return Process(std::coroutine_handle<promise_type>::from_promise(*this));
@@ -37,7 +50,7 @@ class Process {
       void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
         promise_type& p = h.promise();
         if (p.sim != nullptr) {
-          p.sim->OnProcessFinished(h);
+          p.sim->OnProcessFinished(p.live_slot);
         }
         h.destroy();
       }
@@ -89,10 +102,20 @@ class Delay {
   explicit Delay(SimTime dt) : dt_(dt) { EMSIM_CHECK(dt >= 0); }
 
   bool await_ready() const noexcept { return false; }
-  void await_suspend(std::coroutine_handle<Process::promise_type> h) {
+  bool await_suspend(std::coroutine_handle<Process::promise_type> h) {
     Simulation* sim = h.promise().sim;
     EMSIM_CHECK(sim != nullptr);
-    sim->ScheduleHandle(sim->Now() + dt_, h);
+    SimTime at = sim->Now() + dt_;
+    // Lone-runner fast path: if the calendar is empty inside Run/RunUntil,
+    // this process is the only runnable entity, so the event the slow path
+    // would push is by construction the very next one popped. AdvanceInline
+    // performs exactly the pop's observable effects (time, seq, event count)
+    // and we keep running without a suspend/resume round trip.
+    if (sim->AdvanceInline(at)) {
+      return false;
+    }
+    sim->ScheduleHandle(at, h);
+    return true;
   }
   void await_resume() const noexcept {}
 

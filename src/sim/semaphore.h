@@ -3,10 +3,10 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 
 #include "sim/process.h"
 #include "sim/simulation.h"
+#include "util/inline_vec.h"
 
 namespace emsim::sim {
 
@@ -63,7 +63,8 @@ class Semaphore {
   friend class Awaiter;
   Simulation* sim_;
   int64_t count_;
-  std::deque<Awaiter*> waiters_;
+  // FIFO handoff queue; 0–2 deep almost always, so the ring stays inline.
+  InlineQueue<Awaiter*, 4> waiters_;
 };
 
 }  // namespace emsim::sim

@@ -1,54 +1,147 @@
 #include "sim/simulation.h"
 
+#include <limits>
+#include <utility>
+
 #include "sim/process.h"
 
 namespace emsim::sim {
+
+namespace {
+constexpr size_t kHeapArity = 4;
+}  // namespace
 
 Simulation::~Simulation() {
   // Destroy frames of processes still blocked on synchronization objects.
   // Their final awaiter never ran, so they are not in the calendar and no
   // other owner exists. Frame-local destructors must not touch the kernel.
-  std::vector<std::coroutine_handle<>> leftover;
-  leftover.swap(live_handles_);
-  for (auto h : leftover) {
-    h.destroy();
+  std::vector<LiveProcess> leftover;
+  leftover.swap(live_);
+  for (const LiveProcess& p : leftover) {
+    p.handle.destroy();
+  }
+  // Callbacks still queued (e.g. after RunUntil stopped early) are destroyed
+  // without being invoked.
+  for (CallbackCell& cell : callback_pool_) {
+    if (cell.invoke_and_destroy != nullptr && cell.destroy_only != nullptr) {
+      cell.destroy_only(cell.storage);
+    }
   }
 }
 
 void Simulation::Spawn(Process&& process) {
   auto handle = process.Release();
   EMSIM_CHECK(handle);
-  handle.promise().sim = this;
-  OnProcessCreated(handle);
+  Process::promise_type& promise = handle.promise();
+  promise.sim = this;
+  OnProcessCreated(handle, &promise.live_slot);
   ScheduleHandle(now_, handle);
 }
 
-void Simulation::ScheduleHandle(SimTime at, std::coroutine_handle<> handle) {
-  EMSIM_CHECK(at >= now_);
-  calendar_.push(Entry{at, next_seq_++, handle, nullptr});
+uint32_t Simulation::AcquireCallbackSlot() {
+  if (free_callback_slots_.empty()) {
+    callback_pool_.emplace_back();
+    return static_cast<uint32_t>(callback_pool_.size() - 1);
+  }
+  uint32_t slot = free_callback_slots_.back();
+  free_callback_slots_.pop_back();
+  return slot;
 }
 
-void Simulation::ScheduleCallback(SimTime at, std::function<void()> callback) {
-  EMSIM_CHECK(at >= now_);
-  calendar_.push(Entry{at, next_seq_++, nullptr, std::move(callback)});
+void Simulation::HeapPush(CalEntry entry) {
+  size_t i = calendar_.size();
+  calendar_.push_back(entry);
+  while (i > 0) {
+    size_t parent = (i - 1) / kHeapArity;
+    if (!EarlierThan(entry, calendar_[parent])) {
+      break;
+    }
+    calendar_[i] = calendar_[parent];
+    i = parent;
+  }
+  calendar_[i] = entry;
+}
+
+void Simulation::HeapPopRoot() {
+  CalEntry last = calendar_.back();
+  calendar_.pop_back();
+  size_t n = calendar_.size();
+  if (n == 0) {
+    return;
+  }
+  // Bottom-up ("hole") deletion: sift the hole left by the root all the way
+  // to a leaf, at each level moving up the earliest of the four children
+  // (selected branchlessly — the three cmovs are cheaper than one
+  // mispredicting `compare against last` branch per level), then bubble the
+  // former last leaf up from there. The last leaf nearly always belongs near
+  // the bottom, so the bubble-up loop exits after 0–2 iterations; the naive
+  // top-down sift this replaced paid an extra unpredictable comparison at
+  // every level and measured ~2x slower on the drain-the-calendar
+  // microbenchmark.
+  size_t i = 0;
+  for (;;) {
+    size_t first_child = i * kHeapArity + 1;
+    if (first_child + (kHeapArity - 1) < n) {
+      size_t b01 = EarlierThan(calendar_[first_child + 1], calendar_[first_child])
+                       ? first_child + 1
+                       : first_child;
+      size_t b23 = EarlierThan(calendar_[first_child + 3], calendar_[first_child + 2])
+                       ? first_child + 3
+                       : first_child + 2;
+      size_t best = EarlierThan(calendar_[b23], calendar_[b01]) ? b23 : b01;
+      calendar_[i] = calendar_[best];
+      i = best;
+    } else if (first_child < n) {
+      size_t best = first_child;
+      for (size_t c = first_child + 1; c < n; ++c) {
+        if (EarlierThan(calendar_[c], calendar_[best])) {
+          best = c;
+        }
+      }
+      calendar_[i] = calendar_[best];
+      i = best;
+    } else {
+      break;
+    }
+  }
+  while (i > 0) {
+    size_t parent = (i - 1) / kHeapArity;
+    if (!EarlierThan(last, calendar_[parent])) {
+      break;
+    }
+    calendar_[i] = calendar_[parent];
+    i = parent;
+  }
+  calendar_[i] = last;
 }
 
 bool Simulation::Step() {
   if (calendar_.empty()) {
     return false;
   }
-  Entry entry = calendar_.top();
-  calendar_.pop();
+  CalEntry entry = calendar_.front();
+  HeapPopRoot();
   now_ = entry.time;
   ++events_processed_;
+  const bool is_callback = (entry.payload & kCallbackTag) != 0;
   if (metric_calendar_depth_ != nullptr) {
     metric_calendar_depth_->Update(now_, static_cast<double>(calendar_.size()));
-    (entry.handle ? metric_resumes_ : metric_callbacks_)->Increment();
+    (is_callback ? metric_callbacks_ : metric_resumes_)->Increment();
   }
-  if (entry.handle) {
-    entry.handle.resume();
-  } else if (entry.callback) {
-    entry.callback();
+  if (is_callback) {
+    uint32_t slot = static_cast<uint32_t>(entry.payload >> 1);
+    // Relocate the cell to a local and recycle the slot before invoking: the
+    // body may schedule new callbacks (reusing this very slot, or growing the
+    // pool vector), neither of which may disturb the callable mid-call.
+    CallbackCell cell = callback_pool_[slot];
+    callback_pool_[slot].invoke_and_destroy = nullptr;
+    callback_pool_[slot].destroy_only = nullptr;
+    free_callback_slots_.push_back(slot);
+    if (cell.invoke_and_destroy != nullptr) {
+      cell.invoke_and_destroy(cell.storage);
+    }
+  } else {
+    std::coroutine_handle<>::from_address(reinterpret_cast<void*>(entry.payload)).resume();
   }
   return true;
 }
@@ -68,14 +161,20 @@ void Simulation::AttachMetrics(obs::MetricsRegistry* metrics) {
 }
 
 void Simulation::Run() {
+  in_run_loop_ = true;
+  run_deadline_ = std::numeric_limits<SimTime>::infinity();
   while (Step()) {
   }
+  in_run_loop_ = false;
 }
 
 void Simulation::RunUntil(SimTime deadline) {
-  while (!calendar_.empty() && calendar_.top().time <= deadline) {
+  in_run_loop_ = true;
+  run_deadline_ = deadline;
+  while (!calendar_.empty() && calendar_.front().time <= deadline) {
     Step();
   }
+  in_run_loop_ = false;
   if (now_ < deadline) {
     now_ = deadline;
   }

@@ -3,8 +3,10 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -26,7 +28,15 @@ class Process;
 /// every simulation fully deterministic for a given RNG seed.
 ///
 /// Single-threaded by design: determinism and reproducibility outrank
-/// parallel speed for a simulation that completes in milliseconds.
+/// parallel speed for a simulation that completes in milliseconds. (Whole
+/// trials parallelize across Simulations; see core::RunTrialsParallel.)
+///
+/// Hot-path layout: the calendar is an indexed 4-ary min-heap over 24-byte
+/// trivially copyable entries. Each entry carries a tagged payload — either a
+/// coroutine handle (the dominant case) or the id of a pooled callback slot —
+/// so sift operations move three words instead of a std::function. The 4-ary
+/// shape halves the sift depth of a binary heap and keeps the children of a
+/// node on one cache line.
 class Simulation {
  public:
   Simulation() = default;
@@ -43,10 +53,44 @@ class Simulation {
   void Spawn(Process&& process);
 
   /// Schedules `handle` to be resumed at absolute time `at` (>= Now()).
-  void ScheduleHandle(SimTime at, std::coroutine_handle<> handle);
+  void ScheduleHandle(SimTime at, std::coroutine_handle<> handle) {
+    EMSIM_CHECK(at >= now_);
+    HeapPush(CalEntry{at, next_seq_++, reinterpret_cast<uintptr_t>(handle.address())});
+  }
 
-  /// Schedules a plain callback at absolute time `at`.
-  void ScheduleCallback(SimTime at, std::function<void()> callback);
+  /// Schedules a plain callback at absolute time `at`. The callable is
+  /// constructed directly into a recycled pool cell (no std::function, no
+  /// per-call allocation for small trivially copyable callables); the
+  /// calendar entry itself stays slim and carries only the cell's slot id.
+  template <typename F>
+  void ScheduleCallback(SimTime at, F&& callback) {
+    EMSIM_CHECK(at >= now_);
+    uint32_t slot = AcquireCallbackSlot();
+    callback_pool_[slot].Emplace(std::forward<F>(callback));
+    HeapPush(CalEntry{at, next_seq_++,
+                      (static_cast<uintptr_t>(slot) << 1) | kCallbackTag});
+  }
+
+  /// Lone-runner fast path used by awaiters (see Delay::await_suspend): when
+  /// the calendar is empty inside Run/RunUntil, an event scheduled now would
+  /// be the next one dispatched, so the kernel can advance time in place and
+  /// let the caller keep running. Replays the pop's exact observable effects
+  /// (now_, one seq number, events_processed_) so results stay byte-identical
+  /// with the scheduled path. Declined outside the run loop (direct Step()
+  /// callers see one event per call), past a RunUntil deadline, or while
+  /// metrics are attached (the calendar-depth timeline must record the
+  /// push/pop it would otherwise miss).
+  bool AdvanceInline(SimTime at) {
+    if (!in_run_loop_ || !calendar_.empty() || at > run_deadline_ ||
+        metric_calendar_depth_ != nullptr) {
+      return false;
+    }
+    EMSIM_CHECK(at >= now_);
+    now_ = at;
+    ++next_seq_;
+    ++events_processed_;
+    return true;
+  }
 
   /// Executes the single next event. Returns false if the calendar is empty.
   bool Step();
@@ -66,6 +110,11 @@ class Simulation {
   /// Events waiting in the calendar right now.
   size_t CalendarDepth() const { return calendar_.size(); }
 
+  /// Callback slots currently owned by the pool (allocated high-water mark;
+  /// introspection for tests and benches — slots are recycled, so this stays
+  /// at the peak number of simultaneously scheduled callbacks).
+  size_t CallbackPoolSize() const { return callback_pool_.size(); }
+
   /// Wires kernel instrumentation into `metrics` ("sim.*" namespace):
   /// coroutine resumes vs plain callbacks dispatched, processes spawned,
   /// and the calendar-depth timeline. Pass nullptr to detach. When nothing
@@ -73,53 +122,118 @@ class Simulation {
   void AttachMetrics(obs::MetricsRegistry* metrics);
 
   /// Number of spawned processes that have not finished.
-  int live_processes() const { return live_processes_; }
+  int live_processes() const { return static_cast<int>(live_.size()); }
 
   /// Internal: process lifetime accounting (called by Spawn / the Process
   /// promise). Live frames are tracked so that a Simulation destroyed while
   /// processes are still blocked (e.g. server loops) reclaims their frames.
-  void OnProcessCreated(std::coroutine_handle<> handle) {
-    ++live_processes_;
-    live_handles_.push_back(handle);
+  /// The promise's `live_slot` field stores the frame's index in the live
+  /// table; swap-with-back removal keeps both directions O(1).
+  void OnProcessCreated(std::coroutine_handle<> handle, uint32_t* slot) {
+    *slot = static_cast<uint32_t>(live_.size());
+    live_.push_back(LiveProcess{handle, slot});
     if (metric_spawns_ != nullptr) {
       metric_spawns_->Increment();
     }
   }
-  void OnProcessFinished(std::coroutine_handle<> handle) {
-    --live_processes_;
-    for (auto& h : live_handles_) {
-      if (h.address() == handle.address()) {
-        h = live_handles_.back();
-        live_handles_.pop_back();
-        break;
-      }
-    }
+  void OnProcessFinished(uint32_t slot) {
+    EMSIM_DCHECK(slot < live_.size());
+    live_[slot] = live_.back();
+    *live_[slot].slot = slot;
+    live_.pop_back();
   }
 
   ~Simulation();
 
  private:
-  struct Entry {
+  /// One calendar entry. `payload` is a tagged word: an aligned coroutine
+  /// frame address (low bit clear), or a callback slot id shifted left with
+  /// the low bit set. Trivially copyable so heap sifts are plain word moves.
+  struct CalEntry {
     SimTime time;
     uint64_t seq;  // FIFO tie-break for equal times.
-    std::coroutine_handle<> handle;
-    std::function<void()> callback;  // Used when handle is null.
+    uintptr_t payload;
   };
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
+  static constexpr uintptr_t kCallbackTag = 1;
+
+  struct LiveProcess {
+    std::coroutine_handle<> handle;
+    uint32_t* slot;  // Points at the owning promise's live_slot field.
+  };
+
+  /// A pooled one-shot callable. Small trivially copyable callables (every
+  /// lambda capturing references, pointers or scalars) live inline in
+  /// `storage`; anything else is boxed on the heap with the box pointer in
+  /// `storage`. Inline callables are relocated by byte copy — legal exactly
+  /// because they are trivially copyable — which lets Step() move the cell
+  /// to a local before invoking, so a callback that schedules callbacks
+  /// (growing/reusing the pool) can never invalidate the one running.
+  struct CallbackCell {
+    using TrampolineFn = void (*)(unsigned char* storage);
+    TrampolineFn invoke_and_destroy = nullptr;  // Null when the cell is free.
+    TrampolineFn destroy_only = nullptr;        // Null when destruction is a no-op.
+    alignas(16) unsigned char storage[48];
+
+    template <typename F>
+    void Emplace(F&& callable) {
+      using D = std::decay_t<F>;
+      if constexpr (sizeof(D) <= sizeof(storage) && alignof(D) <= 16 &&
+                    std::is_trivially_copyable_v<D>) {
+        ::new (static_cast<void*>(storage)) D(std::forward<F>(callable));
+        invoke_and_destroy = [](unsigned char* s) {
+          D* fn = std::launder(reinterpret_cast<D*>(s));
+          (*fn)();
+          fn->~D();
+        };
+        if constexpr (!std::is_trivially_destructible_v<D>) {
+          destroy_only = [](unsigned char* s) {
+            std::launder(reinterpret_cast<D*>(s))->~D();
+          };
+        }
+      } else {
+        D* boxed = new D(std::forward<F>(callable));
+        std::memcpy(storage, &boxed, sizeof(boxed));
+        invoke_and_destroy = [](unsigned char* s) {
+          D* fn;
+          std::memcpy(&fn, s, sizeof(fn));
+          (*fn)();
+          delete fn;
+        };
+        destroy_only = [](unsigned char* s) {
+          D* fn;
+          std::memcpy(&fn, s, sizeof(fn));
+          delete fn;
+        };
       }
-      return a.seq > b.seq;
     }
   };
+
+  /// Strict total order (seq is unique), so the pop sequence is identical to
+  /// the old std::priority_queue calendar: time-ordered, FIFO within a tick.
+  /// Written with forced evaluation (`|`/`&`, not `||`/`&&`) so compilers
+  /// emit setcc/cmov instead of branches: inside heap sifts the outcome is
+  /// data-dependent and unpredictable, and mispredictions were the dominant
+  /// cost of the sift loops when this was measured.
+  static bool EarlierThan(const CalEntry& a, const CalEntry& b) {
+    return (a.time < b.time) | ((a.time == b.time) & (a.seq < b.seq));
+  }
+
+  void HeapPush(CalEntry entry);
+  void HeapPopRoot();
+  uint32_t AcquireCallbackSlot();
 
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
-  int live_processes_ = 0;
-  std::vector<std::coroutine_handle<>> live_handles_;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> calendar_;
+  bool in_run_loop_ = false;
+  SimTime run_deadline_ = 0.0;  // Valid only while in_run_loop_ is true.
+  std::vector<LiveProcess> live_;
+  std::vector<CalEntry> calendar_;  // 4-ary min-heap ordered by EarlierThan.
+
+  // Scheduled-callback storage: slot ids are recycled through a free list so
+  // steady-state callback traffic reuses the same cells.
+  std::vector<CallbackCell> callback_pool_;
+  std::vector<uint32_t> free_callback_slots_;
 
   // Instrumentation (all null unless AttachMetrics was called).
   obs::Counter* metric_resumes_ = nullptr;

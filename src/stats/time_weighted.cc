@@ -1,39 +1,6 @@
 #include "stats/time_weighted.h"
 
-#include "util/check.h"
-
 namespace emsim::stats {
-
-void TimeWeighted::Accumulate(double now) {
-  EMSIM_CHECK(now >= last_time_);
-  double dt = now - last_time_;
-  weighted_sum_ += value_ * dt;
-  total_time_ += dt;
-  if (value_ > 0) {
-    positive_weighted_sum_ += value_ * dt;
-    positive_time_ += dt;
-  }
-  last_time_ = now;
-}
-
-void TimeWeighted::Update(double now, double value) {
-  if (!started_) {
-    started_ = true;
-    last_time_ = now;
-  } else {
-    Accumulate(now);
-  }
-  value_ = value;
-}
-
-void TimeWeighted::Flush(double now) {
-  if (!started_) {
-    started_ = true;
-    last_time_ = now;
-    return;
-  }
-  Accumulate(now);
-}
 
 double TimeWeighted::Average() const {
   if (total_time_ <= 0) {

@@ -1,6 +1,8 @@
 #ifndef EMSIM_STATS_TIME_WEIGHTED_H_
 #define EMSIM_STATS_TIME_WEIGHTED_H_
 
+#include "util/check.h"
+
 namespace emsim::stats {
 
 /// Time-weighted average of a piecewise-constant signal, e.g. queue length or
@@ -9,11 +11,28 @@ namespace emsim::stats {
 class TimeWeighted {
  public:
   /// Records that the signal takes value `value` starting at time `now`.
-  /// Times must be non-decreasing.
-  void Update(double now, double value);
+  /// Times must be non-decreasing. Inline: simulations call this on every
+  /// queue/occupancy transition (tens of millions of times per sweep), so
+  /// the call must melt into the caller.
+  void Update(double now, double value) {
+    if (!started_) {
+      started_ = true;
+      last_time_ = now;
+    } else {
+      Accumulate(now);
+    }
+    value_ = value;
+  }
 
   /// Closes the window at time `now` without changing the value.
-  void Flush(double now);
+  void Flush(double now) {
+    if (!started_) {
+      started_ = true;
+      last_time_ = now;
+      return;
+    }
+    Accumulate(now);
+  }
 
   /// Average over all elapsed time since the first update.
   double Average() const;
@@ -31,7 +50,17 @@ class TimeWeighted {
   double Current() const { return value_; }
 
  private:
-  void Accumulate(double now);
+  void Accumulate(double now) {
+    EMSIM_CHECK(now >= last_time_);
+    double dt = now - last_time_;
+    weighted_sum_ += value_ * dt;
+    total_time_ += dt;
+    if (value_ > 0) {
+      positive_weighted_sum_ += value_ * dt;
+      positive_time_ += dt;
+    }
+    last_time_ = now;
+  }
 
   bool started_ = false;
   double last_time_ = 0.0;

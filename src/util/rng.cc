@@ -5,12 +5,6 @@
 
 namespace emsim {
 
-namespace {
-
-inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
-
 Rng::Rng(uint64_t seed) {
   SplitMix64 sm(seed);
   for (auto& s : s_) {
@@ -18,47 +12,11 @@ Rng::Rng(uint64_t seed) {
   }
 }
 
-uint64_t Rng::Next64() {
-  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
-  const uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
-}
-
-uint64_t Rng::UniformInt(uint64_t bound) {
-  EMSIM_CHECK(bound > 0);
-  // Lemire's method: multiply-shift with rejection to remove modulo bias.
-  uint64_t x = Next64();
-  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
-  uint64_t l = static_cast<uint64_t>(m);
-  if (l < bound) {
-    uint64_t t = -bound % bound;
-    while (l < t) {
-      x = Next64();
-      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
-      l = static_cast<uint64_t>(m);
-    }
-  }
-  return static_cast<uint64_t>(m >> 64);
-}
-
 int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
   EMSIM_CHECK(lo <= hi);
   uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
   return lo + static_cast<int64_t>(UniformInt(span));
 }
-
-double Rng::UniformDouble() {
-  // 53 uniform mantissa bits.
-  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::UniformDouble(double lo, double hi) { return lo + (hi - lo) * UniformDouble(); }
 
 double Rng::Exponential(double mean) {
   EMSIM_CHECK(mean > 0);

@@ -35,21 +35,51 @@ class Rng {
   /// platform.
   explicit Rng(uint64_t seed = 0x243F6A8885A308D3ULL);
 
-  /// Raw 64 uniform bits.
-  uint64_t Next64();
+  /// Raw 64 uniform bits. Inline (with the bounded draws below): every
+  /// priced disk access draws rotational latency, so these sit on the
+  /// simulator's per-request hot path.
+  uint64_t Next64() {
+    const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
   /// nearly-divisionless unbiased bounded generation.
-  uint64_t UniformInt(uint64_t bound);
+  uint64_t UniformInt(uint64_t bound) {
+    EMSIM_CHECK(bound > 0);
+    // Lemire's method: multiply-shift with rejection to remove modulo bias.
+    uint64_t x = Next64();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next64();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
   int64_t UniformRange(int64_t lo, int64_t hi);
 
   /// Uniform double in [0, 1).
-  double UniformDouble();
+  double UniformDouble() {
+    // 53 uniform mantissa bits.
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double UniformDouble(double lo, double hi);
+  double UniformDouble(double lo, double hi) { return lo + (hi - lo) * UniformDouble(); }
 
   /// Exponentially distributed double with the given mean (> 0).
   double Exponential(double mean);
@@ -68,6 +98,8 @@ class Rng {
   Rng Split();
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   uint64_t s_[4];
 };
 

@@ -1,0 +1,78 @@
+#ifndef EMSIM_UTIL_THREAD_POOL_H_
+#define EMSIM_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace emsim {
+
+/// A lazily started, process-lifetime worker pool for embarrassingly
+/// parallel index-space fan-out (trial and sweep runners). Replaces the
+/// previous spawn-N-threads-per-call pattern: thread creation cost is paid
+/// once per process, not once per experiment point, which matters when a
+/// figure bench runs hundreds of short experiments.
+///
+/// Execution model: `Run(parallelism, num_tasks, task)` invokes
+/// `task(0..num_tasks-1)`, each exactly once, using the calling thread plus
+/// at most `parallelism - 1` pool workers, and returns when every task has
+/// finished. Task indices are claimed dynamically (an atomic cursor), so the
+/// assignment of index to thread is nondeterministic — callers must make the
+/// *work* per index deterministic and index-addressed, exactly like the
+/// trial runners do, for results to be independent of thread count.
+///
+/// With `parallelism <= 1` (or a single task) everything runs inline on the
+/// caller and no worker threads are ever created.
+///
+/// Not reentrant: a task must not call Run() again (enforced).
+class ThreadPool {
+ public:
+  /// The process-wide pool. First call constructs it; workers are only
+  /// spawned once a Run() actually needs them.
+  static ThreadPool& Instance();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs `task(i)` for i in [0, num_tasks) across up to `parallelism`
+  /// threads (including the caller); blocks until all tasks completed.
+  void Run(int parallelism, int num_tasks, const std::function<void(int)>& task);
+
+  /// Worker threads created so far (introspection for tests).
+  int WorkersSpawned() const;
+
+  ~ThreadPool();
+
+ private:
+  ThreadPool() = default;
+
+  struct Job {
+    const std::function<void(int)>* task = nullptr;
+    int total = 0;
+    int max_extra_workers = 0;  // Pool may be larger than this job wants.
+    std::atomic<int> next{0};
+    std::atomic<int> completed{0};
+    std::atomic<int> worker_entrants{0};
+  };
+
+  void EnsureWorkers(int count);
+  void WorkerLoop();
+  void RunTasks(Job& job);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers sleep here between jobs.
+  std::condition_variable done_cv_;  // Run() sleeps here until completion.
+  std::shared_ptr<Job> job_;         // Non-null while a job is being drained.
+  uint64_t job_generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace emsim
+
+#endif  // EMSIM_UTIL_THREAD_POOL_H_

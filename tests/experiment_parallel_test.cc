@@ -5,6 +5,7 @@
 // and the JSON projection. They carry the `thread` ctest label so the
 // EMSIM_SANITIZE=thread CI job runs them under TSan.
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -12,6 +13,7 @@
 
 #include "core/experiment.h"
 #include "core/result_json.h"
+#include "util/thread_pool.h"
 
 namespace emsim::core {
 namespace {
@@ -98,6 +100,78 @@ TEST(RunTrialsParallelTest, MetricsCollectedForEveryTrial) {
   ExperimentResult parallel = RunTrialsParallel(cfg, 4, 2);
   for (const MergeResult& trial : parallel.trials) {
     EXPECT_FALSE(trial.metrics.empty());
+  }
+}
+
+// A failing trial must abort from the *joining* thread with the lowest
+// failing task index — not whichever worker happened to fail first — so the
+// diagnostic is deterministic across thread counts and pool states.
+TEST(RunTrialsParallelDeathTest, FailureSurfacesLowestTrialIndex) {
+  // Re-exec style: the child must start without the parent's pool threads.
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MergeConfig cfg = SmallConfig();
+  cfg.num_runs = 0;  // Invalid: every trial fails validation.
+  EXPECT_DEATH(RunTrialsParallel(cfg, 4, 2), "trial 0 failed");
+}
+
+TEST(RunSweepParallelTest, BitIdenticalToPerConfigSerialRuns) {
+  std::vector<MergeConfig> configs;
+  for (int depth : {1, 2, 4}) {
+    MergeConfig cfg = SmallConfig();
+    cfg.prefetch_depth = depth;
+    configs.push_back(cfg);
+  }
+  const int trials = 3;
+  std::vector<ExperimentResult> serial;
+  serial.reserve(configs.size());
+  for (const MergeConfig& cfg : configs) {
+    serial.push_back(RunTrials(cfg, trials));
+  }
+  int hardware = static_cast<int>(std::thread::hardware_concurrency());
+  if (hardware <= 0) {
+    hardware = 2;
+  }
+  for (int threads : {1, 2, hardware}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::vector<ExperimentResult> sweep = RunSweepParallel(configs, trials, threads);
+    ASSERT_EQ(sweep.size(), serial.size());
+    for (size_t c = 0; c < serial.size(); ++c) {
+      SCOPED_TRACE("config=" + std::to_string(c));
+      ExpectTrialsIdentical(serial[c], sweep[c]);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  const int kTasks = 64;
+  std::vector<std::atomic<int>> hits(kTasks);
+  ThreadPool::Instance().Run(4, kTasks, [&hits](int i) {
+    hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkersPersistAndGrowOnlyOnDemand) {
+  // The pool is a process-wide singleton, so earlier tests may already have
+  // spawned workers; assert growth relative to the current state.
+  ThreadPool& pool = ThreadPool::Instance();
+  int before = pool.WorkersSpawned();
+  int target = before + 2;
+  pool.Run(target + 1, 4 * (target + 1), [](int) {});
+  EXPECT_EQ(pool.WorkersSpawned(), target);  // Caller counts toward parallelism.
+  pool.Run(2, 8, [](int) {});
+  EXPECT_EQ(pool.WorkersSpawned(), target);  // Persistent; smaller runs grow nothing.
+}
+
+TEST(ThreadPoolTest, SerialFallbackRunsInline) {
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(3);
+  ThreadPool::Instance().Run(1, 3,
+                             [&](int i) { ran[static_cast<size_t>(i)] = std::this_thread::get_id(); });
+  for (const std::thread::id& id : ran) {
+    EXPECT_EQ(id, caller);
   }
 }
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Perf-smoke ratio gate for google-benchmark JSON output.
+
+Compares a current `--benchmark_format=json` report against a committed
+baseline and fails when any benchmark's time exceeds `max-ratio` times its
+baseline. The default ratio is deliberately loose (4.0): the committed
+baseline is captured on a developer machine, CI machines differ in clock and
+code layout by integer factors, and the gate's job is to catch order-of-
+magnitude regressions (an accidental O(n) calendar, per-event heap traffic),
+not 10% noise. Tighten locally with --max-ratio when comparing runs from the
+same machine.
+
+Exit codes:
+  0 — every baseline benchmark present and within the ratio
+  1 — regression: a benchmark slowed past the ratio or disappeared
+  2 — usage or I/O error (missing file, malformed JSON)
+
+Usage:
+  check_bench.py --baseline tools/perf/baseline_kernel_micro.json \
+                 --current bench.json [--max-ratio 4.0] [--metric cpu_time]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path, metric):
+    """Returns {benchmark name: time} from a google-benchmark JSON report."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"check_bench: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        print(f"check_bench: {path} has no benchmarks", file=sys.stderr)
+        sys.exit(2)
+    times = {}
+    for bench in benchmarks:
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        value = bench.get(metric)
+        if name is None or value is None:
+            print(f"check_bench: {path}: entry missing name/{metric}", file=sys.stderr)
+            sys.exit(2)
+        times[name] = float(value)
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--current", required=True, help="freshly measured JSON")
+    parser.add_argument("--max-ratio", type=float, default=4.0,
+                        help="fail when current/baseline exceeds this (default 4.0)")
+    parser.add_argument("--metric", default="cpu_time",
+                        choices=["cpu_time", "real_time"],
+                        help="which benchmark time to compare (default cpu_time)")
+    args = parser.parse_args()
+    if args.max_ratio <= 0:
+        print("check_bench: --max-ratio must be positive", file=sys.stderr)
+        return 2
+
+    baseline = load_times(args.baseline, args.metric)
+    current = load_times(args.current, args.metric)
+
+    failures = []
+    width = max(len(name) for name in baseline)
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in sorted(baseline):
+        base_time = baseline[name]
+        if name not in current:
+            failures.append(f"{name}: present in baseline but not in current run")
+            print(f"{name.ljust(width)}  {base_time:12.1f}  {'MISSING':>12}  FAIL")
+            continue
+        cur_time = current[name]
+        ratio = cur_time / base_time if base_time > 0 else float("inf")
+        verdict = "ok"
+        if ratio > args.max_ratio:
+            failures.append(
+                f"{name}: {cur_time:.1f} vs baseline {base_time:.1f} "
+                f"(ratio {ratio:.2f} > {args.max_ratio})")
+            verdict = "FAIL"
+        print(f"{name.ljust(width)}  {base_time:12.1f}  {cur_time:12.1f}  "
+              f"{ratio:5.2f} {verdict}")
+
+    extra = sorted(set(current) - set(baseline))
+    if extra:
+        print(f"note: {len(extra)} benchmark(s) not in baseline (ignored): "
+              + ", ".join(extra))
+
+    if failures:
+        print(f"\ncheck_bench: {len(failures)} regression(s) past ratio "
+              f"{args.max_ratio}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\ncheck_bench: all {len(baseline)} benchmarks within ratio {args.max_ratio}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
