@@ -1,0 +1,72 @@
+// Robustness: graceful degradation under a fail-slow disk. Sweeps the
+// fail-slow severity multiplier on one of D=5 disks and charts merge time
+// and prefetch success ratio for both strategies (docs/ROBUSTNESS.md). The
+// first point of each series is the fault-free baseline (no fault machinery
+// constructed at all).
+//
+// Expected shape: demand-run-only degrades roughly linearly with the
+// multiplier (every Dth batch lands on the slow disk and serializes the
+// merge behind it); all-disks-one-run degrades more gently at first because
+// the health tracker drops the quarantined disk from the fan-out (partial
+// batches keep the other D-1 disks busy), at the price of a falling success
+// ratio.
+
+#include "bench_util.h"
+#include "util/str.h"
+
+int main() {
+  using namespace emsim;
+  using core::MergeConfig;
+  using core::Strategy;
+  using core::SyncMode;
+  using stats::Table;
+
+  bench::Banner("Robustness R-SLOW: merge under a fail-slow disk",
+                "k=25, D=5, N=10; disk 2 serves at x{2,4,8,16} from t=0.\n"
+                "Expected shape: demand-run-only slows with the multiplier;\n"
+                "all-disks-one-run sheds the slow disk from its fan-out, so\n"
+                "success ratio drops before merge time does.");
+
+  const double factors[] = {2.0, 4.0, 8.0, 16.0};
+
+  for (auto strategy : {Strategy::kDemandRunOnly, Strategy::kAllDisksOneRun}) {
+    const char* strategy_name = core::StrategyName(strategy);
+    Table table({"severity", "time (s)", "success", "concurrency", "retries",
+                 "degraded plans"});
+
+    MergeConfig baseline =
+        MergeConfig::Paper(25, 5, 10, strategy, SyncMode::kUnsynchronized);
+    auto base_result =
+        bench::Run(baseline, StrFormat("%s/baseline", strategy_name));
+    table.AddRow({"fault-free", bench::TimeCell(base_result),
+                  Table::Cell(base_result.MeanSuccessRatio(), 3),
+                  Table::Cell(base_result.MeanConcurrency(), 2), "0", "0"});
+
+    std::vector<MergeConfig> sweep;
+    for (double factor : factors) {
+      MergeConfig cfg =
+          MergeConfig::Paper(25, 5, 10, strategy, SyncMode::kUnsynchronized);
+      cfg.fault.fail_slow_disk = 2;
+      cfg.fault.fail_slow_factor = factor;
+      sweep.push_back(cfg);
+    }
+    std::vector<core::ExperimentResult> results = bench::RunSweep(sweep);
+    for (size_t i = 0; i < results.size(); ++i) {
+      const core::ExperimentResult& result = results[i];
+      uint64_t retries = 0;
+      uint64_t degraded = 0;
+      for (const core::MergeResult& trial : result.trials) {
+        retries += trial.fault.retries;
+        degraded += trial.fault.degraded_plans;
+      }
+      table.AddRow({StrFormat("x%g", factors[i]), bench::TimeCell(result),
+                    Table::Cell(result.MeanSuccessRatio(), 3),
+                    Table::Cell(result.MeanConcurrency(), 2),
+                    StrFormat("%llu", static_cast<unsigned long long>(retries)),
+                    StrFormat("%llu", static_cast<unsigned long long>(degraded))});
+    }
+    bench::EmitTable(StrFormat("%s under fail-slow disk 2", strategy_name), table);
+  }
+  emsim::bench::WriteJsonArtifact("fault_degradation");
+  return 0;
+}

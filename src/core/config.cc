@@ -109,6 +109,10 @@ Status MergeConfig::Validate() const {
         "inter-run prefetching needs whole runs per disk; striped placement "
         "only supports demand-run-only");
   }
+  EMSIM_RETURN_IF_ERROR(fault.Validate(num_disks));
+  if (max_wall_ms < 0) {
+    return Status::InvalidArgument("max_wall_ms must be >= 0 (0 disables)");
+  }
   EMSIM_RETURN_IF_ERROR(disk_params.Validate());
   disk::RunLayout layout(disk::RunLayout::Options{num_runs, num_disks, blocks_per_run,
                                                   disk_params.geometry, placement,
@@ -117,7 +121,7 @@ Status MergeConfig::Validate() const {
 }
 
 std::string MergeConfig::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "MergeConfig{k=%d, D=%d, blocks/run=%lld, N=%d, C=%lld, %s, %s, cpu=%.3f ms/blk, "
       "seed=%llu}",
       num_runs, num_disks, static_cast<long long>(blocks_per_run), prefetch_depth,
@@ -125,6 +129,10 @@ std::string MergeConfig::ToString() const {
       strategy == Strategy::kDemandRunOnly ? "demand-run-only" : "all-disks-one-run",
       sync == SyncMode::kSynchronized ? "sync" : "unsync", cpu_ms_per_block,
       static_cast<unsigned long long>(seed));
+  if (fault.InjectionEnabled()) {
+    out += " " + fault.ToString();
+  }
+  return out;
 }
 
 const char* StrategyName(Strategy strategy) {

@@ -7,6 +7,7 @@
 
 #include "disk/disk_params.h"
 #include "disk/layout.h"
+#include "fault/fault_plan.h"
 #include "util/status.h"
 
 namespace emsim::core {
@@ -113,6 +114,21 @@ struct MergeConfig {
   std::vector<int> trace;                   ///< For kTrace: run ids in depletion order.
 
   uint64_t seed = 1;
+
+  /// Fault injection and recovery policy (robustness extension). The
+  /// all-defaults config disables injection entirely: the merge takes the
+  /// exact fault-free code paths and its output stays byte-identical.
+  fault::FaultConfig fault;
+
+  /// Trial deadline: abort with Status kDeadlineExceeded after this many
+  /// simulated events (0 = unlimited). Guards the trial harness against a
+  /// model change that livelocks the calendar.
+  uint64_t max_sim_events = 0;
+
+  /// Trial deadline: abort with kDeadlineExceeded once the trial has
+  /// consumed this much wall-clock time (0 = unlimited). Checked between
+  /// bounded calendar chunks, so a stuck trial is caught within one chunk.
+  double max_wall_ms = 0.0;
 
   /// Run full cache-invariant checks on every step (tests; slow).
   bool check_invariants = false;

@@ -51,6 +51,19 @@ int ResolveThreads(int num_threads) {
   return hw > 0 ? hw : 2;
 }
 
+/// Stamps the harness deadline onto one trial's config. Config-level bounds
+/// take precedence where they are tighter (events) or set at all (wall
+/// clock); see TrialDeadline's doc for the rationale.
+void ApplyDeadline(MergeConfig& config, const TrialDeadline& deadline) {
+  if (deadline.max_sim_events > 0 &&
+      (config.max_sim_events == 0 || deadline.max_sim_events < config.max_sim_events)) {
+    config.max_sim_events = deadline.max_sim_events;
+  }
+  if (deadline.max_wall_ms > 0 && config.max_wall_ms == 0) {
+    config.max_wall_ms = deadline.max_wall_ms;
+  }
+}
+
 ExperimentResult Aggregate(std::vector<MergeResult> trials) {
   ExperimentResult out;
   for (MergeResult& r : trials) {
@@ -73,28 +86,33 @@ std::string ExperimentResult::ToString() const {
                    MeanSuccessRatio(), MeanConcurrency());
 }
 
-ExperimentResult RunTrials(const MergeConfig& config, int num_trials) {
+ExperimentResult RunTrials(const MergeConfig& config, int num_trials,
+                           const TrialDeadline& deadline) {
   EMSIM_CHECK(num_trials >= 1);
   std::vector<MergeResult> trials;
   trials.reserve(static_cast<size_t>(num_trials));
   for (int t = 0; t < num_trials; ++t) {
     MergeConfig trial_config = config;
     trial_config.seed = config.seed + static_cast<uint64_t>(t);
+    ApplyDeadline(trial_config, deadline);
     Result<MergeResult> result = SimulateMerge(trial_config);
-    EMSIM_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+    EMSIM_CHECK_MSG(result.ok(), StrFormat("trial %d failed: %s", t,
+                                           result.status().ToString().c_str())
+                                     .c_str());
     trials.push_back(*std::move(result));
   }
   return Aggregate(std::move(trials));
 }
 
 ExperimentResult RunTrialsParallel(const MergeConfig& config, int num_trials,
-                                   int num_threads) {
+                                   int num_threads, const TrialDeadline& deadline) {
   EMSIM_CHECK(num_trials >= 1);
   std::vector<MergeResult> trials(static_cast<size_t>(num_trials));
   FailureCapture failure;
   auto task = [&](int t) {
     MergeConfig trial_config = config;
     trial_config.seed = config.seed + static_cast<uint64_t>(t);
+    ApplyDeadline(trial_config, deadline);
     Result<MergeResult> result = SimulateMerge(trial_config);
     if (!result.ok()) {
       failure.Record(t, result.status());
@@ -108,7 +126,8 @@ ExperimentResult RunTrialsParallel(const MergeConfig& config, int num_trials,
 }
 
 std::vector<ExperimentResult> RunSweepParallel(const std::vector<MergeConfig>& configs,
-                                               int num_trials, int num_threads) {
+                                               int num_trials, int num_threads,
+                                               const TrialDeadline& deadline) {
   EMSIM_CHECK(num_trials >= 1);
   if (configs.empty()) {
     return {};
@@ -122,6 +141,7 @@ std::vector<ExperimentResult> RunSweepParallel(const std::vector<MergeConfig>& c
     int t = index % num_trials;
     MergeConfig trial_config = configs[static_cast<size_t>(c)];
     trial_config.seed = trial_config.seed + static_cast<uint64_t>(t);
+    ApplyDeadline(trial_config, deadline);
     Result<MergeResult> result = SimulateMerge(trial_config);
     if (!result.ok()) {
       failure.Record(index, result.status());

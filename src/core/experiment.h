@@ -35,10 +35,22 @@ struct ExperimentResult {
   std::string ToString() const;
 };
 
+/// Per-trial runaway guard applied by the trial runners: a trial that
+/// exceeds either bound is converted into a DeadlineExceeded failure (with
+/// the offending config echoed) instead of hanging the whole experiment.
+/// Zero disables a bound. Bounds already present on a config are kept (the
+/// tighter of the two wins for the event cap; a nonzero config wall clock
+/// wins outright since wall time is not additive across trials).
+struct TrialDeadline {
+  uint64_t max_sim_events = 0;  ///< Calendar events per trial (0 = unlimited).
+  double max_wall_ms = 0.0;     ///< Wall-clock ms per trial (0 = unlimited).
+};
+
 /// Runs `num_trials` trials with seeds seed, seed+1, ... and aggregates.
 /// Aborts on configuration errors (experiments are programmed, not user
 /// input); use MergeSimulator::Run directly for Status-based handling.
-ExperimentResult RunTrials(const MergeConfig& config, int num_trials);
+ExperimentResult RunTrials(const MergeConfig& config, int num_trials,
+                           const TrialDeadline& deadline = {});
 
 /// Same trials, run on the process-wide worker pool with `num_threads`-way
 /// parallelism (0 = hardware concurrency). Each trial's simulation is fully
@@ -48,7 +60,8 @@ ExperimentResult RunTrials(const MergeConfig& config, int num_trials);
 /// records the failure with the lowest trial index; the join aborts with its
 /// status), never from inside a pool worker.
 ExperimentResult RunTrialsParallel(const MergeConfig& config, int num_trials,
-                                   int num_threads = 0);
+                                   int num_threads = 0,
+                                   const TrialDeadline& deadline = {});
 
 /// Runs `num_trials` trials of every config in `configs` on the shared
 /// worker pool, flattening the config × trial grid into one task space so a
@@ -56,7 +69,8 @@ ExperimentResult RunTrialsParallel(const MergeConfig& config, int num_trials,
 /// Results are aggregated per config, in the order given, with the same
 /// bit-identical-to-serial guarantee as RunTrialsParallel.
 std::vector<ExperimentResult> RunSweepParallel(const std::vector<MergeConfig>& configs,
-                                               int num_trials, int num_threads = 0);
+                                               int num_trials, int num_threads = 0,
+                                               const TrialDeadline& deadline = {});
 
 /// Default trial count used by the benches (the paper's count is lost to
 /// OCR; 5 gives sub-1% confidence half-widths at these run lengths).

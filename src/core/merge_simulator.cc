@@ -1,14 +1,19 @@
 #include "core/merge_simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cache/block_cache.h"
 #include "core/depletion.h"
 #include "disk/array.h"
 #include "disk/layout.h"
+#include "fault/fault_plan.h"
+#include "fault/health.h"
 #include "io/planner.h"
+#include "io/retry.h"
 #include "io/run_state.h"
 #include "obs/metrics.h"
 #include "sim/event.h"
@@ -16,6 +21,7 @@
 #include "sim/simulation.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/str.h"
 
 namespace emsim::core {
 
@@ -68,8 +74,12 @@ class Engine {
         layout_(disk::RunLayout::Options{config.num_runs, config.num_disks,
                                          config.blocks_per_run, config.disk_params.geometry,
                                          config.placement, config.run_lengths}),
+        fault_plan_(config.fault.InjectionEnabled()
+                        ? std::make_unique<fault::FaultPlan>(config.fault, config.num_disks,
+                                                             config.seed)
+                        : nullptr),
         disks_(&sim_, disk::DiskArray::Options{config.disk_params, config.num_disks,
-                                               config.seed, &metrics_}),
+                                               config.seed, &metrics_, fault_plan_.get()}),
         cache_(&sim_, cache::BlockCache::Options{config.EffectiveCacheBlocks(),
                                                  config.num_runs, &metrics_}),
         runs_(config.run_lengths.empty()
@@ -82,6 +92,18 @@ class Engine {
     sim_.AttachMetrics(&metrics_);
     metric_stalls_ = &metrics_.GetCounter("merge.demand_stalls");
     metric_stall_ms_ = &metrics_.GetGauge("merge.stall_ms");
+    if (fault_plan_ != nullptr) {
+      // Fault machinery exists only when injection is on: a fault-free trial
+      // registers no fault metrics and takes no fault branches, keeping its
+      // exports byte-identical to the pre-fault simulator.
+      health_ = std::make_unique<fault::HealthTracker>(config.num_disks);
+      retry_ = std::make_unique<io::FetchRetryDriver>(&sim_, &disks_, health_.get(),
+                                                      config.fault.retry, &metrics_);
+      retry_->on_permanent_failure = [this](int disk, const disk::DiskRequest& request) {
+        AbortOnFault(disk, request);
+      };
+      metric_degraded_disks_ = &metrics_.GetTimeline("fault.degraded_disks");
+    }
     if (config.strategy == Strategy::kAllDisksOneRun) {
       planner_ = io::MakeAllDisksOneRunPlanner(config.prefetch_depth,
                                                MakeChooser(config.victim));
@@ -113,19 +135,93 @@ class Engine {
     }
   }
 
-  MergeResult Run() {
+  Result<MergeResult> Run() {
     disks_.Start();
     if (write_disks_ != nullptr) {
       write_disks_->Start();
     }
     sim_.Spawn(MergeLoop());
-    sim_.Run();
+    if (config_.max_sim_events == 0 && config_.max_wall_ms <= 0) {
+      sim_.Run();
+    } else {
+      EMSIM_RETURN_IF_ERROR(RunWithDeadline());
+    }
+    if (fault_abort_) {
+      return fault_status_;
+    }
+    if (fault_plan_ != nullptr && !merge_finished_) {
+      // Under fault injection a drained calendar without completion is a
+      // reportable outcome (e.g. writes parked on a fail-stopped disk), not
+      // a simulator invariant violation.
+      return Status::IoError(
+          StrFormat("merge could not complete under fault injection (config: %s)",
+                    config_.ToString().c_str()));
+    }
     EMSIM_CHECK(merge_finished_ && "merge deadlocked: calendar drained early");
     result_.sim_events = sim_.events_processed();
     return result_;
   }
 
  private:
+  /// Drives the calendar in bounded chunks so a stuck trial is converted
+  /// into kDeadlineExceeded (with the offending config echoed) instead of
+  /// spinning forever. The pop sequence is identical to one Run() call.
+  Status RunWithDeadline() {
+    constexpr uint64_t kChunkEvents = 65536;
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (;;) {
+      uint64_t budget = kChunkEvents;
+      if (config_.max_sim_events > 0) {
+        if (sim_.events_processed() >= config_.max_sim_events) {
+          return Status::DeadlineExceeded(
+              StrFormat("trial exceeded %llu simulated events (config: %s)",
+                        static_cast<unsigned long long>(config_.max_sim_events),
+                        config_.ToString().c_str()));
+        }
+        budget = std::min(budget, config_.max_sim_events - sim_.events_processed());
+      }
+      if (sim_.RunBounded(budget)) {
+        return Status::OK();
+      }
+      if (config_.max_wall_ms > 0) {
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                      wall_start)
+                .count();
+        if (elapsed_ms > config_.max_wall_ms) {
+          return Status::DeadlineExceeded(
+              StrFormat("trial exceeded the %.0f ms wall-clock budget (config: %s)",
+                        config_.max_wall_ms, config_.ToString().c_str()));
+        }
+      }
+    }
+  }
+
+  /// A span exhausted every retry: the run it serves is unreadable. Record
+  /// the Status and wake the merge from every wait it could be parked on so
+  /// it unwinds promptly instead of hanging.
+  void AbortOnFault(int disk, const disk::DiskRequest& request) {
+    if (fault_abort_) {
+      return;
+    }
+    fault_abort_ = true;
+    fault_status_ = Status::IoError(StrFormat(
+        "run unreadable: disk %d span at block %lld (%d blocks) failed after %d retries", disk,
+        static_cast<long long>(request.start_block), request.nblocks,
+        config_.fault.retry.max_retries));
+    result_.fault.permanent_failures = retry_->stats().permanent_failures;
+    health_->MarkDead(disk);
+    if (awaited_batch_ != nullptr) {
+      awaited_batch_->done.Set();
+    }
+    for (int r = 0; r < config_.num_runs; ++r) {
+      cache_.DepositSignal(r).Fire();
+    }
+    if (write_drain_ != nullptr) {
+      write_drain_->Fire();
+    }
+  }
+
   io::VictimChooser::Context PlannerContext() {
     io::VictimChooser::Context ctx;
     ctx.layout = &layout_;
@@ -135,6 +231,10 @@ class Engine {
     ctx.rng = &planner_rng_;
     if (config_.depletion == DepletionKind::kTrace) {
       ctx.depletion_trace = &config_.trace;
+    }
+    if (health_ != nullptr) {
+      ctx.health = health_.get();
+      ctx.now = sim_.Now();
     }
     return ctx;
   }
@@ -225,7 +325,11 @@ class Engine {
           batch->done.Set();
         }
       };
-      disks_.Submit(p.disk, std::move(p.request));
+      if (retry_ != nullptr) {
+        retry_->Submit(p.disk, std::move(p.request));
+      } else {
+        disks_.Submit(p.disk, std::move(p.request));
+      }
     }
     return batch;
   }
@@ -296,11 +400,13 @@ class Engine {
     // Initial state: the cache holds (up to) N blocks of every run.
     {
       auto preload = IssuePreload();
+      awaited_batch_ = preload;
       co_await preload->done.Wait();
+      awaited_batch_ = nullptr;
     }
 
     int64_t remaining = layout_.TotalBlocks();
-    while (remaining > 0) {
+    while (remaining > 0 && !fault_abort_) {
       int run = depletion_->Next(runs_, depletion_rng_);
       EMSIM_DCHECK(!runs_[run].FullyConsumed());
 
@@ -311,11 +417,14 @@ class Engine {
       } else {
         ++result_.demand_stalls;
         double stall_start = sim_.Now();
-        while (!cache_.HasLeadingBlock(run)) {
+        while (!fault_abort_ && !cache_.HasLeadingBlock(run)) {
           EMSIM_DCHECK(cache_.InFlightForRun(run) > 0);
           co_await cache_.DepositSignal(run).Wait();
         }
         NoteStall(sim_.Now() - stall_start);
+        if (fault_abort_) {
+          break;
+        }
       }
 
       cache_.ConsumeLeading(run);
@@ -342,8 +451,11 @@ class Engine {
         if (write_outstanding_ > config_.write_buffer_blocks) {
           ++result_.write_stalls;
           FlushWrites();  // Never stall on blocks we have not even issued.
-          while (write_outstanding_ > config_.write_buffer_blocks) {
+          while (!fault_abort_ && write_outstanding_ > config_.write_buffer_blocks) {
             co_await write_drain_->Wait();
+          }
+          if (fault_abort_) {
+            break;
           }
         }
       }
@@ -356,30 +468,56 @@ class Engine {
           ++result_.io_operations;
           ++result_.demand_stalls;
           double stall_start = sim_.Now();
+          // A plan drawn while any disk is quarantined/dead is degraded: the
+          // fan-out skipped the sick disks, so even a fully admitted batch
+          // is not the paper's "full DN-block success".
+          bool degraded = health_ != nullptr && health_->DegradedCount(sim_.Now()) > 0;
+          if (degraded) {
+            ++result_.fault.degraded_plans;
+          }
+          if (metric_degraded_disks_ != nullptr) {
+            metric_degraded_disks_->Update(sim_.Now(),
+                                           static_cast<double>(
+                                               health_->DegradedCount(sim_.Now())));
+          }
           bool full = false;
           std::vector<io::FetchOp> admitted = Admit(planner_->Plan(PlannerContext(), run), &full);
-          if (full) {
+          if (full && !degraded) {
             ++result_.full_admissions;
           }
           auto batch = IssueOps(admitted);
           if (config_.sync == SyncMode::kSynchronized) {
+            awaited_batch_ = batch;
             co_await batch->done.Wait();
+            awaited_batch_ = nullptr;
           } else {
-            while (!cache_.HasLeadingBlock(run)) {
+            while (!fault_abort_ && !cache_.HasLeadingBlock(run)) {
               co_await cache_.DepositSignal(run).Wait();
             }
           }
           NoteStall(sim_.Now() - stall_start);
+          if (fault_abort_) {
+            break;
+          }
         } else {
           // Blocks already in flight; wait for the leading one.
           ++result_.demand_stalls;
           double stall_start = sim_.Now();
-          while (!cache_.HasLeadingBlock(run)) {
+          while (!fault_abort_ && !cache_.HasLeadingBlock(run)) {
             co_await cache_.DepositSignal(run).Wait();
           }
           NoteStall(sim_.Now() - stall_start);
+          if (fault_abort_) {
+            break;
+          }
         }
       }
+    }
+
+    if (fault_abort_) {
+      // The Status carries the outcome; the partial result is discarded.
+      merge_finished_ = true;
+      co_return;
     }
 
     // Drain the write-behind pipeline; with write modeling enabled the job
@@ -387,8 +525,12 @@ class Engine {
     if (config_.write_traffic != WriteTraffic::kNone) {
       double merge_done = sim_.Now();
       FlushWrites();
-      while (write_outstanding_ > 0) {
+      while (!fault_abort_ && write_outstanding_ > 0) {
         co_await write_drain_->Wait();
+      }
+      if (fault_abort_) {
+        merge_finished_ = true;
+        co_return;
       }
       result_.write_drain_ms = sim_.Now() - merge_done;
     }
@@ -404,6 +546,19 @@ class Engine {
     result_.disk_totals = disks_.TotalStats();
     result_.cache_stats = cache_.stats();
     result_.per_disk = disks_.UtilizationSnapshot();
+    if (fault_plan_ != nullptr) {
+      result_.fault.injection_enabled = true;
+      result_.fault.media_errors = result_.disk_totals.media_errors;
+      result_.fault.latency_spikes = result_.disk_totals.latency_spikes;
+      result_.fault.dropped_requests = result_.disk_totals.dropped_requests;
+      result_.fault.fail_stop_ms = result_.disk_totals.fail_stop_ms;
+      result_.fault.timeouts = retry_->stats().timeouts;
+      result_.fault.retries = retry_->stats().retries;
+      result_.fault.permanent_failures = retry_->stats().permanent_failures;
+      result_.fault.backoff_ms = retry_->stats().backoff_ms;
+      result_.fault.quarantine_events = health_->quarantine_events();
+      result_.fault.quarantine_ms = health_->quarantine_ms();
+    }
     if (metrics_.enabled()) {
       metrics_.FlushTimelines(sim_.Now());
       result_.metrics = metrics_.Samples();
@@ -417,6 +572,9 @@ class Engine {
   /// Declared before disks_/cache_: their Options carry its address.
   obs::MetricsRegistry metrics_;
   disk::RunLayout layout_;
+  /// Declared before disks_: the array's Options carry the plan's address.
+  /// Null (and all fault machinery absent) when injection is disabled.
+  std::unique_ptr<fault::FaultPlan> fault_plan_;
   disk::DiskArray disks_;
   cache::BlockCache cache_;
   io::RunStates runs_;
@@ -427,6 +585,14 @@ class Engine {
   std::unique_ptr<io::PrefetchPlanner> planner_;
   obs::Counter* metric_stalls_ = nullptr;
   obs::Gauge* metric_stall_ms_ = nullptr;
+
+  // Fault machinery (all null/false without injection).
+  std::unique_ptr<fault::HealthTracker> health_;
+  std::unique_ptr<io::FetchRetryDriver> retry_;
+  obs::Timeline* metric_degraded_disks_ = nullptr;
+  std::shared_ptr<Batch> awaited_batch_;
+  bool fault_abort_ = false;
+  Status fault_status_;
 
   // Write-behind state (extension).
   std::unique_ptr<disk::DiskArray> write_disks_;

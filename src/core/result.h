@@ -7,6 +7,7 @@
 
 #include "cache/block_cache.h"
 #include "disk/disk.h"
+#include "fault/fault_plan.h"
 #include "obs/metrics.h"
 #include "stats/accumulator.h"
 
@@ -58,6 +59,10 @@ struct MergeResult {
   double write_drain_ms = 0.0;     ///< Time spent flushing after the last merge.
 
   uint64_t sim_events = 0;
+
+  /// Fault-injection and recovery outcome. All-zero (injection_enabled
+  /// false) for fault-free trials; the JSON export omits the block then.
+  fault::FaultStats fault;
 
   /// Per-disk utilization (busy fraction, mean queue length, cumulative
   /// counters), ordered by disk id. Always collected.

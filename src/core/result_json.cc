@@ -64,6 +64,28 @@ void WriteJson(stats::JsonWriter& w, const MergeConfig& config) {
   w.Field("placement", PlacementName(config.placement));
   w.Field("cpu_ms_per_block", config.cpu_ms_per_block);
   w.Field("seed", config.seed);
+  // Gated on injection so fault-free artifacts stay byte-identical to the
+  // pre-fault schema (acceptance-tested against frozen baselines).
+  if (config.fault.InjectionEnabled()) {
+    w.Key("fault");
+    w.BeginObject();
+    w.Field("media_error_rate", config.fault.media_error_rate);
+    w.Field("latency_spike_rate", config.fault.latency_spike_rate);
+    w.Field("latency_spike_ms", config.fault.latency_spike_ms);
+    w.Field("fail_slow_disk", config.fault.fail_slow_disk);
+    w.Field("fail_slow_factor", config.fault.fail_slow_factor);
+    w.Field("fail_slow_start_ms", config.fault.fail_slow_start_ms);
+    w.Field("fail_slow_end_ms", config.fault.fail_slow_end_ms);
+    w.Field("fail_stop_disk", config.fault.fail_stop_disk);
+    w.Field("fail_stop_start_ms", config.fault.fail_stop_start_ms);
+    w.Field("fail_stop_end_ms", config.fault.fail_stop_end_ms);
+    w.Field("fault_seed", config.fault.seed);
+    w.Field("max_retries", config.fault.retry.max_retries);
+    w.Field("timeout_ms", config.fault.retry.timeout_ms);
+    w.Field("backoff_base_ms", config.fault.retry.backoff_base_ms);
+    w.Field("backoff_multiplier", config.fault.retry.backoff_multiplier);
+    w.EndObject();
+  }
   w.EndObject();
 }
 
@@ -113,6 +135,25 @@ void WriteJson(stats::JsonWriter& w, const MergeResult& result) {
     w.Field("requests", result.write_requests);
     w.Field("stalls", result.write_stalls);
     w.Field("drain_ms", result.write_drain_ms);
+    w.EndObject();
+  }
+  if (result.fault.injection_enabled) {
+    // Explicit zeros: a fault sweep's "no faults happened" is data, while a
+    // fault-free trial omits the block entirely (byte-identity with the
+    // pre-fault schema).
+    w.Key("fault");
+    w.BeginObject();
+    w.Field("media_errors", result.fault.media_errors);
+    w.Field("latency_spikes", result.fault.latency_spikes);
+    w.Field("timeouts", result.fault.timeouts);
+    w.Field("retries", result.fault.retries);
+    w.Field("dropped_requests", result.fault.dropped_requests);
+    w.Field("permanent_failures", result.fault.permanent_failures);
+    w.Field("degraded_plans", result.fault.degraded_plans);
+    w.Field("quarantine_events", result.fault.quarantine_events);
+    w.Field("backoff_ms", result.fault.backoff_ms);
+    w.Field("fail_stop_ms", result.fault.fail_stop_ms);
+    w.Field("quarantine_ms", result.fault.quarantine_ms);
     w.EndObject();
   }
   if (!result.metrics.empty()) {

@@ -22,6 +22,9 @@ DiskArray::DiskArray(sim::Simulation* sim, const Options& options) : sim_(sim) {
     if (options.metrics != nullptr) {
       d->AttachMetrics(options.metrics);
     }
+    if (options.faults != nullptr) {
+      d->SetFaultPlan(options.faults);
+    }
     disks_.push_back(std::move(d));
   }
   if (options.metrics != nullptr) {
@@ -65,6 +68,11 @@ DiskStats DiskArray::TotalStats() const {
     total.transfer_ms += s.transfer_ms;
     total.queue_wait_ms += s.queue_wait_ms;
     total.max_queue_length = std::max(total.max_queue_length, s.max_queue_length);
+    total.media_errors += s.media_errors;
+    total.latency_spikes += s.latency_spikes;
+    total.dropped_requests += s.dropped_requests;
+    total.fail_stop_ms += s.fail_stop_ms;
+    total.fault_extra_ms += s.fault_extra_ms;
   }
   return total;
 }

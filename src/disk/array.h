@@ -23,6 +23,10 @@ class DiskArray {
     /// Optional metrics registry; wires per-disk busy/queue timelines, the
     /// shared request counters, and the "disks.concurrency" timeline.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Optional fault plan consulted by every disk on every request
+    /// (nullptr keeps the fault-free paths byte-identical). Must outlive
+    /// the array.
+    fault::FaultPlan* faults = nullptr;
   };
 
   DiskArray(sim::Simulation* sim, const Options& options);

@@ -1,6 +1,7 @@
 #include "disk/disk.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/str.h"
 
@@ -96,8 +97,25 @@ sim::Process Disk::Serve() {
       }
       co_await work_.Wait();
     }
+    if (faults_ != nullptr && faults_->FailStopped(id_, sim_->Now())) {
+      const double outage_end = faults_->FailStopEndMs(id_);
+      if (std::isinf(outage_end)) {
+        // Permanent fail-stop: the server exits with its queue frozen.
+        // Queued attempts are reclaimed by their issuers' retry timeouts;
+        // nothing on this disk will ever be served again.
+        co_return;
+      }
+      const double park_ms = outage_end - sim_->Now();
+      stats_.fail_stop_ms += park_ms;
+      co_await sim::Delay(park_ms);
+      continue;  // Re-check: more outage windows or a Stop() may be pending.
+    }
     DiskRequest req = PopNext();
     NoteQueueLength();
+    if (faults_ != nullptr && req.progress != nullptr && req.progress->abandoned) {
+      ++stats_.dropped_requests;
+      continue;  // The issuer timed out and disowned this attempt.
+    }
     SetBusy(true);
     stats_.queue_wait_ms += sim_->Now() - req.enqueue_time;
     ++stats_.requests;
@@ -106,6 +124,10 @@ sim::Process Disk::Serve() {
     }
     if (metric_requests_ != nullptr) {
       metric_requests_->Increment();
+    }
+
+    if (req.progress != nullptr) {
+      req.progress->phase = RequestPhase::kServing;
     }
 
     AccessCost cost = mechanism_.Access(req.start_block, req.nblocks, rng_, sim_->Now());
@@ -120,10 +142,43 @@ sim::Process Disk::Serve() {
       ++stats_.seeks;
     }
 
-    if (cost.PositioningMs() > 0) {
-      co_await sim::Delay(cost.PositioningMs());
+    // Fault surcharge: the verdict is drawn per served request in service
+    // order from the plan's per-disk streams, so the disk's own rotational
+    // stream (rng_) is never perturbed. With no plan attached every value
+    // below is exactly the fault-free one.
+    double positioning_ms = cost.PositioningMs();
+    double per_block = mechanism_.params().TransferMsPerBlock();
+    bool media_error = false;
+    if (faults_ != nullptr) {
+      fault::RequestFault verdict = faults_->OnRequestStart(id_, sim_->Now());
+      const double base_service_ms = positioning_ms + per_block * req.nblocks;
+      positioning_ms = positioning_ms * verdict.slow_factor + verdict.extra_latency_ms;
+      per_block *= verdict.slow_factor;
+      if (verdict.extra_latency_ms > 0) {
+        ++stats_.latency_spikes;
+      }
+      // Requests without an error handler cannot be failed usefully (the
+      // issuer would never observe it); their verdict still consumes the
+      // same stream draws so handler presence never shifts later verdicts.
+      media_error = verdict.media_error && req.on_error != nullptr;
+      const double service_ms =
+          media_error ? positioning_ms : positioning_ms + per_block * req.nblocks;
+      stats_.fault_extra_ms += service_ms - (media_error ? 0.0 : base_service_ms);
     }
-    const double per_block = mechanism_.params().TransferMsPerBlock();
+
+    if (positioning_ms > 0) {
+      co_await sim::Delay(positioning_ms);
+    }
+    if (media_error) {
+      // The failed request pays its positioning cost but delivers nothing.
+      ++stats_.media_errors;
+      if (req.progress != nullptr) {
+        req.progress->phase = RequestPhase::kFailed;
+      }
+      req.on_error();
+      SetBusy(false);
+      continue;
+    }
     for (int i = 0; i < req.nblocks; ++i) {
       co_await sim::Delay(per_block);
       ++stats_.blocks_transferred;
@@ -133,6 +188,9 @@ sim::Process Disk::Serve() {
       if (req.on_block) {
         req.on_block(i);
       }
+    }
+    if (req.progress != nullptr) {
+      req.progress->phase = RequestPhase::kDone;
     }
     if (req.on_complete) {
       req.on_complete();

@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "disk/mechanism.h"
+#include "fault/fault_plan.h"
 #include "obs/metrics.h"
 #include "sim/event.h"
 #include "sim/process.h"
@@ -23,17 +25,43 @@ enum class RequestKind {
   kWrite,     ///< Merged output written behind the merge (extension).
 };
 
+/// Where a request stands in the disk's pipeline; written by the disk,
+/// polled by issuers that retry on timeout (io::FetchRetryDriver).
+enum class RequestPhase {
+  kQueued,   ///< Submitted; not yet picked by the server.
+  kServing,  ///< Non-preemptively in service.
+  kDone,     ///< All blocks delivered, on_complete fired.
+  kFailed,   ///< Injected media error; on_error fired, no blocks delivered.
+};
+
+/// Shared progress cell for one request attempt. The issuer keeps a
+/// reference so its timeout watchdog can see how far the attempt got; it
+/// sets `abandoned` to disown an attempt that is still queued (the disk
+/// drops it unserved — there is no preemption of an attempt in service).
+struct RequestProgress {
+  RequestPhase phase = RequestPhase::kQueued;
+  bool abandoned = false;
+};
+
 /// One read request for `nblocks` contiguous disk-local blocks. The disk
 /// delivers blocks one at a time: `on_block(i)` fires when the i-th block's
 /// transfer completes (this is how unsynchronized prefetching lets the CPU
 /// resume after the first block), and `on_complete` fires after the last.
 /// Callbacks run in the disk server's process context; they must not block.
+///
+/// Fault-aware issuers may attach `progress` (attempt tracking) and
+/// `on_error` (invoked instead of on_block/on_complete when an injected
+/// media error fails the request). Requests without an `on_error` handler
+/// are never failed by the injector — their issuer could not observe it —
+/// though timing faults (fail-slow, spikes, fail-stop) still apply.
 struct DiskRequest {
   int64_t start_block = 0;
   int nblocks = 1;
   RequestKind kind = RequestKind::kDemand;
   std::function<void(int)> on_block;
   std::function<void()> on_complete;
+  std::function<void()> on_error;
+  std::shared_ptr<RequestProgress> progress;
 
   // Filled in by Disk::Submit.
   uint64_t id = 0;
@@ -52,6 +80,13 @@ struct DiskStats {
   double transfer_ms = 0;
   double queue_wait_ms = 0;       ///< Sum over requests of (service start - enqueue).
   size_t max_queue_length = 0;
+
+  // Fault-path counters; all stay zero when no FaultPlan is attached.
+  uint64_t media_errors = 0;      ///< Requests failed by injected media errors.
+  uint64_t latency_spikes = 0;    ///< Requests that paid a latency spike.
+  uint64_t dropped_requests = 0;  ///< Abandoned attempts dropped unserved.
+  double fail_stop_ms = 0;        ///< Time parked by a finite fail-stop window.
+  double fault_extra_ms = 0;      ///< Extra service time from fail-slow/spikes.
 
   double BusyMs() const { return seek_ms + rotation_ms + transfer_ms; }
 };
@@ -113,6 +148,11 @@ class Disk {
   /// and request counters with `metrics`. Call before the simulation runs.
   void AttachMetrics(obs::MetricsRegistry* metrics);
 
+  /// Attaches a fault plan consulted on every request (nullptr — the
+  /// default — keeps the fault-free hot path untouched). The plan must
+  /// outlive the disk. Call before the simulation runs.
+  void SetFaultPlan(fault::FaultPlan* plan) { faults_ = plan; }
+
   /// Observer invoked on busy-state transitions; wired by DiskArray to
   /// maintain the cross-disk concurrency statistic.
   std::function<void(int disk_id, bool busy)> on_busy_changed;
@@ -156,6 +196,7 @@ class Disk {
   sim::Simulation* sim_;
   int id_;
   Mechanism mechanism_;
+  fault::FaultPlan* faults_ = nullptr;
   Rng rng_;
   std::deque<DiskRequest> queue_;
   sim::Signal work_;

@@ -51,16 +51,12 @@ Status MemoryBlockDevice::Write(int64_t index, std::span<const uint8_t> data) {
 
 FaultyBlockDevice::FaultyBlockDevice(std::unique_ptr<BlockDevice> base,
                                      const Options& options)
-    : base_(std::move(base)), options_(options), rng_(options.seed) {
+    : base_(std::move(base)), injector_(options) {
   EMSIM_CHECK(base_ != nullptr);
 }
 
 Status FaultyBlockDevice::Read(int64_t index, std::span<uint8_t> out) {
-  ++read_attempts_;
-  bool fail = options_.fail_nth_read > 0 ? read_attempts_ == options_.fail_nth_read
-                                         : rng_.Bernoulli(options_.read_failure_rate);
-  if (fail) {
-    ++injected_reads_;
+  if (injector_.NextReadFails()) {
     return Status::IoError(
         StrFormat("injected read failure at block %lld", static_cast<long long>(index)));
   }
@@ -72,11 +68,7 @@ Status FaultyBlockDevice::Read(int64_t index, std::span<uint8_t> out) {
 }
 
 Status FaultyBlockDevice::Write(int64_t index, std::span<const uint8_t> data) {
-  ++write_attempts_;
-  bool fail = options_.fail_nth_write > 0 ? write_attempts_ == options_.fail_nth_write
-                                          : rng_.Bernoulli(options_.write_failure_rate);
-  if (fail) {
-    ++injected_writes_;
+  if (injector_.NextWriteFails()) {
     return Status::IoError(
         StrFormat("injected write failure at block %lld", static_cast<long long>(index)));
   }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "disk/mechanism.h"
+#include "fault/fault_plan.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -60,18 +61,14 @@ class MemoryBlockDevice : public BlockDevice {
 
 /// Decorator injecting I/O failures at configurable rates — exercises the
 /// library's Status paths (run formation, merging, tag sort) under disk
-/// errors. Failures are deterministic for a seed.
+/// errors. Uses the same seeded fault vocabulary as the simulation's
+/// fault::FaultPlan, so a spec exercised against the simulator and a real
+/// sort exercised against this device share one set of fault options.
+/// Failures are deterministic for a seed.
 class FaultyBlockDevice : public BlockDevice {
  public:
-  struct Options {
-    double read_failure_rate = 0.0;   ///< Probability a Read returns kIoError.
-    double write_failure_rate = 0.0;  ///< Probability a Write returns kIoError.
-    uint64_t seed = 1;
-    /// If > 0, exactly this 1-based read fails instead of random sampling
-    /// (precise fault placement for tests).
-    uint64_t fail_nth_read = 0;
-    uint64_t fail_nth_write = 0;
-  };
+  /// Shared with fault::FaultPlan; see fault/fault_plan.h.
+  using Options = fault::MediaFaultOptions;
 
   FaultyBlockDevice(std::unique_ptr<BlockDevice> base, const Options& options);
 
@@ -80,17 +77,12 @@ class FaultyBlockDevice : public BlockDevice {
   Status Read(int64_t index, std::span<uint8_t> out) override;
   Status Write(int64_t index, std::span<const uint8_t> data) override;
 
-  uint64_t injected_read_failures() const { return injected_reads_; }
-  uint64_t injected_write_failures() const { return injected_writes_; }
+  uint64_t injected_read_failures() const { return injector_.injected_read_failures(); }
+  uint64_t injected_write_failures() const { return injector_.injected_write_failures(); }
 
  private:
   std::unique_ptr<BlockDevice> base_;
-  Options options_;
-  Rng rng_;
-  uint64_t read_attempts_ = 0;
-  uint64_t write_attempts_ = 0;
-  uint64_t injected_reads_ = 0;
-  uint64_t injected_writes_ = 0;
+  fault::MediaErrorInjector injector_;
 };
 
 /// Decorator adding simulated disk-time accounting to any device: each

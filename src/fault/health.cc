@@ -1,0 +1,46 @@
+#include "fault/health.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace emsim::fault {
+
+HealthTracker::HealthTracker(int num_disks, Options options)
+    : options_(options), disks_(static_cast<size_t>(num_disks)) {
+  EMSIM_CHECK(num_disks >= 1);
+  EMSIM_CHECK(options_.quarantine_after_failures >= 1);
+  EMSIM_CHECK(options_.quarantine_window_ms >= 0.0);
+}
+
+void HealthTracker::NoteFailure(int disk, double now) {
+  DiskHealth& h = disks_[static_cast<size_t>(disk)];
+  ++h.consecutive_failures;
+  if (h.consecutive_failures < options_.quarantine_after_failures) return;
+  double until = now + options_.quarantine_window_ms;
+  if (until <= h.quarantine_until) return;
+  if (h.quarantine_until <= now) ++quarantine_events_;
+  quarantine_ms_ += until - std::max(now, h.quarantine_until);
+  h.quarantine_until = until;
+}
+
+void HealthTracker::NoteSuccess(int disk) {
+  disks_[static_cast<size_t>(disk)].consecutive_failures = 0;
+}
+
+void HealthTracker::MarkDead(int disk) { disks_[static_cast<size_t>(disk)].dead = true; }
+
+bool HealthTracker::Usable(int disk, double now) const {
+  const DiskHealth& h = disks_[static_cast<size_t>(disk)];
+  return !h.dead && h.quarantine_until <= now;
+}
+
+int HealthTracker::DegradedCount(double now) const {
+  int degraded = 0;
+  for (int d = 0; d < num_disks(); ++d) {
+    if (!Usable(d, now)) ++degraded;
+  }
+  return degraded;
+}
+
+}  // namespace emsim::fault

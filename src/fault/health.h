@@ -1,0 +1,68 @@
+#ifndef EMSIM_FAULT_HEALTH_H_
+#define EMSIM_FAULT_HEALTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace emsim::fault {
+
+/// Per-disk health bookkeeping driven by observed request outcomes. The I/O
+/// retry driver reports every failure/success; prefetch planners consult
+/// `Usable()` so the inter-run fan-out can skip disks that are currently
+/// misbehaving (partial-batch admission) instead of serializing every batch
+/// behind a straggler.
+///
+/// Policy: a disk that fails `quarantine_after_failures` consecutive attempts
+/// is quarantined for `quarantine_window_ms` of simulated time (each further
+/// failure extends the window); a success clears the streak. A disk marked
+/// dead (permanent failure) never becomes usable again. All state is plain
+/// deterministic arithmetic on simulated time — no randomness, no wall clock.
+class HealthTracker {
+ public:
+  struct Options {
+    int quarantine_after_failures = 2;
+    double quarantine_window_ms = 500.0;
+  };
+
+  explicit HealthTracker(int num_disks) : HealthTracker(num_disks, Options()) {}
+  HealthTracker(int num_disks, Options options);
+
+  /// Records a failed attempt on `disk` at simulated time `now`.
+  void NoteFailure(int disk, double now);
+
+  /// Records a successful completion on `disk`; ends its failure streak.
+  void NoteSuccess(int disk);
+
+  /// Permanently retires `disk` (retries exhausted / fail-stop observed).
+  void MarkDead(int disk);
+
+  /// True when planners may target `disk` at simulated time `now`.
+  bool Usable(int disk, double now) const;
+
+  bool Dead(int disk) const { return disks_[static_cast<size_t>(disk)].dead; }
+
+  /// Number of disks not usable at `now` (quarantined or dead).
+  int DegradedCount(double now) const;
+
+  int num_disks() const { return static_cast<int>(disks_.size()); }
+  uint64_t quarantine_events() const { return quarantine_events_; }
+  /// Total simulated time scheduled as quarantine windows (overlaps merged).
+  double quarantine_ms() const { return quarantine_ms_; }
+
+ private:
+  struct DiskHealth {
+    int consecutive_failures = 0;
+    double quarantine_until = 0.0;
+    bool dead = false;
+  };
+
+  Options options_;
+  std::vector<DiskHealth> disks_;
+  uint64_t quarantine_events_ = 0;
+  double quarantine_ms_ = 0.0;
+};
+
+}  // namespace emsim::fault
+
+#endif  // EMSIM_FAULT_HEALTH_H_

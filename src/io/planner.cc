@@ -21,12 +21,25 @@ FetchOp MakeOp(const RunStates& runs, int run, int64_t n, bool is_demand) {
   return op;
 }
 
+/// Degraded intra-run depth for the mandatory demand op: when the demand
+/// run's home disk is currently unusable (quarantined by repeated failures),
+/// speculating deeper on it only queues more work behind the fault — fall
+/// back to fetching exactly the block the merge is stalled on. Striped runs
+/// have no single home disk, so they keep full depth.
+int64_t DemandDepth(const VictimChooser::Context& ctx, int demand_run, int64_t n) {
+  if (ctx.health == nullptr || ctx.layout == nullptr || ctx.layout->striped()) {
+    return n;
+  }
+  return ctx.health->Usable(ctx.layout->DiskOf(demand_run), ctx.now) ? n : 1;
+}
+
 class DemandOnlyPlanner final : public PrefetchPlanner {
  public:
   explicit DemandOnlyPlanner(int n) : n_(n) { EMSIM_CHECK(n >= 1); }
 
   std::vector<FetchOp> Plan(const VictimChooser::Context& ctx, int demand_run) override {
-    return {MakeOp(*ctx.runs, demand_run, n_, /*is_demand=*/true)};
+    return {MakeOp(*ctx.runs, demand_run, DemandDepth(ctx, demand_run, n_),
+                   /*is_demand=*/true)};
   }
 
   std::string name() const override { return StrFormat("demand-only(N=%d)", n_); }
@@ -45,12 +58,16 @@ class AllDisksOneRunPlanner final : public PrefetchPlanner {
 
   std::vector<FetchOp> Plan(const VictimChooser::Context& ctx, int demand_run) override {
     std::vector<FetchOp> ops;
-    ops.push_back(MakeOp(*ctx.runs, demand_run, n_, /*is_demand=*/true));
+    ops.push_back(MakeOp(*ctx.runs, demand_run, DemandDepth(ctx, demand_run, n_),
+                         /*is_demand=*/true));
     const disk::RunLayout& layout = *ctx.layout;
     int demand_disk = layout.DiskOf(demand_run);
     for (int d = 0; d < layout.num_disks(); ++d) {
       if (d == demand_disk) {
         continue;
+      }
+      if (ctx.health != nullptr && !ctx.health->Usable(d, ctx.now)) {
+        continue;  // Degraded fan-out: no speculative work for a sick disk.
       }
       std::vector<int> candidates;
       for (int r : layout.RunsOf(d)) {

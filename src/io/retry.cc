@@ -1,0 +1,106 @@
+#include "io/retry.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace emsim::io {
+
+FetchRetryDriver::FetchRetryDriver(sim::Simulation* sim, disk::DiskArray* disks,
+                                   fault::HealthTracker* health, fault::RetryPolicy policy,
+                                   obs::MetricsRegistry* metrics)
+    : sim_(sim), disks_(disks), health_(health), policy_(policy) {
+  EMSIM_CHECK(sim != nullptr);
+  EMSIM_CHECK(disks != nullptr);
+  EMSIM_CHECK(health != nullptr);
+  EMSIM_CHECK(policy_.Validate().ok());
+  if (metrics != nullptr) {
+    metric_retries_ = &metrics->GetCounter("fault.retries");
+    metric_timeouts_ = &metrics->GetCounter("fault.timeouts");
+    metric_backoff_ms_ = &metrics->GetGauge("fault.backoff_ms");
+  }
+}
+
+void FetchRetryDriver::Submit(int disk, disk::DiskRequest request) {
+  EMSIM_CHECK(request.on_error == nullptr && request.progress == nullptr);
+  auto job = std::make_shared<Job>();
+  job->disk = disk;
+  job->request = std::move(request);
+  Attempt(job);
+}
+
+void FetchRetryDriver::Attempt(const std::shared_ptr<Job>& job) {
+  ++job->attempts;
+  auto progress = std::make_shared<disk::RequestProgress>();
+  disk::DiskRequest attempt;
+  attempt.start_block = job->request.start_block;
+  attempt.nblocks = job->request.nblocks;
+  attempt.kind = job->request.kind;
+  attempt.on_block = job->request.on_block;
+  attempt.progress = progress;
+  attempt.on_complete = [this, job] {
+    health_->NoteSuccess(job->disk);
+    if (job->request.on_complete) {
+      job->request.on_complete();
+    }
+  };
+  attempt.on_error = [this, job] { HandleFailure(job); };
+  disks_->Submit(job->disk, std::move(attempt));
+  ArmTimeout(job, progress);
+}
+
+void FetchRetryDriver::ArmTimeout(const std::shared_ptr<Job>& job,
+                                  const std::shared_ptr<disk::RequestProgress>& progress) {
+  if (policy_.timeout_ms <= 0) {
+    return;
+  }
+  sim_->ScheduleCallback(sim_->Now() + policy_.timeout_ms, [this, job, progress] {
+    switch (progress->phase) {
+      case disk::RequestPhase::kDone:
+      case disk::RequestPhase::kFailed:
+        return;  // Settled; the error path (if any) already ran.
+      case disk::RequestPhase::kServing:
+        // Service is non-preemptive and always finite (a fail-slow disk is
+        // slow, not stuck) — keep watching the same attempt.
+        ArmTimeout(job, progress);
+        return;
+      case disk::RequestPhase::kQueued:
+        // Stuck in a queue that is not draining (fail-stopped disk).
+        // Disown the attempt; the disk drops it if it ever surfaces.
+        progress->abandoned = true;
+        ++stats_.timeouts;
+        if (metric_timeouts_ != nullptr) {
+          metric_timeouts_->Increment();
+        }
+        HandleFailure(job);
+        return;
+    }
+  });
+}
+
+void FetchRetryDriver::HandleFailure(const std::shared_ptr<Job>& job) {
+  health_->NoteFailure(job->disk, sim_->Now());
+  if (job->attempts > policy_.max_retries) {
+    ++stats_.permanent_failures;
+    if (on_permanent_failure) {
+      on_permanent_failure(job->disk, job->request);
+    }
+    return;
+  }
+  const double backoff = policy_.BackoffMs(job->attempts - 1);
+  ++stats_.retries;
+  stats_.backoff_ms += backoff;
+  if (metric_retries_ != nullptr) {
+    metric_retries_->Increment();
+  }
+  if (metric_backoff_ms_ != nullptr) {
+    metric_backoff_ms_->Add(backoff);
+  }
+  if (backoff > 0) {
+    sim_->ScheduleCallback(sim_->Now() + backoff, [this, job] { Attempt(job); });
+  } else {
+    Attempt(job);
+  }
+}
+
+}  // namespace emsim::io

@@ -1,0 +1,85 @@
+#ifndef EMSIM_IO_RETRY_H_
+#define EMSIM_IO_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "disk/array.h"
+#include "disk/disk.h"
+#include "fault/fault_plan.h"
+#include "fault/health.h"
+#include "obs/metrics.h"
+#include "sim/simulation.h"
+
+namespace emsim::io {
+
+/// Cumulative recovery counters maintained by the retry driver.
+struct RetryStats {
+  uint64_t timeouts = 0;           ///< Attempts abandoned while queued.
+  uint64_t retries = 0;            ///< Re-submissions (after error or timeout).
+  uint64_t permanent_failures = 0; ///< Requests that exhausted every retry.
+  double backoff_ms = 0.0;         ///< Total simulated backoff wait.
+};
+
+/// Fault-aware submission path between the merge engine and the disk array.
+/// Each request becomes a job: every attempt carries a fresh progress cell
+/// and an error handler; a timeout watchdog abandons attempts stuck in a
+/// queue (a fail-stopped disk) and re-submits after exponential backoff;
+/// injected media errors re-submit the same way. Outcomes feed the
+/// HealthTracker so planners can route the fan-out around sick disks. A job
+/// that exhausts `policy.max_retries` re-submissions invokes
+/// `on_permanent_failure` — the engine decides whether the merge can degrade
+/// further or must surface a Status.
+///
+/// Everything runs on simulated time inside the single-threaded kernel:
+/// retry schedules are ScheduleCallback events, so trials with identical
+/// seeds and fault plans replay identically.
+class FetchRetryDriver {
+ public:
+  /// `metrics` may be null; when set, the driver registers "fault.retries",
+  /// "fault.timeouts" counters and the "fault.backoff_ms" gauge.
+  FetchRetryDriver(sim::Simulation* sim, disk::DiskArray* disks, fault::HealthTracker* health,
+                   fault::RetryPolicy policy, obs::MetricsRegistry* metrics);
+
+  FetchRetryDriver(const FetchRetryDriver&) = delete;
+  FetchRetryDriver& operator=(const FetchRetryDriver&) = delete;
+
+  /// Submits `request` to `disk` under the retry policy. The request's
+  /// on_block/on_complete fire exactly once, on the first attempt that
+  /// succeeds; a successful completion also clears the disk's failure
+  /// streak. The caller must leave `request.on_error` and
+  /// `request.progress` empty — the driver owns both.
+  void Submit(int disk, disk::DiskRequest request);
+
+  /// Invoked when a request exhausts every retry (with the disk it was last
+  /// submitted to). The driver itself takes no further action for the job.
+  std::function<void(int disk, const disk::DiskRequest& request)> on_permanent_failure;
+
+  const RetryStats& stats() const { return stats_; }
+
+ private:
+  struct Job {
+    int disk = 0;
+    disk::DiskRequest request;  ///< Template: callbacks copied per attempt.
+    int attempts = 0;
+  };
+
+  void Attempt(const std::shared_ptr<Job>& job);
+  void ArmTimeout(const std::shared_ptr<Job>& job,
+                  const std::shared_ptr<disk::RequestProgress>& progress);
+  void HandleFailure(const std::shared_ptr<Job>& job);
+
+  sim::Simulation* sim_;
+  disk::DiskArray* disks_;
+  fault::HealthTracker* health_;
+  fault::RetryPolicy policy_;
+  RetryStats stats_;
+  obs::Counter* metric_retries_ = nullptr;
+  obs::Counter* metric_timeouts_ = nullptr;
+  obs::Gauge* metric_backoff_ms_ = nullptr;
+};
+
+}  // namespace emsim::io
+
+#endif  // EMSIM_IO_RETRY_H_

@@ -7,6 +7,7 @@
 #include "cache/block_cache.h"
 #include "disk/array.h"
 #include "disk/layout.h"
+#include "fault/health.h"
 #include "io/run_state.h"
 #include "util/rng.h"
 
@@ -29,6 +30,12 @@ class VictimChooser {
     /// when their next block is actually needed (Aggarwal & Vitter's
     /// "predict which D blocks to prefetch").
     const std::vector<int>* depletion_trace = nullptr;
+    /// Per-disk health under fault injection (null otherwise). Planners
+    /// skip unusable disks in the inter-run fan-out and clamp intra-run
+    /// depth on an unusable demand disk; `now` is the planning time the
+    /// health state is evaluated at.
+    const fault::HealthTracker* health = nullptr;
+    double now = 0.0;
   };
 
   virtual ~VictimChooser() = default;

@@ -168,6 +168,20 @@ void Simulation::Run() {
   in_run_loop_ = false;
 }
 
+bool Simulation::RunBounded(uint64_t max_events) {
+  in_run_loop_ = true;
+  run_deadline_ = std::numeric_limits<SimTime>::infinity();
+  // Saturating cap: max_events of UINT64_MAX degenerates to Run().
+  event_cap_ = events_processed_ <= UINT64_MAX - max_events ? events_processed_ + max_events
+                                                            : UINT64_MAX;
+  while (events_processed_ < event_cap_ && Step()) {
+  }
+  const bool drained = calendar_.empty();
+  event_cap_ = UINT64_MAX;
+  in_run_loop_ = false;
+  return drained;
+}
+
 void Simulation::RunUntil(SimTime deadline) {
   in_run_loop_ = true;
   run_deadline_ = deadline;

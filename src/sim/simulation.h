@@ -82,7 +82,7 @@ class Simulation {
   /// push/pop it would otherwise miss).
   bool AdvanceInline(SimTime at) {
     if (!in_run_loop_ || !calendar_.empty() || at > run_deadline_ ||
-        metric_calendar_depth_ != nullptr) {
+        metric_calendar_depth_ != nullptr || events_processed_ >= event_cap_) {
       return false;
     }
     EMSIM_CHECK(at >= now_);
@@ -103,6 +103,15 @@ class Simulation {
   /// Runs until the calendar is empty or simulated time would exceed
   /// `deadline`; events after the deadline stay queued.
   void RunUntil(SimTime deadline);
+
+  /// Runs until the calendar is empty or `max_events` further events have
+  /// executed, whichever comes first. Returns true when the calendar drained.
+  /// Chunked callers (trial deadlines, wall-clock watchdogs) interleave
+  /// bounded runs with their own checks; the pop sequence is byte-identical
+  /// to one uninterrupted Run() because the cap also disables the
+  /// AdvanceInline fast path once reached (a lone runner could otherwise
+  /// spin past any bound inside a single Step()).
+  bool RunBounded(uint64_t max_events);
 
   /// Number of calendar events executed so far.
   uint64_t events_processed() const { return events_processed_; }
@@ -225,6 +234,7 @@ class Simulation {
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
+  uint64_t event_cap_ = UINT64_MAX;  // Valid only while in_run_loop_ is true.
   bool in_run_loop_ = false;
   SimTime run_deadline_ = 0.0;  // Valid only while in_run_loop_ is true.
   std::vector<LiveProcess> live_;

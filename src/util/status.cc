@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

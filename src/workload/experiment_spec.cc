@@ -119,6 +119,40 @@ Status ApplyKey(const std::string& key, const std::string& value, ExperimentSpec
   } else if (key == "write_batch") {
     EMSIM_RETURN_IF_ERROR(parse_int(&v));
     cfg.write_batch_blocks = static_cast<int>(v);
+  } else if (key == "fault_media_error_rate") {
+    EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.media_error_rate));
+  } else if (key == "fault_spike_rate") {
+    EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.latency_spike_rate));
+  } else if (key == "fault_spike_ms") {
+    EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.latency_spike_ms));
+  } else if (key == "fault_slow_disk") {
+    EMSIM_RETURN_IF_ERROR(parse_int(&v));
+    cfg.fault.fail_slow_disk = static_cast<int>(v);
+  } else if (key == "fault_slow_factor") {
+    EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.fail_slow_factor));
+  } else if (key == "fault_slow_start_ms") {
+    EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.fail_slow_start_ms));
+  } else if (key == "fault_slow_end_ms") {
+    EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.fail_slow_end_ms));
+  } else if (key == "fault_stop_disk") {
+    EMSIM_RETURN_IF_ERROR(parse_int(&v));
+    cfg.fault.fail_stop_disk = static_cast<int>(v);
+  } else if (key == "fault_stop_start_ms") {
+    EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.fail_stop_start_ms));
+  } else if (key == "fault_stop_end_ms") {
+    EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.fail_stop_end_ms));
+  } else if (key == "fault_seed") {
+    EMSIM_RETURN_IF_ERROR(parse_int(&v));
+    cfg.fault.seed = static_cast<uint64_t>(v);
+  } else if (key == "fault_max_retries") {
+    EMSIM_RETURN_IF_ERROR(parse_int(&v));
+    cfg.fault.retry.max_retries = static_cast<int>(v);
+  } else if (key == "fault_timeout_ms") {
+    EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.retry.timeout_ms));
+  } else if (key == "fault_backoff_ms") {
+    EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.retry.backoff_base_ms));
+  } else if (key == "fault_backoff_mult") {
+    EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.retry.backoff_multiplier));
   } else {
     return bad(StrFormat("unknown key '%s'", key.c_str()));
   }
@@ -296,6 +330,34 @@ std::string ToSpec(const ExperimentSpec& spec) {
     out += StrFormat("write_traffic = %s\n", core::WriteTrafficName(cfg.write_traffic));
     out += StrFormat("write_disks = %d\n", cfg.num_write_disks);
     out += StrFormat("write_batch = %d\n", cfg.write_batch_blocks);
+  }
+  if (cfg.fault.InjectionEnabled()) {
+    if (cfg.fault.media_error_rate > 0) {
+      out += StrFormat("fault_media_error_rate = %g\n", cfg.fault.media_error_rate);
+    }
+    if (cfg.fault.latency_spike_rate > 0) {
+      out += StrFormat("fault_spike_rate = %g\n", cfg.fault.latency_spike_rate);
+      out += StrFormat("fault_spike_ms = %g\n", cfg.fault.latency_spike_ms);
+    }
+    if (cfg.fault.fail_slow_disk >= 0) {
+      out += StrFormat("fault_slow_disk = %d\n", cfg.fault.fail_slow_disk);
+      out += StrFormat("fault_slow_factor = %g\n", cfg.fault.fail_slow_factor);
+      out += StrFormat("fault_slow_start_ms = %g\n", cfg.fault.fail_slow_start_ms);
+      out += StrFormat("fault_slow_end_ms = %g\n", cfg.fault.fail_slow_end_ms);
+    }
+    if (cfg.fault.fail_stop_disk >= 0) {
+      out += StrFormat("fault_stop_disk = %d\n", cfg.fault.fail_stop_disk);
+      out += StrFormat("fault_stop_start_ms = %g\n", cfg.fault.fail_stop_start_ms);
+      out += StrFormat("fault_stop_end_ms = %g\n", cfg.fault.fail_stop_end_ms);
+    }
+    if (cfg.fault.seed != 0) {
+      out += StrFormat("fault_seed = %llu\n",
+                       static_cast<unsigned long long>(cfg.fault.seed));
+    }
+    out += StrFormat("fault_max_retries = %d\n", cfg.fault.retry.max_retries);
+    out += StrFormat("fault_timeout_ms = %g\n", cfg.fault.retry.timeout_ms);
+    out += StrFormat("fault_backoff_ms = %g\n", cfg.fault.retry.backoff_base_ms);
+    out += StrFormat("fault_backoff_mult = %g\n", cfg.fault.retry.backoff_multiplier);
   }
   out += StrFormat("trials = %d\n", spec.trials);
   return out;

@@ -38,8 +38,15 @@ struct ExperimentSpec {
 /// (conservative | greedy), victim (random | round-robin | fewest-buffered
 /// | nearest-head), depletion (uniform | zipf), zipf_theta, cpu_ms,
 /// write_traffic (none | separate | shared), write_disks, write_batch,
-/// trials, seed. Keys before the first section set defaults. Unknown keys,
-/// bad values and empty specs are errors with line numbers.
+/// trials, seed, and the fault-injection family fault_media_error_rate,
+/// fault_spike_rate, fault_spike_ms, fault_slow_disk, fault_slow_factor,
+/// fault_slow_start_ms, fault_slow_end_ms, fault_stop_disk,
+/// fault_stop_start_ms, fault_stop_end_ms, fault_seed, fault_max_retries,
+/// fault_timeout_ms, fault_backoff_ms, fault_backoff_mult (see
+/// docs/ROBUSTNESS.md). Any section key accepts a comma-separated sweep, so
+/// `fault_slow_factor = 1,2,4,8` expands into one experiment per severity.
+/// Keys before the first section set defaults. Unknown keys, bad values and
+/// empty specs are errors with line numbers.
 Result<std::vector<ExperimentSpec>> ParseExperimentSpec(const std::string& text);
 
 /// Reads and parses a spec file from disk.

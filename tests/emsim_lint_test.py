@@ -97,6 +97,58 @@ class RuleFixtureTest(unittest.TestCase):
         self.assertEqual(["no-libc-rand"], [f["rule"] for f in findings])
 
 
+class ResultUncheckedTest(unittest.TestCase):
+    CHECKED = (
+        "Result<int> parsed = ParseInt(value);\n"
+        "if (!parsed.ok()) return parsed.status();\n"
+        "use(*parsed);\n"
+    )
+    NAKED = (
+        "Result<int> parsed = ParseInt(value);\n"
+        "use(*parsed);\n"
+    )
+
+    def test_naked_deref_fires(self):
+        self.assertIn("result-unchecked", rules_fired("src/x.cc", self.NAKED))
+
+    def test_naked_value_and_arrow_fire(self):
+        base = "Result<int> r = Make();\n"
+        self.assertIn("result-unchecked", rules_fired("src/x.cc", base + "use(r.value());\n"))
+        self.assertIn("result-unchecked", rules_fired("src/x.cc", base + "use(r->field);\n"))
+        self.assertIn("result-unchecked",
+                      rules_fired("src/x.cc", base + "take(*std::move(r));\n"))
+
+    def test_ok_gate_within_window_is_clean(self):
+        self.assertEqual(set(), rules_fired("src/x.cc", self.CHECKED))
+        check = ("Result<int> r = Make();\n"
+                 "EMSIM_CHECK_MSG(r.ok(), r.status().ToString().c_str());\n"
+                 "use(*std::move(r));\n")
+        self.assertEqual(set(), rules_fired("src/x.cc", check))
+
+    def test_ok_gate_outside_window_fires(self):
+        far = ("Result<int> r = Make();\n"
+               "if (!r.ok()) return r.status();\n"
+               + "other();\n" * (emsim_lint.RESULT_OK_WINDOW + 1)
+               + "use(*r);\n")
+        self.assertIn("result-unchecked", rules_fired("src/x.cc", far))
+
+    def test_non_result_value_calls_do_not_fire(self):
+        # Counter/Gauge accessors named value() (src/obs/metrics.cc idiom).
+        text = "Counter c;\nout.push_back(c.value());\n"
+        self.assertEqual(set(), rules_fired("src/x.cc", text))
+
+    def test_scoped_to_src(self):
+        self.assertEqual(set(), rules_fired("tests/x.cc", self.NAKED))
+        self.assertEqual(set(), rules_fired("tools/x.cc", self.NAKED))
+
+    def test_allow_directive_suppresses(self):
+        text = ("Result<int> r = Make();\n"
+                "use(*r);  // emsim-lint: allow(result-unchecked)\n")
+        findings, suppressions = emsim_lint.lint_text("src/x.cc", text)
+        self.assertEqual([], findings)
+        self.assertEqual(["result-unchecked"], [s["rule"] for s in suppressions])
+
+
 class IncludeGuardTest(unittest.TestCase):
     def test_expected_guard_derivation(self):
         self.assertEqual("EMSIM_UTIL_CHECK_H_", emsim_lint.expected_guard("src/util/check.h"))

@@ -168,8 +168,8 @@ TEST(ThreadPoolTest, WorkersPersistAndGrowOnlyOnDemand) {
 TEST(ThreadPoolTest, SerialFallbackRunsInline) {
   std::thread::id caller = std::this_thread::get_id();
   std::vector<std::thread::id> ran(3);
-  ThreadPool::Instance().Run(1, 3,
-                             [&](int i) { ran[static_cast<size_t>(i)] = std::this_thread::get_id(); });
+  ThreadPool::Instance().Run(
+      1, 3, [&](int i) { ran[static_cast<size_t>(i)] = std::this_thread::get_id(); });
   for (const std::thread::id& id : ran) {
     EXPECT_EQ(id, caller);
   }

@@ -1,0 +1,187 @@
+// End-to-end fault injection and graceful degradation (docs/ROBUSTNESS.md):
+// a fail-stop outage mid-merge completes through degraded fan-out instead of
+// deadlocking; an unrecoverable outage surfaces a Status; and, whenever
+// every retry eventually succeeds, fault injection changes timing only —
+// the merge consumes the same blocks in the same order as the fault-free
+// run (the depletion stream is drawn independently of I/O timing).
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/merge_simulator.h"
+
+namespace emsim::core {
+namespace {
+
+MergeConfig InterRunConfig() {
+  MergeConfig cfg = MergeConfig::Paper(10, 5, 4, Strategy::kAllDisksOneRun,
+                                       SyncMode::kUnsynchronized);
+  cfg.blocks_per_run = 100;
+  cfg.check_invariants = true;
+  return cfg;
+}
+
+TEST(FaultDegradationTest, FailStopMidMergeCompletesWithDegradedFanout) {
+  // Acceptance scenario: disk 1 stops serving inside [500, 2000) ms while
+  // the inter-run strategy is mid-merge. Timeouts abandon its queued work,
+  // the health tracker quarantines it, and subsequent prefetch batches fan
+  // out over the remaining disks (partial admission) until the outage lifts.
+  MergeConfig cfg = InterRunConfig();
+  cfg.fault.fail_stop_disk = 1;
+  cfg.fault.fail_stop_start_ms = 500.0;
+  cfg.fault.fail_stop_end_ms = 2000.0;
+  cfg.fault.retry.timeout_ms = 100.0;
+  // Constant backoff keeps the retry cadence tight across the whole outage:
+  // the stuck span succeeds shortly after 2000 ms, while the quarantine
+  // window (extended by every failed attempt) is still in force — so the
+  // resumed merge provably plans with a reduced fan-out for a while.
+  cfg.fault.retry.backoff_base_ms = 20.0;
+  cfg.fault.retry.backoff_multiplier = 1.0;
+  cfg.fault.retry.max_retries = 30;
+
+  Result<MergeResult> faulted = SimulateMerge(cfg);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+
+  MergeConfig clean = InterRunConfig();
+  Result<MergeResult> baseline = SimulateMerge(clean);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // The merge is correct: every block of every run was consumed.
+  EXPECT_EQ(faulted->blocks_merged, cfg.TotalBlocks());
+  EXPECT_EQ(faulted->blocks_merged, baseline->blocks_merged);
+  EXPECT_EQ(faulted->cache_stats.consumptions, baseline->cache_stats.consumptions);
+
+  // ... but it ran degraded: attempts timed out, the disk was quarantined,
+  // plans were issued with a reduced fan-out, and the paper's success ratio
+  // dropped below the fault-free run's.
+  EXPECT_TRUE(faulted->fault.injection_enabled);
+  EXPECT_GT(faulted->fault.timeouts, 0u);
+  EXPECT_GT(faulted->fault.retries, 0u);
+  EXPECT_GT(faulted->fault.quarantine_events, 0u);
+  EXPECT_GT(faulted->fault.degraded_plans, 0u);
+  EXPECT_EQ(faulted->fault.permanent_failures, 0u);
+  EXPECT_LT(faulted->SuccessRatio(), baseline->SuccessRatio());
+  EXPECT_GT(faulted->total_ms, baseline->total_ms);
+}
+
+TEST(FaultDegradationTest, UnrecoverableFailStopSurfacesStatus) {
+  // Disk 1 never comes back and retries are tight: the merge must surface
+  // an error Status (run unreadable) instead of hanging or aborting.
+  MergeConfig cfg = InterRunConfig();
+  cfg.fault.fail_stop_disk = 1;
+  cfg.fault.fail_stop_start_ms = 0.0;
+  cfg.fault.fail_stop_end_ms = -1.0;
+  cfg.fault.retry.timeout_ms = 50.0;
+  cfg.fault.retry.max_retries = 2;
+  // Belt and braces: if abort ever regressed into a hang, the event deadline
+  // converts it into a failing Status instead of a stuck test.
+  cfg.max_sim_events = 10'000'000;
+
+  Result<MergeResult> result = SimulateMerge(cfg);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("unreadable"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(FaultDegradationTest, DemandFallbackCompletesUnderQuarantine) {
+  // Demand-run-only with a finite outage on the demand disk: the planner
+  // falls back to one-block demand fetches while the disk is quarantined
+  // and the merge still completes every block.
+  MergeConfig cfg = MergeConfig::Paper(6, 3, 4, Strategy::kDemandRunOnly,
+                                       SyncMode::kUnsynchronized);
+  cfg.blocks_per_run = 80;
+  cfg.check_invariants = true;
+  cfg.fault.fail_stop_disk = 0;
+  cfg.fault.fail_stop_start_ms = 200.0;
+  cfg.fault.fail_stop_end_ms = 1200.0;
+  cfg.fault.retry.timeout_ms = 80.0;
+  cfg.fault.retry.max_retries = 20;
+
+  Result<MergeResult> result = SimulateMerge(cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->blocks_merged, cfg.TotalBlocks());
+  EXPECT_GT(result->fault.timeouts, 0u);
+}
+
+// Property: under any injected fault schedule in which every retry
+// eventually succeeds, fault injection is invisible to merge semantics —
+// identical blocks merged, identical consumption totals, identical total
+// blocks transferred (each span is served successfully exactly once) —
+// across seeds, both strategies, and both sync modes.
+TEST(FaultDegradationTest, RecoveredFaultsPreserveMergeSemantics) {
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    for (Strategy strategy : {Strategy::kDemandRunOnly, Strategy::kAllDisksOneRun}) {
+      for (SyncMode sync : {SyncMode::kSynchronized, SyncMode::kUnsynchronized}) {
+        MergeConfig clean = MergeConfig::Paper(6, 3, 4, strategy, sync);
+        clean.blocks_per_run = 60;
+        clean.seed = seed;
+        clean.check_invariants = true;
+
+        MergeConfig faulty = clean;
+        faulty.fault.media_error_rate = 0.05;
+        faulty.fault.latency_spike_rate = 0.1;
+        faulty.fault.latency_spike_ms = 30.0;
+        // Effectively inexhaustible retries: P(30 consecutive injected
+        // errors) ~ 8e-40, so every span eventually succeeds.
+        faulty.fault.retry.max_retries = 30;
+        faulty.fault.retry.timeout_ms = 0.0;  // Error-triggered retries only.
+        faulty.fault.retry.backoff_base_ms = 5.0;
+
+        Result<MergeResult> base = SimulateMerge(clean);
+        Result<MergeResult> injected = SimulateMerge(faulty);
+        ASSERT_TRUE(base.ok()) << base.status().ToString();
+        ASSERT_TRUE(injected.ok()) << injected.status().ToString();
+
+        const std::string label =
+            std::string(StrategyName(strategy)) + "/" + SyncModeName(sync) +
+            "/seed=" + std::to_string(seed);
+        EXPECT_EQ(injected->blocks_merged, base->blocks_merged) << label;
+        EXPECT_EQ(injected->blocks_merged, clean.TotalBlocks()) << label;
+        EXPECT_EQ(injected->cache_stats.consumptions,
+                  base->cache_stats.consumptions)
+            << label;
+        EXPECT_EQ(injected->disk_totals.blocks_transferred,
+                  base->disk_totals.blocks_transferred)
+            << label;
+        EXPECT_EQ(injected->fault.permanent_failures, 0u) << label;
+        EXPECT_GT(injected->fault.media_errors, 0u) << label;
+        EXPECT_EQ(injected->fault.media_errors, injected->fault.retries) << label;
+      }
+    }
+  }
+}
+
+TEST(FaultDegradationTest, FaultFreeResultCarriesNoFaultStats) {
+  MergeConfig cfg = InterRunConfig();
+  Result<MergeResult> result = SimulateMerge(cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->fault.injection_enabled);
+  EXPECT_EQ(result->fault.media_errors, 0u);
+  EXPECT_EQ(result->fault.retries, 0u);
+  EXPECT_EQ(result->fault.degraded_plans, 0u);
+}
+
+TEST(FaultDegradationTest, FaultDrawsDoNotPerturbModelStreams) {
+  // A harmless injection (spike rate 0 would disable injection; use a
+  // fail-slow factor of 1 on an in-range disk) keeps every model stream
+  // untouched: identical merged output AND identical simulated time.
+  MergeConfig clean = InterRunConfig();
+  MergeConfig harmless = InterRunConfig();
+  harmless.fault.fail_slow_disk = 2;
+  harmless.fault.fail_slow_factor = 1.0;
+
+  Result<MergeResult> base = SimulateMerge(clean);
+  Result<MergeResult> injected = SimulateMerge(harmless);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(injected.ok());
+  EXPECT_DOUBLE_EQ(injected->total_ms, base->total_ms);
+  EXPECT_EQ(injected->blocks_merged, base->blocks_merged);
+  EXPECT_EQ(injected->io_operations, base->io_operations);
+  EXPECT_EQ(injected->full_admissions, base->full_admissions);
+  EXPECT_TRUE(injected->fault.injection_enabled);
+}
+
+}  // namespace
+}  // namespace emsim::core

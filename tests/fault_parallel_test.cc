@@ -1,0 +1,74 @@
+// Fault injection under the parallel trial runner: every trial owns its
+// private FaultPlan / HealthTracker / retry driver, so fault-injected
+// experiments must stay bit-identical to serial execution for every thread
+// count (the TSan `thread` CI job runs this suite).
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/experiment.h"
+
+namespace emsim::core {
+namespace {
+
+MergeConfig FaultyConfig() {
+  MergeConfig cfg = MergeConfig::Paper(6, 3, 4, Strategy::kAllDisksOneRun,
+                                       SyncMode::kUnsynchronized);
+  cfg.blocks_per_run = 60;
+  cfg.fault.media_error_rate = 0.05;
+  cfg.fault.latency_spike_rate = 0.1;
+  cfg.fault.retry.max_retries = 30;
+  cfg.fault.retry.backoff_base_ms = 5.0;
+  return cfg;
+}
+
+TEST(FaultParallelTest, ParallelTrialsBitIdenticalToSerial) {
+  MergeConfig cfg = FaultyConfig();
+  ExperimentResult serial = RunTrials(cfg, 6);
+  for (int threads : {1, 2, 4}) {
+    ExperimentResult parallel = RunTrialsParallel(cfg, 6, threads);
+    ASSERT_EQ(parallel.trials.size(), serial.trials.size()) << threads;
+    for (size_t t = 0; t < serial.trials.size(); ++t) {
+      EXPECT_DOUBLE_EQ(parallel.trials[t].total_ms, serial.trials[t].total_ms)
+          << "threads=" << threads << " trial=" << t;
+      EXPECT_EQ(parallel.trials[t].fault.media_errors,
+                serial.trials[t].fault.media_errors)
+          << "threads=" << threads << " trial=" << t;
+      EXPECT_EQ(parallel.trials[t].fault.retries, serial.trials[t].fault.retries)
+          << "threads=" << threads << " trial=" << t;
+    }
+    EXPECT_DOUBLE_EQ(parallel.total_ms.Mean(), serial.total_ms.Mean());
+  }
+}
+
+TEST(FaultParallelTest, SweepWithFaultPointsMatchesSerialPoints) {
+  MergeConfig clean = FaultyConfig();
+  clean.fault = fault::FaultConfig{};  // Fault-free point in the same sweep.
+  MergeConfig faulty = FaultyConfig();
+  std::vector<ExperimentResult> sweep = RunSweepParallel({clean, faulty}, 3, 4);
+  ASSERT_EQ(sweep.size(), 2u);
+
+  ExperimentResult serial_clean = RunTrials(clean, 3);
+  ExperimentResult serial_faulty = RunTrials(faulty, 3);
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_DOUBLE_EQ(sweep[0].trials[t].total_ms, serial_clean.trials[t].total_ms);
+    EXPECT_DOUBLE_EQ(sweep[1].trials[t].total_ms, serial_faulty.trials[t].total_ms);
+    EXPECT_FALSE(sweep[0].trials[t].fault.injection_enabled);
+    EXPECT_TRUE(sweep[1].trials[t].fault.injection_enabled);
+  }
+}
+
+TEST(FaultParallelTest, DeadlinePlumbingIsHarmlessWhenGenerous) {
+  MergeConfig cfg = FaultyConfig();
+  ExperimentResult unbounded = RunTrialsParallel(cfg, 4, 4);
+  TrialDeadline deadline;
+  deadline.max_sim_events = 100'000'000;
+  deadline.max_wall_ms = 600'000.0;
+  ExperimentResult bounded = RunTrialsParallel(cfg, 4, 4, deadline);
+  for (size_t t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(bounded.trials[t].total_ms, unbounded.trials[t].total_ms) << t;
+  }
+}
+
+}  // namespace
+}  // namespace emsim::core

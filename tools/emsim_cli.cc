@@ -66,6 +66,25 @@ int main(int argc, char** argv) {
   bool collect_metrics = false;
   bool help = false;
   bool print_spec = false;
+  // Fault injection (docs/ROBUSTNESS.md). Defaults leave injection off, which
+  // keeps every artifact byte-identical to the fault-free schema.
+  double fault_media_error_rate = 0.0;
+  double fault_spike_rate = 0.0;
+  double fault_spike_ms = 50.0;
+  int fault_slow_disk = -1;
+  double fault_slow_factor = 4.0;
+  double fault_slow_start_ms = 0.0;
+  double fault_slow_end_ms = -1.0;
+  int fault_stop_disk = -1;
+  double fault_stop_start_ms = 0.0;
+  double fault_stop_end_ms = -1.0;
+  int64_t fault_seed = 0;
+  int fault_max_retries = 4;
+  double fault_timeout_ms = 2000.0;
+  double fault_backoff_ms = 20.0;
+  double fault_backoff_mult = 2.0;
+  int64_t max_sim_events = 0;
+  double max_wall_ms = 0.0;
 
   flags.AddInt("runs", &runs, "number of sorted runs (k)");
   flags.AddInt("disks", &disks, "number of input disks (D)");
@@ -90,6 +109,32 @@ int main(int argc, char** argv) {
   flags.AddBool("metrics", &collect_metrics,
                 "collect the full metrics registry into the JSON export");
   flags.AddBool("print_spec", &print_spec, "echo each experiment as spec syntax");
+  flags.AddDouble("fault_media_error_rate", &fault_media_error_rate,
+                  "P(injected media error) per read request");
+  flags.AddDouble("fault_spike_rate", &fault_spike_rate,
+                  "P(latency spike) per request");
+  flags.AddDouble("fault_spike_ms", &fault_spike_ms, "extra latency per spike (ms)");
+  flags.AddInt("fault_slow_disk", &fault_slow_disk, "fail-slow disk id (-1 = none)");
+  flags.AddDouble("fault_slow_factor", &fault_slow_factor,
+                  "fail-slow service-time multiplier");
+  flags.AddDouble("fault_slow_start_ms", &fault_slow_start_ms, "fail-slow window start");
+  flags.AddDouble("fault_slow_end_ms", &fault_slow_end_ms,
+                  "fail-slow window end (-1 = forever)");
+  flags.AddInt("fault_stop_disk", &fault_stop_disk, "fail-stop disk id (-1 = none)");
+  flags.AddDouble("fault_stop_start_ms", &fault_stop_start_ms, "fail-stop outage start");
+  flags.AddDouble("fault_stop_end_ms", &fault_stop_end_ms,
+                  "fail-stop outage end (-1 = forever)");
+  flags.AddInt64("fault_seed", &fault_seed,
+                 "fault RNG seed (0 = derive from --seed)");
+  flags.AddInt("fault_max_retries", &fault_max_retries, "retries before a span fails");
+  flags.AddDouble("fault_timeout_ms", &fault_timeout_ms,
+                  "per-attempt I/O timeout (0 = none)");
+  flags.AddDouble("fault_backoff_ms", &fault_backoff_ms, "base retry backoff (ms)");
+  flags.AddDouble("fault_backoff_mult", &fault_backoff_mult, "backoff multiplier");
+  flags.AddInt64("max_sim_events", &max_sim_events,
+                 "per-trial simulated-event deadline (0 = unlimited)");
+  flags.AddDouble("max_wall_ms", &max_wall_ms,
+                  "per-trial wall-clock deadline in ms (0 = unlimited)");
   flags.AddBool("help", &help, "show usage");
 
   Status status = flags.Parse(argc, argv);
@@ -143,6 +188,21 @@ int main(int argc, char** argv) {
     cfg.victim = *parsed_victim;
     cfg.depletion = *parsed_depletion;
     cfg.write_traffic = *parsed_write;
+    cfg.fault.media_error_rate = fault_media_error_rate;
+    cfg.fault.latency_spike_rate = fault_spike_rate;
+    cfg.fault.latency_spike_ms = fault_spike_ms;
+    cfg.fault.fail_slow_disk = fault_slow_disk;
+    cfg.fault.fail_slow_factor = fault_slow_factor;
+    cfg.fault.fail_slow_start_ms = fault_slow_start_ms;
+    cfg.fault.fail_slow_end_ms = fault_slow_end_ms;
+    cfg.fault.fail_stop_disk = fault_stop_disk;
+    cfg.fault.fail_stop_start_ms = fault_stop_start_ms;
+    cfg.fault.fail_stop_end_ms = fault_stop_end_ms;
+    cfg.fault.seed = static_cast<uint64_t>(fault_seed);
+    cfg.fault.retry.max_retries = fault_max_retries;
+    cfg.fault.retry.timeout_ms = fault_timeout_ms;
+    cfg.fault.retry.backoff_base_ms = fault_backoff_ms;
+    cfg.fault.retry.backoff_multiplier = fault_backoff_mult;
     Status valid = cfg.Validate();
     if (!valid.ok()) {
       std::fprintf(stderr, "invalid configuration: %s\n", valid.ToString().c_str());
@@ -156,13 +216,16 @@ int main(int argc, char** argv) {
   // Results owned here so the JSON export can reference all of them at once.
   std::vector<std::unique_ptr<core::ExperimentResult>> results;
   std::vector<core::NamedExperiment> named;
+  core::TrialDeadline deadline;
+  deadline.max_sim_events = static_cast<uint64_t>(max_sim_events);
+  deadline.max_wall_ms = max_wall_ms;
   for (auto& spec : specs) {
     if (print_spec) {
       std::printf("%s\n", workload::ToSpec(spec).c_str());
     }
     spec.config.collect_metrics = collect_metrics;
     auto result = std::make_unique<core::ExperimentResult>(
-        core::RunTrials(spec.config, spec.trials));
+        core::RunTrials(spec.config, spec.trials, deadline));
     AddResultRow(table, spec.name, spec.config, *result);
     named.push_back(core::NamedExperiment{spec.name, spec.config, result.get()});
     results.push_back(std::move(result));

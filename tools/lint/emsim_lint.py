@@ -21,6 +21,12 @@ source of run-to-run nondeterminism at the source level:
   check-over-assert    assert() — compiled out under NDEBUG, so Release and
                        Debug runs would diverge in what they enforce; use
                        EMSIM_CHECK / EMSIM_DCHECK.
+  result-unchecked     naked `.value()` / `*x` / `x->` on a variable declared
+                       `Result<T>` in src/ with no `x.ok()` check on the same
+                       or any of the preceding 15 lines — dereferencing an
+                       error Result aborts the process, so every access must
+                       sit visibly behind an ok() gate (an if, a return, or
+                       an EMSIM_CHECK).
   include-guard        headers must guard with EMSIM_<PATH>_H_ derived from
                        their repo-relative path (e.g. src/util/check.h ->
                        EMSIM_UTIL_CHECK_H_).
@@ -115,6 +121,60 @@ RULES = [
 ]
 
 
+# result-unchecked: the scan is two-pass per file. Pass one collects every
+# variable introduced as `Result<T> name = ...` / `Result<T> name{...}`; pass
+# two flags accesses (`name.value()`, `*name`, `*std::move(name)`, `name->`)
+# with no `name.ok()` within the current line or the RESULT_OK_WINDOW lines
+# above it. The window is a deliberate approximation — real dataflow needs a
+# compiler — sized so every sanctioned idiom (`if (!r.ok()) return ...;`,
+# `EMSIM_CHECK(r.ok());`, early-return ladders) passes while a bare
+# dereference far from any check is caught. Scoped to src/: tests and tools
+# assert liberally and gtest's ASSERT_TRUE(r.ok()) may sit in another helper.
+RESULT_OK_WINDOW = 15
+RESULT_DECL_RE = re.compile(r"\bResult<[^;=]*>\s+(\w+)\s*[={]")
+RESULT_UNCHECKED_MESSAGE = (
+    "Result access without a visible ok() check: dereferencing an error "
+    "Result aborts; gate it with ok() (if/return/EMSIM_CHECK) within the "
+    f"preceding {RESULT_OK_WINDOW} lines")
+
+
+def _result_unchecked_findings(relpath, code_lines):
+    """code_lines: list of (lineno, stripped_code, raw, allowed_rules)."""
+    if not relpath.startswith("src/"):
+        return [], []
+    names = set()
+    for _, code, _, _ in code_lines:
+        for m in RESULT_DECL_RE.finditer(code):
+            names.add(m.group(1))
+    findings = []
+    suppressions = []
+    for name in sorted(names):
+        esc = re.escape(name)
+        use_re = re.compile(
+            rf"(?<![\w.]){esc}\s*\.\s*value\s*\(\)"
+            rf"|\*\s*(?:std::move\(\s*)?{esc}\b"
+            rf"|(?<![\w.]){esc}\s*->")
+        ok_re = re.compile(rf"(?<![\w.]){esc}\s*\.\s*ok\s*\(\)")
+        for idx, (lineno, code, raw, allowed) in enumerate(code_lines):
+            if not use_re.search(code):
+                continue
+            window = code_lines[max(0, idx - RESULT_OK_WINDOW): idx + 1]
+            if any(ok_re.search(c) for _, c, _, _ in window):
+                continue
+            entry = {
+                "rule": "result-unchecked",
+                "path": relpath,
+                "line": lineno,
+                "message": RESULT_UNCHECKED_MESSAGE,
+                "snippet": raw.strip()[:160],
+            }
+            if "result-unchecked" in allowed:
+                suppressions.append(entry)
+            else:
+                findings.append(entry)
+    return findings, suppressions
+
+
 def expected_guard(relpath: str) -> str:
     """src/util/check.h -> EMSIM_UTIL_CHECK_H_; bench/bench_util.h ->
     EMSIM_BENCH_BENCH_UTIL_H_. The leading src/ is dropped (library headers
@@ -139,6 +199,7 @@ def lint_text(relpath: str, text: str):
     unit test can feed fixture strings."""
     findings = []
     suppressions = []
+    code_lines = []  # (lineno, stripped_code, raw, allowed) for stateful rules
     in_block_comment = False
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw
@@ -162,6 +223,7 @@ def lint_text(relpath: str, text: str):
         if allow:
             allowed = {r.strip() for r in allow.group(1).split(",")}
         code = strip_noncode(line)
+        code_lines.append((lineno, code, raw, allowed))
         for rule in RULES:
             if not rule.applies(relpath):
                 continue
@@ -178,6 +240,9 @@ def lint_text(relpath: str, text: str):
                 suppressions.append(entry)
             else:
                 findings.append(entry)
+    unchecked, unchecked_suppressed = _result_unchecked_findings(relpath, code_lines)
+    findings.extend(unchecked)
+    suppressions.extend(unchecked_suppressed)
     if relpath.endswith((".h", ".hpp")):
         want = expected_guard(relpath)
         guard_re = re.compile(r"^#ifndef\s+(\S+)\s*$", re.MULTILINE)
@@ -215,6 +280,7 @@ def main(argv):
     if args.list_rules:
         for rule in RULES:
             print(f"{rule.rule_id}: {rule.message}")
+        print(f"result-unchecked: {RESULT_UNCHECKED_MESSAGE}")
         print("include-guard: headers must guard with EMSIM_<PATH>_H_")
         return 0
 
