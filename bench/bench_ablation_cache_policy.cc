@@ -11,7 +11,12 @@
 // EXPERIMENTS.md: the paper compared average I/O parallelism, not total
 // time, and only analyzed unit-depth fetches.
 
+#include <cstdint>
+#include <vector>
+
 #include "bench_util.h"
+#include "core/config.h"
+#include "stats/table.h"
 #include "util/str.h"
 
 int main() {

@@ -6,7 +6,9 @@
 // for not modeling smarter scheduling.
 
 #include "bench_util.h"
-#include "util/str.h"
+#include "core/config.h"
+#include "disk/disk_params.h"
+#include "stats/table.h"
 
 int main() {
   using namespace emsim;

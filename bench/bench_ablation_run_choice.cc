@@ -3,7 +3,12 @@
 // head-position heuristics were not worth their bookkeeping; this bench
 // reproduces that comparison with four choosers.
 
+#include <cstdint>
+#include <utility>
+
 #include "bench_util.h"
+#include "core/config.h"
+#include "stats/table.h"
 #include "util/str.h"
 #include "workload/depletion_generator.h"
 

@@ -4,7 +4,8 @@
 // reports how each strategy degrades.
 
 #include "bench_util.h"
-#include "util/str.h"
+#include "core/config.h"
+#include "stats/table.h"
 
 int main() {
   using namespace emsim;

@@ -6,6 +6,9 @@
 // two roads to parallelism side by side at equal cache budgets.
 
 #include "bench_util.h"
+#include "core/config.h"
+#include "disk/layout.h"
+#include "stats/table.h"
 #include "util/str.h"
 
 int main() {

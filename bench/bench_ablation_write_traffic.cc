@@ -5,6 +5,8 @@
 // output shares the input disks instead.
 
 #include "bench_util.h"
+#include "core/config.h"
+#include "stats/table.h"
 #include "util/str.h"
 
 int main() {

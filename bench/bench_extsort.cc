@@ -5,12 +5,20 @@
 // prefetching strategy. This checks that the paper's conclusions transfer
 // from the stochastic model to genuine merges.
 
-#include <utility>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "bench_util.h"
+#include "core/config.h"
 #include "core/merge_simulator.h"
-#include "extsort/external_sort.h"
-#include "util/str.h"
+#include "extsort/block_device.h"
+#include "extsort/merger.h"
+#include "extsort/record.h"
+#include "extsort/run_formation.h"
+#include "stats/table.h"
+#include "util/check.h"
 #include "workload/record_generator.h"
 
 namespace emsim {

@@ -11,7 +11,15 @@
 // batches keep the other D-1 disks busy), at the price of a falling success
 // ratio.
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "bench_util.h"
+#include "core/config.h"
+#include "core/experiment.h"
+#include "core/result.h"
+#include "stats/table.h"
 #include "util/str.h"
 
 int main() {

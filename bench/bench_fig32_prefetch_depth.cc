@@ -3,7 +3,14 @@
 // Run") prefetching, with unsynchronized I/O and a cache ample enough to
 // keep the inter-run success ratio at ~1 (the figure's operating point).
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 #include "bench_util.h"
+#include "core/config.h"
+#include "core/experiment.h"
+#include "stats/series.h"
 #include "workload/paper_configs.h"
 
 namespace emsim {

@@ -4,6 +4,8 @@
 // {synchronized, unsynchronized}.
 
 #include "bench_util.h"
+#include "core/config.h"
+#include "stats/series.h"
 #include "workload/paper_configs.h"
 
 int main() {

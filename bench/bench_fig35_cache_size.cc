@@ -3,7 +3,12 @@
 // unsynchronized I/O. The asymptote of each curve corresponds to a success
 // ratio of 1; the x ranges match the paper's axes (1200 / 1600 / 3500).
 
+#include <cstdint>
+#include <string>
+
 #include "bench_util.h"
+#include "core/config.h"
+#include "stats/series.h"
 #include "util/str.h"
 #include "workload/paper_configs.h"
 

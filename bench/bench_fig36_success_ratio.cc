@@ -2,7 +2,13 @@
 // inter-run prefetching at N = 1, 5, 10 — the probability that a demand
 // fetch finds room to prefetch from every disk.
 
+#include <cstdint>
+#include <string>
+
 #include "bench_util.h"
+#include "core/config.h"
+#include "stats/confidence.h"
+#include "stats/series.h"
 #include "util/str.h"
 #include "workload/paper_configs.h"
 

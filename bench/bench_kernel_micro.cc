@@ -6,14 +6,16 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 
 #include "core/config.h"
 #include "core/merge_simulator.h"
+#include "disk/disk_params.h"
 #include "disk/mechanism.h"
 #include "extsort/loser_tree.h"
-#include "sim/event.h"
+#include "obs/metrics.h"
 #include "sim/frame_pool.h"
 #include "sim/process.h"
 #include "sim/simulation.h"

@@ -6,10 +6,16 @@
 // paper's introduction raises ("merged together in a small number of merge
 // passes").
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/config.h"
+#include "core/experiment.h"
 #include "extsort/merge_plan.h"
+#include "stats/table.h"
 #include "util/str.h"
 
 namespace emsim {

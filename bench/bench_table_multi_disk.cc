@@ -7,6 +7,8 @@
 #include "analysis/model_params.h"
 #include "analysis/urn_game.h"
 #include "bench_util.h"
+#include "core/config.h"
+#include "stats/table.h"
 #include "util/str.h"
 
 int main() {

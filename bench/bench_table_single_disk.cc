@@ -5,6 +5,8 @@
 #include "analysis/equations.h"
 #include "analysis/model_params.h"
 #include "bench_util.h"
+#include "core/config.h"
+#include "stats/table.h"
 #include "util/str.h"
 
 int main() {

@@ -7,11 +7,18 @@
 // permutation pass, and mergesort wins except at very large records with a
 // generous permute cache.
 
+#include <cstdint>
 #include <cstring>
+#include <memory>
+#include <vector>
 
 #include "bench_util.h"
+#include "disk/disk_params.h"
+#include "extsort/block_device.h"
 #include "extsort/packed_sort.h"
 #include "extsort/tag_sort.h"
+#include "stats/table.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/str.h"
 

@@ -5,7 +5,8 @@
 
 #include "analysis/urn_game.h"
 #include "bench_util.h"
-#include "util/str.h"
+#include "core/config.h"
+#include "stats/table.h"
 
 int main() {
   using namespace emsim;

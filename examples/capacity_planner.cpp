@@ -6,18 +6,17 @@
 //
 //   $ ./capacity_planner [--runs K] [--target SECONDS] [--max-disks D]
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
-#include <vector>
 
 #include "analysis/equations.h"
 #include "analysis/model_params.h"
 #include "core/config.h"
 #include "core/experiment.h"
 #include "stats/table.h"
-#include "util/str.h"
 
 using namespace emsim;
 

@@ -7,12 +7,19 @@
 //   $ ./external_sort_demo [zipf|uniform|sorted|reverse]
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
-#include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "core/config.h"
 #include "core/merge_simulator.h"
+#include "disk/disk_params.h"
+#include "extsort/block_device.h"
 #include "extsort/external_sort.h"
+#include "extsort/record.h"
+#include "extsort/run_formation.h"
 #include "workload/record_generator.h"
 
 using namespace emsim;

@@ -10,6 +10,7 @@
 #include "analysis/equations.h"
 #include "analysis/model_params.h"
 #include "analysis/predictor.h"
+#include "core/config.h"
 #include "core/experiment.h"
 #include "core/merge_simulator.h"
 

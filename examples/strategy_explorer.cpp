@@ -8,6 +8,8 @@
 // With --cache the sweep holds the cache budget fixed (the realistic
 // planning constraint); otherwise every strategy gets its ample default.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>

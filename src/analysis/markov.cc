@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
 

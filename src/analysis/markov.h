@@ -1,9 +1,7 @@
 #ifndef EMSIM_ANALYSIS_MARKOV_H_
 #define EMSIM_ANALYSIS_MARKOV_H_
 
-#include <cstdint>
 #include <map>
-#include <vector>
 
 namespace emsim::analysis {
 

@@ -2,7 +2,6 @@
 
 #include "analysis/equations.h"
 #include "analysis/urn_game.h"
-#include "util/check.h"
 #include "util/str.h"
 
 namespace emsim::analysis {

@@ -1,5 +1,7 @@
 #include "analysis/seek_distribution.h"
 
+#include <cstddef>
+
 #include "util/check.h"
 
 namespace emsim::analysis {

@@ -1,6 +1,7 @@
 #include "analysis/urn_game.h"
 
 #include <cmath>
+#include <cstddef>
 
 #include "util/check.h"
 

@@ -1,6 +1,7 @@
 #include "cache/block_cache.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "util/check.h"
 

@@ -2,6 +2,7 @@
 #define EMSIM_CACHE_BLOCK_CACHE_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>

@@ -1,5 +1,7 @@
 #include "core/config.h"
 
+#include <cstddef>
+
 #include "util/str.h"
 
 namespace emsim::core {

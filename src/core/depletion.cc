@@ -1,7 +1,8 @@
 #include "core/depletion.h"
 
-#include <algorithm>
+#include <cstddef>
 #include <numeric>
+#include <utility>
 
 #include "util/check.h"
 

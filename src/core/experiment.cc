@@ -1,11 +1,17 @@
 #include "core/experiment.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "core/merge_simulator.h"
+#include "core/result.h"
+#include "extsort/record.h"
 #include "util/check.h"
+#include "util/status.h"
 #include "util/str.h"
 #include "util/thread_pool.h"
 

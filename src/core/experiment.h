@@ -1,11 +1,12 @@
 #ifndef EMSIM_CORE_EXPERIMENT_H_
 #define EMSIM_CORE_EXPERIMENT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
-#include "core/merge_simulator.h"
+#include "core/result.h"
 #include "stats/accumulator.h"
 #include "stats/confidence.h"
 

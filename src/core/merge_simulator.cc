@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -9,12 +11,14 @@
 #include "cache/block_cache.h"
 #include "core/depletion.h"
 #include "disk/array.h"
+#include "disk/disk.h"
 #include "disk/layout.h"
 #include "fault/fault_plan.h"
 #include "fault/health.h"
 #include "io/planner.h"
 #include "io/retry.h"
 #include "io/run_state.h"
+#include "io/victim_chooser.h"
 #include "obs/metrics.h"
 #include "sim/event.h"
 #include "sim/process.h"

@@ -1,5 +1,11 @@
 #include "core/result_json.h"
 
+#include <cstdint>
+
+#include "disk/disk.h"
+#include "disk/layout.h"
+#include "obs/metrics.h"
+#include "stats/accumulator.h"
 #include "stats/confidence.h"
 
 namespace emsim::core {

@@ -1,5 +1,11 @@
 #include "disk/array.h"
 
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "sim/simulation.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace emsim::disk {

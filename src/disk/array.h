@@ -1,11 +1,17 @@
 #ifndef EMSIM_DISK_ARRAY_H_
 #define EMSIM_DISK_ARRAY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "disk/disk.h"
+#include "disk/disk_params.h"
+#include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "sim/simulation.h"
 #include "stats/time_weighted.h"
 
 namespace emsim::disk {

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <utility>
 
+#include "disk/disk_params.h"
+#include "util/check.h"
 #include "util/str.h"
 
 namespace emsim::disk {

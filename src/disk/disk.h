@@ -1,12 +1,14 @@
 #ifndef EMSIM_DISK_DISK_H_
 #define EMSIM_DISK_DISK_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 
+#include "disk/disk_params.h"
 #include "disk/mechanism.h"
 #include "fault/fault_plan.h"
 #include "obs/metrics.h"

@@ -1,6 +1,8 @@
 #include "disk/disk_params.h"
 
-#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
 
 #include "util/str.h"
 

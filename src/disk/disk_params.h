@@ -1,6 +1,7 @@
 #ifndef EMSIM_DISK_DISK_PARAMS_H_
 #define EMSIM_DISK_DISK_PARAMS_H_
 
+#include <cstdint>
 #include <string>
 
 #include "disk/geometry.h"

@@ -1,5 +1,7 @@
 #include "disk/layout.h"
 
+#include <cstddef>
+
 #include "util/check.h"
 #include "util/str.h"
 

@@ -1,7 +1,9 @@
 #include "disk/mechanism.h"
 
 #include <cmath>
+#include <cstdlib>
 
+#include "disk/geometry.h"
 #include "util/check.h"
 
 namespace emsim::disk {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "analysis/equations.h"
 #include "disk/disk_params.h"
 #include "util/rng.h"
 

@@ -1,7 +1,10 @@
 #include "extsort/block_device.h"
 
 #include <cstring>
+#include <utility>
 
+#include "disk/disk_params.h"
+#include "util/check.h"
 #include "util/str.h"
 
 namespace emsim::extsort {

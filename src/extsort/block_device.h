@@ -1,11 +1,13 @@
 #ifndef EMSIM_EXTSORT_BLOCK_DEVICE_H_
 #define EMSIM_EXTSORT_BLOCK_DEVICE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "disk/disk_params.h"
 #include "disk/mechanism.h"
 #include "fault/fault_plan.h"
 #include "util/rng.h"

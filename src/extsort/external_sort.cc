@@ -1,5 +1,10 @@
 #include "extsort/external_sort.h"
 
+#include <utility>
+
+#include "extsort/run_io.h"
+#include "util/status.h"
+
 namespace emsim::extsort {
 
 Result<ExternalSortResult> ExternalSorter::Sort(std::span<const Record> input,

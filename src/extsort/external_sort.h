@@ -9,6 +9,8 @@
 #include "extsort/merger.h"
 #include "extsort/record.h"
 #include "extsort/run_formation.h"
+#include "extsort/run_io.h"
+#include "util/status.h"
 
 namespace emsim::extsort {
 

@@ -1,7 +1,7 @@
 #ifndef EMSIM_EXTSORT_LOSER_TREE_H_
 #define EMSIM_EXTSORT_LOSER_TREE_H_
 
-#include <cstdint>
+#include <cstddef>
 #include <functional>
 #include <utility>
 #include <vector>

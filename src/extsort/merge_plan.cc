@@ -1,7 +1,9 @@
 #include "extsort/merge_plan.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <queue>
+#include <utility>
 
 #include "util/check.h"
 #include "util/str.h"

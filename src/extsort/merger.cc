@@ -1,9 +1,12 @@
 #include "extsort/merger.h"
 
+#include <cstddef>
 #include <memory>
 
 #include "extsort/loser_tree.h"
+#include "extsort/record.h"
 #include "util/check.h"
+#include "util/status.h"
 #include "util/str.h"
 
 namespace emsim::extsort {

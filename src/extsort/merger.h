@@ -2,12 +2,11 @@
 #define EMSIM_EXTSORT_MERGER_H_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "extsort/block_device.h"
-#include "extsort/record.h"
 #include "extsort/run_io.h"
+#include "util/status.h"
 
 namespace emsim::extsort {
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "extsort/loser_tree.h"
+#include "extsort/tag_sort.h"
 #include "util/check.h"
 
 namespace emsim::extsort {

@@ -1,10 +1,10 @@
 #ifndef EMSIM_EXTSORT_PACKED_SORT_H_
 #define EMSIM_EXTSORT_PACKED_SORT_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "extsort/block_device.h"
-#include "extsort/tag_sort.h"
 #include "util/status.h"
 
 namespace emsim::extsort {

@@ -1,6 +1,8 @@
 #include "extsort/record.h"
 
 #include <algorithm>
+#include <cstring>
+#include <type_traits>
 
 #include "util/check.h"
 #include "util/str.h"

@@ -1,8 +1,8 @@
 #ifndef EMSIM_EXTSORT_RECORD_H_
 #define EMSIM_EXTSORT_RECORD_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <cstring>
 #include <span>
 #include <vector>
 

@@ -1,9 +1,13 @@
 #include "extsort/run_formation.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
 #include <queue>
 
 #include "util/check.h"
+#include "util/status.h"
 
 namespace emsim::extsort {
 

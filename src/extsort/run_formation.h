@@ -1,6 +1,7 @@
 #ifndef EMSIM_EXTSORT_RUN_FORMATION_H_
 #define EMSIM_EXTSORT_RUN_FORMATION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "extsort/block_device.h"
 #include "extsort/record.h"
 #include "extsort/run_io.h"
+#include "util/status.h"
 
 namespace emsim::extsort {
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/status.h"
 #include "util/str.h"
 
 namespace emsim::extsort {

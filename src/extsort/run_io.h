@@ -1,12 +1,14 @@
 #ifndef EMSIM_EXTSORT_RUN_IO_H_
 #define EMSIM_EXTSORT_RUN_IO_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "extsort/block_device.h"
 #include "extsort/record.h"
+#include "util/status.h"
 
 namespace emsim::extsort {
 

@@ -1,10 +1,15 @@
 #include "extsort/tag_sort.h"
 
+#include <algorithm>
 #include <cstring>
+#include <utility>
 
+#include "extsort/external_sort.h"
+#include "extsort/merger.h"
+#include "extsort/record.h"
 #include "extsort/run_formation.h"
+#include "extsort/run_io.h"
 #include "util/check.h"
-#include "util/str.h"
 
 namespace emsim::extsort {
 

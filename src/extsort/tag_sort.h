@@ -1,14 +1,15 @@
 #ifndef EMSIM_EXTSORT_TAG_SORT_H_
 #define EMSIM_EXTSORT_TAG_SORT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <list>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "extsort/block_device.h"
-#include "extsort/external_sort.h"
 #include "util/status.h"
 
 namespace emsim::extsort {

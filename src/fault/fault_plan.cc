@@ -1,5 +1,6 @@
 #include "fault/fault_plan.h"
 
+#include <cstddef>
 #include <limits>
 
 #include "util/str.h"

@@ -1,6 +1,7 @@
 #include "fault/health.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "util/check.h"
 

@@ -1,7 +1,11 @@
 #include "io/planner.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 
+#include "disk/layout.h"
+#include "io/run_state.h"
 #include "util/check.h"
 #include "util/str.h"
 

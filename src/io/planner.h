@@ -1,6 +1,7 @@
 #ifndef EMSIM_IO_PLANNER_H_
 #define EMSIM_IO_PLANNER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -1,5 +1,7 @@
 #include "io/run_state.h"
 
+#include <cstddef>
+
 #include "util/check.h"
 
 namespace emsim::io {

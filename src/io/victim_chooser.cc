@@ -1,5 +1,7 @@
 #include "io/victim_chooser.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <unordered_map>
 

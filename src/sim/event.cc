@@ -1,5 +1,9 @@
 #include "sim/event.h"
 
+#include <utility>
+
+#include "util/check.h"
+
 namespace emsim::sim {
 
 void Event::Set() {

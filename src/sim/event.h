@@ -2,9 +2,11 @@
 #define EMSIM_SIM_EVENT_H_
 
 #include <coroutine>
+#include <cstddef>
 
 #include "sim/process.h"
 #include "sim/simulation.h"
+#include "util/check.h"
 #include "util/inline_vec.h"
 
 namespace emsim::sim {

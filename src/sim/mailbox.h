@@ -2,12 +2,14 @@
 #define EMSIM_SIM_MAILBOX_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <deque>
 #include <optional>
 #include <utility>
 
 #include "sim/process.h"
 #include "sim/simulation.h"
+#include "util/check.h"
 #include "util/inline_vec.h"
 
 namespace emsim::sim {

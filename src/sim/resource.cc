@@ -1,5 +1,8 @@
 #include "sim/resource.h"
 
+#include "sim/simulation.h"
+#include "util/check.h"
+
 namespace emsim::sim {
 
 Resource::Resource(Simulation* sim, int num_servers)

@@ -1,9 +1,13 @@
 #ifndef EMSIM_SIM_RESOURCE_H_
 #define EMSIM_SIM_RESOURCE_H_
 
+#include <coroutine>
+#include <cstddef>
 #include <cstdint>
 
+#include "sim/process.h"
 #include "sim/semaphore.h"
+#include "sim/simulation.h"
 #include "stats/time_weighted.h"
 
 namespace emsim::sim {

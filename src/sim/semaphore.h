@@ -2,10 +2,12 @@
 #define EMSIM_SIM_SEMAPHORE_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/process.h"
 #include "sim/simulation.h"
+#include "util/check.h"
 #include "util/inline_vec.h"
 
 namespace emsim::sim {

@@ -1,7 +1,6 @@
 #include "sim/simulation.h"
 
 #include <limits>
-#include <utility>
 
 #include "sim/process.h"
 

@@ -1,7 +1,7 @@
 #include "stats/histogram.h"
 
 #include <algorithm>
-#include <cmath>
+#include <cstddef>
 
 #include "util/check.h"
 #include "util/str.h"

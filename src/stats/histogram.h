@@ -1,6 +1,7 @@
 #ifndef EMSIM_STATS_HISTOGRAM_H_
 #define EMSIM_STATS_HISTOGRAM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

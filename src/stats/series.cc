@@ -1,7 +1,7 @@
 #include "stats/series.h"
 
 #include <algorithm>
-#include <cmath>
+#include <cstddef>
 #include <map>
 
 #include "util/str.h"

@@ -2,6 +2,7 @@
 #define EMSIM_STATS_SERIES_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace emsim::stats {

@@ -1,6 +1,8 @@
 #include "stats/table.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <utility>
 
 #include "util/str.h"
 

@@ -1,6 +1,7 @@
 #ifndef EMSIM_STATS_TABLE_H_
 #define EMSIM_STATS_TABLE_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -1,7 +1,9 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <cstddef>
 #include <numeric>
+#include <utility>
 
 namespace emsim {
 

@@ -1,6 +1,7 @@
 #ifndef EMSIM_UTIL_RNG_H_
 #define EMSIM_UTIL_RNG_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

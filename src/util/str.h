@@ -1,6 +1,7 @@
 #ifndef EMSIM_UTIL_STR_H_
 #define EMSIM_UTIL_STR_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -1,5 +1,7 @@
 #include "workload/depletion_generator.h"
 
+#include <cstddef>
+
 #include "util/check.h"
 #include "util/rng.h"
 

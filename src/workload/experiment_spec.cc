@@ -1,7 +1,9 @@
 #include "workload/experiment_spec.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "util/str.h"
 

@@ -1,6 +1,8 @@
 #include "workload/paper_configs.h"
 
-#include "util/str.h"
+#include <algorithm>
+#include <cstdint>
+
 
 namespace emsim::workload {
 

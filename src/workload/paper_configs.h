@@ -1,6 +1,7 @@
 #ifndef EMSIM_WORKLOAD_PAPER_CONFIGS_H_
 #define EMSIM_WORKLOAD_PAPER_CONFIGS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -1,5 +1,7 @@
 #include "workload/record_generator.h"
 
+#include <cstddef>
+
 namespace emsim::workload {
 
 RecordGenerator::RecordGenerator(const RecordGeneratorOptions& options)

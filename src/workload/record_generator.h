@@ -1,6 +1,7 @@
 #ifndef EMSIM_WORKLOAD_RECORD_GENERATOR_H_
 #define EMSIM_WORKLOAD_RECORD_GENERATOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,5 +1,8 @@
 #include <cmath>
+#include <cstddef>
 #include <numeric>
+#include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -8,6 +11,8 @@
 #include "analysis/predictor.h"
 #include "analysis/seek_distribution.h"
 #include "analysis/urn_game.h"
+#include "disk/disk_params.h"
+#include "disk/layout.h"
 
 namespace emsim::analysis {
 namespace {

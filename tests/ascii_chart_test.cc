@@ -1,4 +1,9 @@
 #include "stats/ascii_chart.h"
+#include "stats/series.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 

@@ -1,3 +1,5 @@
+#include <cstddef>
+
 #include <gtest/gtest.h>
 
 #include "analysis/equations.h"
@@ -5,6 +7,8 @@
 #include "core/config.h"
 #include "core/experiment.h"
 #include "core/merge_simulator.h"
+#include "disk/layout.h"
+#include "util/status.h"
 #include "workload/depletion_generator.h"
 
 namespace emsim::core {

@@ -2,6 +2,7 @@
 // hold for EVERY strategy/geometry combination, exercised with parameterized
 // gtest suites.
 
+#include <cstdint>
 #include <tuple>
 
 #include <gtest/gtest.h>

@@ -1,3 +1,7 @@
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -8,7 +12,9 @@
 #include "disk/geometry.h"
 #include "disk/layout.h"
 #include "disk/mechanism.h"
+#include "sim/process.h"
 #include "sim/simulation.h"
+#include "util/rng.h"
 
 namespace emsim::disk {
 namespace {

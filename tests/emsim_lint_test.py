@@ -18,6 +18,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "tools" / "lint"))
 
 import emsim_lint  # noqa: E402
+import include_hygiene  # noqa: E402
 
 
 def rules_fired(relpath, text):
@@ -147,6 +148,208 @@ class ResultUncheckedTest(unittest.TestCase):
         findings, suppressions = emsim_lint.lint_text("src/x.cc", text)
         self.assertEqual([], findings)
         self.assertEqual(["result-unchecked"], [s["rule"] for s in suppressions])
+
+
+class MultiAllowTest(unittest.TestCase):
+    TWO_RULES = "std::mt19937 gen; int r = rand();"
+
+    def test_comma_list_suppresses_every_named_rule(self):
+        text = (self.TWO_RULES +
+                "  // emsim-lint: allow(no-libc-rand, no-std-random-engine)\n")
+        findings, suppressions = emsim_lint.lint_text("src/x.cc", text)
+        self.assertEqual([], findings)
+        self.assertEqual({"no-libc-rand", "no-std-random-engine"},
+                         {s["rule"] for s in suppressions})
+
+    def test_repeated_allow_groups_are_all_honored(self):
+        # Historically only the first allow(...) group on a line was parsed.
+        text = (self.TWO_RULES + "  // emsim-lint: allow(no-libc-rand) "
+                "emsim-lint: allow(no-std-random-engine)\n")
+        findings, suppressions = emsim_lint.lint_text("src/x.cc", text)
+        self.assertEqual([], findings)
+        self.assertEqual({"no-libc-rand", "no-std-random-engine"},
+                         {s["rule"] for s in suppressions})
+
+    def test_unrelated_rule_in_list_does_not_widen_the_suppression(self):
+        text = (self.TWO_RULES +
+                "  // emsim-lint: allow(no-libc-rand, no-wall-clock)\n")
+        findings, _ = emsim_lint.lint_text("src/x.cc", text)
+        self.assertEqual(["no-std-random-engine"], [f["rule"] for f in findings])
+
+    def test_allowed_rules_helper_parses_only_comments(self):
+        self.assertEqual({"a-rule", "b-rule"},
+                         emsim_lint.allowed_rules("x;  // emsim-lint: allow(a-rule, b-rule)"))
+        self.assertEqual(set(),
+                         emsim_lint.allowed_rules('Log("emsim-lint: allow(a-rule)");'))
+
+
+class CoroRefCaptureTest(unittest.TestCase):
+    def test_by_reference_capture_fires(self):
+        text = ("auto p = [&log](int v) -> Process {\n"
+                "  co_await Delay(1.0);\n"
+                "  log.push_back(v);\n"
+                "};\n")
+        self.assertIn("coro-ref-capture", rules_fired("src/x.cc", text))
+
+    def test_ref_param_used_after_suspend_fires(self):
+        text = ("auto p = [](std::vector<int>& log, int v) -> Process {\n"
+                "  co_await Delay(1.0);\n"
+                "  log.push_back(v);\n"
+                "};\n")
+        self.assertIn("coro-ref-capture", rules_fired("src/x.cc", text))
+
+    def test_copy_capture_is_clean(self):
+        text = ("auto p = [log](int v) mutable -> Process {\n"
+                "  co_await Delay(1.0);\n"
+                "  log.push_back(v);\n"
+                "};\n")
+        self.assertEqual(set(), rules_fired("src/x.cc", text))
+
+    def test_ref_param_used_only_before_suspend_is_clean(self):
+        text = ("auto p = [](std::vector<int>& log) -> Process {\n"
+                "  log.push_back(1);\n"
+                "  co_await Delay(1.0);\n"
+                "};\n")
+        self.assertEqual(set(), rules_fired("src/x.cc", text))
+
+    def test_named_coroutine_with_ref_params_is_clean(self):
+        # The sanctioned pattern: the caller owns the referents for the run.
+        text = ("Process Push(Simulation& sim, std::vector<int>& log, int v) {\n"
+                "  co_await Delay(0.0);\n"
+                "  log.push_back(v);\n"
+                "}\n")
+        self.assertEqual(set(), rules_fired("src/x.cc", text))
+
+    def test_non_coroutine_lambda_with_ref_capture_is_clean(self):
+        text = ("co_await Delay(1.0);\n"
+                "auto cmp = [&order](int a, int b) { return order[a] < order[b]; };\n")
+        self.assertNotIn("coro-ref-capture", rules_fired("src/x.cc", text))
+
+    def test_allow_directive_suppresses(self):
+        text = ("auto p = [&log]() -> Process {  // emsim-lint: allow(coro-ref-capture)\n"
+                "  co_await Delay(1.0);\n"
+                "  log.push_back(1);\n"
+                "};\n")
+        findings, suppressions = emsim_lint.lint_text("src/x.cc", text)
+        self.assertEqual([], findings)
+        self.assertEqual(["coro-ref-capture"], [s["rule"] for s in suppressions])
+
+
+class CoroRawHandleTest(unittest.TestCase):
+    LINE = "std::coroutine_handle<> h = std::coroutine_handle<>::from_address(p);\n"
+
+    def test_fires_outside_the_sim_kernel(self):
+        self.assertIn("coro-raw-handle", rules_fired("src/disk/x.cc", self.LINE))
+        self.assertIn("coro-raw-handle", rules_fired("tests/x.cc", self.LINE))
+
+    def test_fires_even_in_a_non_coroutine_tu(self):
+        # Storing someone else's handle is the hazard; the storer need not
+        # itself be a coroutine.
+        self.assertIn("coro-raw-handle",
+                      rules_fired("src/io/x.cc", "std::coroutine_handle<> saved;\n"))
+
+    def test_clean_inside_the_sim_kernel(self):
+        self.assertNotIn("coro-raw-handle",
+                         rules_fired("src/sim/process.h", self.LINE))
+
+    def test_allow_directive_suppresses(self):
+        text = ("std::coroutine_handle<> h;  "
+                "// emsim-lint: allow(coro-raw-handle)\n")
+        findings, suppressions = emsim_lint.lint_text("src/disk/x.cc", text)
+        self.assertEqual([], findings)
+        self.assertEqual(["coro-raw-handle"], [s["rule"] for s in suppressions])
+
+
+class NoBlockingInSimTest(unittest.TestCase):
+    def test_blocking_primitives_fire_in_a_coroutine_tu(self):
+        for line in [
+            "std::this_thread::sleep_for(std::chrono::seconds(1));",
+            "std::mutex mu;",
+            "std::lock_guard<std::mutex> lock(mu);",
+            "std::condition_variable cv;",
+        ]:
+            text = "co_await Delay(1.0);\n" + line + "\n"
+            self.assertIn("no-blocking-in-sim", rules_fired("src/x.cc", text), line)
+
+    def test_blocking_in_a_non_coroutine_tu_is_out_of_scope(self):
+        # Host-thread code (thread pool, trial runner) may block; the rule
+        # only polices TUs that contain coroutine code.
+        self.assertEqual(set(), rules_fired("src/x.cc", "std::mutex mu;\n"))
+
+    def test_allow_directive_suppresses(self):
+        text = ("co_await Delay(1.0);\n"
+                "std::mutex mu;  // emsim-lint: allow(no-blocking-in-sim)\n")
+        findings, suppressions = emsim_lint.lint_text("src/x.cc", text)
+        self.assertEqual([], findings)
+        self.assertEqual(["no-blocking-in-sim"], [s["rule"] for s in suppressions])
+
+
+class IncludeHygieneFixtureTest(unittest.TestCase):
+    def run_tree(self, files):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            for relpath, text in files.items():
+                path = root / relpath
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(text)
+            _, findings, suppressions = include_hygiene.run(root)
+            return findings, suppressions
+
+    THING_H = ("#ifndef EMSIM_UTIL_THING_H_\n"
+               "#define EMSIM_UTIL_THING_H_\n"
+               "struct Thing {};\n"
+               "#endif\n")
+
+    def test_unused_std_include_is_flagged(self):
+        findings, _ = self.run_tree(
+            {"src/a.cc": "#include <vector>\n\nint Answer() { return 42; }\n"})
+        self.assertEqual(["unused-include"], [f["kind"] for f in findings])
+        self.assertEqual("<vector>", findings[0]["what"])
+
+    def test_used_std_include_is_clean(self):
+        findings, _ = self.run_tree(
+            {"src/a.cc": "#include <vector>\n\nstd::vector<int> V() { return {}; }\n"})
+        self.assertEqual([], findings)
+
+    def test_unused_project_include_is_flagged(self):
+        findings, _ = self.run_tree({
+            "src/util/thing.h": self.THING_H,
+            "src/a.cc": '#include "util/thing.h"\n\nint Answer() { return 42; }\n',
+        })
+        flagged = [(f["kind"], f["path"], f["what"]) for f in findings]
+        self.assertIn(("unused-include", "src/a.cc", '"util/thing.h"'), flagged)
+
+    def test_missing_direct_include_for_project_symbol(self):
+        findings, _ = self.run_tree({
+            "src/util/thing.h": self.THING_H,
+            "src/a.cc": "Thing Make();\n\nThing Make() { return Thing{}; }\n",
+        })
+        missing = [f for f in findings if f["kind"] == "missing-direct-include"]
+        self.assertEqual(1, len(missing))
+        self.assertEqual("Thing", missing[0]["what"])
+        self.assertEqual(["src/util/thing.h"], missing[0]["candidates"])
+
+    def test_missing_direct_include_for_std_symbol(self):
+        findings, _ = self.run_tree(
+            {"src/a.cc": "int N(const std::vector<int>& v) { return (int)v.size(); }\n"})
+        missing = [(f["kind"], f["what"]) for f in findings]
+        self.assertIn(("missing-direct-include", "<vector>"), missing)
+
+    def test_allow_directive_suppresses_and_is_reported(self):
+        findings, suppressions = self.run_tree({
+            "src/a.cc": "#include <vector>  // emsim-lint: allow(include-hygiene)\n"
+                        "\nint Answer() { return 42; }\n"})
+        self.assertEqual([], findings)
+        self.assertEqual(1, len(suppressions))
+        self.assertEqual("unused-include", suppressions[0]["kind"])
+
+    def test_associated_header_include_is_never_flagged(self):
+        findings, _ = self.run_tree({
+            "src/util/thing.h": self.THING_H,
+            "src/util/thing.cc": '#include "util/thing.h"\n\nint Unrelated() { return 0; }\n',
+        })
+        self.assertEqual(
+            [], [f for f in findings if f["path"] == "src/util/thing.cc"])
 
 
 class IncludeGuardTest(unittest.TestCase):

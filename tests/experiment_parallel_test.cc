@@ -6,12 +6,16 @@
 // EMSIM_SANITIZE=thread CI job runs them under TSan.
 
 #include <atomic>
+#include <cstddef>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/config.h"
 #include "core/experiment.h"
+#include "core/result.h"
 #include "core/result_json.h"
 #include "util/thread_pool.h"
 

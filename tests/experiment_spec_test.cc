@@ -1,4 +1,8 @@
+#include "core/config.h"
 #include "workload/experiment_spec.h"
+
+#include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 

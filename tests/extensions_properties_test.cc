@@ -1,6 +1,7 @@
 // Property sweeps over the extension surface (write traffic, striping,
 // angular rotation): invariants that must hold across the grid.
 
+#include <cstdint>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -8,6 +9,8 @@
 #include "core/config.h"
 #include "core/experiment.h"
 #include "core/merge_simulator.h"
+#include "disk/disk_params.h"
+#include "disk/layout.h"
 
 namespace emsim::core {
 namespace {

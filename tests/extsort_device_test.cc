@@ -1,8 +1,12 @@
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "disk/disk_params.h"
 #include "extsort/block_device.h"
+#include "util/status.h"
 
 namespace emsim::extsort {
 namespace {

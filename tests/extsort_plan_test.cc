@@ -1,10 +1,17 @@
 #include <algorithm>
-#include <numeric>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "extsort/block_device.h"
 #include "extsort/external_sort.h"
 #include "extsort/merge_plan.h"
+#include "extsort/merger.h"
+#include "extsort/record.h"
+#include "extsort/run_formation.h"
+#include "extsort/run_io.h"
 #include "workload/record_generator.h"
 
 namespace emsim::extsort {

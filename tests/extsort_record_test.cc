@@ -1,8 +1,11 @@
+#include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "extsort/record.h"
+#include "util/status.h"
 
 namespace emsim::extsort {
 namespace {

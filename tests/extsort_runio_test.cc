@@ -1,9 +1,12 @@
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "extsort/block_device.h"
+#include "extsort/record.h"
 #include "extsort/run_io.h"
+#include "util/status.h"
 
 namespace emsim::extsort {
 namespace {

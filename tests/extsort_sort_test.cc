@@ -1,11 +1,18 @@
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "extsort/block_device.h"
 #include "extsort/external_sort.h"
-#include "workload/depletion_generator.h"
+#include "extsort/merger.h"
+#include "extsort/record.h"
+#include "extsort/run_formation.h"
+#include "extsort/run_io.h"
+#include "util/status.h"
 #include "workload/record_generator.h"
 
 namespace emsim::extsort {

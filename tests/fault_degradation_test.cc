@@ -5,10 +5,15 @@
 // the merge consumes the same blocks in the same order as the fault-free
 // run (the depletion stream is drawn independently of I/O timing).
 
+#include <cstdint>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "core/config.h"
 #include "core/merge_simulator.h"
+#include "core/result.h"
+#include "util/status.h"
 
 namespace emsim::core {
 namespace {

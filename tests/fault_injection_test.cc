@@ -2,13 +2,21 @@
 // boundary — no aborts, no corrupted success results — from every layer of
 // the external sorter.
 
+#include <cstdint>
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "extsort/block_device.h"
 #include "extsort/external_sort.h"
+#include "extsort/merger.h"
 #include "extsort/packed_sort.h"
+#include "extsort/record.h"
+#include "extsort/run_formation.h"
 #include "extsort/tag_sort.h"
+#include "util/status.h"
 #include "workload/record_generator.h"
 
 namespace emsim::extsort {

@@ -3,10 +3,14 @@
 // experiments must stay bit-identical to serial execution for every thread
 // count (the TSan `thread` CI job runs this suite).
 
+#include <cstddef>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/config.h"
 #include "core/experiment.h"
+#include "fault/fault_plan.h"
 
 namespace emsim::core {
 namespace {

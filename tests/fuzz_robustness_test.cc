@@ -3,11 +3,18 @@
 // random invalid-ish configurations must be either rejected by Validate or
 // complete cleanly — never crash.
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "core/config.h"
 #include "core/merge_simulator.h"
+#include "disk/disk_params.h"
+#include "disk/layout.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "workload/depletion_generator.h"
 
 namespace emsim::core {

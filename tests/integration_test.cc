@@ -3,13 +3,23 @@
 // agreement between the analytic models and the discrete-event simulator.
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "analysis/model_params.h"
 #include "analysis/predictor.h"
+#include "core/config.h"
 #include "core/experiment.h"
 #include "core/merge_simulator.h"
-#include "extsort/external_sort.h"
+#include "extsort/block_device.h"
+#include "extsort/merger.h"
+#include "extsort/record.h"
+#include "extsort/run_formation.h"
 #include "workload/record_generator.h"
 
 namespace emsim {

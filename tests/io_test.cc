@@ -1,13 +1,19 @@
+#include <cstddef>
+#include <cstdint>
 #include <set>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "cache/block_cache.h"
+#include "disk/geometry.h"
 #include "disk/layout.h"
 #include "io/planner.h"
 #include "io/run_state.h"
 #include "io/victim_chooser.h"
 #include "sim/simulation.h"
+#include "util/rng.h"
 
 namespace emsim::io {
 namespace {

@@ -1,10 +1,9 @@
 #include "stats/json_writer.h"
 
-#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <limits>
 #include <string>
-#include <vector>
 
 #include <gtest/gtest.h>
 

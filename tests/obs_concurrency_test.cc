@@ -6,7 +6,7 @@
 // EMSIM_SANITIZE=thread CI job verifies there is no hidden shared state
 // (a static, a shared sink, an interned name table) behind the API.
 
-#include <string>
+#include <cstddef>
 #include <thread>
 #include <vector>
 

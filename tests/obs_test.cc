@@ -1,5 +1,9 @@
 #include "obs/metrics.h"
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/config.h"

@@ -1,11 +1,15 @@
+#include "extsort/block_device.h"
 #include "extsort/packed_sort.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "extsort/tag_sort.h"
 #include "util/rng.h"
 
 namespace emsim::extsort {

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Cache-correctness tests for tools/lint/run_clang_tidy.py (registered with
+ctest as `tidy_cache_test`, label `lint`).
+
+clang-tidy itself is not required: the runner is pointed at a stub executable
+that records every TU it is asked to analyze, which is exactly the behavior
+the cache layer must control. The tests pin the invalidation contract:
+
+  * an unchanged tree is a 100% cache hit (the CI warm-run guarantee),
+  * editing a header re-analyzes exactly its dependents,
+  * editing .clang-tidy or passing --no-cache re-analyzes everything,
+  * cached failures still fail the run, and
+  * --warm-budget-seconds rejects an over-budget warm run.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RUNNER = REPO_ROOT / "tools" / "lint" / "run_clang_tidy.py"
+
+# Records each analyzed TU, then mimics clang-tidy's exit contract: findings
+# (here: the marker string BAD in the source) exit 1, clean files exit 0.
+STUB = """#!/usr/bin/env python3
+import sys
+from pathlib import Path
+if "--version" in sys.argv:
+    print("stub clang-tidy 1.0.0")
+    sys.exit(0)
+tu = sys.argv[-1]
+with open({log!r}, "a") as log:
+    log.write(tu + "\\n")
+if "BAD" in Path(tu).read_text():
+    print(tu + ": warning: stub finding [stub-check]")
+    sys.exit(1)
+sys.exit(0)
+"""
+
+
+class TidyCacheTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+        self.root = Path(self._tmp.name)
+        (self.root / "src").mkdir()
+        (self.root / "build").mkdir()
+        (self.root / ".clang-tidy").write_text("Checks: '-*,bugprone-*'\n")
+        (self.root / "src" / "shared.h").write_text(
+            "#pragma once\nint shared();\n")
+        self.a = self.root / "src" / "a.cc"
+        self.b = self.root / "src" / "b.cc"
+        self.a.write_text('#include "shared.h"\nint a() { return shared(); }\n')
+        self.b.write_text("int b() { return 2; }\n")
+        database = [
+            {
+                "directory": str(self.root),
+                "command": f"g++ -I{self.root / 'src'} -c {tu}",
+                "file": str(tu),
+            }
+            for tu in (self.a, self.b)
+        ]
+        (self.root / "build" / "compile_commands.json").write_text(
+            json.dumps(database))
+        self.log = self.root / "stub.log"
+        self.stub = self.root / "clang-tidy-stub"
+        self.stub.write_text(STUB.format(log=str(self.log)))
+        self.stub.chmod(0o755)
+
+    def run_runner(self, *extra):
+        timing = self.root / "timing.json"
+        proc = subprocess.run(
+            [sys.executable, str(RUNNER),
+             "--build-dir", str(self.root / "build"),
+             "--source-root", str(self.root),
+             "--clang-tidy", str(self.stub),
+             "--jobs", "1",
+             "--timing-report", str(timing),
+             *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        return proc, json.loads(timing.read_text())
+
+    def analyzed(self):
+        """Every TU the stub has been asked to analyze so far, in order."""
+        if not self.log.exists():
+            return []
+        return self.log.read_text().split()
+
+    def test_cold_run_analyzes_everything_and_reports_misses(self):
+        proc, timing = self.run_runner()
+        self.assertEqual(0, proc.returncode, proc.stdout)
+        self.assertEqual({str(self.a), str(self.b)}, set(self.analyzed()))
+        self.assertEqual(0, timing["cache"]["hits"])
+        self.assertEqual(2, timing["cache"]["misses"])
+        self.assertEqual([str(self.a), str(self.b)],
+                         [entry["file"] for entry in timing["files"]])
+
+    def test_unchanged_tree_is_a_full_cache_hit(self):
+        self.run_runner()
+        before = self.analyzed()
+        proc, timing = self.run_runner()
+        self.assertEqual(0, proc.returncode, proc.stdout)
+        self.assertEqual(before, self.analyzed())  # zero new analyses
+        self.assertGreaterEqual(timing["cache"]["hit_ratio"], 0.95)
+        self.assertTrue(all(entry["cached"] for entry in timing["files"]))
+
+    def test_header_edit_reanalyzes_exactly_its_dependents(self):
+        self.run_runner()
+        before = self.analyzed()
+        (self.root / "src" / "shared.h").write_text(
+            "#pragma once\nint shared();\nint extra();\n")
+        proc, timing = self.run_runner()
+        self.assertEqual(0, proc.returncode, proc.stdout)
+        # a.cc includes shared.h, b.cc does not: only a.cc re-runs.
+        self.assertEqual([str(self.a)], self.analyzed()[len(before):])
+        self.assertEqual(1, timing["cache"]["hits"])
+        self.assertEqual(1, timing["cache"]["misses"])
+
+    def test_config_edit_invalidates_every_entry(self):
+        self.run_runner()
+        before = self.analyzed()
+        (self.root / ".clang-tidy").write_text(
+            "Checks: '-*,bugprone-*,clang-analyzer-core*'\n")
+        _, timing = self.run_runner()
+        self.assertEqual({str(self.a), str(self.b)},
+                         set(self.analyzed()[len(before):]))
+        self.assertEqual(0, timing["cache"]["hits"])
+
+    def test_no_cache_flag_bypasses_the_cache(self):
+        self.run_runner()
+        before = self.analyzed()
+        _, timing = self.run_runner("--no-cache")
+        self.assertEqual({str(self.a), str(self.b)},
+                         set(self.analyzed()[len(before):]))
+        self.assertFalse(timing["cache"]["enabled"])
+
+    def test_findings_fail_the_run_even_when_cached(self):
+        self.b.write_text("int b() { return 2; }  // BAD\n")
+        proc, _ = self.run_runner()
+        self.assertEqual(1, proc.returncode)
+        self.assertIn("stub finding", proc.stdout)
+        before = self.analyzed()
+        proc, timing = self.run_runner()
+        self.assertEqual(1, proc.returncode)      # cached failure still fails
+        self.assertIn("stub finding", proc.stdout)
+        self.assertEqual(before, self.analyzed())  # ... without re-analysis
+        self.assertGreaterEqual(timing["cache"]["hit_ratio"], 0.95)
+
+    def test_warm_budget_rejects_an_over_budget_warm_run(self):
+        self.run_runner()
+        proc, timing = self.run_runner("--warm-budget-seconds", "0.000001")
+        self.assertEqual(1, proc.returncode, proc.stdout)
+        self.assertTrue(timing["over_budget"])
+        # A cold run must never be failed by the warm budget.
+        proc, timing = self.run_runner("--no-cache",
+                                       "--warm-budget-seconds", "0.000001")
+        self.assertEqual(0, proc.returncode, proc.stdout)
+        self.assertFalse(timing["over_budget"])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -3,11 +3,15 @@
 // distribution that every formula in the paper builds on.
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "analysis/seek_distribution.h"
+#include "disk/disk_params.h"
+#include "disk/geometry.h"
 #include "disk/layout.h"
 #include "disk/mechanism.h"
 #include "util/rng.h"

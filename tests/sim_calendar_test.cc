@@ -7,9 +7,11 @@
 // sanitizer CI jobs run them under ASan and TSan builds as well.
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <queue>
+#include <string>
 #include <utility>
 #include <vector>
 

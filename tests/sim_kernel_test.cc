@@ -1,3 +1,5 @@
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -373,15 +375,16 @@ TEST(SimulationTest, ProcessesSpawningProcesses) {
   EXPECT_EQ(sim.live_processes(), 0);
 }
 
+Process PushAfterZeroDelay(Simulation& /*sim*/, std::vector<int>& log, int value) {
+  co_await Delay(0.0);
+  log.push_back(value);
+}
+
 TEST(SimulationTest, ZeroDelayYieldsToPeersAtSameTime) {
   Simulation sim;
   std::vector<int> order;
   sim.ScheduleCallback(0.0, [&] { order.push_back(1); });
-  sim.Spawn([](Simulation& s, std::vector<int>& log) -> Process {
-    co_await Delay(0.0);
-    log.push_back(2);
-    (void)s;
-  }(sim, order));
+  sim.Spawn(PushAfterZeroDelay(sim, order, 2));
   sim.ScheduleCallback(0.0, [&] { order.push_back(3); });
   sim.Run();
   // The process body starts after the first callback (spawn order), and its

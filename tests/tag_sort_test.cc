@@ -1,6 +1,8 @@
+#include "extsort/block_device.h"
 #include "extsort/tag_sort.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <vector>
 

@@ -3,12 +3,20 @@
 // the offending config), and the experiment runners propagate that failure
 // with the trial index instead of hanging the whole experiment.
 
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/config.h"
 #include "core/experiment.h"
 #include "core/merge_simulator.h"
+#include "core/result.h"
+#include "sim/process.h"
 #include "sim/simulation.h"
+#include "util/status.h"
 
 namespace emsim::core {
 namespace {

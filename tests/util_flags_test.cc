@@ -1,4 +1,8 @@
 #include "util/flags.h"
+#include "util/status.h"
+
+#include <cstdint>
+#include <string>
 
 #include <gtest/gtest.h>
 

@@ -1,7 +1,7 @@
 #include "util/rng.h"
 
 #include <algorithm>
-#include <cmath>
+#include <cstdint>
 #include <set>
 #include <vector>
 

@@ -1,5 +1,8 @@
 #include "util/status.h"
 
+#include <string>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 namespace emsim {

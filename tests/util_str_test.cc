@@ -1,5 +1,7 @@
 #include "util/str.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace emsim {

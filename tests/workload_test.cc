@@ -1,8 +1,13 @@
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <set>
+#include <type_traits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/config.h"
 #include "workload/depletion_generator.h"
 #include "workload/paper_configs.h"
 #include "workload/record_generator.h"

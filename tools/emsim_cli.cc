@@ -10,16 +10,20 @@
 //   # machine-readable export for CI / regression diffing (docs/USAGE.md)
 //   $ emsim_cli --runs 25 --disks 5 --n 10 --json results.json
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/config.h"
 #include "core/experiment.h"
+#include "core/result.h"
 #include "core/result_json.h"
 #include "stats/table.h"
 #include "util/flags.h"
+#include "util/status.h"
 #include "util/str.h"
 #include "workload/experiment_spec.h"
 

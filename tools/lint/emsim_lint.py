@@ -31,9 +31,31 @@ source of run-to-run nondeterminism at the source level:
                        their repo-relative path (e.g. src/util/check.h ->
                        EMSIM_UTIL_CHECK_H_).
 
+Coroutine-safety rules, scoped to coroutine translation units (a file that
+contains co_await / co_return). The hot path runs on pooled C++20 coroutine
+frames, where lifetime bugs corrupt results silently instead of crashing:
+
+  coro-ref-capture     a lambda coroutine that captures by reference, or
+                       reads a reference parameter after a co_await in the
+                       same body — the frame outlives the enclosing scope,
+                       so the reference dangles at resume time. Named
+                       coroutines (spawned immediately, caller keeps the
+                       referents alive across sim.Run()) are the sanctioned
+                       pattern and are not flagged.
+  coro-raw-handle      std::coroutine_handle stored or manipulated outside
+                       src/sim/ — raw handles escaping the frame-pool /
+                       calendar machinery defeat its ownership bookkeeping
+                       (double-destroy, resume-after-free).
+  no-blocking-in-sim   std::this_thread::sleep_* or a bare std::mutex family
+                       primitive inside a coroutine TU — simulated time must
+                       come from the calendar (sim::Delay), never from the
+                       host clock or scheduler.
+
 A finding can be suppressed for one line with a trailing
-`// emsim-lint: allow(<rule-id>)` comment; suppressions are themselves
-reported in the JSON report so they stay auditable.
+`// emsim-lint: allow(<rule-id>)` comment; `allow(rule-a, rule-b)` lists and
+repeated allow(...) groups suppress several rules on one line. Every
+suppressed finding is reported per rule in the JSON report so suppressions
+stay auditable.
 
 Usage:
   tools/lint/emsim_lint.py --root . [--report lint-report.json] [--list-rules]
@@ -64,7 +86,20 @@ EXPORT_PATH_PATTERNS = (
     r"^src/obs/",             # metrics registry exported into MergeResult
 )
 
-ALLOW_RE = re.compile(r"//\s*emsim-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
+ALLOW_RE = re.compile(r"emsim-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
+
+
+def allowed_rules(raw_line: str) -> set:
+    """Every rule id named by `// emsim-lint: allow(...)` directives on this
+    line. Comma lists and repeated allow(...) groups both work:
+    `allow(rule-a, rule-b)` == `allow(rule-a) allow(rule-b)`."""
+    rules = set()
+    comment = raw_line.find("//")
+    if comment < 0:
+        return rules
+    for m in ALLOW_RE.finditer(raw_line, comment):
+        rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
 LINE_COMMENT_RE = re.compile(r"//(?!\s*emsim-lint:).*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 
@@ -175,6 +210,117 @@ def _result_unchecked_findings(relpath, code_lines):
     return findings, suppressions
 
 
+# --- Coroutine-safety rules -------------------------------------------------
+#
+# Scoped to coroutine translation units: a file whose stripped code contains
+# co_await or co_return. The scans below work on the joined stripped text so
+# a lambda body can be brace-matched across lines.
+
+CORO_TOKEN_RE = re.compile(r"\bco_(?:await|return)\b")
+# Lambda introducer: capture list, optional params, optional specifiers and
+# trailing return type, then the body's opening brace. [[attributes]] do not
+# match (the inner bracket pair is followed by `]`, never by `(` or `{`).
+LAMBDA_RE = re.compile(
+    r"\[(?P<captures>[^\[\]]*)\]\s*(?:\((?P<params>[^()]*)\))?\s*"
+    r"(?:mutable\b\s*)?(?:noexcept\b\s*)?(?:->\s*[\w:<>&*\s]{1,80}?)?\{")
+REF_PARAM_NAME_RE = re.compile(r"&&?\s*(\w+)\s*(?:,|$|\))")
+
+CORO_REF_CAPTURE_MESSAGE = (
+    "lambda coroutine with a by-reference capture or a reference parameter "
+    "read after co_await: the coroutine frame outlives the enclosing scope, "
+    "so the reference dangles at resume time; pass by value or use a named "
+    "coroutine whose caller owns the referents across the run")
+CORO_RAW_HANDLE_MESSAGE = (
+    "std::coroutine_handle outside src/sim/: raw handles escaping the frame-"
+    "pool/calendar machinery defeat its ownership bookkeeping (double-destroy, "
+    "resume-after-free); communicate through Events/Semaphores/Mailboxes")
+NO_BLOCKING_IN_SIM_MESSAGE = (
+    "blocking primitive in a coroutine translation unit: simulated time must "
+    "come from the calendar (co_await sim::Delay), never from the host "
+    "scheduler; use sim synchronization objects instead of OS ones")
+
+BLOCKING_RE = re.compile(
+    r"std::this_thread::sleep_(?:for|until)"
+    r"|std::(?:timed_|recursive_)*mutex\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|std::condition_variable\w*\b")
+
+
+def _match_brace(text: str, open_idx: int) -> int:
+    """Index one past the brace matching text[open_idx] (or len(text))."""
+    depth = 0
+    for idx in range(open_idx, len(text)):
+        ch = text[idx]
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                return idx + 1
+    return len(text)
+
+
+def _coroutine_findings(relpath, code_lines):
+    """code_lines: list of (lineno, stripped_code, raw, allowed_rules).
+    Returns (findings, suppressions) for the three coroutine-safety rules."""
+    findings = []
+    suppressions = []
+
+    def emit(rule, message, idx):
+        lineno, _, raw, allowed = code_lines[idx]
+        entry = {
+            "rule": rule,
+            "path": relpath,
+            "line": lineno,
+            "message": message,
+            "snippet": raw.strip()[:160],
+        }
+        (suppressions if rule in allowed else findings).append(entry)
+
+    text = "\n".join(code for _, code, _, _ in code_lines)
+    is_coro_tu = bool(CORO_TOKEN_RE.search(text))
+
+    # coro-raw-handle: everywhere except the sim kernel itself (per line, so
+    # it also catches handle uses in files that are not yet coroutine TUs).
+    if not relpath.startswith("src/sim/"):
+        for idx, (_, code, _, _) in enumerate(code_lines):
+            if re.search(r"\bcoroutine_handle\b", code):
+                emit("coro-raw-handle", CORO_RAW_HANDLE_MESSAGE, idx)
+
+    if not is_coro_tu:
+        return findings, suppressions
+
+    # no-blocking-in-sim
+    for idx, (_, code, _, _) in enumerate(code_lines):
+        if BLOCKING_RE.search(code):
+            emit("no-blocking-in-sim", NO_BLOCKING_IN_SIM_MESSAGE, idx)
+
+    # coro-ref-capture: lambdas whose body suspends.
+    for m in LAMBDA_RE.finditer(text):
+        open_idx = text.index("{", m.end() - 1)
+        body = text[open_idx:_match_brace(text, open_idx)]
+        if not CORO_TOKEN_RE.search(body):
+            continue
+        intro_idx = text[: m.start()].count("\n")
+        captures = m.group("captures") or ""
+        if "&" in captures:
+            emit("coro-ref-capture", CORO_REF_CAPTURE_MESSAGE, intro_idx)
+            continue
+        params = m.group("params") or ""
+        ref_names = REF_PARAM_NAME_RE.findall(params)
+        if not ref_names:
+            continue
+        first_suspend = CORO_TOKEN_RE.search(body)
+        after = body[first_suspend.end():]
+        use_re = re.compile(
+            r"(?<![\w.])(?<!->)(?:" +
+            "|".join(re.escape(n) for n in ref_names) + r")\b")
+        if use_re.search(after):
+            emit("coro-ref-capture", CORO_REF_CAPTURE_MESSAGE, intro_idx)
+
+    return findings, suppressions
+
+
 def expected_guard(relpath: str) -> str:
     """src/util/check.h -> EMSIM_UTIL_CHECK_H_; bench/bench_util.h ->
     EMSIM_BENCH_BENCH_UTIL_H_. The leading src/ is dropped (library headers
@@ -218,10 +364,7 @@ def lint_text(relpath: str, text: str):
                 in_block_comment = True
                 break
             line = line[:start] + line[end + 2:]
-        allow = ALLOW_RE.search(raw)
-        allowed = set()
-        if allow:
-            allowed = {r.strip() for r in allow.group(1).split(",")}
+        allowed = allowed_rules(raw)
         code = strip_noncode(line)
         code_lines.append((lineno, code, raw, allowed))
         for rule in RULES:
@@ -243,6 +386,9 @@ def lint_text(relpath: str, text: str):
     unchecked, unchecked_suppressed = _result_unchecked_findings(relpath, code_lines)
     findings.extend(unchecked)
     suppressions.extend(unchecked_suppressed)
+    coro, coro_suppressed = _coroutine_findings(relpath, code_lines)
+    findings.extend(coro)
+    suppressions.extend(coro_suppressed)
     if relpath.endswith((".h", ".hpp")):
         want = expected_guard(relpath)
         guard_re = re.compile(r"^#ifndef\s+(\S+)\s*$", re.MULTILINE)
@@ -282,6 +428,9 @@ def main(argv):
             print(f"{rule.rule_id}: {rule.message}")
         print(f"result-unchecked: {RESULT_UNCHECKED_MESSAGE}")
         print("include-guard: headers must guard with EMSIM_<PATH>_H_")
+        print(f"coro-ref-capture: {CORO_REF_CAPTURE_MESSAGE}")
+        print(f"coro-raw-handle: {CORO_RAW_HANDLE_MESSAGE}")
+        print(f"no-blocking-in-sim: {NO_BLOCKING_IN_SIM_MESSAGE}")
         return 0
 
     root = Path(args.root).resolve()

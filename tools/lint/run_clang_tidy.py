@@ -1,32 +1,212 @@
 #!/usr/bin/env python3
-"""Runs clang-tidy (curated profile in .clang-tidy, warnings-as-errors) over
-every translation unit in the compilation database that lives under
-src/ tools/ bench/ or tests/.
+"""Incremental clang-tidy runner (curated profile in .clang-tidy,
+warnings-as-errors) over every translation unit in the compilation database
+that lives under src/ tools/ bench/ or tests/.
 
-A thin, dependency-free replacement for LLVM's run-clang-tidy wrapper so the
-lint gate does not depend on which clang-tidy packaging the host installed.
+A dependency-free replacement for LLVM's run-clang-tidy wrapper, extended
+with a per-TU result cache that makes the expensive `clang-analyzer-*`
+families affordable in CI: a cold run pays once, every warm run re-analyzes
+only the TUs whose *inputs* changed.
+
+Cache design. Each TU's result is stored content-addressed under
+--cache-dir, keyed by a SHA-256 over everything that can change the
+diagnostics:
+
+  * the cache schema version (bump CACHE_SCHEMA to invalidate the world),
+  * `clang-tidy --version` (system headers change with the toolchain),
+  * the .clang-tidy configuration file at the source root,
+  * the TU's compile command from compile_commands.json,
+  * the TU's own bytes, and
+  * the bytes of every transitively-included project header (resolved
+    against the compile command's -I/-isystem dirs and the includer's own
+    directory; headers outside --source-root are covered by the version
+    component instead of being hashed).
+
+Editing a header therefore re-keys exactly the TUs that include it; an
+untouched tree is a 100% cache hit. The cache directory is safe to persist
+across CI runs (actions/cache) — entries are immutable and self-describing,
+and a small mtime-based GC keeps the directory bounded.
+
+Shards: TUs are analyzed by a process pool sized to the core count
+(--jobs 0). A per-TU timing report (--timing-report) records duration,
+cache hit/miss and exit code for every TU, plus aggregate hit ratio and
+wall time — CI uploads it as an artifact so the timing budget stays
+observable. --warm-budget-seconds fails the run when a *warm* run (hit
+ratio >= 0.5) exceeds the budget, keeping the "clang-analyzer needs a CI
+timing budget" concern enforced rather than aspirational.
 
 Usage:
   tools/lint/run_clang_tidy.py --build-dir build [--clang-tidy clang-tidy]
-                               [--source-root .] [--jobs N] [--report out.txt]
+      [--source-root .] [--jobs N] [--report out.txt]
+      [--cache-dir DIR] [--no-cache] [--timing-report out.json]
+      [--warm-budget-seconds N]
 
-Exit status: 0 when clang-tidy is clean on every file, 1 otherwise.
+Exit status: 0 when clang-tidy is clean on every file (and the budget, if
+given, holds), 1 otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import multiprocessing
+import re
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 LINT_DIRS = ("src", "tools", "bench", "tests")
 
+# Bump to invalidate every cache entry (e.g. when the runner's notion of a
+# TU's inputs changes).
+CACHE_SCHEMA = "2"
+
+# Entries beyond this are GC'd oldest-first; generous — the repo has ~100 TUs,
+# so even many branches' worth of keys fit.
+CACHE_MAX_ENTRIES = 4096
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+("([^"]+)"|<([^>]+)>)', re.MULTILINE)
+INCLUDE_DIR_RE = re.compile(r"(?:^|\s)-(?:I|isystem)\s*(\S+)")
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class DependencyScanner:
+    """Resolves the transitive project-header closure of a TU by scanning
+    #include directives. Header dep-sets are memoized, so shared headers are
+    parsed once per run, not once per includer."""
+
+    def __init__(self, root: Path):
+        self.root = root
+        self._direct: dict[Path, list] = {}   # file -> [(spec, is_quote)]
+        self._text: dict[Path, bytes] = {}
+
+    def read(self, path: Path) -> bytes:
+        data = self._text.get(path)
+        if data is None:
+            try:
+                data = path.read_bytes()
+            except OSError:
+                data = b""
+            self._text[path] = data
+        return data
+
+    def _direct_includes(self, path: Path):
+        cached = self._direct.get(path)
+        if cached is None:
+            cached = []
+            for m in INCLUDE_RE.finditer(self.read(path).decode("utf-8", "replace")):
+                if m.group(2) is not None:
+                    cached.append((m.group(2), True))
+                else:
+                    cached.append((m.group(3), False))
+            self._direct[path] = cached
+        return cached
+
+    def _resolve(self, spec: str, is_quote: bool, includer: Path, include_dirs):
+        bases = ([includer.parent] if is_quote else []) + include_dirs
+        for base in bases:
+            candidate = (base / spec)
+            if candidate.is_file():
+                candidate = candidate.resolve()
+                try:
+                    candidate.relative_to(self.root)
+                except ValueError:
+                    return None  # outside the tree: toolchain header
+                return candidate
+        return None
+
+    def closure(self, tu: Path, include_dirs) -> list[Path]:
+        """Every project file the TU transitively includes (excluding the TU
+        itself), sorted for stable hashing."""
+        seen: set[Path] = set()
+        stack = [tu]
+        while stack:
+            current = stack.pop()
+            for spec, is_quote in self._direct_includes(current):
+                target = self._resolve(spec, is_quote, current, include_dirs)
+                if target is not None and target not in seen and target != tu:
+                    seen.add(target)
+                    stack.append(target)
+        return sorted(seen)
+
+
+def include_dirs_of(command: str, directory: Path):
+    dirs = []
+    for m in INCLUDE_DIR_RE.finditer(command):
+        raw = m.group(1).strip('"')
+        path = Path(raw)
+        if not path.is_absolute():
+            path = directory / path
+        dirs.append(path)
+    return dirs
+
+
+def tidy_version(clang_tidy: str) -> str:
+    try:
+        proc = subprocess.run([clang_tidy, "--version"],
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True)
+        return proc.stdout.strip()
+    except OSError:
+        return "unavailable"
+
+
+def cache_key(version: str, config: bytes, command: str,
+              scanner: DependencyScanner, tu: Path, include_dirs) -> str:
+    h = hashlib.sha256()
+    for part in (CACHE_SCHEMA, version, command):
+        h.update(part.encode("utf-8"))
+        h.update(b"\0")
+    h.update(config)
+    h.update(b"\0")
+    h.update(scanner.read(tu))
+    for dep in scanner.closure(tu, include_dirs):
+        h.update(dep.as_posix().encode("utf-8"))
+        h.update(b"\0")
+        h.update(scanner.read(dep))
+    return h.hexdigest()
+
+
+def cache_load(cache_dir: Path, key: str):
+    entry = cache_dir / f"{key}.json"
+    try:
+        doc = json.loads(entry.read_text(encoding="utf-8"))
+        return int(doc["exit"]), str(doc["output"])
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+def cache_store(cache_dir: Path, key: str, path: str, code: int, output: str):
+    entry = cache_dir / f"{key}.json"
+    tmp = entry.with_suffix(".tmp%d" % multiprocessing.current_process().pid)
+    tmp.write_text(json.dumps({"file": path, "exit": code, "output": output}),
+                   encoding="utf-8")
+    tmp.replace(entry)  # atomic: concurrent shards may race on the same key
+
+
+def cache_gc(cache_dir: Path):
+    entries = sorted(cache_dir.glob("*.json"), key=lambda p: p.stat().st_mtime)
+    for stale in entries[:-CACHE_MAX_ENTRIES]:
+        try:
+            stale.unlink()
+        except OSError:
+            pass
+
 
 def tidy_one(task):
-    clang_tidy, build_dir, path = task
+    """Worker: analyze one TU unless its key is already cached."""
+    clang_tidy, build_dir, path, key, cache_dir = task
+    start = time.monotonic()
+    if cache_dir is not None:
+        hit = cache_load(cache_dir, key)
+        if hit is not None:
+            code, output = hit
+            return path, code, output, time.monotonic() - start, True
     try:
         proc = subprocess.run(
             [clang_tidy, "-p", build_dir, "--warnings-as-errors=*", "--quiet", path],
@@ -34,9 +214,36 @@ def tidy_one(task):
             stderr=subprocess.STDOUT,
             text=True,
         )
+        code, output = proc.returncode, proc.stdout
     except FileNotFoundError:
-        return path, 127, f"run_clang_tidy: {clang_tidy}: no such executable\n"
-    return path, proc.returncode, proc.stdout
+        return (path, 127, f"run_clang_tidy: {clang_tidy}: no such executable\n",
+                time.monotonic() - start, False)
+    if cache_dir is not None:
+        cache_store(cache_dir, key, path, code, output)
+    return path, code, output, time.monotonic() - start, False
+
+
+def load_database(db_path: Path, root: Path):
+    """[(abs file, directory, command)] for every TU under LINT_DIRS."""
+    tus = []
+    for entry in json.loads(db_path.read_text(encoding="utf-8")):
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = Path(entry["directory"]) / path
+        path = path.resolve()
+        try:
+            rel = path.relative_to(root)
+        except ValueError:
+            continue
+        if not (rel.parts and rel.parts[0] in LINT_DIRS):
+            continue
+        command = entry.get("command")
+        if command is None:
+            command = " ".join(entry.get("arguments", []))
+        tus.append((path, Path(entry["directory"]), command))
+    unique = {str(path): (path, directory, command)
+              for path, directory, command in tus}
+    return [unique[key] for key in sorted(unique)]
 
 
 def main(argv):
@@ -47,8 +254,18 @@ def main(argv):
     parser.add_argument("--source-root", default=".")
     parser.add_argument("--jobs", type=int, default=0, help="0 = one per CPU")
     parser.add_argument("--report", help="write the aggregated clang-tidy output here")
+    parser.add_argument("--cache-dir",
+                        help="per-TU result cache (default: BUILD_DIR/tidy-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="analyze every TU regardless of cache state")
+    parser.add_argument("--timing-report",
+                        help="write a per-TU timing/cache JSON artifact here")
+    parser.add_argument("--warm-budget-seconds", type=float, default=0,
+                        help="fail a warm run (cache hit ratio >= 0.5) whose "
+                             "wall time exceeds this many seconds (0 = off)")
     args = parser.parse_args(argv)
 
+    started = time.monotonic()
     build_dir = Path(args.build_dir).resolve()
     db_path = build_dir / "compile_commands.json"
     if not db_path.is_file():
@@ -57,38 +274,81 @@ def main(argv):
         return 1
     root = Path(args.source_root).resolve()
 
-    files = []
-    for entry in json.loads(db_path.read_text(encoding="utf-8")):
-        path = Path(entry["file"])
-        if not path.is_absolute():
-            path = Path(entry["directory"]) / path
-        path = path.resolve()
-        try:
-            rel = path.relative_to(root)
-        except ValueError:
-            continue
-        if rel.parts and rel.parts[0] in LINT_DIRS:
-            files.append(str(path))
-    files = sorted(set(files))
-    if not files:
+    tus = load_database(db_path, root)
+    if not tus:
         print("run_clang_tidy: no files under "
               f"{'/'.join(LINT_DIRS)} in the compilation database", file=sys.stderr)
         return 1
 
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = Path(args.cache_dir) if args.cache_dir else build_dir / "tidy-cache"
+        cache_dir.mkdir(parents=True, exist_ok=True)
+
+    version = tidy_version(args.clang_tidy)
+    config_path = root / ".clang-tidy"
+    config = config_path.read_bytes() if config_path.is_file() else b""
+    scanner = DependencyScanner(root)
+
+    tasks = []
+    for path, directory, command in tus:
+        key = cache_key(version, config, command, scanner, path,
+                        include_dirs_of(command, directory))
+        tasks.append((args.clang_tidy, str(build_dir), str(path), key, cache_dir))
+
     jobs = args.jobs if args.jobs > 0 else (multiprocessing.cpu_count() or 1)
-    tasks = [(args.clang_tidy, str(build_dir), f) for f in files]
     failures = 0
+    hits = 0
     chunks = []
+    timings = []
     with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-        for path, code, output in pool.imap_unordered(tidy_one, tasks):
+        for path, code, output, duration, cached in pool.imap_unordered(tidy_one, tasks):
             if code != 0:
                 failures += 1
                 sys.stdout.write(output)
-            chunks.append(f"==> {path} (exit {code})\n{output}")
+            hits += cached
+            timings.append({"file": path, "exit": code, "cached": cached,
+                            "duration_seconds": round(duration, 4)})
+            chunks.append(f"==> {path} (exit {code}{', cached' if cached else ''})\n"
+                          f"{output}")
+    if cache_dir is not None:
+        cache_gc(cache_dir)
     if args.report:
         Path(args.report).write_text("".join(chunks), encoding="utf-8")
-    print(f"run_clang_tidy: {len(files)} files, {failures} with findings",
-          file=sys.stderr if failures else sys.stdout)
+
+    wall = time.monotonic() - started
+    hit_ratio = hits / len(tasks)
+    warm = hit_ratio >= 0.5
+    over_budget = (args.warm_budget_seconds > 0 and warm
+                   and wall > args.warm_budget_seconds)
+
+    if args.timing_report:
+        timings.sort(key=lambda t: t["file"])
+        Path(args.timing_report).write_text(json.dumps({
+            "tool": "run_clang_tidy",
+            "version": 1,
+            "jobs": jobs,
+            "wall_seconds": round(wall, 3),
+            "cache": {
+                "enabled": cache_dir is not None,
+                "dir": str(cache_dir) if cache_dir is not None else None,
+                "hits": hits,
+                "misses": len(tasks) - hits,
+                "hit_ratio": round(hit_ratio, 4),
+            },
+            "warm_budget_seconds": args.warm_budget_seconds or None,
+            "over_budget": over_budget,
+            "files": timings,
+        }, indent=2) + "\n", encoding="utf-8")
+
+    status = (f"run_clang_tidy: {len(tasks)} files, {failures} with findings, "
+              f"{hits} cached ({hit_ratio:.0%}), {wall:.1f}s wall")
+    print(status, file=sys.stderr if failures else sys.stdout)
+    if over_budget:
+        print(f"run_clang_tidy: warm run exceeded the {args.warm_budget_seconds:.0f}s "
+              "budget — the clang-analyzer profile has outgrown its CI allowance; "
+              "trim checks or raise the budget deliberately", file=sys.stderr)
+        return 1
     return 1 if failures else 0
 
 
