@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -20,9 +21,9 @@ namespace emsim::core {
 namespace {
 
 /// Collects the first failure by *task index* (not arrival order) so the
-/// abort message is deterministic across thread counts, and defers the abort
-/// itself to the joining thread: pool workers must never call abort() while
-/// sibling tasks are mid-flight.
+/// failure a caller sees is deterministic across thread counts, and defers
+/// any abort to the joining thread: pool workers must never call abort()
+/// while sibling tasks are mid-flight.
 class FailureCapture {
  public:
   void Record(int index, const Status& status) {
@@ -33,15 +34,9 @@ class FailureCapture {
     }
   }
 
-  /// Called on the joining thread after all tasks completed.
-  void CheckOk(const char* what) const {
-    if (first_index_ == std::numeric_limits<int>::max()) {
-      return;
-    }
-    EMSIM_CHECK_MSG(false, StrFormat("%s %d failed: %s", what, first_index_,
-                                     status_.ToString().c_str())
-                               .c_str());
-  }
+  bool failed() const { return first_index_ != std::numeric_limits<int>::max(); }
+  int first_index() const { return first_index_; }
+  const Status& status() const { return status_; }
 
  private:
   mutable std::mutex mu_;
@@ -70,15 +65,15 @@ void ApplyDeadline(MergeConfig& config, const TrialDeadline& deadline) {
   }
 }
 
-ExperimentResult Aggregate(std::vector<MergeResult> trials) {
-  ExperimentResult out;
-  for (MergeResult& r : trials) {
-    out.total_ms.Add(r.total_ms);
-    out.success_ratio.Add(r.SuccessRatio());
-    out.concurrency.Add(r.avg_concurrency);
-    out.io_operations.Add(static_cast<double>(r.io_operations));
-    out.cache_occupancy.Add(r.mean_cache_occupancy);
-    out.trials.push_back(std::move(r));
+std::vector<ExperimentResult> AggregateGrid(const SweepGrid& grid,
+                                            std::vector<MergeResult> results) {
+  std::vector<ExperimentResult> out;
+  out.reserve(static_cast<size_t>(grid.num_units()));
+  for (int u = 0; u < grid.num_units(); ++u) {
+    auto first = results.begin() + grid.UnitBegin(u);
+    auto last = results.begin() + grid.UnitBegin(u) + grid.units()[static_cast<size_t>(u)].trials;
+    out.push_back(AggregateTrials(
+        std::vector<MergeResult>(std::make_move_iterator(first), std::make_move_iterator(last))));
   }
   return out;
 }
@@ -92,79 +87,121 @@ std::string ExperimentResult::ToString() const {
                    MeanSuccessRatio(), MeanConcurrency());
 }
 
+SweepGrid::SweepGrid(std::vector<SweepUnit> units) : units_(std::move(units)) {
+  offsets_.reserve(units_.size() + 1);
+  offsets_.push_back(0);
+  for (const SweepUnit& unit : units_) {
+    EMSIM_CHECK(unit.trials >= 1);
+    offsets_.push_back(offsets_.back() + unit.trials);
+  }
+  total_tasks_ = offsets_.back();
+}
+
+SweepGrid::Task SweepGrid::At(int global_index) const {
+  EMSIM_CHECK(global_index >= 0 && global_index < total_tasks_);
+  // First offset strictly greater than the index marks the owning unit.
+  auto it = std::upper_bound(offsets_.begin(), offsets_.end(), global_index);
+  int unit = static_cast<int>(it - offsets_.begin()) - 1;
+  return Task{unit, global_index - offsets_[static_cast<size_t>(unit)]};
+}
+
+MergeConfig SweepGrid::TaskConfig(int global_index, const TrialDeadline& deadline) const {
+  Task task = At(global_index);
+  MergeConfig config = units_[static_cast<size_t>(task.unit)].config;
+  config.seed = config.seed + static_cast<uint64_t>(task.trial);
+  ApplyDeadline(config, deadline);
+  return config;
+}
+
+ExperimentResult AggregateTrials(std::vector<MergeResult> trials) {
+  ExperimentResult out;
+  for (MergeResult& r : trials) {
+    out.total_ms.Add(r.total_ms);
+    out.success_ratio.Add(r.SuccessRatio());
+    out.concurrency.Add(r.avg_concurrency);
+    out.io_operations.Add(static_cast<double>(r.io_operations));
+    out.cache_occupancy.Add(r.mean_cache_occupancy);
+    out.trials.push_back(std::move(r));
+  }
+  return out;
+}
+
+SweepRangeOutcome RunSweepRange(const SweepGrid& grid, int begin, int end, int num_threads,
+                                const TrialDeadline& deadline) {
+  EMSIM_CHECK(begin >= 0 && begin <= end && end <= grid.total_tasks());
+  SweepRangeOutcome out;
+  out.results.resize(static_cast<size_t>(end - begin));
+  if (begin == end) {
+    return out;
+  }
+  FailureCapture failure;
+  auto task = [&](int i) {
+    int global = begin + i;
+    Result<MergeResult> result = SimulateMerge(grid.TaskConfig(global, deadline));
+    if (!result.ok()) {
+      failure.Record(global, result.status());
+      return;
+    }
+    out.results[static_cast<size_t>(i)] = *std::move(result);
+  };
+  ThreadPool::Instance().Run(ResolveThreads(num_threads), end - begin, task);
+  if (failure.failed()) {
+    out.failed_task = failure.first_index();
+    out.status = failure.status();
+    out.results.clear();
+  }
+  return out;
+}
+
 ExperimentResult RunTrials(const MergeConfig& config, int num_trials,
                            const TrialDeadline& deadline) {
   EMSIM_CHECK(num_trials >= 1);
-  std::vector<MergeResult> trials;
-  trials.reserve(static_cast<size_t>(num_trials));
-  for (int t = 0; t < num_trials; ++t) {
-    MergeConfig trial_config = config;
-    trial_config.seed = config.seed + static_cast<uint64_t>(t);
-    ApplyDeadline(trial_config, deadline);
-    Result<MergeResult> result = SimulateMerge(trial_config);
-    EMSIM_CHECK_MSG(result.ok(), StrFormat("trial %d failed: %s", t,
-                                           result.status().ToString().c_str())
-                                     .c_str());
-    trials.push_back(*std::move(result));
-  }
-  return Aggregate(std::move(trials));
+  SweepGrid grid({SweepUnit{"", config, num_trials}});
+  // Serial (single-threaded) execution, trial order — the reference runner.
+  SweepRangeOutcome outcome = RunSweepRange(grid, 0, grid.total_tasks(), 1, deadline);
+  EMSIM_CHECK_MSG(outcome.ok(),
+                  StrFormat("trial %d failed: %s", outcome.failed_task,
+                            outcome.status.ToString().c_str())
+                      .c_str());
+  return AggregateTrials(std::move(outcome.results));
 }
 
 ExperimentResult RunTrialsParallel(const MergeConfig& config, int num_trials,
                                    int num_threads, const TrialDeadline& deadline) {
   EMSIM_CHECK(num_trials >= 1);
-  std::vector<MergeResult> trials(static_cast<size_t>(num_trials));
-  FailureCapture failure;
-  auto task = [&](int t) {
-    MergeConfig trial_config = config;
-    trial_config.seed = config.seed + static_cast<uint64_t>(t);
-    ApplyDeadline(trial_config, deadline);
-    Result<MergeResult> result = SimulateMerge(trial_config);
-    if (!result.ok()) {
-      failure.Record(t, result.status());
-      return;
-    }
-    trials[static_cast<size_t>(t)] = *std::move(result);
-  };
-  ThreadPool::Instance().Run(ResolveThreads(num_threads), num_trials, task);
-  failure.CheckOk("trial");
-  return Aggregate(std::move(trials));
+  SweepGrid grid({SweepUnit{"", config, num_trials}});
+  SweepRangeOutcome outcome = RunSweepRange(grid, 0, grid.total_tasks(), num_threads, deadline);
+  EMSIM_CHECK_MSG(outcome.ok(),
+                  StrFormat("trial %d failed: %s", outcome.failed_task,
+                            outcome.status.ToString().c_str())
+                      .c_str());
+  return AggregateTrials(std::move(outcome.results));
 }
 
 std::vector<ExperimentResult> RunSweepParallel(const std::vector<MergeConfig>& configs,
                                                int num_trials, int num_threads,
                                                const TrialDeadline& deadline) {
   EMSIM_CHECK(num_trials >= 1);
-  if (configs.empty()) {
+  std::vector<SweepUnit> units;
+  units.reserve(configs.size());
+  for (const MergeConfig& config : configs) {
+    units.push_back(SweepUnit{"", config, num_trials});
+  }
+  return RunSweep(units, num_threads, deadline);
+}
+
+std::vector<ExperimentResult> RunSweep(const std::vector<SweepUnit>& units, int num_threads,
+                                       const TrialDeadline& deadline) {
+  if (units.empty()) {
     return {};
   }
-  const int num_configs = static_cast<int>(configs.size());
-  const int total = num_configs * num_trials;
-  std::vector<MergeResult> grid(static_cast<size_t>(total));
-  FailureCapture failure;
-  auto task = [&](int index) {
-    int c = index / num_trials;
-    int t = index % num_trials;
-    MergeConfig trial_config = configs[static_cast<size_t>(c)];
-    trial_config.seed = trial_config.seed + static_cast<uint64_t>(t);
-    ApplyDeadline(trial_config, deadline);
-    Result<MergeResult> result = SimulateMerge(trial_config);
-    if (!result.ok()) {
-      failure.Record(index, result.status());
-      return;
-    }
-    grid[static_cast<size_t>(index)] = *std::move(result);
-  };
-  ThreadPool::Instance().Run(ResolveThreads(num_threads), total, task);
-  failure.CheckOk("sweep task");
-  std::vector<ExperimentResult> out;
-  out.reserve(configs.size());
-  for (int c = 0; c < num_configs; ++c) {
-    auto first = grid.begin() + static_cast<ptrdiff_t>(c) * num_trials;
-    out.push_back(Aggregate(std::vector<MergeResult>(
-        std::make_move_iterator(first), std::make_move_iterator(first + num_trials))));
-  }
-  return out;
+  SweepGrid grid(units);
+  SweepRangeOutcome outcome = RunSweepRange(grid, 0, grid.total_tasks(), num_threads, deadline);
+  EMSIM_CHECK_MSG(outcome.ok(),
+                  StrFormat("sweep task %d failed: %s", outcome.failed_task,
+                            outcome.status.ToString().c_str())
+                      .c_str());
+  return AggregateGrid(grid, std::move(outcome.results));
 }
 
 }  // namespace emsim::core

@@ -1,6 +1,7 @@
 #ifndef EMSIM_CORE_EXPERIMENT_H_
 #define EMSIM_CORE_EXPERIMENT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "core/result.h"
 #include "stats/accumulator.h"
 #include "stats/confidence.h"
+#include "util/status.h"
 
 namespace emsim::core {
 
@@ -47,6 +49,80 @@ struct TrialDeadline {
   double max_wall_ms = 0.0;     ///< Wall-clock ms per trial (0 = unlimited).
 };
 
+/// One experiment point in a sweep: a named configuration and its trial
+/// count. This is the unit the spec parser, the trial runners and the
+/// sharded dispatcher all agree on.
+struct SweepUnit {
+  std::string name;
+  MergeConfig config;
+  int trials = 1;
+};
+
+/// Deterministic flattening of a set of SweepUnits into one global task
+/// list: task index t maps to (unit, trial) in unit-major, trial-minor
+/// order. Trial `i` of a unit runs with seed `config.seed + i`, exactly as
+/// RunTrials seeds its trials. The flattening is pure arithmetic on the
+/// unit list, so every process that builds a grid from the same units —
+/// a single-machine sweep, a worker subprocess handed a shard of the index
+/// space, the artifact merger — sees the identical task <-> (unit, trial)
+/// correspondence. That shared numbering is what makes sharded execution
+/// mergeable back into the bit-identical single-process aggregate.
+class SweepGrid {
+ public:
+  SweepGrid() = default;
+  explicit SweepGrid(std::vector<SweepUnit> units);
+
+  struct Task {
+    int unit = 0;
+    int trial = 0;
+  };
+
+  int total_tasks() const { return total_tasks_; }
+  int num_units() const { return static_cast<int>(units_.size()); }
+  const std::vector<SweepUnit>& units() const { return units_; }
+
+  /// Maps a global task index to its (unit, trial) pair.
+  Task At(int global_index) const;
+
+  /// First global task index of `unit` (its trials are contiguous).
+  int UnitBegin(int unit) const { return offsets_[static_cast<size_t>(unit)]; }
+
+  /// The fully configured per-trial MergeConfig for one task: the unit's
+  /// config with the trial seed and the harness deadline applied.
+  MergeConfig TaskConfig(int global_index, const TrialDeadline& deadline) const;
+
+ private:
+  std::vector<SweepUnit> units_;
+  std::vector<int> offsets_;  // Prefix sums; size num_units() + 1.
+  int total_tasks_ = 0;
+};
+
+/// Outcome of running a contiguous slice of a SweepGrid's task space.
+/// Either every task in the range succeeded (`ok()`, `results[i]` holds
+/// task begin+i), or `failed_task` names the lowest-index failing task and
+/// `status` its error — the same lowest-index capture the parallel runners
+/// have always used, so the failure a caller sees is independent of thread
+/// count, shard count and scheduling order.
+struct SweepRangeOutcome {
+  std::vector<MergeResult> results;
+  int failed_task = -1;
+  Status status;
+
+  bool ok() const { return failed_task < 0; }
+};
+
+/// Runs tasks [begin, end) of the grid on the shared worker pool with up to
+/// `num_threads`-way parallelism (0 = hardware concurrency, 1 = inline on
+/// the caller in index order). Task results are deterministic per task
+/// index, independent of threads.
+SweepRangeOutcome RunSweepRange(const SweepGrid& grid, int begin, int end, int num_threads,
+                                const TrialDeadline& deadline = {});
+
+/// Aggregates one unit's trials, in trial order, into an ExperimentResult.
+/// Exposed so the shard merger can rebuild the exact aggregate a
+/// single-process run would have produced from the same per-trial results.
+ExperimentResult AggregateTrials(std::vector<MergeResult> trials);
+
 /// Runs `num_trials` trials with seeds seed, seed+1, ... and aggregates.
 /// Aborts on configuration errors (experiments are programmed, not user
 /// input); use MergeSimulator::Run directly for Status-based handling.
@@ -72,6 +148,13 @@ ExperimentResult RunTrialsParallel(const MergeConfig& config, int num_trials,
 std::vector<ExperimentResult> RunSweepParallel(const std::vector<MergeConfig>& configs,
                                                int num_trials, int num_threads = 0,
                                                const TrialDeadline& deadline = {});
+
+/// Per-unit generalization of RunSweepParallel (units may differ in trial
+/// count — the shape an experiment spec file produces). Aborts on the
+/// lowest-index task failure like the other runners.
+std::vector<ExperimentResult> RunSweep(const std::vector<SweepUnit>& units,
+                                       int num_threads = 0,
+                                       const TrialDeadline& deadline = {});
 
 /// Default trial count used by the benches (the paper's count is lost to
 /// OCR; 5 gives sub-1% confidence half-widths at these run lengths).

@@ -5,6 +5,19 @@
 
 namespace emsim::stats {
 
+Accumulator Accumulator::FromState(const State& s) {
+  Accumulator out;
+  if (s.count == 0) {
+    return out;  // Keep the default ±inf min/max sentinels.
+  }
+  out.count_ = s.count;
+  out.mean_ = s.mean;
+  out.m2_ = s.m2;
+  out.min_ = s.min;
+  out.max_ = s.max;
+  return out;
+}
+
 void Accumulator::Add(double x) {
   ++count_;
   double delta = x - mean_;

@@ -10,6 +10,27 @@ namespace emsim::stats {
 /// max over an online sequence of observations without storing them.
 class Accumulator {
  public:
+  /// The complete internal state, exposed for exact serialization: a
+  /// round-trip through State reproduces the accumulator bit-for-bit, which
+  /// the sharded sweep codec relies on to keep merged artifacts
+  /// byte-identical to single-process runs. `min`/`max` are the raw
+  /// sentinels (±inf) when `count` is zero.
+  struct State {
+    uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  Accumulator() = default;
+
+  /// Restores an accumulator from a previously captured state.
+  static Accumulator FromState(const State& s);
+
+  /// Captures the exact internal state.
+  State state() const { return State{count_, mean_, m2_, min_, max_}; }
+
   /// Adds one observation.
   void Add(double x);
 

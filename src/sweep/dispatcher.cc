@@ -1,0 +1,197 @@
+#include "sweep/dispatcher.h"
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <sys/stat.h>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sweep/subprocess.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace emsim::sweep {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+bool FileNonEmpty(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && st.st_size > 0;
+}
+
+/// One shard's dispatch state across attempts.
+struct ShardState {
+  int shard = 0;
+  int attempts = 0;
+  Clock::time_point ready_at;  ///< Backoff gate for the next attempt.
+  std::string last_error;
+};
+
+struct RunningWorker {
+  ShardState state;
+  Subprocess process;
+  Clock::time_point started;
+  std::string out_path;
+  bool killed = false;  ///< Kill already issued (chaos or deadline) — log once.
+};
+
+}  // namespace
+
+Result<std::vector<ShardDispatch>> RunShardedSweep(const DispatcherOptions& options,
+                                                   const std::string& shard_dir,
+                                                   const ShardCommandFn& command) {
+  EMSIM_CHECK(options.num_shards >= 1);
+  EMSIM_CHECK(static_cast<bool>(command));
+  int max_workers = options.max_workers;
+  if (max_workers <= 0) {
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    max_workers = hw > 0 ? hw : 2;
+  }
+  if (max_workers > options.num_shards) {
+    max_workers = options.num_shards;
+  }
+  auto log = [&](const std::string& line) {
+    if (options.log) {
+      options.log(line);
+    }
+  };
+
+  std::vector<ShardDispatch> report(static_cast<size_t>(options.num_shards));
+  for (int s = 0; s < options.num_shards; ++s) {
+    report[static_cast<size_t>(s)].shard = s;
+  }
+
+  // Work-stealing handoff: pending shards wait here; any worker slot that
+  // frees up claims the front-most ready shard. Retries re-enter the queue
+  // with their backoff gate set.
+  std::deque<ShardState> pending;
+  for (int s = 0; s < options.num_shards; ++s) {
+    pending.push_back(ShardState{s, 0, Clock::now(), ""});
+  }
+  std::vector<RunningWorker> running;
+  int failed_shards = 0;
+  std::string first_error;
+
+  auto fail_shard = [&](ShardState state, const std::string& why) {
+    ShardDispatch& out = report[static_cast<size_t>(state.shard)];
+    out.attempts = state.attempts;
+    out.ok = false;
+    out.error = why;
+    ++failed_shards;
+    std::string message = StrFormat("shard %d/%d failed after %d attempt(s): %s", state.shard,
+                                    options.num_shards, state.attempts, why.c_str());
+    if (first_error.empty()) {
+      first_error = message;
+    }
+    log(message);
+  };
+
+  auto resubmit = [&](ShardState state, const std::string& why) {
+    // state.attempts counts launches; max_retries bounds *re*-submissions,
+    // mirroring the simulated-I/O retry driver's accounting.
+    if (state.attempts > options.retry.max_retries) {
+      fail_shard(std::move(state), why);
+      return;
+    }
+    double backoff = options.retry.BackoffMs(state.attempts - 1);
+    log(StrFormat("shard %d/%d attempt %d: %s — resubmitting after %.0f ms", state.shard,
+                  options.num_shards, state.attempts, why.c_str(), backoff));
+    state.last_error = why;
+    state.ready_at = Clock::now() + std::chrono::microseconds(
+                                        static_cast<long long>(backoff * 1000.0));
+    pending.push_back(std::move(state));
+  };
+
+  while (!pending.empty() || !running.empty()) {
+    // Launch workers into free slots (skipping shards still in backoff).
+    for (size_t scan = 0;
+         static_cast<int>(running.size()) < max_workers && scan < pending.size();) {
+      if (pending[scan].ready_at > Clock::now()) {
+        ++scan;
+        continue;
+      }
+      ShardState state = std::move(pending[scan]);
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(scan));
+      ++state.attempts;
+      std::string out_path = StrFormat("%s/shard_%d_of_%d.attempt%d.json", shard_dir.c_str(),
+                                       state.shard, options.num_shards, state.attempts);
+      Result<Subprocess> child = Subprocess::Start(command(state.shard, out_path));
+      if (!child.ok()) {
+        resubmit(std::move(state), child.status().ToString());
+        continue;
+      }
+      RunningWorker worker;
+      worker.state = std::move(state);
+      worker.process = std::move(child).value();
+      worker.started = Clock::now();
+      worker.out_path = std::move(out_path);
+      if (worker.state.shard == options.chaos_kill_shard && worker.state.attempts == 1) {
+        // Chaos hook: prove a killed worker is resubmitted and the sweep
+        // still completes deterministically.
+        worker.process.Kill();
+        worker.killed = true;
+        log(StrFormat("shard %d/%d attempt 1: chaos-killed (pid %d)", worker.state.shard,
+                      options.num_shards, static_cast<int>(worker.process.pid())));
+      } else {
+        log(StrFormat("shard %d/%d attempt %d: started (pid %d)", worker.state.shard,
+                      options.num_shards, worker.state.attempts,
+                      static_cast<int>(worker.process.pid())));
+      }
+      running.push_back(std::move(worker));
+    }
+
+    // Poll running workers: reap exits, kill stragglers past the deadline.
+    for (size_t i = 0; i < running.size();) {
+      RunningWorker& worker = running[i];
+      bool done = worker.process.Poll();
+      if (!done) {
+        if (!worker.killed && options.retry.timeout_ms > 0 &&
+            MsSince(worker.started) > options.retry.timeout_ms) {
+          worker.process.Kill();
+          // Keep polling; the kill is collected on a later iteration and
+          // routed through the normal failed-attempt path below.
+          worker.killed = true;
+          log(StrFormat("shard %d/%d attempt %d: deadline %.0f ms exceeded — killed",
+                        worker.state.shard, options.num_shards, worker.state.attempts,
+                        options.retry.timeout_ms));
+        }
+        ++i;
+        continue;
+      }
+      RunningWorker finished = std::move(running[i]);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+      if (finished.process.exited_cleanly() && FileNonEmpty(finished.out_path)) {
+        ShardDispatch& out = report[static_cast<size_t>(finished.state.shard)];
+        out.attempts = finished.state.attempts;
+        out.ok = true;
+        out.artifact_path = finished.out_path;
+        log(StrFormat("shard %d/%d attempt %d: ok", finished.state.shard, options.num_shards,
+                      finished.state.attempts));
+      } else {
+        std::string why = finished.process.exited_cleanly()
+                              ? std::string("worker wrote no artifact")
+                              : finished.process.DescribeExit();
+        resubmit(std::move(finished.state), why);
+      }
+    }
+
+    if (!running.empty() || !pending.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  if (failed_shards > 0) {
+    return Status::Internal(first_error);
+  }
+  return report;
+}
+
+}  // namespace emsim::sweep

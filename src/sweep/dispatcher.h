@@ -1,0 +1,62 @@
+#ifndef EMSIM_SWEEP_DISPATCHER_H_
+#define EMSIM_SWEEP_DISPATCHER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "util/status.h"
+
+namespace emsim::sweep {
+
+/// Multi-process shard dispatcher: hands shard indices to a pool of worker
+/// subprocesses with work-stealing handoff (a finished worker immediately
+/// claims the next pending shard), per-shard wall-clock deadlines, and
+/// straggler resubmission with exponential backoff — the same
+/// fault::RetryPolicy shape the simulated I/O retry driver uses, applied to
+/// real processes. Shard artifacts are deterministic per shard index, so a
+/// resubmitted attempt reproduces exactly what the killed straggler would
+/// have written and the merged result is unaffected by retries.
+struct DispatcherOptions {
+  int num_shards = 1;
+  /// Concurrent worker subprocesses; 0 = min(num_shards, hardware threads).
+  int max_workers = 0;
+  /// retry.timeout_ms: per-shard wall-clock deadline before the attempt is
+  /// killed and resubmitted (0 = no deadline). retry.max_retries:
+  /// resubmissions allowed per shard. retry.backoff_base_ms/multiplier:
+  /// real-time backoff before a resubmission.
+  fault::RetryPolicy retry;
+  /// Test/CI chaos hook: SIGKILL the first attempt of this shard right
+  /// after it spawns, to prove the resubmission path end to end (-1 = off).
+  int chaos_kill_shard = -1;
+  /// Progress lines ("shard 3/7 attempt 2: exit 0"); null = silent.
+  std::function<void(const std::string&)> log;
+};
+
+/// Per-shard dispatch outcome.
+struct ShardDispatch {
+  int shard = 0;
+  int attempts = 0;
+  bool ok = false;
+  std::string artifact_path;  ///< Written by the successful attempt.
+  std::string error;          ///< Why the shard ultimately failed.
+};
+
+/// Builds the worker argv for one shard attempt; `out_path` is where the
+/// worker must write its artifact (the dispatcher picks an attempt-unique
+/// path so a killed attempt's partial file cannot shadow a good one).
+using ShardCommandFn =
+    std::function<std::vector<std::string>(int shard, const std::string& out_path)>;
+
+/// Runs all shards to completion (or permanent failure). Returns one entry
+/// per shard, in shard order. The call fails only on infrastructure errors
+/// (spawn failure, shard exhausting its retries); per-task simulation
+/// failures live inside the artifacts and are surfaced by the merger.
+Result<std::vector<ShardDispatch>> RunShardedSweep(const DispatcherOptions& options,
+                                                   const std::string& shard_dir,
+                                                   const ShardCommandFn& command);
+
+}  // namespace emsim::sweep
+
+#endif  // EMSIM_SWEEP_DISPATCHER_H_

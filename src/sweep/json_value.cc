@@ -1,0 +1,284 @@
+#include "sweep/json_value.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+#include "util/str.h"
+
+namespace emsim::sweep {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    JsonValue value;
+    EMSIM_RETURN_IF_ERROR(ParseValue(&value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const char* what) const {
+    return Status::InvalidArgument(
+        StrFormat("json: %s at offset %zu", what, pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    // Nesting depth guard: artifacts are machine-written and shallow; a
+    // hostile deep document must not overflow the stack.
+    if (++depth_ > 64) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    Status status;
+    switch (text_[pos_]) {
+      case '{':
+        status = ParseObject(out);
+        break;
+      case '[':
+        status = ParseArray(out);
+        break;
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        status = ParseString(&out->string);
+        break;
+      case 't':
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        if (ConsumeWord("true")) {
+          out->bool_value = true;
+        } else if (ConsumeWord("false")) {
+          out->bool_value = false;
+        } else {
+          status = Error("invalid literal");
+        }
+        break;
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        if (!ConsumeWord("null")) {
+          status = Error("invalid literal");
+        }
+        break;
+      default:
+        status = ParseNumber(out);
+        break;
+    }
+    --depth_;
+    return status;
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) {
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      std::string key;
+      EMSIM_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':'");
+      }
+      JsonValue value;
+      EMSIM_RETURN_IF_ERROR(ParseValue(&value));
+      out->fields.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return Status::OK();
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) {
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      EMSIM_RETURN_IF_ERROR(ParseValue(&value));
+      out->items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return Status::OK();
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return Status::OK();
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // JsonWriter only escapes control characters, so a one-byte
+          // reconstruction is exact for everything it emits.
+          if (code > 0xFF) {
+            return Error("unsupported \\u escape above U+00FF");
+          }
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    out->kind = JsonValue::Kind::kNumber;
+    if (Consume('-')) {
+      out->is_negative = true;
+    }
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start + (out->is_negative ? 1u : 0u)) {
+      pos_ = start;
+      return Error("invalid number");
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      return Error("invalid number");
+    }
+    out->is_integral = integral;
+    if (integral) {
+      errno = 0;
+      const char* digits = token.c_str() + (out->is_negative ? 1 : 0);
+      out->magnitude = std::strtoull(digits, &end, 10);
+      if (errno == ERANGE) {
+        pos_ = start;
+        return Error("integer out of range");
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : fields) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace emsim::sweep

@@ -1,0 +1,44 @@
+#ifndef EMSIM_SWEEP_JSON_VALUE_H_
+#define EMSIM_SWEEP_JSON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace emsim::sweep {
+
+/// Parsed JSON value for the shard-artifact decoder. Design goals are
+/// exactness and determinism, not generality: numbers keep both their
+/// strtod double value and, when the token is integral, the exact 64-bit
+/// magnitude, so every value emitted by stats::JsonWriter round-trips
+/// bit-for-bit (JsonWriter's doubles are shortest-form strtod round-trips,
+/// its integers plain digit strings). Object fields preserve insertion
+/// order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;        ///< strtod of the token (kNumber).
+  uint64_t magnitude = 0;     ///< |integer| when is_integral (kNumber).
+  bool is_integral = false;   ///< Token had no '.', 'e' or 'E'.
+  bool is_negative = false;   ///< Token began with '-'.
+  std::string string;         ///< kString payload (unescaped).
+  std::vector<JsonValue> items;                           ///< kArray.
+  std::vector<std::pair<std::string, JsonValue>> fields;  ///< kObject.
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, anything
+/// else is an error). Errors carry the byte offset of the offending input.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace emsim::sweep
+
+#endif  // EMSIM_SWEEP_JSON_VALUE_H_

@@ -1,0 +1,98 @@
+#include "sweep/merge.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "core/result.h"
+#include "sweep/shard.h"
+#include "util/str.h"
+
+namespace emsim::sweep {
+
+Result<std::vector<core::ExperimentResult>> MergeShardArtifacts(
+    const std::vector<core::SweepUnit>& units, const std::vector<std::string>& artifacts) {
+  core::SweepGrid grid(units);
+  const uint64_t digest = SpecDigest(units);
+  const int total = grid.total_tasks();
+
+  std::vector<core::MergeResult> results(static_cast<size_t>(total));
+  std::vector<bool> covered(static_cast<size_t>(total), false);
+  int failed_task = std::numeric_limits<int>::max();
+  Status failed_status;
+
+  for (size_t a = 0; a < artifacts.size(); ++a) {
+    Result<ShardArtifact> decoded = DecodeShardArtifact(artifacts[a]);
+    if (!decoded.ok()) {
+      return Status::Corruption(StrFormat("artifact %zu: %s", a,
+                                          decoded.status().message().c_str()));
+    }
+    const ShardArtifact& shard = *decoded;
+    if (shard.spec_digest != digest) {
+      return Status::InvalidArgument(
+          StrFormat("artifact %zu (shard %d/%d): spec digest %016llx does not match the "
+                    "loaded spec (%016llx) — artifact is from a different sweep",
+                    a, shard.shard_index, shard.shard_count,
+                    static_cast<unsigned long long>(shard.spec_digest),
+                    static_cast<unsigned long long>(digest)));
+    }
+    if (shard.total_tasks != total) {
+      return Status::InvalidArgument(
+          StrFormat("artifact %zu: %d total tasks, spec defines %d", a, shard.total_tasks,
+                    total));
+    }
+    ShardRange expected = ShardSlice(total, shard.shard_index, shard.shard_count);
+    if (shard.range.begin != expected.begin || shard.range.end != expected.end) {
+      return Status::Corruption(
+          StrFormat("artifact %zu: shard %d/%d claims range [%d, %d), expected [%d, %d)", a,
+                    shard.shard_index, shard.shard_count, shard.range.begin, shard.range.end,
+                    expected.begin, expected.end));
+    }
+    for (const ShardTask& task : shard.tasks) {
+      if (task.task < shard.range.begin || task.task >= shard.range.end) {
+        return Status::Corruption(StrFormat("artifact %zu: task %d outside its shard range",
+                                            a, task.task));
+      }
+      if (!task.ok) {
+        if (task.task < failed_task) {
+          failed_task = task.task;
+          failed_status = task.error;
+        }
+        continue;
+      }
+      // A resubmitted straggler can leave two artifacts for the same shard;
+      // the per-task results are deterministic, so either copy is correct.
+      results[static_cast<size_t>(task.task)] = task.result;
+      covered[static_cast<size_t>(task.task)] = true;
+    }
+  }
+
+  if (failed_task != std::numeric_limits<int>::max()) {
+    // The exact message a single-process RunSweep would have aborted with:
+    // lowest-index capture is shard- and thread-count independent.
+    return Status(failed_status.code(),
+                  StrFormat("sweep task %d failed: %s", failed_task,
+                            failed_status.ToString().c_str()));
+  }
+  for (int t = 0; t < total; ++t) {
+    if (!covered[static_cast<size_t>(t)]) {
+      core::SweepGrid::Task task = grid.At(t);
+      return Status::InvalidArgument(StrFormat(
+          "task %d (unit '%s', trial %d) not covered by any artifact — missing shard?", t,
+          units[static_cast<size_t>(task.unit)].name.c_str(), task.trial));
+    }
+  }
+
+  std::vector<core::ExperimentResult> out;
+  out.reserve(units.size());
+  for (int u = 0; u < grid.num_units(); ++u) {
+    auto first = results.begin() + grid.UnitBegin(u);
+    auto last = first + units[static_cast<size_t>(u)].trials;
+    out.push_back(core::AggregateTrials(
+        std::vector<core::MergeResult>(std::make_move_iterator(first),
+                                       std::make_move_iterator(last))));
+  }
+  return out;
+}
+
+}  // namespace emsim::sweep

@@ -1,0 +1,34 @@
+#ifndef EMSIM_SWEEP_MERGE_H_
+#define EMSIM_SWEEP_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/status.h"
+
+namespace emsim::sweep {
+
+/// Merges decoded shard artifacts (as raw JSON documents) for `units` back
+/// into per-unit aggregates.
+///
+/// Determinism contract (pinned by sweep_shard_test): for any shard count
+/// and any assignment of shards to workers, the merged vector is
+/// bit-identical to what core::RunSweep(units, ...) computes in one
+/// process — trials are re-aggregated in global task order from exact
+/// round-tripped per-trial results. Consequently the JSON rendered from the
+/// merged aggregates is byte-identical to the single-process artifact.
+///
+/// Validation: every artifact's spec digest must match `units`; together
+/// the artifacts must cover every task index exactly once (duplicate shard
+/// indices with identical ranges are tolerated — a resubmitted straggler
+/// may race its first attempt — but conflicting or missing coverage is an
+/// error). A captured task failure surfaces as the failure with the lowest
+/// global task index, formatted exactly like the single-process runners'
+/// abort: "sweep task <i> failed: <status>".
+Result<std::vector<core::ExperimentResult>> MergeShardArtifacts(
+    const std::vector<core::SweepUnit>& units, const std::vector<std::string>& artifacts);
+
+}  // namespace emsim::sweep
+
+#endif  // EMSIM_SWEEP_MERGE_H_

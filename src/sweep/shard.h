@@ -1,0 +1,84 @@
+#ifndef EMSIM_SWEEP_SHARD_H_
+#define EMSIM_SWEEP_SHARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/result.h"
+#include "util/status.h"
+#include "workload/experiment_spec.h"
+
+namespace emsim::sweep {
+
+/// Version of the shard-artifact schema below. A worker and merger must
+/// agree on it exactly — the codec is a bit-exact wire format, not a
+/// human-facing export.
+inline constexpr int kShardSchemaVersion = 1;
+
+/// A contiguous half-open slice [begin, end) of a SweepGrid's global task
+/// index space.
+struct ShardRange {
+  int begin = 0;
+  int end = 0;
+
+  int size() const { return end - begin; }
+};
+
+/// Deterministic contiguous split of `total_tasks` into `num_shards`
+/// near-equal slices: the first `total_tasks % num_shards` shards get one
+/// extra task. Shards past the task count come out empty. Every process
+/// computes the same split from (total, k, N) alone — no coordination.
+ShardRange ShardSlice(int total_tasks, int shard_index, int num_shards);
+
+/// Canonical units for a parsed experiment spec, preserving spec order.
+std::vector<core::SweepUnit> UnitsFromSpecs(const std::vector<workload::ExperimentSpec>& specs);
+
+/// FNV-1a digest of the canonical spec rendering of `units` (name, config,
+/// trials). Workers stamp it into their artifacts; the merger refuses to
+/// combine shards whose digest disagrees with the spec it loaded, so a
+/// stale shard file from a different sweep cannot silently corrupt a merge.
+uint64_t SpecDigest(const std::vector<core::SweepUnit>& units);
+
+/// One task's outcome inside a shard artifact. Failures are data, not
+/// aborts: a worker records them and exits cleanly so the merger can
+/// surface the lowest-global-index failure exactly as a single-process run
+/// would have.
+struct ShardTask {
+  int task = 0;  ///< Global task index.
+  bool ok = true;
+  core::MergeResult result;  ///< Valid when ok.
+  Status error;              ///< Valid when !ok.
+};
+
+/// A decoded shard artifact.
+struct ShardArtifact {
+  int shard_index = 0;
+  int shard_count = 0;
+  int total_tasks = 0;
+  ShardRange range;
+  uint64_t spec_digest = 0;
+  std::vector<ShardTask> tasks;  ///< Ascending by global task index.
+};
+
+/// Renders one shard's outcome as a JSON artifact. The per-task MergeResult
+/// encoding is exact: every field (including Accumulator internals) is
+/// written in a form that decodes back bit-for-bit, so aggregates built
+/// from decoded results are byte-identical to single-process aggregates.
+std::string EncodeShardArtifact(const ShardArtifact& artifact);
+
+/// Parses and validates a shard artifact document.
+Result<ShardArtifact> DecodeShardArtifact(const std::string& text);
+
+/// Runs one shard of the grid (the slice ShardSlice picks for
+/// `shard_index`/`shard_count`) and packages the outcome as an artifact.
+/// Task failures are captured per task, not surfaced as a Status — only the
+/// lowest-index failure is recorded, mirroring the parallel runners'
+/// failure capture.
+ShardArtifact RunShard(const core::SweepGrid& grid, int shard_index, int shard_count,
+                       int num_threads, const core::TrialDeadline& deadline);
+
+}  // namespace emsim::sweep
+
+#endif  // EMSIM_SWEEP_SHARD_H_

@@ -20,11 +20,18 @@ std::string Trim(const std::string& s) {
   return s.substr(begin, end - begin + 1);
 }
 
+/// Error-location prefix: "file.ini:12" when the spec names its source,
+/// "line 12" for in-memory text (keeps the historical message shape).
+std::string Where(const std::string& source, int line) {
+  return source.empty() ? StrFormat("line %d", line)
+                        : StrFormat("%s:%d", source.c_str(), line);
+}
+
 Status ApplyKey(const std::string& key, const std::string& value, ExperimentSpec* spec,
-                int line) {
+                const std::string& source, int line) {
   auto bad = [&](const std::string& why) {
     return Status::InvalidArgument(
-        StrFormat("line %d: %s", line, why.c_str()));
+        StrFormat("%s: %s", Where(source, line).c_str(), why.c_str()));
   };
   auto parse_int = [&](int64_t* out) -> Status {
     char* end = nullptr;
@@ -179,7 +186,7 @@ struct RawSection {
 /// Expands a section's sweep keys (comma-separated values) into the cross
 /// product of concrete experiments, suffixing names with "/key=value".
 Status ExpandSection(const ExperimentSpec& defaults, const RawSection& section,
-                     std::vector<ExperimentSpec>* out) {
+                     const std::string& source, std::vector<ExperimentSpec>* out) {
   std::vector<std::pair<ExperimentSpec, std::string>> variants;
   variants.emplace_back(defaults, section.name);
   constexpr size_t kMaxVariants = 1024;
@@ -193,15 +200,15 @@ Status ExpandSection(const ExperimentSpec& defaults, const RawSection& section,
       }
       if (v.empty()) {
         return Status::InvalidArgument(
-            StrFormat("line %d: empty value in sweep for key '%s'", kv.line,
-                      kv.key.c_str()));
+            StrFormat("%s: empty value in sweep for key '%s'",
+                      Where(source, kv.line).c_str(), kv.key.c_str()));
       }
     }
     std::vector<std::pair<ExperimentSpec, std::string>> next;
     for (const auto& [spec, name] : variants) {
       for (const std::string& v : values) {
         ExperimentSpec candidate = spec;
-        EMSIM_RETURN_IF_ERROR(ApplyKey(kv.key, v, &candidate, kv.line));
+        EMSIM_RETURN_IF_ERROR(ApplyKey(kv.key, v, &candidate, source, kv.line));
         std::string candidate_name =
             values.size() == 1 ? name : name + "/" + kv.key + "=" + v;
         next.emplace_back(std::move(candidate), std::move(candidate_name));
@@ -223,7 +230,8 @@ Status ExpandSection(const ExperimentSpec& defaults, const RawSection& section,
 
 }  // namespace
 
-Result<std::vector<ExperimentSpec>> ParseExperimentSpec(const std::string& text) {
+Result<std::vector<ExperimentSpec>> ParseExperimentSpec(const std::string& text,
+                                                        const std::string& source) {
   ExperimentSpec defaults;
   std::vector<RawSection> sections;
   RawSection* current = nullptr;
@@ -242,12 +250,13 @@ Result<std::vector<ExperimentSpec>> ParseExperimentSpec(const std::string& text)
     if (line.front() == '[') {
       if (line.back() != ']') {
         return Status::InvalidArgument(
-            StrFormat("line %d: unterminated section header", line_number));
+            StrFormat("%s: unterminated section header",
+                      Where(source, line_number).c_str()));
       }
       std::string name = Trim(line.substr(1, line.size() - 2));
       if (name.empty()) {
         return Status::InvalidArgument(
-            StrFormat("line %d: empty section name", line_number));
+            StrFormat("%s: empty section name", Where(source, line_number).c_str()));
       }
       sections.push_back(RawSection{name, {}});
       current = &sections.back();
@@ -256,21 +265,22 @@ Result<std::vector<ExperimentSpec>> ParseExperimentSpec(const std::string& text)
     size_t eq = line.find('=');
     if (eq == std::string::npos) {
       return Status::InvalidArgument(
-          StrFormat("line %d: expected 'key = value'", line_number));
+          StrFormat("%s: expected 'key = value'", Where(source, line_number).c_str()));
     }
     std::string key = Trim(line.substr(0, eq));
     std::string value = Trim(line.substr(eq + 1));
     if (key.empty() || value.empty()) {
       return Status::InvalidArgument(
-          StrFormat("line %d: empty key or value", line_number));
+          StrFormat("%s: empty key or value", Where(source, line_number).c_str()));
     }
     if (current == nullptr) {
       // Defaults: applied immediately; no sweeps here.
       if (value.find(',') != std::string::npos) {
         return Status::InvalidArgument(
-            StrFormat("line %d: sweeps are only allowed inside sections", line_number));
+            StrFormat("%s: sweeps are only allowed inside sections",
+                      Where(source, line_number).c_str()));
       }
-      EMSIM_RETURN_IF_ERROR(ApplyKey(key, value, &defaults, line_number));
+      EMSIM_RETURN_IF_ERROR(ApplyKey(key, value, &defaults, source, line_number));
     } else {
       current->kvs.push_back(RawKv{key, value, line_number});
     }
@@ -280,7 +290,7 @@ Result<std::vector<ExperimentSpec>> ParseExperimentSpec(const std::string& text)
   }
   std::vector<ExperimentSpec> specs;
   for (const RawSection& section : sections) {
-    EMSIM_RETURN_IF_ERROR(ExpandSection(defaults, section, &specs));
+    EMSIM_RETURN_IF_ERROR(ExpandSection(defaults, section, source, &specs));
   }
   for (const ExperimentSpec& spec : specs) {
     Status status = spec.config.Validate();
@@ -304,7 +314,7 @@ Result<std::vector<ExperimentSpec>> LoadExperimentSpec(const std::string& path) 
     text.append(buffer, got);
   }
   std::fclose(f);
-  return ParseExperimentSpec(text);
+  return ParseExperimentSpec(text, path);
 }
 
 std::string ToSpec(const ExperimentSpec& spec) {
@@ -361,6 +371,7 @@ std::string ToSpec(const ExperimentSpec& spec) {
     out += StrFormat("fault_backoff_ms = %g\n", cfg.fault.retry.backoff_base_ms);
     out += StrFormat("fault_backoff_mult = %g\n", cfg.fault.retry.backoff_multiplier);
   }
+  out += StrFormat("seed = %llu\n", static_cast<unsigned long long>(cfg.seed));
   out += StrFormat("trials = %d\n", spec.trials);
   return out;
 }

@@ -46,10 +46,14 @@ struct ExperimentSpec {
 /// docs/ROBUSTNESS.md). Any section key accepts a comma-separated sweep, so
 /// `fault_slow_factor = 1,2,4,8` expands into one experiment per severity.
 /// Keys before the first section set defaults. Unknown keys, bad values and
-/// empty specs are errors with line numbers.
-Result<std::vector<ExperimentSpec>> ParseExperimentSpec(const std::string& text);
+/// empty specs are errors with line numbers; when `source` is nonempty every
+/// message is prefixed "<source>:<line>:" so a spec loaded from disk reports
+/// the offending file and line together.
+Result<std::vector<ExperimentSpec>> ParseExperimentSpec(const std::string& text,
+                                                        const std::string& source = "");
 
-/// Reads and parses a spec file from disk.
+/// Reads and parses a spec file from disk. Parse errors carry the path as
+/// their source, i.e. "specs/paper.ini:12: unknown key 'runz'".
 Result<std::vector<ExperimentSpec>> LoadExperimentSpec(const std::string& path);
 
 /// Renders a config back into spec syntax (round-trip aid and

@@ -1,6 +1,7 @@
 #include "core/config.h"
 #include "workload/experiment_spec.h"
 
+#include <cstdio>
 #include <set>
 #include <string>
 
@@ -78,6 +79,30 @@ TEST(ExperimentSpecTest, ErrorsCarryLineNumbers) {
   EXPECT_NE(r3.status().message().find("warp-drive"), std::string::npos);
 }
 
+TEST(ExperimentSpecTest, ErrorsNameSourceFileWhenGiven) {
+  auto r1 = ParseExperimentSpec("[a]\nbogus_key = 1\n", "specs/paper.ini");
+  EXPECT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().message().find("specs/paper.ini:2"), std::string::npos)
+      << r1.status().ToString();
+
+  auto r2 = ParseExperimentSpec("[a]\nruns =\n", "x.ini");
+  EXPECT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("x.ini:2"), std::string::npos);
+}
+
+TEST(ExperimentSpecTest, LoadErrorsCarryFileAndLine) {
+  std::string path = testing::TempDir() + "/bad_spec.ini";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("[a]\nruns = 10\nbogus_key = 1\n", f);
+  std::fclose(f);
+  auto result = LoadExperimentSpec(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(path + ":3"), std::string::npos)
+      << result.status().ToString();
+  ::remove(path.c_str());
+}
+
 TEST(ExperimentSpecTest, RejectsMalformedStructure) {
   EXPECT_FALSE(ParseExperimentSpec("").ok());                 // No sections.
   EXPECT_FALSE(ParseExperimentSpec("runs = 5\n").ok());       // Defaults only.
@@ -116,6 +141,36 @@ TEST(ExperimentSpecTest, RoundTripsThroughToSpec) {
   EXPECT_EQ(a.victim, b.victim);
   EXPECT_EQ(a.write_traffic, b.write_traffic);
   EXPECT_DOUBLE_EQ(a.zipf_theta, b.zipf_theta);
+}
+
+TEST(ExperimentSpecTest, ToSpecRoundTripsSeed) {
+  auto specs = ParseExperimentSpec("[seeded]\nruns = 10\nseed = 4242\ntrials = 7\n");
+  ASSERT_TRUE(specs.ok());
+  auto reparsed = ParseExperimentSpec(ToSpec((*specs)[0]));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ((*reparsed)[0].config.seed, 4242u);
+  EXPECT_EQ((*reparsed)[0].trials, 7);
+}
+
+TEST(ExperimentSpecTest, PrintSpecRoundTripsThroughLoad) {
+  // What `emsim_cli --print_spec` emits is ToSpec output; it must reload
+  // through LoadExperimentSpec to the same experiment — i.e. ToSpec is a
+  // fixed point of render -> load -> render.
+  auto specs = ParseExperimentSpec(kSpec);
+  ASSERT_TRUE(specs.ok());
+  for (const ExperimentSpec& spec : *specs) {
+    std::string rendered = ToSpec(spec);
+    std::string path = testing::TempDir() + "/printed_spec.ini";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(rendered.c_str(), f);
+    std::fclose(f);
+    auto reloaded = LoadExperimentSpec(path);
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+    ASSERT_EQ(reloaded->size(), 1u);
+    EXPECT_EQ(ToSpec((*reloaded)[0]), rendered);
+    ::remove(path.c_str());
+  }
 }
 
 TEST(ExperimentSpecTest, SweepsExpandCrossProduct) {

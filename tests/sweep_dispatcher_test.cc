@@ -1,0 +1,154 @@
+// Exercises the multi-process shard dispatcher with real subprocesses:
+// clean completion, straggler kill + resubmission (chaos and deadline),
+// retry exhaustion, and the empty-artifact guard.
+
+#include "sweep/dispatcher.h"
+
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sweep/subprocess.h"
+#include "util/str.h"
+
+namespace emsim::sweep {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/" + name;
+  (void)::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+/// Worker argv that runs `script` through the shell with $0 = shard index
+/// and $1 = artifact path.
+ShardCommandFn ShellCommand(const std::string& script) {
+  return [script](int shard, const std::string& out_path) {
+    return std::vector<std::string>{"/bin/sh", "-c", script,
+                                    StrFormat("%d", shard), out_path};
+  };
+}
+
+TEST(SubprocessTest, RunsAndReportsExitCode) {
+  auto child = Subprocess::Start({"/bin/sh", "-c", "exit 3"});
+  ASSERT_TRUE(child.ok()) << child.status().ToString();
+  while (!child->Poll()) {
+  }
+  EXPECT_FALSE(child->running());
+  EXPECT_FALSE(child->was_signaled());
+  EXPECT_FALSE(child->exited_cleanly());
+  EXPECT_EQ(child->exit_code(), 3);
+  EXPECT_EQ(child->DescribeExit(), "exit 3");
+}
+
+TEST(SubprocessTest, ExecFailureIs127) {
+  auto child = Subprocess::Start({"/nonexistent/binary/for/emsim"});
+  ASSERT_TRUE(child.ok());
+  while (!child->Poll()) {
+  }
+  EXPECT_EQ(child->exit_code(), 127);
+}
+
+TEST(SubprocessTest, KillIsReportedAsSignal) {
+  auto child = Subprocess::Start({"/bin/sh", "-c", "sleep 30"});
+  ASSERT_TRUE(child.ok());
+  child->Kill();
+  while (!child->Poll()) {
+  }
+  EXPECT_TRUE(child->was_signaled());
+  EXPECT_EQ(child->DescribeExit(), StrFormat("signal %d", 9));
+}
+
+TEST(DispatcherTest, RunsAllShardsOnce) {
+  std::string dir = FreshDir("dispatch_ok");
+  DispatcherOptions options;
+  options.num_shards = 5;
+  options.max_workers = 2;
+  auto report = RunShardedSweep(options, dir, ShellCommand("echo shard $0 > \"$1\""));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->size(), 5u);
+  for (const ShardDispatch& d : *report) {
+    EXPECT_TRUE(d.ok);
+    EXPECT_EQ(d.attempts, 1);
+    EXPECT_FALSE(d.artifact_path.empty());
+  }
+}
+
+TEST(DispatcherTest, ChaosKilledShardIsResubmittedAndCompletes) {
+  std::string dir = FreshDir("dispatch_chaos");
+  DispatcherOptions options;
+  options.num_shards = 3;
+  options.chaos_kill_shard = 1;
+  options.retry.backoff_base_ms = 1.0;
+  std::vector<std::string> lines;
+  options.log = [&](const std::string& line) { lines.push_back(line); };
+  // Slow enough that the chaos SIGKILL lands before the artifact exists.
+  auto report =
+      RunShardedSweep(options, dir, ShellCommand("sleep 0.2; echo ok > \"$1\""));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE((*report)[1].ok);
+  EXPECT_EQ((*report)[1].attempts, 2);
+  EXPECT_EQ((*report)[0].attempts, 1);
+  EXPECT_EQ((*report)[2].attempts, 1);
+  bool saw_chaos = false;
+  for (const std::string& line : lines) {
+    if (line.find("chaos-killed") != std::string::npos) {
+      saw_chaos = true;
+    }
+  }
+  EXPECT_TRUE(saw_chaos);
+}
+
+TEST(DispatcherTest, FailingAttemptIsRetriedUntilSuccess) {
+  std::string dir = FreshDir("dispatch_retry");
+  // TempDir() persists across runs — stale markers would let the first
+  // attempt succeed immediately.
+  (void)::unlink((dir + "/marker_0").c_str());
+  (void)::unlink((dir + "/marker_1").c_str());
+  // First attempt leaves a marker and fails; the resubmission sees the
+  // marker and succeeds — a transient infrastructure fault.
+  std::string script = StrFormat(
+      "if [ -f \"%s/marker_$0\" ]; then echo ok > \"$1\"; "
+      "else touch \"%s/marker_$0\"; exit 1; fi",
+      dir.c_str(), dir.c_str());
+  DispatcherOptions options;
+  options.num_shards = 2;
+  options.retry.max_retries = 2;
+  options.retry.backoff_base_ms = 1.0;
+  auto report = RunShardedSweep(options, dir, ShellCommand(script));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (const ShardDispatch& d : *report) {
+    EXPECT_TRUE(d.ok);
+    EXPECT_EQ(d.attempts, 2);
+  }
+}
+
+TEST(DispatcherTest, DeadlineKillsStragglerAndExhaustsRetries) {
+  std::string dir = FreshDir("dispatch_deadline");
+  DispatcherOptions options;
+  options.num_shards = 1;
+  options.retry.timeout_ms = 50.0;
+  options.retry.max_retries = 1;
+  options.retry.backoff_base_ms = 1.0;
+  auto report = RunShardedSweep(options, dir, ShellCommand("sleep 30"));
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("signal 9"), std::string::npos)
+      << report.status().ToString();
+}
+
+TEST(DispatcherTest, CleanExitWithoutArtifactIsAFailure) {
+  std::string dir = FreshDir("dispatch_empty");
+  DispatcherOptions options;
+  options.num_shards = 1;
+  options.retry.max_retries = 0;
+  auto report = RunShardedSweep(options, dir, ShellCommand("exit 0"));
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("no artifact"), std::string::npos)
+      << report.status().ToString();
+}
+
+}  // namespace
+}  // namespace emsim::sweep

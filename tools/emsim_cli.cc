@@ -9,11 +9,20 @@
 //
 //   # machine-readable export for CI / regression diffing (docs/USAGE.md)
 //   $ emsim_cli --runs 25 --disks 5 --n 10 --json results.json
+//
+//   # sharded sweep across worker subprocesses (docs/SWEEPS.md); the output
+//   # is byte-identical to the single-process run above
+//   $ emsim_cli --spec experiments.ini --sweep 4 --json results.json
+//
+//   # the pieces the driver composes, runnable by hand or from CI:
+//   $ emsim_cli --spec e.ini --sweep-worker --shard 0/4 --shard-out s0.json
+//   $ emsim_cli --spec e.ini --sweep-merge s0.json s1.json s2.json s3.json
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
-#include <memory>
 #include <string>
+#include <sys/stat.h>
 #include <utility>
 #include <vector>
 
@@ -22,6 +31,9 @@
 #include "core/result.h"
 #include "core/result_json.h"
 #include "stats/table.h"
+#include "sweep/dispatcher.h"
+#include "sweep/merge.h"
+#include "sweep/shard.h"
 #include "util/flags.h"
 #include "util/status.h"
 #include "util/str.h"
@@ -43,6 +55,64 @@ void AddResultRow(stats::Table& table, const std::string& name,
                 stats::Table::Cell(result.MeanConcurrency(), 2),
                 stats::Table::Cell(first.stall_ms.Mean(), 2),
                 StrFormat("%llu", static_cast<unsigned long long>(first.stall_ms.count()))});
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return text;
+}
+
+Status WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal(StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return Status::OK();
+}
+
+/// Renders the sweep results exactly like a plain run: per-spec table rows
+/// on stdout (or stderr when stdout carries the JSON), plus the optional
+/// schema-stable JSON document. Used identically by the single-process,
+/// driver and merge modes so their outputs are byte-comparable.
+int EmitResults(const std::vector<core::SweepUnit>& units,
+                const std::vector<core::ExperimentResult>& results,
+                const std::string& format, const std::string& json_path) {
+  stats::Table table({"experiment", "strategy", "N", "sync", "cache", "time_s",
+                      "ci95_s", "success", "concurrency", "stall_ms", "stalls"});
+  std::vector<core::NamedExperiment> named;
+  for (size_t i = 0; i < units.size(); ++i) {
+    AddResultRow(table, units[i].name, units[i].config, results[i]);
+    named.push_back(core::NamedExperiment{units[i].name, units[i].config, &results[i]});
+  }
+  // With --json -, stdout belongs to the JSON document (so it can be piped
+  // into jq and friends); the human table moves to stderr.
+  std::fprintf(json_path == "-" ? stderr : stdout, "%s",
+               format == "csv" ? table.ToCsv().c_str() : table.ToString().c_str());
+  if (!json_path.empty()) {
+    std::string doc = core::ExperimentSetToJson(named);
+    if (json_path == "-") {
+      std::printf("%s", doc.c_str());
+    } else {
+      Status written = WriteFile(json_path, doc);
+      if (!written.ok()) {
+        std::fprintf(stderr, "%s\n", written.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -89,6 +159,19 @@ int main(int argc, char** argv) {
   double fault_backoff_mult = 2.0;
   int64_t max_sim_events = 0;
   double max_wall_ms = 0.0;
+  // Sharded sweep fabric (docs/SWEEPS.md).
+  int threads = 0;
+  int sweep = 0;
+  int sweep_workers = 0;
+  bool sweep_worker = false;
+  bool sweep_merge = false;
+  std::string shard;
+  std::string shard_out;
+  std::string shard_dir = "sweep_shards";
+  double shard_timeout_ms = 0.0;
+  int shard_retries = 2;
+  double shard_backoff_ms = 100.0;
+  int sweep_chaos_kill_shard = -1;
 
   flags.AddInt("runs", &runs, "number of sorted runs (k)");
   flags.AddInt("disks", &disks, "number of input disks (D)");
@@ -139,6 +222,32 @@ int main(int argc, char** argv) {
                  "per-trial simulated-event deadline (0 = unlimited)");
   flags.AddDouble("max_wall_ms", &max_wall_ms,
                   "per-trial wall-clock deadline in ms (0 = unlimited)");
+  flags.AddInt("threads", &threads,
+               "worker threads for trial execution (0 = hardware)");
+  flags.AddInt("sweep", &sweep,
+               "driver mode: split the sweep into this many shards run by "
+               "worker subprocesses, then merge (0 = run in-process)");
+  flags.AddInt("sweep-workers", &sweep_workers,
+               "concurrent worker subprocesses (0 = min(shards, hardware))");
+  flags.AddBool("sweep-worker", &sweep_worker,
+                "worker mode: run one shard and write its artifact");
+  flags.AddBool("sweep-merge", &sweep_merge,
+                "merge mode: combine shard artifacts (positional args) into "
+                "the single-process output");
+  flags.AddString("shard", &shard, "worker mode shard as k/N (e.g. 2/7)");
+  flags.AddString("shard-out", &shard_out, "worker mode artifact output path");
+  flags.AddString("shard-dir", &shard_dir,
+                  "driver mode directory for shard artifacts");
+  flags.AddDouble("shard-timeout-ms", &shard_timeout_ms,
+                  "driver mode per-shard deadline before the attempt is "
+                  "killed and resubmitted (0 = none)");
+  flags.AddInt("shard-retries", &shard_retries,
+               "driver mode resubmissions allowed per shard");
+  flags.AddDouble("shard-backoff-ms", &shard_backoff_ms,
+                  "driver mode base backoff between shard attempts");
+  flags.AddInt("sweep-chaos-kill-shard", &sweep_chaos_kill_shard,
+               "driver mode chaos hook: kill this shard's first attempt to "
+               "exercise resubmission (-1 = off)");
   flags.AddBool("help", &help, "show usage");
 
   Status status = flags.Parse(argc, argv);
@@ -149,6 +258,11 @@ int main(int argc, char** argv) {
   if (help) {
     std::printf("%s", flags.Usage().c_str());
     return 0;
+  }
+  if (static_cast<int>(sweep_worker) + static_cast<int>(sweep_merge) +
+          static_cast<int>(sweep > 0) > 1) {
+    std::fprintf(stderr, "--sweep-worker, --sweep-merge and --sweep are exclusive\n");
+    return 2;
   }
 
   std::vector<workload::ExperimentSpec> specs;
@@ -215,42 +329,182 @@ int main(int argc, char** argv) {
     specs.push_back(std::move(spec));
   }
 
-  stats::Table table({"experiment", "strategy", "N", "sync", "cache", "time_s",
-                      "ci95_s", "success", "concurrency", "stall_ms", "stalls"});
-  // Results owned here so the JSON export can reference all of them at once.
-  std::vector<std::unique_ptr<core::ExperimentResult>> results;
-  std::vector<core::NamedExperiment> named;
+  if (print_spec) {
+    for (const auto& spec : specs) {
+      std::printf("%s\n", workload::ToSpec(spec).c_str());
+    }
+  }
+  for (auto& spec : specs) {
+    spec.config.collect_metrics = collect_metrics;
+  }
+  std::vector<core::SweepUnit> units = sweep::UnitsFromSpecs(specs);
+  core::SweepGrid grid(units);
   core::TrialDeadline deadline;
   deadline.max_sim_events = static_cast<uint64_t>(max_sim_events);
   deadline.max_wall_ms = max_wall_ms;
-  for (auto& spec : specs) {
-    if (print_spec) {
-      std::printf("%s\n", workload::ToSpec(spec).c_str());
+
+  if (sweep_worker) {
+    // Worker mode: run one shard of the global task grid, write the exact
+    // per-trial artifact, exit 0. Task failures are recorded in the artifact
+    // (the merger surfaces the lowest-index one); a nonzero exit here means
+    // infrastructure trouble, which the dispatcher retries.
+    int shard_index = -1;
+    int shard_count = 0;
+    if (std::sscanf(shard.c_str(), "%d/%d", &shard_index, &shard_count) != 2 ||
+        shard_index < 0 || shard_count < 1 || shard_index >= shard_count) {
+      std::fprintf(stderr, "--shard must be k/N with 0 <= k < N, got '%s'\n",
+                   shard.c_str());
+      return 2;
     }
-    spec.config.collect_metrics = collect_metrics;
-    auto result = std::make_unique<core::ExperimentResult>(
-        core::RunTrials(spec.config, spec.trials, deadline));
-    AddResultRow(table, spec.name, spec.config, *result);
-    named.push_back(core::NamedExperiment{spec.name, spec.config, result.get()});
-    results.push_back(std::move(result));
+    if (shard_out.empty()) {
+      std::fprintf(stderr, "--sweep-worker requires --shard-out\n");
+      return 2;
+    }
+    sweep::ShardArtifact artifact =
+        sweep::RunShard(grid, shard_index, shard_count, threads, deadline);
+    Status written = WriteFile(shard_out, sweep::EncodeShardArtifact(artifact));
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    return 0;
   }
-  // With --json -, stdout belongs to the JSON document (so it can be piped
-  // into jq and friends); the human table moves to stderr.
-  std::fprintf(json_path == "-" ? stderr : stdout, "%s",
-               format == "csv" ? table.ToCsv().c_str() : table.ToString().c_str());
-  if (!json_path.empty()) {
-    std::string doc = core::ExperimentSetToJson(named);
-    if (json_path == "-") {
-      std::printf("%s", doc.c_str());
-    } else {
-      std::FILE* f = std::fopen(json_path.c_str(), "w");
-      if (f == nullptr) {
-        std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+
+  if (sweep_merge) {
+    if (flags.positional().empty()) {
+      std::fprintf(stderr, "--sweep-merge requires shard artifact paths\n");
+      return 2;
+    }
+    std::vector<std::string> texts;
+    for (const std::string& path : flags.positional()) {
+      auto text = ReadFile(path);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
         return 1;
       }
-      std::fwrite(doc.data(), 1, doc.size(), f);
-      std::fclose(f);
+      texts.push_back(*std::move(text));
     }
+    auto merged = sweep::MergeShardArtifacts(units, texts);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "%s\n", merged.status().ToString().c_str());
+      return 1;
+    }
+    return EmitResults(units, *merged, format, json_path);
   }
-  return 0;
+
+  if (sweep > 0) {
+    // Driver mode: re-exec this binary once per shard via the dispatcher,
+    // then merge the artifacts in-process. The worker command re-creates the
+    // experiment set from the same inputs (spec file, or the full flag
+    // vector), so every worker builds the identical task grid.
+    if (::mkdir(shard_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "cannot create shard dir %s\n", shard_dir.c_str());
+      return 1;
+    }
+    std::vector<std::string> base;
+    base.push_back(argv[0]);
+    if (!spec_path.empty()) {
+      base.insert(base.end(), {"--spec", spec_path});
+    } else {
+      base.insert(base.end(), {"--runs", StrFormat("%d", runs)});
+      base.insert(base.end(), {"--disks", StrFormat("%d", disks)});
+      base.insert(base.end(),
+                  {"--blocks", StrFormat("%lld", static_cast<long long>(blocks))});
+      base.insert(base.end(), {"--n", StrFormat("%d", n)});
+      base.insert(base.end(),
+                  {"--cache", StrFormat("%lld", static_cast<long long>(cache))});
+      base.insert(base.end(), {"--cpu_ms", StrFormat("%.17g", cpu_ms)});
+      base.insert(base.end(), {"--zipf_theta", StrFormat("%.17g", zipf_theta)});
+      base.insert(base.end(), {"--trials", StrFormat("%d", trials)});
+      base.insert(base.end(),
+                  {"--seed", StrFormat("%lld", static_cast<long long>(seed))});
+      base.insert(base.end(), {"--strategy", strategy});
+      base.insert(base.end(), {"--sync", sync});
+      base.insert(base.end(), {"--admission", admission});
+      base.insert(base.end(), {"--victim", victim});
+      base.insert(base.end(), {"--depletion", depletion});
+      base.insert(base.end(), {"--write_traffic", write_traffic});
+      base.insert(base.end(), {"--fault_media_error_rate",
+                               StrFormat("%.17g", fault_media_error_rate)});
+      base.insert(base.end(),
+                  {"--fault_spike_rate", StrFormat("%.17g", fault_spike_rate)});
+      base.insert(base.end(),
+                  {"--fault_spike_ms", StrFormat("%.17g", fault_spike_ms)});
+      base.insert(base.end(),
+                  {"--fault_slow_disk", StrFormat("%d", fault_slow_disk)});
+      base.insert(base.end(),
+                  {"--fault_slow_factor", StrFormat("%.17g", fault_slow_factor)});
+      base.insert(base.end(), {"--fault_slow_start_ms",
+                               StrFormat("%.17g", fault_slow_start_ms)});
+      base.insert(base.end(),
+                  {"--fault_slow_end_ms", StrFormat("%.17g", fault_slow_end_ms)});
+      base.insert(base.end(),
+                  {"--fault_stop_disk", StrFormat("%d", fault_stop_disk)});
+      base.insert(base.end(), {"--fault_stop_start_ms",
+                               StrFormat("%.17g", fault_stop_start_ms)});
+      base.insert(base.end(),
+                  {"--fault_stop_end_ms", StrFormat("%.17g", fault_stop_end_ms)});
+      base.insert(base.end(),
+                  {"--fault_seed", StrFormat("%lld", static_cast<long long>(fault_seed))});
+      base.insert(base.end(),
+                  {"--fault_max_retries", StrFormat("%d", fault_max_retries)});
+      base.insert(base.end(),
+                  {"--fault_timeout_ms", StrFormat("%.17g", fault_timeout_ms)});
+      base.insert(base.end(),
+                  {"--fault_backoff_ms", StrFormat("%.17g", fault_backoff_ms)});
+      base.insert(base.end(),
+                  {"--fault_backoff_mult", StrFormat("%.17g", fault_backoff_mult)});
+    }
+    if (collect_metrics) {
+      base.push_back("--metrics");
+    }
+    base.insert(base.end(), {"--max_sim_events",
+                             StrFormat("%lld", static_cast<long long>(max_sim_events))});
+    base.insert(base.end(), {"--max_wall_ms", StrFormat("%.17g", max_wall_ms)});
+    base.insert(base.end(), {"--threads", StrFormat("%d", threads)});
+
+    sweep::DispatcherOptions options;
+    options.num_shards = sweep;
+    options.max_workers = sweep_workers;
+    options.retry.timeout_ms = shard_timeout_ms;
+    options.retry.max_retries = shard_retries;
+    options.retry.backoff_base_ms = shard_backoff_ms;
+    options.chaos_kill_shard = sweep_chaos_kill_shard;
+    options.log = [](const std::string& line) {
+      std::fprintf(stderr, "[sweep] %s\n", line.c_str());
+    };
+    auto dispatched = sweep::RunShardedSweep(
+        options, shard_dir, [&](int s, const std::string& out) {
+          std::vector<std::string> worker_argv = base;
+          worker_argv.push_back("--sweep-worker");
+          worker_argv.insert(worker_argv.end(),
+                             {"--shard", StrFormat("%d/%d", s, sweep)});
+          worker_argv.insert(worker_argv.end(), {"--shard-out", out});
+          return worker_argv;
+        });
+    if (!dispatched.ok()) {
+      std::fprintf(stderr, "%s\n", dispatched.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> texts;
+    for (const sweep::ShardDispatch& d : *dispatched) {
+      auto text = ReadFile(d.artifact_path);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+        return 1;
+      }
+      texts.push_back(*std::move(text));
+    }
+    auto merged = sweep::MergeShardArtifacts(units, texts);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "%s\n", merged.status().ToString().c_str());
+      return 1;
+    }
+    return EmitResults(units, *merged, format, json_path);
+  }
+
+  // Single-process mode: the whole grid on the in-process worker pool. This
+  // is the reference the sharded modes are byte-compared against.
+  std::vector<core::ExperimentResult> results = core::RunSweep(units, threads, deadline);
+  return EmitResults(units, results, format, json_path);
 }

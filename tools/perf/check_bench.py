@@ -22,7 +22,39 @@ Usage:
 
 import argparse
 import json
+import os
 import sys
+
+
+def write_step_summary(rows, max_ratio, failures):
+    """Appends a markdown ratio table to $GITHUB_STEP_SUMMARY when set.
+
+    Purely additive reporting for the GitHub Actions job summary page; the
+    gate contract (exit codes, stdout/stderr text) is unchanged.
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = ["### Perf ratio gate (max ratio {:g})".format(max_ratio), ""]
+    lines.append("| benchmark | baseline | current | ratio | verdict |")
+    lines.append("|---|---:|---:|---:|---|")
+    for name, base_time, cur_time, ratio, verdict in rows:
+        current_cell = f"{cur_time:.1f}" if cur_time is not None else "MISSING"
+        ratio_cell = f"{ratio:.2f}" if ratio is not None else "—"
+        icon = "✅ ok" if verdict == "ok" else "❌ FAIL"
+        lines.append(
+            f"| `{name}` | {base_time:.1f} | {current_cell} | {ratio_cell} | {icon} |"
+        )
+    lines.append("")
+    if failures:
+        lines.append(f"**{len(failures)} regression(s) past the ratio gate.**")
+    else:
+        lines.append(f"All {len(rows)} benchmarks within the ratio.")
+    try:
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as err:
+        print(f"check_bench: cannot write step summary: {err}", file=sys.stderr)
 
 
 def load_times(path, metric):
@@ -69,6 +101,7 @@ def main():
     current = load_times(args.current, args.metric)
 
     failures = []
+    rows = []  # (name, baseline, current|None, ratio|None, verdict)
     width = max(len(name) for name in baseline)
     print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  ratio")
     for name in sorted(baseline):
@@ -76,6 +109,7 @@ def main():
         if name not in current:
             failures.append(f"{name}: present in baseline but not in current run")
             print(f"{name.ljust(width)}  {base_time:12.1f}  {'MISSING':>12}  FAIL")
+            rows.append((name, base_time, None, None, "FAIL"))
             continue
         cur_time = current[name]
         ratio = cur_time / base_time if base_time > 0 else float("inf")
@@ -87,6 +121,8 @@ def main():
             verdict = "FAIL"
         print(f"{name.ljust(width)}  {base_time:12.1f}  {cur_time:12.1f}  "
               f"{ratio:5.2f} {verdict}")
+        rows.append((name, base_time, cur_time, ratio, verdict))
+    write_step_summary(rows, args.max_ratio, failures)
 
     extra = sorted(set(current) - set(baseline))
     if extra:

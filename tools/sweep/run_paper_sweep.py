@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""One-command whole-paper sweep via the sharded sweep fabric.
+
+Thin driver around `emsim_cli --sweep`: picks the spec, shard count and
+output path, forwards everything to the CLI's multi-process dispatcher, and
+optionally byte-verifies the merged artifact against a single-process run
+(the determinism contract in docs/SWEEPS.md).
+
+  # PR-sized smoke sweep, 4 worker subprocesses
+  python3 tools/sweep/run_paper_sweep.py
+
+  # nightly full grid, 8 shards, with the byte-identity cross-check
+  python3 tools/sweep/run_paper_sweep.py \
+      --spec tools/sweep/specs/paper_full.ini --shards 8 --verify
+
+All simulation logic lives in the CLI; this script only shells out.
+"""
+
+import argparse
+import filecmp
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cli",
+        default=os.path.join(REPO_ROOT, "build", "tools", "emsim_cli"),
+        help="path to the emsim_cli binary (default: build/tools/emsim_cli)",
+    )
+    parser.add_argument(
+        "--spec",
+        default=os.path.join(REPO_ROOT, "tools", "sweep", "specs", "paper_smoke.ini"),
+        help="experiment spec to sweep (default: the PR smoke grid)",
+    )
+    parser.add_argument("--shards", type=int, default=4,
+                        help="worker subprocesses to shard across (default 4)")
+    parser.add_argument("--out", default="SWEEP_paper.json",
+                        help="merged JSON artifact path (default SWEEP_paper.json)")
+    parser.add_argument("--shard-dir", default="sweep_shards",
+                        help="directory for per-shard artifacts")
+    parser.add_argument("--shard-timeout-ms", type=float, default=0.0,
+                        help="per-shard deadline before kill+resubmit (0 = none)")
+    parser.add_argument("--chaos-kill-shard", type=int, default=-1,
+                        help="kill this shard's first attempt (resubmission smoke)")
+    parser.add_argument("--verify", action="store_true",
+                        help="also run single-process and require byte-identical JSON")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.cli):
+        sys.exit(f"run_paper_sweep: CLI not found at {args.cli} — build it first "
+                 "(cmake --build build --target emsim_cli)")
+    if not os.path.exists(args.spec):
+        sys.exit(f"run_paper_sweep: spec not found: {args.spec}")
+    if args.shards < 1:
+        sys.exit("run_paper_sweep: --shards must be >= 1")
+
+    cmd = [
+        args.cli,
+        "--spec", args.spec,
+        "--sweep", str(args.shards),
+        "--shard-dir", args.shard_dir,
+        "--shard-timeout-ms", str(args.shard_timeout_ms),
+        "--json", args.out,
+    ]
+    if args.chaos_kill_shard >= 0:
+        cmd += ["--sweep-chaos-kill-shard", str(args.chaos_kill_shard)]
+    print("run_paper_sweep:", " ".join(cmd), flush=True)
+    result = subprocess.run(cmd)
+    if result.returncode != 0:
+        sys.exit(result.returncode)
+
+    if args.verify:
+        single_out = args.out + ".single"
+        verify_cmd = [args.cli, "--spec", args.spec, "--json", single_out]
+        print("run_paper_sweep: verify:", " ".join(verify_cmd), flush=True)
+        result = subprocess.run(verify_cmd, stdout=subprocess.DEVNULL)
+        if result.returncode != 0:
+            sys.exit(result.returncode)
+        if not filecmp.cmp(args.out, single_out, shallow=False):
+            sys.exit(
+                f"run_paper_sweep: DETERMINISM VIOLATION — {args.out} differs "
+                f"from single-process {single_out}"
+            )
+        os.remove(single_out)
+        print("run_paper_sweep: merged artifact is byte-identical to the "
+              "single-process run")
+
+    print(f"run_paper_sweep: wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
