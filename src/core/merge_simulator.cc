@@ -172,6 +172,10 @@ class Engine {
   /// spinning forever. The pop sequence is identical to one Run() call.
   Status RunWithDeadline() {
     constexpr uint64_t kChunkEvents = 65536;
+    // The wall clock implements the deadline watchdog only: it bounds how much
+    // work runs, never the artifact bytes. Equal-seed trials that finish in
+    // budget are byte-identical; a timeout surfaces as kDeadlineExceeded.
+    // emsim-analyze: allow(determinism-taint)
     const auto wall_start = std::chrono::steady_clock::now();
     for (;;) {
       uint64_t budget = kChunkEvents;
@@ -189,6 +193,7 @@ class Engine {
       }
       if (config_.max_wall_ms > 0) {
         const double elapsed_ms =
+            // emsim-analyze: allow(determinism-taint) — watchdog read, see wall_start.
             std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                       wall_start)
                 .count();

@@ -1,6 +1,7 @@
 #include "disk/layout.h"
 
 #include <cstddef>
+#include <limits>
 
 #include "util/check.h"
 #include "util/str.h"
@@ -28,12 +29,24 @@ int64_t RunLayout::RunBlocks(int run) const {
 }
 
 int64_t RunLayout::TotalBlocks() const {
+  // Saturate instead of overflowing: run counts/lengths come straight from
+  // parsed specs, and INT64_MAX-sized inputs must fail Validate()'s capacity
+  // checks, not hit signed-overflow UB while summing (caught by UBSan with
+  // -fsanitize=undefined on a fuzz-derived spec).
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
   if (options_.run_blocks.empty()) {
-    return static_cast<int64_t>(options_.num_runs) * options_.blocks_per_run;
+    int64_t total = 0;
+    if (__builtin_mul_overflow(static_cast<int64_t>(options_.num_runs),
+                               options_.blocks_per_run, &total)) {
+      return kMax;
+    }
+    return total;
   }
   int64_t total = 0;
   for (int64_t b : options_.run_blocks) {
-    total += b;
+    if (__builtin_add_overflow(total, b, &total)) {
+      return kMax;
+    }
   }
   return total;
 }
@@ -73,7 +86,10 @@ Status RunLayout::Validate() const {
   for (int d = 0; d < options_.num_disks; ++d) {
     int64_t blocks = 0;
     for (int r : RunsOf(d)) {
-      blocks += RunBlocks(r);
+      if (__builtin_add_overflow(blocks, RunBlocks(r), &blocks)) {
+        blocks = std::numeric_limits<int64_t>::max();  // saturate; rejected below
+        break;
+      }
     }
     if (blocks > options_.geometry.TotalBlocks()) {
       return Status::InvalidArgument(

@@ -55,6 +55,9 @@ class Simulation {
   /// Schedules `handle` to be resumed at absolute time `at` (>= Now()).
   void ScheduleHandle(SimTime at, std::coroutine_handle<> handle) {
     EMSIM_CHECK(at >= now_);
+    // The pointer bits are an opaque resume token: the calendar heap orders
+    // strictly by (time, seq), and the payload is never compared or exported.
+    // emsim-analyze: allow(determinism-taint)
     HeapPush(CalEntry{at, next_seq_++, reinterpret_cast<uintptr_t>(handle.address())});
   }
 

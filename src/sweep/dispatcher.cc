@@ -18,8 +18,14 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Wall time here drives worker scheduling only — per-shard deadlines, retry
+// backoff gates, and log timestamps. Shard artifact bytes are pinned by the
+// merge byte-identity tests regardless of dispatch timing.
+// emsim-analyze: allow(determinism-taint)
+Clock::time_point WallNow() { return Clock::now(); }
+
 double MsSince(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return std::chrono::duration<double, std::milli>(WallNow() - start).count();
 }
 
 bool FileNonEmpty(const std::string& path) {
@@ -74,7 +80,7 @@ Result<std::vector<ShardDispatch>> RunShardedSweep(const DispatcherOptions& opti
   // with their backoff gate set.
   std::deque<ShardState> pending;
   for (int s = 0; s < options.num_shards; ++s) {
-    pending.push_back(ShardState{s, 0, Clock::now(), ""});
+    pending.push_back(ShardState{s, 0, WallNow(), ""});
   }
   std::vector<RunningWorker> running;
   int failed_shards = 0;
@@ -105,7 +111,7 @@ Result<std::vector<ShardDispatch>> RunShardedSweep(const DispatcherOptions& opti
     log(StrFormat("shard %d/%d attempt %d: %s — resubmitting after %.0f ms", state.shard,
                   options.num_shards, state.attempts, why.c_str(), backoff));
     state.last_error = why;
-    state.ready_at = Clock::now() + std::chrono::microseconds(
+    state.ready_at = WallNow() + std::chrono::microseconds(
                                         static_cast<long long>(backoff * 1000.0));
     pending.push_back(std::move(state));
   };
@@ -114,7 +120,7 @@ Result<std::vector<ShardDispatch>> RunShardedSweep(const DispatcherOptions& opti
     // Launch workers into free slots (skipping shards still in backoff).
     for (size_t scan = 0;
          static_cast<int>(running.size()) < max_workers && scan < pending.size();) {
-      if (pending[scan].ready_at > Clock::now()) {
+      if (pending[scan].ready_at > WallNow()) {
         ++scan;
         continue;
       }
@@ -131,7 +137,7 @@ Result<std::vector<ShardDispatch>> RunShardedSweep(const DispatcherOptions& opti
       RunningWorker worker;
       worker.state = std::move(state);
       worker.process = std::move(child).value();
-      worker.started = Clock::now();
+      worker.started = WallNow();
       worker.out_path = std::move(out_path);
       if (worker.state.shard == options.chaos_kill_shard && worker.state.attempts == 1) {
         // Chaos hook: prove a killed worker is resubmitted and the sweep

@@ -1,8 +1,10 @@
 #include "workload/experiment_spec.h"
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <utility>
 
 #include "util/str.h"
@@ -35,12 +37,32 @@ Status ApplyKey(const std::string& key, const std::string& value, ExperimentSpec
   };
   auto parse_int = [&](int64_t* out) -> Status {
     char* end = nullptr;
+    errno = 0;
     long long v = std::strtoll(value.c_str(), &end, 10);
     if (end == value.c_str() || *end != '\0') {
       return bad(StrFormat("'%s' is not an integer for key '%s'", value.c_str(),
                            key.c_str()));
     }
+    // strtoll saturates on overflow; without this check a huge literal would
+    // be accepted, then truncated to garbage by the narrowing casts below
+    // (found by fuzz_experiment_spec: the saturated value breaks the
+    // ToSpec -> ParseExperimentSpec round-trip).
+    if (errno == ERANGE) {
+      return bad(StrFormat("'%s' is out of range for key '%s'", value.c_str(),
+                           key.c_str()));
+    }
     *out = v;
+    return Status::OK();
+  };
+  auto parse_int32 = [&](int* out) -> Status {
+    int64_t wide = 0;
+    EMSIM_RETURN_IF_ERROR(parse_int(&wide));
+    if (wide < std::numeric_limits<int>::min() ||
+        wide > std::numeric_limits<int>::max()) {
+      return bad(StrFormat("'%s' is out of range for key '%s'", value.c_str(),
+                           key.c_str()));
+    }
+    *out = static_cast<int>(wide);
     return Status::OK();
   };
   auto parse_double = [&](double* out) -> Status {
@@ -56,17 +78,14 @@ Status ApplyKey(const std::string& key, const std::string& value, ExperimentSpec
   core::MergeConfig& cfg = spec->config;
   int64_t v = 0;
   if (key == "runs") {
-    EMSIM_RETURN_IF_ERROR(parse_int(&v));
-    cfg.num_runs = static_cast<int>(v);
+    EMSIM_RETURN_IF_ERROR(parse_int32(&cfg.num_runs));
   } else if (key == "disks") {
-    EMSIM_RETURN_IF_ERROR(parse_int(&v));
-    cfg.num_disks = static_cast<int>(v);
+    EMSIM_RETURN_IF_ERROR(parse_int32(&cfg.num_disks));
   } else if (key == "blocks") {
     EMSIM_RETURN_IF_ERROR(parse_int(&v));
     cfg.blocks_per_run = v;
   } else if (key == "n") {
-    EMSIM_RETURN_IF_ERROR(parse_int(&v));
-    cfg.prefetch_depth = static_cast<int>(v);
+    EMSIM_RETURN_IF_ERROR(parse_int32(&cfg.prefetch_depth));
   } else if (key == "cache") {
     EMSIM_RETURN_IF_ERROR(parse_int(&v));
     cfg.cache_blocks = v;
@@ -74,11 +93,10 @@ Status ApplyKey(const std::string& key, const std::string& value, ExperimentSpec
     EMSIM_RETURN_IF_ERROR(parse_int(&v));
     cfg.seed = static_cast<uint64_t>(v);
   } else if (key == "trials") {
-    EMSIM_RETURN_IF_ERROR(parse_int(&v));
-    if (v < 1) {
+    EMSIM_RETURN_IF_ERROR(parse_int32(&spec->trials));
+    if (spec->trials < 1) {
       return bad("trials must be >= 1");
     }
-    spec->trials = static_cast<int>(v);
   } else if (key == "strategy") {
     auto parsed = core::ParseStrategy(value);
     if (!parsed.ok()) {
@@ -123,11 +141,9 @@ Status ApplyKey(const std::string& key, const std::string& value, ExperimentSpec
     }
     cfg.write_traffic = *parsed;
   } else if (key == "write_disks") {
-    EMSIM_RETURN_IF_ERROR(parse_int(&v));
-    cfg.num_write_disks = static_cast<int>(v);
+    EMSIM_RETURN_IF_ERROR(parse_int32(&cfg.num_write_disks));
   } else if (key == "write_batch") {
-    EMSIM_RETURN_IF_ERROR(parse_int(&v));
-    cfg.write_batch_blocks = static_cast<int>(v);
+    EMSIM_RETURN_IF_ERROR(parse_int32(&cfg.write_batch_blocks));
   } else if (key == "fault_media_error_rate") {
     EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.media_error_rate));
   } else if (key == "fault_spike_rate") {
@@ -135,8 +151,7 @@ Status ApplyKey(const std::string& key, const std::string& value, ExperimentSpec
   } else if (key == "fault_spike_ms") {
     EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.latency_spike_ms));
   } else if (key == "fault_slow_disk") {
-    EMSIM_RETURN_IF_ERROR(parse_int(&v));
-    cfg.fault.fail_slow_disk = static_cast<int>(v);
+    EMSIM_RETURN_IF_ERROR(parse_int32(&cfg.fault.fail_slow_disk));
   } else if (key == "fault_slow_factor") {
     EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.fail_slow_factor));
   } else if (key == "fault_slow_start_ms") {
@@ -144,8 +159,7 @@ Status ApplyKey(const std::string& key, const std::string& value, ExperimentSpec
   } else if (key == "fault_slow_end_ms") {
     EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.fail_slow_end_ms));
   } else if (key == "fault_stop_disk") {
-    EMSIM_RETURN_IF_ERROR(parse_int(&v));
-    cfg.fault.fail_stop_disk = static_cast<int>(v);
+    EMSIM_RETURN_IF_ERROR(parse_int32(&cfg.fault.fail_stop_disk));
   } else if (key == "fault_stop_start_ms") {
     EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.fail_stop_start_ms));
   } else if (key == "fault_stop_end_ms") {
@@ -154,8 +168,7 @@ Status ApplyKey(const std::string& key, const std::string& value, ExperimentSpec
     EMSIM_RETURN_IF_ERROR(parse_int(&v));
     cfg.fault.seed = static_cast<uint64_t>(v);
   } else if (key == "fault_max_retries") {
-    EMSIM_RETURN_IF_ERROR(parse_int(&v));
-    cfg.fault.retry.max_retries = static_cast<int>(v);
+    EMSIM_RETURN_IF_ERROR(parse_int32(&cfg.fault.retry.max_retries));
   } else if (key == "fault_timeout_ms") {
     EMSIM_RETURN_IF_ERROR(parse_double(&cfg.fault.retry.timeout_ms));
   } else if (key == "fault_backoff_ms") {

@@ -1,0 +1,545 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/lint/emsim_analyze.py — every rule has at least
+one positive (finding fires) and one negative (clean) fixture, including a
+cross-TU case proving taint tracks through a call into another translation
+unit, plus the suppression mechanics and the clean-tree gate.
+
+Fixtures are synthetic mini-projects (sources + compile_commands.json) laid
+out in a temp dir; the analyzer runs its internal frontend over them exactly
+as it does over the real tree.
+"""
+
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools" / "lint"))
+
+import emsim_analyze  # noqa: E402
+
+
+def run_fixture(files, extra_args=(), frontend="internal"):
+    """Runs the analyzer over a synthetic tree; returns (exit_code, report).
+    `files` maps repo-relative paths to contents; every .cc file becomes a
+    compilation-database entry."""
+    tmp = Path(tempfile.mkdtemp(prefix="emsim_analyze_fixture_"))
+    (tmp / "build").mkdir()
+    db = []
+    for rel, text in files.items():
+        path = tmp / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        if rel.endswith(".cc"):
+            db.append({
+                "directory": str(tmp),
+                "file": str(path),
+                "command": f"c++ -I{tmp}/src -c {rel} -o {rel}.o",
+            })
+    (tmp / "build" / "compile_commands.json").write_text(
+        json.dumps(db), encoding="utf-8")
+    report_path = tmp / "report.json"
+    code = emsim_analyze.main([
+        "--build-dir", str(tmp / "build"),
+        "--source-root", str(tmp),
+        "--frontend", frontend,
+        "--no-cache",
+        "--report", str(report_path),
+        *extra_args,
+    ])
+    return code, json.loads(report_path.read_text(encoding="utf-8"))
+
+
+def rules_fired(files, **kwargs):
+    _, report = run_fixture(files, **kwargs)
+    return sorted({f["rule"] for f in report["findings"]})
+
+
+# A minimal export sink: the file path matches EXPORT_SINK_PATTERNS, and the
+# function defined in it pulls callees into the export surface.
+SINK_CC = """
+namespace emsim::stats {
+void WriteJson() {}
+}
+"""
+
+
+def sink_calling(callee_decl, callee_call):
+    return (f"{callee_decl}\n"
+            "namespace emsim::stats {\n"
+            f"void WriteJson() {{ {callee_call}; }}\n"
+            "}\n")
+
+
+class DeterminismTaintTest(unittest.TestCase):
+    def test_wall_clock_on_export_surface_fires(self):
+        files = {
+            "src/stats/json_writer.cc": sink_calling(
+                "double Sample();", "Sample()"),
+            "src/core/sample.cc": """
+#include <chrono>
+double Sample() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+""",
+        }
+        code, report = run_fixture(files)
+        self.assertEqual(code, 1)
+        findings = report["findings"]
+        self.assertEqual([f["rule"] for f in findings], ["determinism-taint"])
+        self.assertEqual(findings[0]["path"], "src/core/sample.cc")
+        # The finding names the cross-TU export path from the sink.
+        self.assertIn("WriteJson", findings[0]["message"])
+        self.assertIn("Sample", findings[0]["message"])
+
+    def test_wall_clock_off_export_surface_is_clean(self):
+        files = {
+            "src/stats/json_writer.cc": SINK_CC,
+            "src/core/sample.cc": """
+#include <chrono>
+double Sample() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+""",
+        }
+        self.assertEqual(rules_fired(files), [])
+
+    def test_caller_of_sink_is_on_the_surface(self):
+        files = {
+            "src/stats/json_writer.cc": SINK_CC,
+            "src/core/driver.cc": """
+#include <chrono>
+namespace emsim::stats { void WriteJson(); }
+void Drive() {
+  auto t = std::chrono::system_clock::now();
+  (void)t;
+  emsim::stats::WriteJson();
+}
+""",
+        }
+        self.assertEqual(rules_fired(files), ["determinism-taint"])
+
+    def test_clock_alias_is_tracked(self):
+        files = {
+            "src/stats/json_writer.cc": sink_calling(
+                "double Sample();", "Sample()"),
+            "src/core/sample.cc": """
+#include <chrono>
+using Clock = std::chrono::steady_clock;
+double Sample() { return Clock::now().time_since_epoch().count(); }
+""",
+        }
+        self.assertEqual(rules_fired(files), ["determinism-taint"])
+
+    def test_thread_id_fires(self):
+        files = {
+            "src/stats/json_writer.cc": sink_calling(
+                "unsigned long Sample();", "Sample()"),
+            "src/core/sample.cc": """
+#include <thread>
+unsigned long Sample() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+""",
+        }
+        self.assertIn("determinism-taint", rules_fired(files))
+
+    def test_pointer_hash_fires(self):
+        files = {
+            "src/stats/json_writer.cc": sink_calling(
+                "unsigned long Sample(void* p);", "Sample(nullptr)"),
+            "src/core/sample.cc": """
+#include <functional>
+unsigned long Sample(void* p) { return std::hash<void*>{}(p); }
+""",
+        }
+        self.assertEqual(rules_fired(files), ["determinism-taint"])
+
+    def test_pointer_to_int_cast_fires(self):
+        files = {
+            "src/stats/json_writer.cc": sink_calling(
+                "unsigned long Sample(int* p);", "Sample(nullptr)"),
+            "src/core/sample.cc": """
+#include <cstdint>
+unsigned long Sample(int* p) { return reinterpret_cast<uintptr_t>(p); }
+""",
+        }
+        self.assertEqual(rules_fired(files), ["determinism-taint"])
+
+    def test_pointer_to_pointer_cast_is_clean(self):
+        files = {
+            "src/stats/json_writer.cc": sink_calling(
+                "char Sample(int* p);", "Sample(nullptr)"),
+            "src/core/sample.cc": """
+char Sample(int* p) { return *reinterpret_cast<char*>(p); }
+""",
+        }
+        self.assertEqual(rules_fired(files), [])
+
+    def test_unordered_iteration_fires(self):
+        files = {
+            "src/stats/json_writer.cc": sink_calling(
+                "int Sample();", "Sample()"),
+            "src/core/sample.cc": """
+#include <unordered_map>
+std::unordered_map<int, int> table;
+int Sample() {
+  int sum = 0;
+  for (const auto& kv : table) sum += kv.second;
+  return sum;
+}
+""",
+        }
+        self.assertEqual(rules_fired(files), ["determinism-taint"])
+
+    def test_ordered_iteration_is_clean(self):
+        files = {
+            "src/stats/json_writer.cc": sink_calling(
+                "int Sample();", "Sample()"),
+            "src/core/sample.cc": """
+#include <map>
+std::map<int, int> table;
+int Sample() {
+  int sum = 0;
+  for (const auto& kv : table) sum += kv.second;
+  return sum;
+}
+""",
+        }
+        self.assertEqual(rules_fired(files), [])
+
+    def test_taint_tracks_two_calls_deep_across_tus(self):
+        # Sink -> Middle (TU 2) -> Leaf (TU 3): the source sits two hops
+        # from the sink, each hop in a different translation unit.
+        files = {
+            "src/stats/json_writer.cc": sink_calling(
+                "double Middle();", "Middle()"),
+            "src/core/middle.cc": """
+double Leaf();
+double Middle() { return Leaf() * 2.0; }
+""",
+            "src/core/leaf.cc": """
+#include <chrono>
+double Leaf() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+""",
+        }
+        code, report = run_fixture(files)
+        self.assertEqual(code, 1)
+        finding = report["findings"][0]
+        self.assertEqual(finding["path"], "src/core/leaf.cc")
+        self.assertIn("Middle", finding["message"])
+        self.assertIn("Leaf", finding["message"])
+
+
+class PointerOrderingTest(unittest.TestCase):
+    def test_set_of_pointers_fires(self):
+        files = {"src/core/owners.cc": """
+#include <set>
+struct Run {};
+std::set<Run*> live_runs;
+"""}
+        self.assertEqual(rules_fired(files), ["pointer-ordering"])
+
+    def test_set_of_values_is_clean(self):
+        files = {"src/core/owners.cc": """
+#include <set>
+std::set<int> live_ids;
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+    def test_map_keyed_on_pointer_fires(self):
+        files = {"src/core/owners.cc": """
+#include <map>
+struct Run {};
+std::map<Run*, int> credit;
+"""}
+        self.assertEqual(rules_fired(files), ["pointer-ordering"])
+
+    def test_map_with_pointer_value_is_clean(self):
+        # The *key* must be the pointer; pointer mapped-to values are fine.
+        files = {"src/core/owners.cc": """
+#include <map>
+struct Run {};
+std::map<int, Run*> by_id;
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+    def test_comparator_ordering_pointer_params_fires(self):
+        files = {"src/core/sorter.cc": """
+#include <algorithm>
+#include <vector>
+struct Run { int id; };
+void Arrange(std::vector<Run*>& runs) {
+  std::sort(runs.begin(), runs.end(),
+            [](const Run* a, const Run* b) { return a < b; });
+}
+"""}
+        self.assertEqual(rules_fired(files), ["pointer-ordering"])
+
+    def test_comparator_on_stable_field_is_clean(self):
+        files = {"src/core/sorter.cc": """
+#include <algorithm>
+#include <vector>
+struct Run { int id; };
+void Arrange(std::vector<Run*>& runs) {
+  std::sort(runs.begin(), runs.end(),
+            [](const Run* a, const Run* b) { return a->id < b->id; });
+}
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+
+class FloatReductionOrderTest(unittest.TestCase):
+    def test_ad_hoc_sum_in_aggregation_fires(self):
+        files = {"src/core/agg.cc": """
+#include <vector>
+struct Trial { double ms; };
+double AggregateTrials(const std::vector<Trial>& trials) {
+  double total = 0.0;
+  for (const auto& t : trials) total += t.ms;
+  return total;
+}
+"""}
+        self.assertEqual(rules_fired(files), ["float-reduction-order"])
+
+    def test_same_body_outside_aggregation_is_clean(self):
+        files = {"src/core/agg.cc": """
+#include <vector>
+struct Trial { double ms; };
+double SumForDebugging(const std::vector<Trial>& trials) {
+  double total = 0.0;
+  for (const auto& t : trials) total += t.ms;
+  return total;
+}
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+    def test_same_file_helper_of_aggregation_fires(self):
+        files = {"src/core/agg.cc": """
+#include <vector>
+struct Trial { double ms; };
+double SumHelper(const std::vector<Trial>& trials) {
+  double total = 0.0;
+  for (const auto& t : trials) total += t.ms;
+  return total;
+}
+double AggregateTrials(const std::vector<Trial>& trials) {
+  return SumHelper(trials);
+}
+"""}
+        self.assertEqual(rules_fired(files), ["float-reduction-order"])
+
+    def test_reassignment_form_fires(self):
+        files = {"src/core/agg.cc": """
+double MergeShardArtifacts(const double* xs, int n) {
+  double mean = 0.0;
+  for (int i = 0; i < n; ++i) mean = mean + xs[i];
+  return mean;
+}
+"""}
+        self.assertEqual(rules_fired(files), ["float-reduction-order"])
+
+    def test_stats_accumulator_implementation_is_exempt(self):
+        # src/stats/ is the sanctioned Welford implementation.
+        files = {"src/stats/accumulator_fixture.cc": """
+struct Acc { double mean; long long count; };
+void AggregateTrials(Acc& a, double x) {
+  a.count += 1;
+  double delta = x - a.mean;
+  a.mean += delta / a.count;
+}
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+
+class CoroutineRulesTest(unittest.TestCase):
+    def test_ref_capture_in_lambda_coroutine_fires(self):
+        files = {"src/core/pipeline.cc": """
+struct Task { };
+struct Event { };
+void Spawn() {
+  int credit = 3;
+  auto body = [&credit]() -> Task {
+    co_await Event{};
+    co_return;
+  };
+  (void)body;
+}
+"""}
+        self.assertEqual(rules_fired(files), ["coro-ref-capture"])
+
+    def test_value_capture_in_lambda_coroutine_is_clean(self):
+        files = {"src/core/pipeline.cc": """
+struct Task { };
+struct Event { };
+void Spawn() {
+  int credit = 3;
+  auto body = [credit]() -> Task {
+    co_await Event{};
+    co_return;
+  };
+  (void)body;
+}
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+    def test_ref_param_read_after_suspension_fires(self):
+        files = {"src/core/pipeline.cc": """
+struct Task { };
+struct Event { };
+void Spawn() {
+  auto body = [](const int& credit) -> Task {
+    co_await Event{};
+    int local = credit;
+    (void)local;
+    co_return;
+  };
+  (void)body;
+}
+"""}
+        self.assertEqual(rules_fired(files), ["coro-ref-capture"])
+
+    def test_value_param_read_after_suspension_is_clean(self):
+        files = {"src/core/pipeline.cc": """
+struct Task { };
+struct Event { };
+void Spawn() {
+  auto body = [](int credit) -> Task {
+    co_await Event{};
+    int local = credit;
+    (void)local;
+    co_return;
+  };
+  (void)body;
+}
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+    def test_raw_handle_outside_sim_fires(self):
+        files = {"src/core/scheduler.cc": """
+#include <coroutine>
+std::coroutine_handle<> parked;
+"""}
+        self.assertEqual(rules_fired(files), ["coro-raw-handle"])
+
+    def test_raw_handle_inside_sim_kernel_is_clean(self):
+        files = {"src/sim/scheduler.cc": """
+#include <coroutine>
+std::coroutine_handle<> parked;
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+    def test_handle_in_comment_does_not_fire(self):
+        # Token-level matching: prose mentioning the type is not a finding
+        # (the regex tier needed an allow for this).
+        files = {"src/core/scheduler.cc": """
+// The kernel parks a std::coroutine_handle for each waiter.
+int parked = 0;
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+    def test_mutex_in_coroutine_tu_fires(self):
+        files = {"src/core/worker.cc": """
+#include <mutex>
+struct Task { };
+struct Event { };
+Task Pump() {
+  std::mutex m;
+  co_await Event{};
+  co_return;
+}
+"""}
+        self.assertIn("no-blocking-in-sim", rules_fired(files))
+
+    def test_mutex_without_coroutines_is_clean(self):
+        files = {"src/core/worker.cc": """
+#include <mutex>
+void Pump() {
+  std::mutex m;
+  (void)m;
+}
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+
+class SuppressionTest(unittest.TestCase):
+    FILES = {
+        "src/core/owners.cc": """
+#include <set>
+struct Run {};
+std::set<Run*> live;  // emsim-analyze: allow(pointer-ordering)
+""",
+    }
+
+    def test_trailing_allow_suppresses_and_is_recorded(self):
+        code, report = run_fixture(self.FILES)
+        self.assertEqual(code, 0)
+        self.assertEqual(report["findings"], [])
+        self.assertEqual(len(report["suppressions"]), 1)
+        self.assertEqual(report["suppressions"][0]["rule"], "pointer-ordering")
+
+    def test_allow_on_preceding_comment_line_suppresses(self):
+        files = {"src/core/owners.cc": """
+#include <set>
+struct Run {};
+// emsim-analyze: allow(pointer-ordering)
+std::set<Run*> live;
+"""}
+        code, report = run_fixture(files)
+        self.assertEqual(code, 0)
+        self.assertEqual(len(report["suppressions"]), 1)
+
+    def test_allow_for_other_rule_does_not_suppress(self):
+        files = {"src/core/owners.cc": """
+#include <set>
+struct Run {};
+std::set<Run*> live;  // emsim-analyze: allow(determinism-taint)
+"""}
+        code, report = run_fixture(files)
+        self.assertEqual(code, 1)
+        self.assertEqual(len(report["findings"]), 1)
+
+    def test_advisory_mode_reports_but_exits_zero(self):
+        files = {"src/core/owners.cc": """
+#include <set>
+struct Run {};
+std::set<Run*> live;
+"""}
+        code, report = run_fixture(files, extra_args=("--advisory",))
+        self.assertEqual(code, 0)
+        self.assertEqual(len(report["findings"]), 1)
+
+
+class CleanTreeGateTest(unittest.TestCase):
+    """The real tree must analyze clean (suppressions allowed, findings not).
+    Mirrors the emsim_lint clean-tree gate; requires a configured build."""
+
+    def test_repo_is_clean(self):
+        build = REPO_ROOT / "build"
+        if not (build / "compile_commands.json").is_file():
+            self.skipTest("no compile_commands.json (build not configured)")
+        report_path = Path(tempfile.mkdtemp()) / "report.json"
+        code = emsim_analyze.main([
+            "--build-dir", str(build),
+            "--source-root", str(REPO_ROOT),
+            "--frontend", "internal",
+            "--no-cache",
+            "--report", str(report_path),
+        ])
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        self.assertEqual(
+            [(-1, f["path"], f["line"], f["rule"]) for f in
+             report["findings"]], [],
+            "unsuppressed analyzer findings in the tree")
+        self.assertEqual(code, 0)
+        # Every suppression must carry an allow() the auditor can find.
+        for s in report["suppressions"]:
+            self.assertIn(s["rule"], emsim_analyze.RULES)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

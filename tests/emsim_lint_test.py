@@ -405,5 +405,78 @@ class FullTreeTest(unittest.TestCase):
             self.assertIn("no-libc-rand", proc.stdout)
 
 
+class LintCacheTest(unittest.TestCase):
+    """The per-file result cache shared by emsim_lint and include_hygiene
+    (lint_cache.py): warm runs hit, content edits miss exactly the edited
+    file, and include_hygiene's environment digest invalidates everything
+    when a header changes."""
+
+    def run_tool(self, module_name, root, cache_dir):
+        timing = Path(root) / f"{module_name}-timing.json"
+        proc = subprocess.run(
+            [sys.executable,
+             str(REPO_ROOT / "tools" / "lint" / f"{module_name}.py"),
+             "--root", str(root), "--cache-dir", str(cache_dir),
+             "--timing-report", str(timing)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        return proc, json.loads(timing.read_text(encoding="utf-8"))
+
+    def test_emsim_lint_cache_hits_and_invalidates_per_file(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = Path(tmp) / "src"
+            src.mkdir()
+            (src / "a.cc").write_text("int A() { return 1; }\n")
+            (src / "b.cc").write_text("int B() { return 2; }\n")
+            cache = Path(tmp) / "cache"
+            _, timing = self.run_tool("emsim_lint", tmp, cache)
+            self.assertEqual(timing["cache"]["misses"], 2)
+            _, timing = self.run_tool("emsim_lint", tmp, cache)
+            self.assertEqual(timing["cache"]["hits"], 2)
+            (src / "a.cc").write_text("int A() { return 3; }\n")
+            _, timing = self.run_tool("emsim_lint", tmp, cache)
+            self.assertEqual(timing["cache"]["misses"], 1)
+            missed = [f["file"] for f in timing["files"] if not f["cached"]]
+            self.assertEqual(missed, ["src/a.cc"])
+
+    def test_cached_findings_still_fail_the_run(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = Path(tmp) / "src"
+            src.mkdir()
+            (src / "dirty.cc").write_text("int r = rand();\n")
+            cache = Path(tmp) / "cache"
+            proc, _ = self.run_tool("emsim_lint", tmp, cache)
+            self.assertEqual(proc.returncode, 1)
+            proc, timing = self.run_tool("emsim_lint", tmp, cache)
+            self.assertEqual(proc.returncode, 1, proc.stdout)
+            self.assertEqual(timing["cache"]["hits"], 1)
+            self.assertIn("no-libc-rand", proc.stdout)
+
+    def test_include_hygiene_header_edit_invalidates_everything(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = Path(tmp) / "src"
+            src.mkdir()
+            (src / "util.h").write_text(
+                "#ifndef EMSIM_SRC_UTIL_H_\n#define EMSIM_SRC_UTIL_H_\n"
+                "inline int Util() { return 1; }\n#endif\n")
+            (src / "a.cc").write_text(
+                '#include "util.h"\nint A() { return Util(); }\n')
+            (src / "b.cc").write_text("int B() { return 2; }\n")
+            cache = Path(tmp) / "cache"
+            self.run_tool("include_hygiene", tmp, cache)
+            _, timing = self.run_tool("include_hygiene", tmp, cache)
+            self.assertEqual(timing["cache"]["hits"], 3)
+            # .cc edit: only that file re-checks.
+            (src / "b.cc").write_text("int B() { return 4; }\n")
+            _, timing = self.run_tool("include_hygiene", tmp, cache)
+            self.assertEqual(timing["cache"]["misses"], 1)
+            # Header edit: the exports environment changed — full re-check.
+            (src / "util.h").write_text(
+                "#ifndef EMSIM_SRC_UTIL_H_\n#define EMSIM_SRC_UTIL_H_\n"
+                "inline int Util() { return 1; }\n"
+                "inline int Util2() { return 2; }\n#endif\n")
+            _, timing = self.run_tool("include_hygiene", tmp, cache)
+            self.assertEqual(timing["cache"]["misses"], 3)
+
+
 if __name__ == "__main__":
     unittest.main()

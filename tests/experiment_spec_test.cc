@@ -112,6 +112,27 @@ TEST(ExperimentSpecTest, RejectsMalformedStructure) {
   EXPECT_FALSE(ParseExperimentSpec("[a]\nruns =\n").ok());    // Empty value.
 }
 
+TEST(ExperimentSpecTest, RejectsOutOfRangeIntegers) {
+  // strtoll saturates on overflow; the parser must reject rather than
+  // accept the saturated value and truncate it to garbage (found by
+  // fuzz_experiment_spec: "trials = 99999999999999999999" used to parse
+  // as a negative trial count and break the ToSpec round-trip).
+  auto huge = ParseExperimentSpec("trials = 99999999999999999999\n[big]\nn = 1\n");
+  ASSERT_FALSE(huge.ok());
+  EXPECT_NE(huge.status().message().find("out of range"), std::string::npos);
+  // int64 keys reject values past LLONG_MAX; int32 keys also reject
+  // values that fit int64 but not int.
+  EXPECT_FALSE(ParseExperimentSpec("[a]\nblocks = 99999999999999999999\n").ok());
+  EXPECT_FALSE(ParseExperimentSpec("[a]\nruns = 3000000000\n").ok());
+  EXPECT_FALSE(ParseExperimentSpec("[a]\nn = -3000000000\n").ok());
+  // The int64 boundary itself still parses (seed has no semantic cap;
+  // int32 keys like runs are capped far below INT_MAX by disk capacity,
+  // so the range check is only observable through the rejections above).
+  auto ok = ParseExperimentSpec("[a]\nseed = 9223372036854775807\n");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ((*ok)[0].config.seed, 9223372036854775807ULL);
+}
+
 TEST(ExperimentSpecTest, InvalidConfigNamedInError) {
   auto result = ParseExperimentSpec("[broken]\nruns = 0\n");
   EXPECT_FALSE(result.ok());

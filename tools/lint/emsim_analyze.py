@@ -1,0 +1,1521 @@
+#!/usr/bin/env python3
+"""emsim semantic determinism analyzer — the third static-analysis tier.
+
+The regex tier (emsim_lint.py) forbids nondeterminism *tokens* wherever they
+appear; this tool understands the *determinism contract*: it builds a per-TU
+index of function definitions, links them into a cross-TU call graph, and
+runs taint-style reachability rules that line regexes structurally cannot
+express. A wall-clock read three calls upstream of `result_json` is invisible
+to a regex; here it is a finding with the call chain attached.
+
+Rules (ids are what `allow(...)` takes; `--list-rules` prints this catalog):
+
+  determinism-taint    A value source that differs between equal-seed runs —
+                       wall/steady clock reads, thread ids, std::hash of a
+                       pointer type, pointer-to-integer casts, iteration over
+                       an unordered container — inside the export surface.
+                       The export surface is: every function defined in a
+                       sink file (MergeResult + result_json, stats/accumulator,
+                       stats/json_writer, the sweep shard/merge/json_value
+                       codec, src/obs/), every function that directly calls
+                       one of those, and everything transitively called from
+                       either set. Findings carry the call chain from a sink.
+  pointer-ordering     sort/set/map/priority_queue/less/greater keyed on a
+                       raw pointer value, or a comparator lambda comparing
+                       its pointer parameters. Pointer order is ASLR-random
+                       and differs across the re-exec'd --sweep-worker
+                       processes, so any such ordering is nondeterministic.
+                       Checked tree-wide.
+  float-reduction-order
+                       Parallel aggregation functions (AggregateTrials,
+                       RunTrials*/RunSweep*, MergeShardArtifacts and their
+                       same-file helpers) must combine trial statistics
+                       through the stats::Accumulator Add/Merge/State
+                       contract; ad-hoc `+=`/`x = x + ...` on a double makes
+                       the result depend on reduction order. src/stats/ is
+                       the sanctioned implementation and is exempt.
+  coro-ref-capture     AST-precision upgrade of the regex rule: a lambda
+                       whose brace-matched body suspends (co_await/co_return)
+                       and whose capture list captures by reference, or that
+                       reads a by-reference parameter after its first
+                       suspension point. Token-level scope analysis — multi-
+                       line captures, strings and comments cannot confuse it.
+  coro-raw-handle      std::coroutine_handle mentioned outside src/sim/
+                       (token-level, so prose in comments never fires).
+  no-blocking-in-sim   Host blocking primitives (sleep_for/until, std::mutex
+                       family, condition_variable) in a TU that contains
+                       coroutine code.
+
+Frontends. `--frontend libclang` parses each TU with the python libclang
+bindings (clang.cindex) against the root compile_commands.json; `--frontend
+internal` uses the built-in C++ tokenizer/indexer (no toolchain dependency,
+byte-reproducible anywhere — what the fixture tests pin); `auto` prefers
+libclang and falls back with a note. Both emit the same IR, so everything
+downstream — call graph, rules, cache, reports — is frontend-independent.
+
+Cache. Same shape as run_clang_tidy.py: each TU's extracted IR is stored
+content-addressed under --cache-dir, keyed by a SHA-256 over the schema, the
+frontend id, the rule configuration, and the *comment-stripped token stream*
+of the TU and of every transitively included project header. Editing a
+header re-extracts exactly its dependents; editing only comments or
+whitespace is a cache hit (the one deliberate consequence: a warm finding
+can report a line number from before a comment-only edit shifted lines —
+`--no-cache` re-keys everything). Suppressions are resolved at report time
+against the current file contents, so adding an `allow(...)` works without
+invalidating anything.
+
+A finding is suppressed for one line with a trailing
+`// emsim-analyze: allow(<rule-id>)` comment, or with a standalone comment
+line directly above the flagged line (for lines that cannot grow a trailing
+comment within the 100-column format limit). Comma lists work. Suppressed
+findings are recorded in the JSON report so they stay auditable.
+
+Usage:
+  tools/lint/emsim_analyze.py --build-dir build [--source-root .]
+      [--frontend auto|libclang|internal] [--report out.json]
+      [--cache-dir DIR] [--no-cache] [--timing-report out.json]
+      [--warm-budget-seconds N] [--advisory] [--list-rules] [--stats]
+
+Exit status: 0 clean, 1 findings (0 with --advisory), 2 usage error,
+4 requested frontend unavailable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import re
+import sys
+import time
+from pathlib import Path
+
+SCHEMA = "1"
+LINT_DIRS = ("src", "tools", "bench", "tests", "examples")
+
+# --- Rule configuration ------------------------------------------------------
+
+# Sink files: where byte-exact export artifacts are produced. Functions
+# defined here are the taint sinks ("export roots").
+EXPORT_SINK_PATTERNS = (
+    r"^src/core/result",          # MergeResult + its JSON projection
+    r"^src/stats/accumulator",    # the Accumulator::State merge contract
+    r"^src/stats/json_writer",
+    r"^src/sweep/(shard|merge|json_value)",  # sweep wire codec
+    r"^src/obs/",                 # metrics registry exported into MergeResult
+)
+
+# Parallel-aggregation functions policed by float-reduction-order, by simple
+# name, plus their direct same-file helpers.
+AGG_ROOT_NAMES = {
+    "AggregateTrials", "AggregateGrid", "RunTrials", "RunTrialsParallel",
+    "RunSweep", "RunSweepRange", "RunSweepParallel", "MergeShardArtifacts",
+}
+# The sanctioned reduction implementation: Welford Add/Merge lives here.
+FLOAT_EXEMPT_RE = re.compile(r"^src/stats/")
+
+SIM_KERNEL_RE = re.compile(r"^src/sim/")
+
+WALL_CLOCKS = {"system_clock", "steady_clock", "high_resolution_clock"}
+LIBC_CLOCK_CALLS = {"time", "clock", "gettimeofday", "clock_gettime",
+                    "localtime", "gmtime"}
+THREAD_ID_CALLS = {"pthread_self", "gettid"}
+PTR_INT_TYPES = {"uintptr_t", "intptr_t", "size_t", "ptrdiff_t", "uint64_t",
+                 "int64_t", "uint32_t", "int32_t", "uintmax_t", "intmax_t"}
+ORDERED_TEMPLATES = {"set", "map", "multiset", "multimap", "priority_queue",
+                     "less", "greater"}
+UNORDERED_TEMPLATES = {"unordered_map", "unordered_set", "unordered_multimap",
+                       "unordered_multiset"}
+BLOCKING_IDS = {"mutex", "timed_mutex", "recursive_mutex",
+                "recursive_timed_mutex", "shared_mutex", "lock_guard",
+                "unique_lock", "scoped_lock", "shared_lock",
+                "condition_variable", "condition_variable_any"}
+
+RULES = {
+    "determinism-taint":
+        "a run-to-run-varying value source (wall/steady clock, thread id, "
+        "pointer hash, pointer-to-int cast, unordered iteration) is on the "
+        "export surface — it can reach MergeResult / JSON artifact bytes",
+    "pointer-ordering":
+        "ordering keyed on raw pointer values (set/map/priority_queue/less/"
+        "greater of T*, or a comparator comparing pointer parameters): "
+        "pointer order is ASLR-random across --sweep-worker processes",
+    "float-reduction-order":
+        "parallel aggregation combines doubles ad hoc (+=) instead of "
+        "through the stats::Accumulator Add/Merge/State contract; the "
+        "result depends on reduction order",
+    "coro-ref-capture":
+        "lambda coroutine captures by reference or reads a reference "
+        "parameter after co_await: the frame outlives the scope, the "
+        "reference dangles at resume",
+    "coro-raw-handle":
+        "std::coroutine_handle outside src/sim/ escapes the frame-pool/"
+        "calendar ownership bookkeeping",
+    "no-blocking-in-sim":
+        "host blocking primitive (sleep/mutex/condvar) in a coroutine TU: "
+        "simulated time must come from the calendar",
+}
+
+ALLOW_RE = re.compile(
+    r"emsim-analyze:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\)")
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "alignas",
+    "catch", "new", "delete", "co_await", "co_return", "co_yield", "throw",
+    "static_assert", "decltype", "noexcept", "case", "default", "do", "else",
+    "goto", "try", "using", "typedef", "template", "typename", "operator",
+    "static_cast", "const_cast", "dynamic_cast", "reinterpret_cast",
+    "requires", "defined", "assert",
+}
+BUILTIN_TYPES = {
+    "void", "bool", "char", "short", "int", "long", "float", "double",
+    "unsigned", "signed", "auto", "size_t", "int8_t", "int16_t", "int32_t",
+    "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t", "uintptr_t",
+    "intptr_t",
+}
+
+# --- Tokenizer ---------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<comment>//[^\n]*|/\*(?s:.*?)\*/)
+    | (?P<raw>R"(?P<delim>[^()\s\\]{0,16})\((?s:.*?)\)(?P=delim)")
+    | (?P<str>"(?:[^"\\\n]|\\.)*")
+    | (?P<chr>'(?:[^'\\\n]|\\.)*')
+    | (?P<num>\.?[0-9](?:[\w.']|[eEpP][+-])*)
+    | (?P<id>[A-Za-z_]\w*)
+    | (?P<punct>::|->\*?|\+\+|--|<<=|>>=|<=>|<<|<=|>=|==|!=|&&|\|\||\+=|-=|
+                \*=|/=|%=|&=|\|=|\^=|\.\.\.|[^\s])
+    """,
+    re.VERBOSE)
+
+
+class Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Token({self.kind},{self.text!r},{self.line})"
+
+
+def strip_preprocessor(text: str) -> str:
+    """Blanks preprocessor directive lines (and their backslash
+    continuations), preserving line structure."""
+    lines = text.split("\n")
+    out = []
+    in_directive = False
+    for line in lines:
+        if in_directive or re.match(r"\s*#", line):
+            in_directive = line.rstrip().endswith("\\")
+            out.append("")
+        else:
+            out.append(line)
+    return "\n".join(out)
+
+
+def tokenize(text: str):
+    """Token stream with comments dropped and line numbers attached.
+    Preprocessor directives are blanked first (include lines are handled by
+    the dependency scanner, not the parser)."""
+    tokens = []
+    line = 1
+    pos = 0
+    stripped = strip_preprocessor(text)
+    for m in _TOKEN_RE.finditer(stripped):
+        line += stripped.count("\n", pos, m.start())
+        pos = m.start()
+        kind = m.lastgroup if m.lastgroup != "delim" else "raw"
+        if kind == "comment":
+            continue
+        if kind in ("str", "raw", "chr"):
+            tokens.append(Token(kind, '""', line))
+        else:
+            tokens.append(Token(kind, m.group(0), line))
+    return tokens
+
+
+def token_digest(text: str) -> bytes:
+    """Hash of the comment-stripped token stream: the cache key component.
+    Comment and whitespace edits do not change it."""
+    h = hashlib.sha256()
+    for tok in tokenize(text):
+        h.update(tok.text.encode("utf-8", "replace"))
+        h.update(b"\x00")
+    return h.digest()
+
+
+# --- Internal frontend: file IR extraction ----------------------------------
+#
+# The IR is plain JSON:
+#   {"functions": [{"qname", "name", "file", "line",
+#                   "calls": [[full, simple, line], ...],
+#                   "facts": [{"rule", "kind", "line", "detail"}, ...]}],
+#    "file_facts": [{"rule", "kind", "line", "detail"}, ...],
+#    "is_coro": bool}
+
+_NAME_STOP = KEYWORDS | {"return", "else"}
+
+
+class FileParser:
+    def __init__(self, relpath: str, text: str):
+        self.rel = relpath
+        self.toks = tokenize(text)
+        self.functions = []
+        self.file_facts = []
+        self.clock_aliases = set()
+        self.unordered_names = set()   # names declared with unordered_* types
+        self.is_coro = False
+
+    # -- helpers ------------------------------------------------------------
+
+    def _match_forward(self, i, open_text, close_text):
+        """Index just past the token matching toks[i] (an open bracket)."""
+        depth = 0
+        n = len(self.toks)
+        while i < n:
+            t = self.toks[i].text
+            if t == open_text:
+                depth += 1
+            elif t == close_text:
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            i += 1
+        return n
+
+    def _match_angle(self, i):
+        """Index just past the `>` matching toks[i] == '<'. Conservative:
+        gives up (returns i+1) when the bracket soup cannot be balanced."""
+        depth = 0
+        n = len(self.toks)
+        j = i
+        while j < n and j < i + 400:
+            t = self.toks[j].text
+            if t == "<":
+                depth += 1
+            elif t == ">" or t == ">>":
+                depth -= 2 if t == ">>" else 1
+                if depth <= 0:
+                    return j + 1
+            elif t in (";", "{", "}"):
+                break
+            j += 1
+        return i + 1
+
+    def fact(self, rule, kind, tok_idx, detail, fn=None):
+        # Facts anchor to a token index, not a line: token indices are stable
+        # across the comment/whitespace edits the cache deliberately survives,
+        # so cached facts can be remapped to current line numbers at report
+        # time (see remap_lines).
+        entry = {"rule": rule, "kind": kind, "tok": tok_idx,
+                 "line": self.toks[tok_idx].line, "detail": detail}
+        if fn is not None:
+            fn["facts"].append(entry)
+        else:
+            self.file_facts.append(entry)
+
+    # -- file-level scans ----------------------------------------------------
+
+    def scan_file_level(self):
+        toks = self.toks
+        n = len(toks)
+        for i, tok in enumerate(toks):
+            text = tok.text
+            if text in ("co_await", "co_return", "co_yield"):
+                self.is_coro = True
+            elif text == "coroutine_handle":
+                self.fact("coro-raw-handle", "raw-handle", i,
+                          "std::coroutine_handle")
+            elif text == "using" and i + 2 < n and toks[i + 1].kind == "id" \
+                    and toks[i + 2].text == "=":
+                j = i + 3
+                rhs = []
+                while j < n and toks[j].text != ";":
+                    rhs.append(toks[j].text)
+                    j += 1
+                if WALL_CLOCKS & set(rhs):
+                    self.clock_aliases.add(toks[i + 1].text)
+            elif text in ORDERED_TEMPLATES and i + 1 < n \
+                    and toks[i + 1].text == "<":
+                end = self._match_angle(i + 1)
+                self._check_pointer_key(i, i + 2, end - 1)
+            elif text in UNORDERED_TEMPLATES and i + 1 < n \
+                    and toks[i + 1].text == "<":
+                end = self._match_angle(i + 1)
+                if end < n and toks[end].kind == "id":
+                    self.unordered_names.add(toks[end].text)
+
+    def _check_pointer_key(self, tmpl_idx, arg_begin, arg_end):
+        """Flags `set<T*>` / `map<T*, ...>` / `less<T*>`: a `*` in the first
+        template argument (depth 0 relative to the outer `<`)."""
+        depth = 0
+        saw_star = False
+        for j in range(arg_begin, arg_end):
+            t = self.toks[j].text
+            if t in ("<", "("):
+                depth += 1
+            elif t in (">", ")"):
+                depth -= 1
+            elif depth == 0 and t == ",":
+                break
+            elif depth == 0 and t == "*":
+                saw_star = True
+        if saw_star:
+            tok = self.toks[tmpl_idx]
+            self.fact("pointer-ordering", "pointer-key", tmpl_idx,
+                      f"std::{tok.text} keyed on a raw pointer type")
+
+    # -- function discovery --------------------------------------------------
+
+    def parse(self):
+        self.scan_file_level()
+        toks = self.toks
+        n = len(toks)
+        i = 0
+        depth = 0
+        scopes = []      # (kind, name, depth-after-open)
+        pending = None   # scope waiting for its '{'
+        while i < n:
+            tok = toks[i]
+            text = tok.text
+            if text == "{":
+                depth += 1
+                if pending is not None:
+                    scopes.append((pending[0], pending[1], depth))
+                    pending = None
+                i += 1
+                continue
+            if text == "}":
+                if scopes and scopes[-1][2] == depth:
+                    scopes.pop()
+                depth = max(0, depth - 1)
+                i += 1
+                continue
+            if text == ";":
+                pending = None
+                i += 1
+                continue
+            if text == "namespace":
+                parts = []
+                j = i + 1
+                while j < n and (toks[j].kind == "id" or toks[j].text == "::"):
+                    if toks[j].kind == "id":
+                        parts.append(toks[j].text)
+                    j += 1
+                if j < n and toks[j].text == "{":
+                    pending = ("namespace", "::".join(parts) or "<anon>")
+                    i = j
+                    continue
+                i = j
+                continue
+            if text in ("class", "struct") and (i == 0 or
+                                                toks[i - 1].text != "enum"):
+                j = i + 1
+                name = "<anon>"
+                while j < n and toks[j].kind == "id":
+                    name = toks[j].text
+                    j += 1
+                    if j < n and toks[j].text == "<":
+                        j = self._match_angle(j)
+                # Definition if a '{' arrives before ';', '=', or '('.
+                k = j
+                while k < n and toks[k].text not in ("{", ";", "=", "("):
+                    k += 1
+                if k < n and toks[k].text == "{":
+                    pending = ("class", name)
+                    i = k
+                    continue
+                i = j
+                continue
+            if text == "(" and i > 0:
+                consumed = self._try_function(i, scopes)
+                if consumed is not None:
+                    i = consumed
+                    continue
+            i += 1
+
+    def _name_before(self, i):
+        """Collects the (possibly qualified) name ending at toks[i-1];
+        returns (parts, first_index) or (None, None)."""
+        k = i - 1
+        parts = []
+        if k >= 0 and self.toks[k].kind == "id":
+            parts.insert(0, self.toks[k].text)
+            k -= 1
+            while k - 1 >= 0 and self.toks[k].text == "::" \
+                    and self.toks[k - 1].kind == "id":
+                parts.insert(0, self.toks[k - 1].text)
+                k -= 2
+        if not parts:
+            return None, None
+        return parts, k + 1
+
+    def _try_function(self, i, scopes):
+        """toks[i] == '(' at namespace/class scope: if this opens a function
+        definition, record it, scan the body, and return the index just past
+        the body; otherwise None."""
+        toks = self.toks
+        n = len(toks)
+        parts, first = self._name_before(i)
+        if parts is None or parts[-1] in _NAME_STOP:
+            return None
+        if parts[-1] in BUILTIN_TYPES:
+            return None
+        prev = toks[first - 1].text if first - 1 >= 0 else ""
+        if prev in (".", "->", "new", "::"):
+            return None
+        close = self._match_forward(i, "(", ")")
+        if close >= n:
+            return None
+        body_open = self._skip_to_body(close)
+        if body_open is None:
+            return None
+        body_end = self._match_forward(body_open, "{", "}")
+        scope_name = "::".join(s[1] for s in scopes if s[1] != "<anon>")
+        qname = "::".join(parts) if not scope_name else \
+            scope_name + "::" + "::".join(parts)
+        fn = {
+            "qname": qname,
+            "name": parts[-1],
+            "file": self.rel,
+            "line": toks[first].line,
+            "tok": first,
+            "calls": [],
+            "facts": [],
+        }
+        params = toks[i + 1:close - 1]
+        self._scan_body(fn, params, body_open + 1, body_end - 1)
+        self.functions.append(fn)
+        return body_end
+
+    def _skip_to_body(self, i):
+        """From just past the parameter ')': skips qualifiers, trailing
+        return types, and constructor initializers. Returns the index of the
+        body '{', or None for a declaration."""
+        toks = self.toks
+        n = len(toks)
+        seen_colon = False
+        while i < n:
+            text = toks[i].text
+            if text == "{":
+                return i
+            if text in (";", "}", "="):
+                return None  # declaration, `= default`, `= 0`, ...
+            if text in ("const", "noexcept", "override", "final", "mutable",
+                        "&", "&&", "try", "volatile", "requires"):
+                i += 1
+                if i < n and toks[i].text == "(":  # noexcept(...)
+                    i = self._match_forward(i, "(", ")")
+                continue
+            if text == "->":
+                i += 1
+                # Trailing return type: id / :: / template args / * / &.
+                while i < n and toks[i].text not in ("{", ";", "="):
+                    if toks[i].text == "<":
+                        i = self._match_angle(i)
+                    else:
+                        i += 1
+                continue
+            if text == ":":
+                seen_colon = True
+                i += 1
+                continue
+            if seen_colon:
+                # Constructor initializer list: name ( ... ) / name { ... }.
+                if text == "(":
+                    i = self._match_forward(i, "(", ")")
+                elif text == "<":
+                    i = self._match_angle(i)
+                else:
+                    i += 1
+                continue
+            return None
+        return None
+
+    # -- body analysis -------------------------------------------------------
+
+    def _param_names(self, params, type_filter=None):
+        """Names declared in a parameter token list. With type_filter, only
+        parameters whose type tokens intersect the filter set."""
+        names = []
+        depth = 0
+        group = []
+        groups = [group]
+        for tok in params:
+            if tok.text in ("<", "(", "["):
+                depth += 1
+            elif tok.text in (">", ")", "]"):
+                depth -= 1
+            elif tok.text == "," and depth == 0:
+                group = []
+                groups.append(group)
+                continue
+            group.append(tok)
+        for group in groups:
+            ids = [t.text for t in group if t.kind == "id"]
+            if len(ids) < 2:
+                continue  # unnamed parameter or no type
+            if type_filter is not None and not (set(ids[:-1]) & type_filter):
+                continue
+            names.append(ids[-1])
+        return names
+
+    def _ref_param_names(self, params):
+        """Parameter names declared by reference (T& name / T&& name)."""
+        names = []
+        depth = 0
+        saw_ref = False
+        last_id = None
+        for tok in params:
+            if tok.text in ("<", "(", "["):
+                depth += 1
+            elif tok.text in (">", ")", "]"):
+                depth -= 1
+            elif tok.text == "," and depth == 0:
+                if saw_ref and last_id is not None:
+                    names.append(last_id)
+                saw_ref = False
+                last_id = None
+                continue
+            if depth == 0 and tok.text in ("&", "&&"):
+                saw_ref = True
+            if depth == 0 and tok.kind == "id":
+                last_id = tok.text
+        if saw_ref and last_id is not None:
+            names.append(last_id)
+        return names
+
+    def _scan_body(self, fn, params, begin, end):
+        toks = self.toks
+        float_vars = set(self._param_names(params, {"double", "float"}))
+        unordered_local = set(self.unordered_names)
+        i = begin
+        while i < end:
+            tok = toks[i]
+            text = tok.text
+
+            # Lambda introducer?
+            if text == "[" and self._is_lambda_intro(i):
+                consumed = self._scan_lambda(fn, i, end)
+                if consumed is not None:
+                    i = consumed
+                    continue
+
+            # Declarations that matter: double/float locals; unordered vars
+            # are collected file-wide in scan_file_level.
+            if text in ("double", "float") and i + 1 < end \
+                    and toks[i + 1].kind == "id" and i > 0 \
+                    and toks[i - 1].text not in ("<", ",", "(", "::"):
+                nxt = toks[i + 2].text if i + 2 < end else ""
+                if nxt in ("=", ";", "{", ","):
+                    float_vars.add(toks[i + 1].text)
+
+            # Compound float accumulation (rule 3 raw material).
+            if tok.kind == "id" and text in float_vars and i + 1 < end \
+                    and toks[i + 1].text in ("+=", "-=", "*=", "/="):
+                self.fact("float-reduction-order", "compound-assign", i,
+                          f"`{text} {toks[i + 1].text}` on a floating-point "
+                          "accumulator", fn)
+            if tok.kind == "id" and text in float_vars and i + 3 < end \
+                    and toks[i + 1].text == "=" and toks[i + 2].text == text \
+                    and toks[i + 3].text in ("+", "-", "*", "/"):
+                self.fact("float-reduction-order", "reassign", i,
+                          f"`{text} = {text} {toks[i + 3].text} ...` on a "
+                          "floating-point accumulator", fn)
+
+            # Range-for over an unordered container.
+            if text == "for" and i + 1 < end and toks[i + 1].text == "(":
+                close = self._match_forward(i + 1, "(", ")")
+                inner = toks[i + 2:close - 1]
+                for k, t in enumerate(inner):
+                    if t.text == ":" and k + 1 < len(inner) \
+                            and inner[k + 1].kind == "id" \
+                            and inner[k + 1].text in unordered_local:
+                        self.fact("determinism-taint", "unordered-iter",
+                                  i + 2 + k,
+                                  f"iteration over unordered container "
+                                  f"`{inner[k + 1].text}`", fn)
+                        break
+
+            # std::hash<T*>.
+            if text == "hash" and i + 1 < end and toks[i + 1].text == "<":
+                h_end = self._match_angle(i + 1)
+                if any(t.text == "*" for t in toks[i + 2:h_end - 1]):
+                    self.fact("determinism-taint", "pointer-hash", i,
+                              "std::hash of a pointer type", fn)
+
+            # reinterpret_cast<integer>(...) — pointer bits as a value.
+            if text == "reinterpret_cast" and i + 1 < end \
+                    and toks[i + 1].text == "<":
+                c_end = self._match_angle(i + 1)
+                args = {t.text for t in toks[i + 2:c_end - 1]}
+                if args & PTR_INT_TYPES and "*" not in args:
+                    self.fact("determinism-taint", "pointer-to-int", i,
+                              "reinterpret_cast of pointer bits to an "
+                              "integer", fn)
+
+            # Blocking primitives (for no-blocking-in-sim).
+            if tok.kind == "id" and text in BLOCKING_IDS and i >= 2 \
+                    and toks[i - 1].text == "::" and toks[i - 2].text == "std":
+                self.fact("no-blocking-in-sim", "blocking", i,
+                          f"std::{text}", fn)
+            if text in ("sleep_for", "sleep_until") and i >= 2 \
+                    and toks[i - 1].text == "::" \
+                    and toks[i - 2].text == "this_thread":
+                self.fact("no-blocking-in-sim", "blocking", i,
+                          f"std::this_thread::{text}", fn)
+
+            # Calls.
+            if tok.kind == "id" and i + 1 < end and toks[i + 1].text == "(":
+                self._record_call(fn, i)
+            i += 1
+
+    def _record_call(self, fn, i):
+        toks = self.toks
+        parts, first = self._name_before(i + 1)
+        if parts is None:
+            return
+        simple = parts[-1]
+        if simple in KEYWORDS or simple in BUILTIN_TYPES:
+            return
+        full = "::".join(parts)
+        fn["calls"].append([full, simple, toks[i].line])
+        # Determinism sources expressed as calls.
+        part_set = set(parts)
+        if simple == "now" and (part_set & WALL_CLOCKS
+                                or part_set & self.clock_aliases):
+            self.fact("determinism-taint", "wall-clock", i,
+                      f"`{full}()` — wall/steady clock read", fn)
+        elif simple == "get_id" and "this_thread" in part_set:
+            self.fact("determinism-taint", "thread-id", i,
+                      f"`{full}()` — thread identity", fn)
+        elif simple in THREAD_ID_CALLS and len(parts) == 1:
+            self.fact("determinism-taint", "thread-id", i,
+                      f"`{simple}()` — thread identity", fn)
+        elif simple in LIBC_CLOCK_CALLS and len(parts) <= 2 \
+                and (len(parts) == 1 or parts[0] == "std"):
+            prev = toks[first - 1].text if first - 1 >= 0 else ""
+            if prev not in (".", "->"):
+                self.fact("determinism-taint", "wall-clock", i,
+                          f"`{full}()` — libc wall-clock read", fn)
+
+    # -- lambdas -------------------------------------------------------------
+
+    def _is_lambda_intro(self, i):
+        if i + 1 < len(self.toks) and self.toks[i + 1].text == "[":
+            return False  # [[attribute]]
+        prev = self.toks[i - 1] if i > 0 else None
+        if prev is None:
+            return True
+        if prev.kind in ("id", "num") or prev.text in (")", "]"):
+            return False  # subscript
+        return True
+
+    def _scan_lambda(self, fn, i, end):
+        toks = self.toks
+        cap_end = self._match_forward(i, "[", "]")
+        if cap_end >= end:
+            return None
+        captures = toks[i + 1:cap_end - 1]
+        j = cap_end
+        params = []
+        if j < end and toks[j].text == "(":
+            p_end = self._match_forward(j, "(", ")")
+            params = toks[j + 1:p_end - 1]
+            j = p_end
+        # Skip specifiers / trailing return type up to the body.
+        guard = 0
+        while j < end and toks[j].text != "{" and guard < 40:
+            if toks[j].text in (";", ")", "}", ","):
+                return None  # not a lambda after all
+            if toks[j].text == "<":
+                j = self._match_angle(j)
+            else:
+                j += 1
+            guard += 1
+        if j >= end or toks[j].text != "{":
+            return None
+        body_end = self._match_forward(j, "{", "}")
+        body = toks[j + 1:body_end - 1]
+        suspend_at = next((k for k, t in enumerate(body)
+                           if t.text in ("co_await", "co_return", "co_yield")),
+                          None)
+        if suspend_at is not None:
+            if any(t.text in ("&", "&&") for t in captures):
+                self.fact("coro-ref-capture", "ref-capture", i,
+                          "lambda coroutine captures by reference", fn)
+            else:
+                ref_params = set(self._ref_param_names(params))
+                for k, t in enumerate(body):
+                    if k > suspend_at and t.kind == "id" \
+                            and t.text in ref_params:
+                        self.fact("coro-ref-capture", "ref-param-after-await",
+                                  j + 1 + k,
+                                  f"reference parameter `{t.text}` read "
+                                  "after a suspension point", fn)
+                        break
+            # Pointer-comparator check is pointless for coroutines; done.
+            return None  # body still scanned by the enclosing walk
+        # Comparator lambda over pointer parameters: (T* a, T* b) { a < b }.
+        ptr_params = self._pointer_param_names(params)
+        if len(ptr_params) >= 2:
+            for k, t in enumerate(body):
+                if t.kind == "id" and t.text in ptr_params \
+                        and k + 2 < len(body) \
+                        and body[k + 1].text in ("<", ">", "<=", ">=") \
+                        and body[k + 2].kind == "id" \
+                        and body[k + 2].text in ptr_params:
+                    self.fact("pointer-ordering", "pointer-comparator",
+                              j + 1 + k,
+                              f"comparator orders pointer parameters "
+                              f"`{t.text}` and `{body[k + 2].text}`", fn)
+                    break
+        return None
+
+    def _pointer_param_names(self, params):
+        names = set()
+        depth = 0
+        group = []
+        groups = [group]
+        for tok in params:
+            if tok.text in ("<", "(", "["):
+                depth += 1
+            elif tok.text in (">", ")", "]"):
+                depth -= 1
+            elif tok.text == "," and depth == 0:
+                group = []
+                groups.append(group)
+                continue
+            group.append(tok)
+        for group in groups:
+            ids = [t.text for t in group if t.kind == "id"]
+            if len(ids) >= 2 and any(t.text == "*" for t in group):
+                names.add(ids[-1])
+        return names
+
+    def ir(self):
+        self.parse()
+        return {
+            "functions": self.functions,
+            "file_facts": self.file_facts,
+            "is_coro": self.is_coro,
+        }
+
+
+def extract_file_internal(relpath: str, text: str) -> dict:
+    return FileParser(relpath, text).ir()
+
+
+# --- libclang frontend -------------------------------------------------------
+
+class LibclangFrontend:
+    """Parses each TU with clang.cindex and lowers the AST into the same IR
+    the internal frontend produces. Requires the `libclang` wheel (CI pins
+    it); `available()` gates use."""
+
+    name = "libclang"
+
+    def __init__(self):
+        import clang.cindex as cindex  # noqa: deferred import
+        self.cindex = cindex
+        self.index = cindex.Index.create()
+
+    @staticmethod
+    def available():
+        try:
+            import clang.cindex as cindex
+            cindex.Index.create()
+            return True
+        except Exception:  # ImportError or missing libclang.so
+            return False
+
+    def version(self):
+        try:
+            return self.cindex.conf.lib.clang_getClangVersion()
+        except Exception:
+            return "libclang"
+
+    def tu_ir(self, tu_path: Path, command: str, root: Path) -> dict:
+        cindex = self.cindex
+        args = [a for a in command.split()[1:]
+                if not a.endswith((".cc", ".cpp", ".o")) and a != "-c"
+                and a != "-o"]
+        tu = self.index.parse(str(tu_path), args=args)
+        files: dict = {}
+
+        def rel_of(location):
+            if location.file is None:
+                return None
+            try:
+                return Path(str(location.file)).resolve() \
+                    .relative_to(root).as_posix()
+            except ValueError:
+                return None
+
+        def file_ir(rel):
+            return files.setdefault(
+                rel, {"functions": [], "file_facts": [], "is_coro": False})
+
+        def qname(cursor):
+            parts = []
+            c = cursor
+            while c is not None and c.kind != cindex.CursorKind.TRANSLATION_UNIT:
+                if c.spelling:
+                    parts.insert(0, c.spelling)
+                c = c.semantic_parent
+            return "::".join(parts)
+
+        fn_kinds = {
+            cindex.CursorKind.FUNCTION_DECL, cindex.CursorKind.CXX_METHOD,
+            cindex.CursorKind.CONSTRUCTOR, cindex.CursorKind.DESTRUCTOR,
+            cindex.CursorKind.FUNCTION_TEMPLATE,
+        }
+
+        def lower_function(cursor, rel):
+            fn = {
+                "qname": qname(cursor), "name": cursor.spelling,
+                "file": rel, "line": cursor.location.line,
+                "calls": [], "facts": [],
+            }
+
+            def add_fact(rule, kind, line, detail):
+                fn["facts"].append({"rule": rule, "kind": kind,
+                                    "line": line, "detail": detail})
+
+            def walk(node):
+                k = node.kind
+                if k == cindex.CursorKind.CALL_EXPR:
+                    ref = node.referenced
+                    callee = qname(ref) if ref is not None else node.spelling
+                    simple = (ref.spelling if ref is not None
+                              else node.spelling) or ""
+                    if simple:
+                        fn["calls"].append(
+                            [callee or simple, simple, node.location.line])
+                        if simple == "now" and any(
+                                c in (callee or "") for c in WALL_CLOCKS):
+                            add_fact("determinism-taint", "wall-clock",
+                                     node.location.line,
+                                     f"`{callee}()` — wall/steady clock read")
+                        elif simple == "get_id" and "this_thread" in \
+                                (callee or ""):
+                            add_fact("determinism-taint", "thread-id",
+                                     node.location.line,
+                                     f"`{callee}()` — thread identity")
+                elif k == cindex.CursorKind.CXX_REINTERPRET_CAST_EXPR:
+                    operands = list(node.get_children())
+                    if "*" not in node.type.spelling and operands and \
+                            "*" in operands[-1].type.spelling:
+                        add_fact("determinism-taint", "pointer-to-int",
+                                 node.location.line,
+                                 "reinterpret_cast of pointer bits to an "
+                                 "integer")
+                elif k == cindex.CursorKind.CXX_FOR_RANGE_STMT:
+                    children = list(node.get_children())
+                    if len(children) >= 2 and \
+                            "unordered_" in children[-2].type.spelling:
+                        add_fact("determinism-taint", "unordered-iter",
+                                 node.location.line,
+                                 "iteration over an unordered container")
+                for child in node.get_children():
+                    walk(child)
+
+            for child in cursor.get_children():
+                walk(child)
+            return fn
+
+        def top(node):
+            rel = rel_of(node.location)
+            if node.kind in fn_kinds and node.is_definition() \
+                    and rel is not None:
+                file_ir(rel)["functions"].append(lower_function(node, rel))
+                return
+            for child in node.get_children():
+                top(child)
+
+        top(tu.cursor)
+
+        # Token-level facts the cursor walk does not model (type decls,
+        # coroutine markers) come from the shared internal scanners, applied
+        # per file, so both frontends agree on them exactly.
+        for rel in list(files) + [p for p in (rel_of_path(tu_path, root),)
+                                  if p is not None and p not in files]:
+            try:
+                text = (root / rel).read_text(encoding="utf-8",
+                                              errors="replace")
+            except OSError:
+                continue
+            parser = FileParser(rel, text)
+            parser.scan_file_level()
+            ir = file_ir(rel)
+            ir["file_facts"] = parser.file_facts
+            ir["is_coro"] = parser.is_coro
+        return {"files": files}
+
+
+def rel_of_path(path: Path, root: Path):
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return None
+
+
+# --- Dependency scanning (same contract as run_clang_tidy.py) ---------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+("([^"]+)"|<([^>]+)>)',
+                        re.MULTILINE)
+INCLUDE_DIR_RE = re.compile(r"(?:^|\s)-(?:I|isystem)\s*(\S+)")
+
+
+class DependencyScanner:
+    """Transitive project-header closure of a TU, with memoized per-file
+    token digests (the cache-key component)."""
+
+    def __init__(self, root: Path):
+        self.root = root
+        self._direct: dict = {}
+        self._text: dict = {}
+        self._digest: dict = {}
+        self._token_lines: dict = {}
+
+    def read(self, path: Path) -> str:
+        data = self._text.get(path)
+        if data is None:
+            try:
+                data = path.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                data = ""
+            self._text[path] = data
+        return data
+
+    def digest(self, path: Path) -> bytes:
+        d = self._digest.get(path)
+        if d is None:
+            d = token_digest(self.read(path))
+            self._digest[path] = d
+        return d
+
+    def token_lines(self, path: Path):
+        """Current line number of each token index — the remap table for
+        cached facts (a cache hit guarantees an identical token stream)."""
+        lines = self._token_lines.get(path)
+        if lines is None:
+            lines = [t.line for t in tokenize(self.read(path))]
+            self._token_lines[path] = lines
+        return lines
+
+    def _direct_includes(self, path: Path):
+        cached = self._direct.get(path)
+        if cached is None:
+            cached = []
+            for m in INCLUDE_RE.finditer(self.read(path)):
+                if m.group(2) is not None:
+                    cached.append((m.group(2), True))
+                else:
+                    cached.append((m.group(3), False))
+            self._direct[path] = cached
+        return cached
+
+    def _resolve(self, spec, is_quote, includer: Path, include_dirs):
+        bases = ([includer.parent] if is_quote else []) + include_dirs
+        for base in bases:
+            candidate = base / spec
+            if candidate.is_file():
+                candidate = candidate.resolve()
+                try:
+                    candidate.relative_to(self.root)
+                except ValueError:
+                    return None
+                return candidate
+        return None
+
+    def closure(self, tu: Path, include_dirs):
+        seen = set()
+        stack = [tu]
+        while stack:
+            current = stack.pop()
+            for spec, is_quote in self._direct_includes(current):
+                target = self._resolve(spec, is_quote, current, include_dirs)
+                if target is not None and target not in seen and target != tu:
+                    seen.add(target)
+                    stack.append(target)
+        return sorted(seen)
+
+
+def include_dirs_of(command: str, directory: Path):
+    dirs = []
+    for m in INCLUDE_DIR_RE.finditer(command):
+        raw = m.group(1).strip('"')
+        path = Path(raw)
+        if not path.is_absolute():
+            path = directory / path
+        dirs.append(path)
+    return dirs
+
+
+def load_database(db_path: Path, root: Path):
+    tus = []
+    for entry in json.loads(db_path.read_text(encoding="utf-8")):
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = Path(entry["directory"]) / path
+        path = path.resolve()
+        try:
+            rel = path.relative_to(root)
+        except ValueError:
+            continue
+        if not (rel.parts and rel.parts[0] in LINT_DIRS):
+            continue
+        command = entry.get("command")
+        if command is None:
+            command = " ".join(entry.get("arguments", []))
+        tus.append((path, Path(entry["directory"]), command))
+    unique = {str(path): (path, directory, command)
+              for path, directory, command in tus}
+    return [unique[key] for key in sorted(unique)]
+
+
+# --- Cross-TU analysis -------------------------------------------------------
+
+def rules_digest() -> str:
+    h = hashlib.sha256()
+    for part in (sorted(RULES), EXPORT_SINK_PATTERNS,
+                 sorted(AGG_ROOT_NAMES), sorted(WALL_CLOCKS)):
+        h.update(repr(part).encode("utf-8"))
+    return h.hexdigest()[:16]
+
+
+def in_sink_file(relpath: str) -> bool:
+    return any(re.search(p, relpath) for p in EXPORT_SINK_PATTERNS)
+
+
+class Program:
+    """The merged cross-TU view: every function definition, a name-resolved
+    call graph, and the derived export surface."""
+
+    def __init__(self, files: dict):
+        self.files = files
+        self.defs = []           # function dicts + "id"
+        self.by_simple = {}
+        self.by_qname = {}
+        seen = set()
+        for rel in sorted(files):
+            for fn in files[rel]["functions"]:
+                key = (fn["file"], fn["line"], fn["qname"])
+                if key in seen:
+                    continue
+                seen.add(key)
+                fn = dict(fn)
+                fn["id"] = len(self.defs)
+                self.defs.append(fn)
+                self.by_simple.setdefault(fn["name"], []).append(fn["id"])
+                self.by_qname.setdefault(fn["qname"], []).append(fn["id"])
+
+    def resolve(self, full: str, simple: str):
+        """Candidate definition ids for a call: qualified-suffix matches
+        when the spelling is qualified, else every simple-name match."""
+        if "::" in full:
+            suffix = "::" + full
+            out = [i for q, ids in self.by_qname.items()
+                   if q == full or q.endswith(suffix) for i in ids]
+            if out:
+                return out
+        return self.by_simple.get(simple, [])
+
+    def export_surface(self):
+        """fn id -> chain-parent id (or None for a root), for every function
+        on the export surface."""
+        sinks = [fn["id"] for fn in self.defs if in_sink_file(fn["file"])]
+        sink_set = set(sinks)
+        roots = list(sinks)
+        for fn in self.defs:
+            if fn["id"] in sink_set:
+                continue
+            for full, simple, _line in fn["calls"]:
+                if any(c in sink_set for c in self.resolve(full, simple)):
+                    roots.append(fn["id"])
+                    break
+        parent = {}
+        queue = []
+        for r in roots:
+            if r not in parent:
+                parent[r] = None
+                queue.append(r)
+        while queue:
+            cur = queue.pop(0)
+            for full, simple, _line in self.defs[cur]["calls"]:
+                for callee in self.resolve(full, simple):
+                    if callee not in parent:
+                        parent[callee] = cur
+                        queue.append(callee)
+        return parent
+
+    def chain(self, parent, fn_id):
+        names = []
+        cur = fn_id
+        guard = 0
+        while cur is not None and guard < 32:
+            names.append(self.defs[cur]["qname"] or self.defs[cur]["name"])
+            cur = parent.get(cur)
+            guard += 1
+        names.reverse()
+        return " -> ".join(names)
+
+    def aggregation_set(self):
+        """Aggregation roots plus their direct same-file callees."""
+        out = set()
+        roots = [fn for fn in self.defs if fn["name"] in AGG_ROOT_NAMES
+                 and not FLOAT_EXEMPT_RE.search(fn["file"])]
+        for fn in roots:
+            out.add(fn["id"])
+            for full, simple, _line in fn["calls"]:
+                for callee in self.resolve(full, simple):
+                    if self.defs[callee]["file"] == fn["file"] \
+                        and not FLOAT_EXEMPT_RE.search(
+                            self.defs[callee]["file"]):
+                        out.add(callee)
+        return out
+
+
+def analyze_program(files: dict):
+    """Findings (pre-suppression) for the merged per-file IRs."""
+    program = Program(files)
+    surface = program.export_surface()
+    agg = program.aggregation_set()
+    findings = []
+
+    def emit(rule, path, line, message, detail):
+        findings.append({"rule": rule, "path": path, "line": line,
+                         "message": message, "detail": detail})
+
+    for fn in program.defs:
+        for fact in fn["facts"]:
+            rule = fact["rule"]
+            if rule == "determinism-taint":
+                if fn["id"] in surface:
+                    where = program.chain(surface, fn["id"])
+                    emit(rule, fn["file"], fact["line"],
+                         f"{fact['detail']} on the export surface "
+                         f"(export path: {where}); nondeterministic values "
+                         "must not reach MergeResult/JSON artifacts",
+                         fact["kind"])
+            elif rule == "float-reduction-order":
+                if fn["id"] in agg and not FLOAT_EXEMPT_RE.search(fn["file"]):
+                    emit(rule, fn["file"], fact["line"],
+                         f"{fact['detail']} in aggregation function "
+                         f"`{fn['qname']}`; combine trial statistics through "
+                         "stats::Accumulator (Add/Merge/State), never ad-hoc "
+                         "float arithmetic", fact["kind"])
+            elif rule == "pointer-ordering":
+                emit(rule, fn["file"], fact["line"],
+                     f"{fact['detail']}; pointer order is ASLR-random across "
+                     "sweep-worker processes — key on a stable id instead",
+                     fact["kind"])
+            elif rule == "coro-ref-capture":
+                emit(rule, fn["file"], fact["line"],
+                     f"{fact['detail']}; the coroutine frame outlives the "
+                     "enclosing scope, so the reference dangles at resume "
+                     "time", fact["kind"])
+            elif rule == "no-blocking-in-sim":
+                if files.get(fn["file"], {}).get("is_coro"):
+                    emit(rule, fn["file"], fact["line"],
+                         f"{fact['detail']} in a coroutine TU; simulated "
+                         "time and synchronization must come from the "
+                         "calendar (sim::Delay, Events, Semaphores)",
+                         fact["kind"])
+
+    for rel in sorted(files):
+        for fact in files[rel]["file_facts"]:
+            rule = fact["rule"]
+            if rule == "coro-raw-handle":
+                if not SIM_KERNEL_RE.search(rel):
+                    emit(rule, rel, fact["line"],
+                         "std::coroutine_handle outside src/sim/ defeats the "
+                         "frame-pool/calendar ownership bookkeeping; "
+                         "communicate through Events/Semaphores/Mailboxes",
+                         fact["kind"])
+            elif rule == "pointer-ordering":
+                emit(rule, rel, fact["line"],
+                     f"{fact['detail']}; pointer order is ASLR-random across "
+                     "sweep-worker processes — key on a stable id instead",
+                     fact["kind"])
+
+    findings.sort(key=lambda f: (f["path"], f["line"], f["rule"]))
+    return findings
+
+
+# --- Suppressions ------------------------------------------------------------
+
+def apply_suppressions(findings, root: Path):
+    """Splits findings into (kept, suppressed). A finding is suppressed by a
+    trailing `// emsim-analyze: allow(rule)` comment on its line, or — for
+    lines too long to grow a trailing comment — by a standalone
+    `// emsim-analyze: allow(rule)` comment line directly above it."""
+    line_cache = {}
+    kept, suppressed = [], []
+    for f in findings:
+        lines = line_cache.get(f["path"])
+        if lines is None:
+            try:
+                lines = (root / f["path"]).read_text(
+                    encoding="utf-8", errors="replace").splitlines()
+            except OSError:
+                lines = []
+            line_cache[f["path"]] = lines
+        raw = lines[f["line"] - 1] if 0 < f["line"] <= len(lines) else ""
+        allowed = set()
+        comment = raw.find("//")
+        if comment >= 0:
+            for m in ALLOW_RE.finditer(raw, comment):
+                allowed.update(r.strip() for r in m.group(1).split(","))
+        above = lines[f["line"] - 2] if 1 < f["line"] <= len(lines) + 1 else ""
+        if above.lstrip().startswith("//"):
+            for m in ALLOW_RE.finditer(above):
+                allowed.update(r.strip() for r in m.group(1).split(","))
+        f = dict(f)
+        f["snippet"] = raw.strip()[:160]
+        if f["rule"] in allowed:
+            suppressed.append(f)
+        else:
+            kept.append(f)
+    return kept, suppressed
+
+
+# --- Cache -------------------------------------------------------------------
+
+def cache_key(frontend_id: str, scanner: DependencyScanner, tu: Path,
+              include_dirs) -> str:
+    h = hashlib.sha256()
+    for part in (SCHEMA, frontend_id, rules_digest()):
+        h.update(part.encode("utf-8"))
+        h.update(b"\0")
+    h.update(scanner.digest(tu))
+    for dep in scanner.closure(tu, include_dirs):
+        h.update(dep.as_posix().encode("utf-8"))
+        h.update(b"\0")
+        h.update(scanner.digest(dep))
+    return h.hexdigest()
+
+
+def cache_load(cache_dir: Path, key: str):
+    try:
+        return json.loads((cache_dir / f"{key}.json").read_text(
+            encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def cache_store(cache_dir: Path, key: str, doc: dict):
+    entry = cache_dir / f"{key}.json"
+    tmp = entry.with_suffix(".tmp")
+    tmp.write_text(json.dumps(doc), encoding="utf-8")
+    tmp.replace(entry)
+
+
+# --- Driver ------------------------------------------------------------------
+
+def remap_lines(ir: dict, scanner: DependencyScanner, root: Path):
+    """Rewrites fact/function line numbers from token anchors against the
+    *current* sources. Cached IR may predate comment-only edits that shifted
+    lines; the token stream is unchanged (cache-key invariant), so the token
+    index is an exact anchor."""
+    for rel, file_ir in ir["files"].items():
+        table = None
+        entries = list(file_ir.get("file_facts", ()))
+        for fn in file_ir.get("functions", ()):
+            entries.append(fn)
+            entries.extend(fn.get("facts", ()))
+        for entry in entries:
+            tok = entry.get("tok")
+            if tok is None:
+                continue
+            if table is None:
+                table = scanner.token_lines(root / rel)
+            if 0 <= tok < len(table):
+                entry["line"] = table[tok]
+
+
+def internal_tu_ir(tu: Path, closure, root: Path, scanner: DependencyScanner,
+                   file_memo: dict) -> dict:
+    files = {}
+    for path in [tu] + list(closure):
+        rel = rel_of_path(path, root)
+        if rel is None:
+            continue
+        ir = file_memo.get(rel)
+        if ir is None:
+            ir = extract_file_internal(rel, scanner.read(path))
+            file_memo[rel] = ir
+        files[rel] = ir
+    return {"files": files}
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree containing compile_commands.json")
+    parser.add_argument("--source-root", default=".")
+    parser.add_argument("--frontend", choices=("auto", "libclang", "internal"),
+                        default="auto")
+    parser.add_argument("--report", help="write a JSON findings report here")
+    parser.add_argument("--cache-dir",
+                        help="per-TU IR cache (default: BUILD_DIR/analyze-cache)")
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--timing-report",
+                        help="write a per-TU timing/cache JSON artifact here")
+    parser.add_argument("--warm-budget-seconds", type=float, default=0,
+                        help="fail a warm run (hit ratio >= 0.5) exceeding "
+                             "this wall time (0 = off)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print cache/timing statistics")
+    parser.add_argument("--advisory", action="store_true",
+                        help="report findings but exit 0 (CI advisory pass)")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print(f"{rule}: {RULES[rule]}")
+        return 0
+
+    started = time.monotonic()
+    root = Path(args.source_root).resolve()
+    build_dir = Path(args.build_dir)
+    if not build_dir.is_absolute():
+        build_dir = root / build_dir
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        print(f"emsim_analyze: {db_path} not found; configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON first", file=sys.stderr)
+        return 2
+
+    frontend = None
+    frontend_name = "internal"
+    if args.frontend in ("auto", "libclang"):
+        if LibclangFrontend.available():
+            frontend = LibclangFrontend()
+            frontend_name = "libclang"
+        elif args.frontend == "libclang":
+            print("emsim_analyze: python libclang bindings (clang.cindex) "
+                  "not found; skipping the libclang frontend — install the "
+                  "pinned wheel (see docs/STATIC_ANALYSIS.md) or use "
+                  "--frontend internal", file=sys.stderr)
+            return 4
+        else:
+            print("emsim_analyze: libclang unavailable; using the internal "
+                  "frontend (token-level precision)", file=sys.stderr)
+
+    tus = load_database(db_path, root)
+    if not tus:
+        print("emsim_analyze: no files under "
+              f"{'/'.join(LINT_DIRS)} in the compilation database",
+              file=sys.stderr)
+        return 2
+
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = (Path(args.cache_dir) if args.cache_dir
+                     else build_dir / "analyze-cache")
+        cache_dir.mkdir(parents=True, exist_ok=True)
+
+    frontend_id = frontend_name if frontend_name == "internal" else \
+        f"libclang:{frontend.version()}"
+    scanner = DependencyScanner(root)
+    file_memo: dict = {}
+    merged_files: dict = {}
+    hits = 0
+    timings = []
+    for tu, directory, command in tus:
+        tu_started = time.monotonic()
+        dirs = include_dirs_of(command, directory)
+        key = cache_key(frontend_id, scanner, tu, dirs)
+        cached = cache_load(cache_dir, key) if cache_dir is not None else None
+        if cached is not None:
+            ir = cached
+            hits += 1
+        else:
+            if frontend_name == "libclang":
+                ir = frontend.tu_ir(tu, command, root)
+            else:
+                ir = internal_tu_ir(tu, scanner.closure(tu, dirs), root,
+                                    scanner, file_memo)
+            if cache_dir is not None:
+                cache_store(cache_dir, key, ir)
+        remap_lines(ir, scanner, root)
+        for rel, file_ir in ir["files"].items():
+            merged_files.setdefault(rel, file_ir)
+        timings.append({"file": rel_of_path(tu, root) or str(tu),
+                        "cached": cached is not None,
+                        "duration_seconds":
+                            round(time.monotonic() - tu_started, 4)})
+
+    findings = analyze_program(merged_files)
+    findings, suppressions = apply_suppressions(findings, root)
+
+    wall = time.monotonic() - started
+    hit_ratio = hits / len(tus)
+    warm = hit_ratio >= 0.5
+    over_budget = (args.warm_budget_seconds > 0 and warm
+                   and wall > args.warm_budget_seconds)
+
+    report = {
+        "tool": "emsim_analyze",
+        "version": 1,
+        "frontend": frontend_name,
+        "tus": len(tus),
+        "files_indexed": len(merged_files),
+        "findings": findings,
+        "suppressions": suppressions,
+    }
+    if args.report:
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n",
+                                     encoding="utf-8")
+    if args.timing_report:
+        timings.sort(key=lambda t: t["file"])
+        Path(args.timing_report).write_text(json.dumps({
+            "tool": "emsim_analyze",
+            "version": 1,
+            "frontend": frontend_name,
+            "wall_seconds": round(wall, 3),
+            "cache": {
+                "enabled": cache_dir is not None,
+                "dir": str(cache_dir) if cache_dir is not None else None,
+                "hits": hits,
+                "misses": len(tus) - hits,
+                "hit_ratio": round(hit_ratio, 4),
+            },
+            "warm_budget_seconds": args.warm_budget_seconds or None,
+            "over_budget": over_budget,
+            "files": timings,
+        }, indent=2) + "\n", encoding="utf-8")
+
+    for f in findings:
+        print(f"{f['path']}:{f['line']}: [{f['rule']}] {f['message']}")
+        if f.get("snippet"):
+            print(f"    {f['snippet']}")
+    status = (f"emsim_analyze: {frontend_name} frontend, {len(tus)} TUs "
+              f"({len(merged_files)} files), {len(findings)} finding(s), "
+              f"{len(suppressions)} suppression(s), {hits} cached "
+              f"({hit_ratio:.0%}), {wall:.1f}s wall")
+    print(status, file=sys.stderr if findings else sys.stdout)
+    if args.stats and timings:
+        slowest = sorted(timings, key=lambda t: -t["duration_seconds"])[:5]
+        for entry in slowest:
+            print(f"  {entry['duration_seconds']:7.3f}s "
+                  f"{'hit ' if entry['cached'] else 'miss'} {entry['file']}")
+    if over_budget:
+        print(f"emsim_analyze: warm run exceeded the "
+              f"{args.warm_budget_seconds:.0f}s budget — trim rules or raise "
+              "the budget deliberately", file=sys.stderr)
+        return 1
+    if findings and not args.advisory:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

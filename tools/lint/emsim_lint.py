@@ -59,6 +59,12 @@ stay auditable.
 
 Usage:
   tools/lint/emsim_lint.py --root . [--report lint-report.json] [--list-rules]
+      [--cache-dir DIR] [--no-cache] [--stats] [--timing-report out.json]
+
+Results are cached per file (content-hash over the file bytes plus this
+tool's own source, so rule edits invalidate everything) — repeat runs only
+re-lint files that changed since the last run. `--stats`/`--timing-report`
+expose the same timing/cache shape as run_clang_tidy.py.
 
 Exit status: 0 when clean, 1 when any finding, 2 on usage error.
 """
@@ -69,7 +75,11 @@ import argparse
 import json
 import re
 import sys
+import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import lint_cache  # noqa: E402
 
 # Directories scanned relative to --root. Headers and sources only.
 SCAN_DIRS = ("src", "tools", "bench", "tests", "examples")
@@ -421,6 +431,7 @@ def main(argv):
     parser.add_argument("--root", default=".", help="repository root to scan")
     parser.add_argument("--report", help="write a machine-readable JSON findings report")
     parser.add_argument("--list-rules", action="store_true", help="print rule ids and exit")
+    lint_cache.add_cache_args(parser, "emsim-lint")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -438,16 +449,28 @@ def main(argv):
         print(f"emsim_lint: no such directory: {root}", file=sys.stderr)
         return 2
 
+    cache = lint_cache.FileCache(
+        lint_cache.resolve_cache_dir(args, root, "emsim-lint"),
+        lint_cache.digest_paths(__file__))
     findings = []
     suppressions = []
     scanned = 0
     for path in iter_sources(root):
         relpath = path.relative_to(root).as_posix()
         text = path.read_text(encoding="utf-8", errors="replace")
-        file_findings, file_suppressions = lint_text(relpath, text)
+        file_started = time.monotonic()
+        cached = cache.get(relpath, text)
+        if cached is not None:
+            file_findings, file_suppressions = cached
+        else:
+            file_findings, file_suppressions = lint_text(relpath, text)
+            cache.put(relpath, text, [file_findings, file_suppressions])
+        cache.record(relpath, cached is not None,
+                     time.monotonic() - file_started)
         findings.extend(file_findings)
         suppressions.extend(file_suppressions)
         scanned += 1
+    cache.gc()
 
     report = {
         "tool": "emsim_lint",
@@ -464,8 +487,9 @@ def main(argv):
         if f["snippet"]:
             print(f"    {f['snippet']}")
     summary = (f"emsim_lint: {scanned} files, {len(findings)} finding(s), "
-               f"{len(suppressions)} suppression(s)")
+               f"{len(suppressions)} suppression(s), {cache.hits} cached")
     print(summary, file=sys.stderr if findings else sys.stdout)
+    lint_cache.emit_stats(args, cache, "emsim_lint")
     return 1 if findings else 0
 
 

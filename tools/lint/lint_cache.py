@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Shared per-file result cache for the regex lint tiers (emsim_lint,
+include_hygiene) — the same content-hash idiom as run_clang_tidy.py's per-TU
+cache, scoped down to single files.
+
+A cache entry stores the (findings, suppressions) pair for one file, keyed by
+a SHA-256 over:
+  - the tool's own source bytes (any rule edit invalidates everything),
+  - an optional environment digest (include_hygiene keys the global
+    header-exports world in, so a header edit invalidates all dependents
+    while .cc edits invalidate only themselves),
+  - the file's path and raw bytes.
+
+Entries are one JSON file each under the cache dir, written atomically.
+`stats()` feeds the shared --stats / --timing-report output so all three
+lint tiers report timings the same way for $GITHUB_STEP_SUMMARY."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+CACHE_SCHEMA = "1"
+CACHE_MAX_ENTRIES = 8192
+
+
+def digest_paths(*paths) -> str:
+    """Digest of the tool's own sources: rule changes invalidate the cache."""
+    h = hashlib.sha256()
+    for path in paths:
+        try:
+            h.update(Path(path).read_bytes())
+        except OSError:
+            h.update(b"<missing>")
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+class FileCache:
+    def __init__(self, cache_dir, tool_digest: str, env_digest: str = ""):
+        self.dir = Path(cache_dir) if cache_dir else None
+        self.prefix = hashlib.sha256(
+            f"{CACHE_SCHEMA}\0{tool_digest}\0{env_digest}".encode()
+        ).hexdigest()[:16]
+        self.hits = 0
+        self.misses = 0
+        self.timings = []
+        self._started = time.monotonic()
+        if self.dir is not None:
+            self.dir.mkdir(parents=True, exist_ok=True)
+
+    def _entry(self, relpath: str, text: str) -> Path:
+        h = hashlib.sha256()
+        h.update(self.prefix.encode())
+        h.update(relpath.encode("utf-8", "replace"))
+        h.update(b"\0")
+        h.update(text.encode("utf-8", "replace"))
+        return self.dir / f"{h.hexdigest()}.json"
+
+    def get(self, relpath: str, text: str):
+        if self.dir is None:
+            return None
+        try:
+            return json.loads(self._entry(relpath, text).read_text(
+                encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
+    def put(self, relpath: str, text: str, value):
+        if self.dir is None:
+            return
+        entry = self._entry(relpath, text)
+        tmp = entry.with_name(entry.name + ".tmp")
+        tmp.write_text(json.dumps(value), encoding="utf-8")
+        tmp.replace(entry)
+
+    def record(self, relpath: str, cached: bool, seconds: float):
+        if cached:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self.timings.append({"file": relpath, "cached": cached,
+                             "duration_seconds": round(seconds, 4)})
+
+    def gc(self):
+        """Drops the oldest entries once the dir outgrows the cap."""
+        if self.dir is None:
+            return
+        entries = sorted(self.dir.glob("*.json"),
+                         key=lambda p: p.stat().st_mtime)
+        for stale in entries[:-CACHE_MAX_ENTRIES]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    def stats(self, tool: str) -> dict:
+        total = self.hits + self.misses
+        return {
+            "tool": tool,
+            "version": 1,
+            "wall_seconds": round(time.monotonic() - self._started, 3),
+            "cache": {
+                "enabled": self.dir is not None,
+                "dir": str(self.dir) if self.dir is not None else None,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_ratio": round(self.hits / total, 4) if total else 0.0,
+            },
+            "files": sorted(self.timings, key=lambda t: t["file"]),
+        }
+
+
+def add_cache_args(parser, tool: str):
+    parser.add_argument("--cache-dir",
+                        help="per-file result cache (default: "
+                             f"ROOT/build/{tool}-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the cache")
+    parser.add_argument("--stats", action="store_true",
+                        help="print cache/timing statistics")
+    parser.add_argument("--timing-report",
+                        help="write a timing/cache JSON artifact here")
+
+
+def resolve_cache_dir(args, root: Path, tool: str):
+    if args.no_cache:
+        return None
+    if args.cache_dir:
+        return Path(args.cache_dir)
+    return root / "build" / f"{tool}-cache"
+
+
+def emit_stats(args, cache: FileCache, tool: str):
+    payload = cache.stats(tool)
+    if args.timing_report:
+        Path(args.timing_report).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    if args.stats:
+        c = payload["cache"]
+        print(f"{tool}: {payload['wall_seconds']}s wall, "
+              f"{c['hits']} cached / {c['misses']} scanned "
+              f"(hit ratio {c['hit_ratio']:.0%})")
+        slowest = sorted(payload["files"],
+                         key=lambda t: -t["duration_seconds"])[:5]
+        for entry in slowest:
+            print(f"  {entry['duration_seconds']:7.3f}s "
+                  f"{'hit ' if entry['cached'] else 'miss'} {entry['file']}")
