@@ -16,6 +16,8 @@
 #include "disk/mechanism.h"
 #include "extsort/loser_tree.h"
 #include "obs/metrics.h"
+#include "sim/calendar.h"
+#include "sim/event.h"
 #include "sim/frame_pool.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
@@ -45,11 +47,14 @@ void SetKernelCounters(benchmark::State& state, uint64_t events,
       static_cast<double>(HeapAllocs() - heap_allocs_before) / ops;
 }
 
-void BM_CalendarScheduleExecute(benchmark::State& state) {
+// The calendar benches run BENCHMARK_CAPTURE'd over both backends, so one
+// binary yields a trustworthy heap-vs-calendar-queue A/B (same build, same
+// box, interleaved by the runner) — the numbers docs/PERFORMANCE.md quotes.
+void BM_CalendarScheduleExecute(benchmark::State& state, sim::CalendarBackend backend) {
   uint64_t events = 0;
   uint64_t allocs0 = HeapAllocs();
   for (auto _ : state) {
-    sim::Simulation sim;
+    sim::Simulation sim(backend);
     int64_t counter = 0;
     for (int i = 0; i < 1000; ++i) {
       sim.ScheduleCallback(static_cast<double>(i % 97), [&counter] { ++counter; });
@@ -61,7 +66,119 @@ void BM_CalendarScheduleExecute(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
   SetKernelCounters(state, events, allocs0);
 }
-BENCHMARK(BM_CalendarScheduleExecute);
+BENCHMARK_CAPTURE(BM_CalendarScheduleExecute, heap, sim::CalendarBackend::kHeap);
+BENCHMARK_CAPTURE(BM_CalendarScheduleExecute, cq, sim::CalendarBackend::kCalendarQueue);
+
+// Self-rescheduling callback for the hold model below: each invocation pops
+// as the minimum and pushes one replacement at now + U[0.5, 2.5), keeping the
+// population constant. The whole struct (16 bytes, trivially copyable) rides
+// inline in a recycled callback cell, so steady state allocates nothing; the
+// xorshift stream lives in the struct and travels with each copy.
+struct HoldHopper {
+  sim::Simulation* sim;
+  uint64_t rng_state;
+
+  void operator()() {
+    uint64_t x = rng_state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rng_state = x;
+    double delta = 0.5 + static_cast<double>(x >> 44) * (1.0 / 524288.0);
+    sim->ScheduleCallback(sim->Now() + delta, *this);
+  }
+};
+
+// Classic hold model (the standard event-calendar benchmark): fixed
+// population n, each op replaces the minimum. This is the steady-state
+// shape of a running merge — a calendar of pending disk completions at
+// roughly constant depth — and the regime where backend asymptotics actually
+// separate: the 4-ary heap pays O(log n) sift work per hold, the calendar
+// queue amortized O(1). Pools and buckets are warmed before the counter
+// snapshot, so allocs_per_op gates at zero.
+void BM_CalendarHold(benchmark::State& state, sim::CalendarBackend backend) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Simulation sim(backend);
+  for (int i = 0; i < n; ++i) {
+    HoldHopper hopper{&sim, 0x9E3779B97F4A7C15ull * static_cast<uint64_t>(i + 1)};
+    sim.ScheduleCallback(static_cast<double>(i) / static_cast<double>(n), hopper);
+  }
+  // Warm-up: settle calendar-queue resizes, bucket capacities and the
+  // callback pool before counters are snapshotted.
+  sim.RunBounded(static_cast<uint64_t>(8 * n) + 10000);
+  uint64_t allocs0 = HeapAllocs();
+  uint64_t events0 = sim.events_processed();
+  for (auto _ : state) {
+    sim.RunBounded(1000);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  SetKernelCounters(state, sim.events_processed() - events0, allocs0);
+}
+BENCHMARK_CAPTURE(BM_CalendarHold, heap, sim::CalendarBackend::kHeap)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_CalendarHold, cq, sim::CalendarBackend::kCalendarQueue)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096);
+
+// A cohort member for the same-timestamp-burst bench: alternates between two
+// latch events so the driver can rearm one while everyone waits on the other.
+sim::Process BurstCohortWaiter(sim::Event& ping, sim::Event& pong) {
+  for (;;) {
+    co_await ping.Wait();
+    co_await pong.Wait();
+  }
+}
+
+// The high-prefetch-depth common case: D disk completions land on one tick
+// and Event::Set releases the whole cohort through ScheduleHandleBurst — one
+// calendar entry for D resumes instead of D pushes + D pops. Each op is one
+// full burst cycle (Set, dispatch D waiters, rearm); events_per_op = D
+// because a burst still counts one processed event per member. Ping-pong
+// between two latches keeps every waiter list and the pooled burst cell at
+// steady-state capacity, so allocs_per_op gates at zero here too.
+void BM_CalendarSameTimeBurst(benchmark::State& state, sim::CalendarBackend backend) {
+  const int d = static_cast<int>(state.range(0));
+  sim::Simulation sim(backend);
+  sim::Event ping(&sim);
+  sim::Event pong(&sim);
+  for (int i = 0; i < d; ++i) {
+    sim.Spawn(BurstCohortWaiter(ping, pong));
+  }
+  sim.Run();  // Everyone parks on ping.
+  sim::Event* phases[2] = {&ping, &pong};
+  int cur = 0;
+  for (int round = 0; round < 4; ++round) {  // Warm both waiter lists.
+    phases[cur]->Set();
+    sim.Run();
+    phases[cur]->Reset();
+    cur ^= 1;
+  }
+  uint64_t allocs0 = HeapAllocs();
+  uint64_t events0 = sim.events_processed();
+  for (auto _ : state) {
+    phases[cur]->Set();
+    sim.Run();
+    phases[cur]->Reset();
+    cur ^= 1;
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+  SetKernelCounters(state, sim.events_processed() - events0, allocs0);
+}
+BENCHMARK_CAPTURE(BM_CalendarSameTimeBurst, heap, sim::CalendarBackend::kHeap)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64);
+BENCHMARK_CAPTURE(BM_CalendarSameTimeBurst, cq, sim::CalendarBackend::kCalendarQueue)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64);
 
 sim::Process Hopper(sim::Simulation& /*sim*/, int hops) {
   for (int i = 0; i < hops; ++i) {
@@ -137,11 +254,12 @@ void BM_LoserTreeReplay(benchmark::State& state) {
 }
 BENCHMARK(BM_LoserTreeReplay)->Arg(8)->Arg(64)->Arg(512);
 
-void BM_FullMergeTrial(benchmark::State& state) {
+void BM_FullMergeTrial(benchmark::State& state, sim::CalendarBackend backend) {
   core::MergeConfig cfg =
       core::MergeConfig::Paper(25, 5, static_cast<int>(state.range(0)),
                                core::Strategy::kAllDisksOneRun,
                                core::SyncMode::kUnsynchronized);
+  cfg.calendar = backend;
   uint64_t seed = 1;
   uint64_t allocs0 = HeapAllocs();
   uint64_t events = 0;
@@ -154,7 +272,8 @@ void BM_FullMergeTrial(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 25000);  // Blocks per trial.
   SetKernelCounters(state, events, allocs0);
 }
-BENCHMARK(BM_FullMergeTrial)->Arg(1)->Arg(10);
+BENCHMARK_CAPTURE(BM_FullMergeTrial, heap, sim::CalendarBackend::kHeap)->Arg(1)->Arg(10);
+BENCHMARK_CAPTURE(BM_FullMergeTrial, cq, sim::CalendarBackend::kCalendarQueue)->Arg(1)->Arg(10);
 
 }  // namespace
 }  // namespace emsim

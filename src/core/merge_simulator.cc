@@ -74,6 +74,7 @@ class Engine {
  public:
   explicit Engine(const MergeConfig& config)
       : config_(config),
+        sim_(config.calendar),
         metrics_(config.collect_metrics),
         layout_(disk::RunLayout::Options{config.num_runs, config.num_disks,
                                          config.blocks_per_run, config.disk_params.geometry,
@@ -93,7 +94,12 @@ class Engine {
         depletion_rng_(rng_.Split()),
         planner_rng_(rng_.Split()),
         depletion_(MakeDepletion(config)) {
-    sim_.AttachMetrics(&metrics_);
+    // Only wire kernel instrumentation when the registry retains it: a
+    // disabled registry hands out non-null sink instruments, and a non-null
+    // calendar-depth timeline turns off both the lone-runner fast path and
+    // same-tick burst batching. Detached and attached runs produce
+    // byte-identical results by the AdvanceInline/burst replay contract.
+    sim_.AttachMetrics(config.collect_metrics ? &metrics_ : nullptr);
     metric_stalls_ = &metrics_.GetCounter("merge.demand_stalls");
     metric_stall_ms_ = &metrics_.GetGauge("merge.stall_ms");
     if (fault_plan_ != nullptr) {

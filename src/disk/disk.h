@@ -12,6 +12,7 @@
 #include "disk/mechanism.h"
 #include "fault/fault_plan.h"
 #include "obs/metrics.h"
+#include "sim/calendar.h"
 #include "sim/event.h"
 #include "sim/process.h"
 #include "sim/simulation.h"

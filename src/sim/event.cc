@@ -11,9 +11,9 @@ void Event::Set() {
     return;
   }
   set_ = true;
-  for (auto h : waiters_) {
-    sim_->ScheduleHandle(sim_->Now(), h);
-  }
+  // One calendar touch for the whole cohort: all waiters resume at the
+  // current tick, in arrival order (see Simulation::ScheduleHandleBurst).
+  sim_->ScheduleHandleBurst(sim_->Now(), waiters_.begin(), waiters_.size());
   waiters_.clear();
 }
 
@@ -30,9 +30,7 @@ void Signal::FireSlow() {
   // Detach first: a resumed waiter may immediately re-wait on this signal,
   // and those re-waits belong to the *next* pulse.
   InlineVec<std::coroutine_handle<>, 4> woken(std::move(waiters_));
-  for (auto h : woken) {
-    sim_->ScheduleHandle(sim_->Now(), h);
-  }
+  sim_->ScheduleHandleBurst(sim_->Now(), woken.begin(), woken.size());
 }
 
 }  // namespace emsim::sim

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "sim/calendar.h"
 #include "sim/frame_pool.h"
 #include "sim/simulation.h"
 #include "util/check.h"

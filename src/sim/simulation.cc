@@ -1,5 +1,6 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "sim/process.h"
@@ -14,6 +15,8 @@ Simulation::~Simulation() {
   // Destroy frames of processes still blocked on synchronization objects.
   // Their final awaiter never ran, so they are not in the calendar and no
   // other owner exists. Frame-local destructors must not touch the kernel.
+  // Frames parked in the handle pool or in burst cells are live processes
+  // too, so this sweep covers every pending coroutine entry as well.
   std::vector<LiveProcess> leftover;
   leftover.swap(live_);
   for (const LiveProcess& p : leftover) {
@@ -45,6 +48,42 @@ uint32_t Simulation::AcquireCallbackSlot() {
   uint32_t slot = free_callback_slots_.back();
   free_callback_slots_.pop_back();
   return slot;
+}
+
+uint32_t Simulation::AcquireBurstSlot() {
+  if (free_burst_slots_.empty()) {
+    burst_pool_.emplace_back();
+    return static_cast<uint32_t>(burst_pool_.size() - 1);
+  }
+  uint32_t slot = free_burst_slots_.back();
+  free_burst_slots_.pop_back();
+  return slot;
+}
+
+void Simulation::RenormalizeSeqs() {
+  // Gather the pending entries in pop order, renumber 0..n-1 (preserving
+  // their relative order), and reinstall. New pushes then continue from n,
+  // so every future entry orders after every pending one — exactly the
+  // pre-wrap contract. A sorted array is a valid min-heap, so the heap
+  // backend reinstalls with a plain move.
+  std::vector<CalEntry> pending;
+  if (backend_ == CalendarBackend::kHeap) {
+    pending.swap(calendar_);
+    std::sort(pending.begin(), pending.end(), EarlierThan);
+  } else {
+    cq_.DrainInOrder(&pending);
+  }
+  for (size_t i = 0; i < pending.size(); ++i) {
+    pending[i].seq = static_cast<uint32_t>(i);
+  }
+  next_seq_ = static_cast<uint32_t>(pending.size());
+  if (backend_ == CalendarBackend::kHeap) {
+    calendar_ = std::move(pending);
+  } else {
+    for (const CalEntry& entry : pending) {
+      cq_.Push(entry);
+    }
+  }
 }
 
 void Simulation::HeapPush(CalEntry entry) {
@@ -114,21 +153,60 @@ void Simulation::HeapPopRoot() {
   calendar_[i] = last;
 }
 
+void Simulation::DispatchBurst(uint32_t slot) {
+  // Move the group to a local: a resumed member may schedule a fresh burst
+  // (growing or reusing the pool), and neither may disturb the one being
+  // dispatched. The slot itself stays out of the free list until the loop
+  // finishes, then gets its (cleared) capacity back for reuse.
+  std::vector<void*> group = std::move(burst_pool_[slot]);
+  const size_t n = group.size();
+  for (size_t i = 0; i < n; ++i) {
+    // While members remain, the lone-runner fast path must stay off: the
+    // calendar may be empty, but simulated time is not allowed to advance
+    // past the members still owed a resume at now_.
+    in_burst_dispatch_ = i + 1 < n;
+    ++events_processed_;
+    if (metric_resumes_ != nullptr) {
+      metric_resumes_->Increment();
+    }
+    std::coroutine_handle<>::from_address(group[i]).resume();
+  }
+  in_burst_dispatch_ = false;
+  group.clear();
+  burst_pool_[slot] = std::move(group);
+  free_burst_slots_.push_back(slot);
+}
+
 bool Simulation::Step() {
-  if (calendar_.empty()) {
-    return false;
+  CalEntry entry;
+  if (backend_ == CalendarBackend::kHeap) {
+    if (calendar_.empty()) {
+      return false;
+    }
+    entry = calendar_.front();
+    HeapPopRoot();
+  } else {
+    if (cq_.empty()) {
+      return false;
+    }
+    entry = cq_.PopMin();
   }
-  CalEntry entry = calendar_.front();
-  HeapPopRoot();
   now_ = entry.time;
-  ++events_processed_;
-  const bool is_callback = (entry.payload & kCallbackTag) != 0;
-  if (metric_calendar_depth_ != nullptr) {
-    metric_calendar_depth_->Update(now_, static_cast<double>(calendar_.size()));
-    (is_callback ? metric_callbacks_ : metric_resumes_)->Increment();
+  const uint32_t tag = entry.payload & kTagMask;
+  const uint32_t slot = entry.payload >> kTagBits;
+  if (tag == kTagBurst) {
+    // Burst groups count one processed event per member (inside the
+    // dispatch loop), keeping events_processed() byte-identical with the
+    // unbatched path.
+    DispatchBurst(slot);
+    return true;
   }
-  if (is_callback) {
-    uint32_t slot = static_cast<uint32_t>(entry.payload >> 1);
+  ++events_processed_;
+  if (metric_calendar_depth_ != nullptr) {
+    metric_calendar_depth_->Update(now_, static_cast<double>(CalendarDepth()));
+    (tag == kTagCallback ? metric_callbacks_ : metric_resumes_)->Increment();
+  }
+  if (tag == kTagCallback) {
     // Relocate the cell to a local and recycle the slot before invoking: the
     // body may schedule new callbacks (reusing this very slot, or growing the
     // pool vector), neither of which may disturb the callable mid-call.
@@ -140,7 +218,10 @@ bool Simulation::Step() {
       cell.invoke_and_destroy(cell.storage);
     }
   } else {
-    std::coroutine_handle<>::from_address(reinterpret_cast<void*>(entry.payload)).resume();
+    void* address = handle_pool_[slot];
+    handle_pool_[slot] = nullptr;
+    free_handle_slots_.push_back(slot);
+    std::coroutine_handle<>::from_address(address).resume();
   }
   return true;
 }
@@ -175,7 +256,7 @@ bool Simulation::RunBounded(uint64_t max_events) {
                                                             : UINT64_MAX;
   while (events_processed_ < event_cap_ && Step()) {
   }
-  const bool drained = calendar_.empty();
+  const bool drained = CalendarEmpty();
   event_cap_ = UINT64_MAX;
   in_run_loop_ = false;
   return drained;
@@ -184,7 +265,7 @@ bool Simulation::RunBounded(uint64_t max_events) {
 void Simulation::RunUntil(SimTime deadline) {
   in_run_loop_ = true;
   run_deadline_ = deadline;
-  while (!calendar_.empty() && calendar_.front().time <= deadline) {
+  while (!CalendarEmpty() && CalMinTime() <= deadline) {
     Step();
   }
   in_run_loop_ = false;

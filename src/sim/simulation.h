@@ -10,13 +10,10 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "sim/calendar.h"
 #include "util/check.h"
 
 namespace emsim::sim {
-
-/// Simulated time in milliseconds (the paper's disk parameters are natural in
-/// ms; nothing in the kernel depends on the unit).
-using SimTime = double;
 
 class Process;
 
@@ -31,15 +28,20 @@ class Process;
 /// parallel speed for a simulation that completes in milliseconds. (Whole
 /// trials parallelize across Simulations; see core::RunTrialsParallel.)
 ///
-/// Hot-path layout: the calendar is an indexed 4-ary min-heap over 24-byte
-/// trivially copyable entries. Each entry carries a tagged payload — either a
-/// coroutine handle (the dominant case) or the id of a pooled callback slot —
-/// so sift operations move three words instead of a std::function. The 4-ary
-/// shape halves the sift depth of a binary heap and keeps the children of a
-/// node on one cache line.
+/// Hot-path layout: the calendar orders 16-byte trivially copyable entries
+/// (see CalEntry) whose payload is a tagged index into one of three recycled
+/// slot pools — coroutine handles (the dominant case), pooled callbacks, or
+/// same-timestamp burst groups. Two selectable backends implement the
+/// identical (time, seq) contract: an indexed 4-ary min-heap (sift moves two
+/// words per hop, children of a node share a cache line) and a Brown-1988
+/// calendar queue (amortized O(1) bucket ops; see calendar.h). Backend choice
+/// never changes results, only speed.
 class Simulation {
  public:
-  Simulation() = default;
+  /// `backend` selects the calendar structure; kDefault resolves the
+  /// EMSIM_CALENDAR environment variable (unset means heap).
+  explicit Simulation(CalendarBackend backend = CalendarBackend::kDefault)
+      : backend_(ResolveCalendarBackend(backend)) {}
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -47,18 +49,53 @@ class Simulation {
   /// Current simulated time.
   SimTime Now() const { return now_; }
 
+  /// The calendar backend this kernel resolved to (never kDefault).
+  CalendarBackend backend() const { return backend_; }
+
   /// Starts a process: the coroutine body begins executing at the current
   /// simulated time (processes start suspended). Ownership of the coroutine
   /// frame transfers to the kernel; the frame frees itself on completion.
   void Spawn(Process&& process);
 
-  /// Schedules `handle` to be resumed at absolute time `at` (>= Now()).
+  /// Schedules `handle` to be resumed at absolute time `at` (>= Now()). The
+  /// handle parks in a recycled slot pool and the calendar entry carries only
+  /// the slot index, so nothing address-derived ever enters the ordered
+  /// structure.
   void ScheduleHandle(SimTime at, std::coroutine_handle<> handle) {
     EMSIM_CHECK(at >= now_);
-    // The pointer bits are an opaque resume token: the calendar heap orders
-    // strictly by (time, seq), and the payload is never compared or exported.
-    // emsim-analyze: allow(determinism-taint)
-    HeapPush(CalEntry{at, next_seq_++, reinterpret_cast<uintptr_t>(handle.address())});
+    uint32_t slot = AcquireHandleSlot();
+    handle_pool_[slot] = handle.address();
+    CalPush(CalEntry{at, NextSeq(), (slot << kTagBits) | kTagHandle});
+  }
+
+  /// Schedules a batch of handles at one timestamp for the cost of a single
+  /// calendar touch: the group parks in a pooled burst cell and one entry
+  /// represents all of them. Dispatch resumes members in array order and
+  /// counts one processed event per member, so results are byte-identical to
+  /// scheduling them individually — the common case is D disk completions
+  /// landing on the same tick at high prefetch depth. Falls back to
+  /// individual scheduling for n <= 1 and while the calendar-depth timeline
+  /// is attached (the timeline must record every push/pop).
+  void ScheduleHandleBurst(SimTime at, const std::coroutine_handle<>* handles, size_t n) {
+    if (n == 0) {
+      return;
+    }
+    if (n == 1 || metric_calendar_depth_ != nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        ScheduleHandle(at, handles[i]);
+      }
+      return;
+    }
+    EMSIM_CHECK(at >= now_);
+    uint32_t slot = AcquireBurstSlot();
+    std::vector<void*>& group = burst_pool_[slot];
+    for (size_t i = 0; i < n; ++i) {
+      group.push_back(handles[i].address());
+    }
+    // One seq for the whole group: members would have received consecutive
+    // seqs, and no entry pushed later can order between them, so collapsing
+    // the range to its first value preserves the exact pop sequence.
+    CalPush(CalEntry{at, NextSeq(), (slot << kTagBits) | kTagBurst});
   }
 
   /// Schedules a plain callback at absolute time `at`. The callable is
@@ -70,8 +107,7 @@ class Simulation {
     EMSIM_CHECK(at >= now_);
     uint32_t slot = AcquireCallbackSlot();
     callback_pool_[slot].Emplace(std::forward<F>(callback));
-    HeapPush(CalEntry{at, next_seq_++,
-                      (static_cast<uintptr_t>(slot) << 1) | kCallbackTag});
+    CalPush(CalEntry{at, NextSeq(), (slot << kTagBits) | kTagCallback});
   }
 
   /// Lone-runner fast path used by awaiters (see Delay::await_suspend): when
@@ -80,22 +116,24 @@ class Simulation {
   /// let the caller keep running. Replays the pop's exact observable effects
   /// (now_, one seq number, events_processed_) so results stay byte-identical
   /// with the scheduled path. Declined outside the run loop (direct Step()
-  /// callers see one event per call), past a RunUntil deadline, or while
-  /// metrics are attached (the calendar-depth timeline must record the
-  /// push/pop it would otherwise miss).
+  /// callers see one event per call), past a RunUntil deadline, while burst
+  /// members are still being dispatched (they run at the current time, so
+  /// time must not move), or while metrics are attached (the calendar-depth
+  /// timeline must record the push/pop it would otherwise miss).
   bool AdvanceInline(SimTime at) {
-    if (!in_run_loop_ || !calendar_.empty() || at > run_deadline_ ||
+    if (!in_run_loop_ || in_burst_dispatch_ || !CalendarEmpty() || at > run_deadline_ ||
         metric_calendar_depth_ != nullptr || events_processed_ >= event_cap_) {
       return false;
     }
     EMSIM_CHECK(at >= now_);
     now_ = at;
-    ++next_seq_;
+    (void)NextSeq();
     ++events_processed_;
     return true;
   }
 
   /// Executes the single next event. Returns false if the calendar is empty.
+  /// A burst entry dispatches (and counts) every member before returning.
   bool Step();
 
   /// Runs until the calendar is empty. If live processes remain blocked on
@@ -113,19 +151,25 @@ class Simulation {
   /// bounded runs with their own checks; the pop sequence is byte-identical
   /// to one uninterrupted Run() because the cap also disables the
   /// AdvanceInline fast path once reached (a lone runner could otherwise
-  /// spin past any bound inside a single Step()).
+  /// spin past any bound inside a single Step()). A burst entry straddling
+  /// the cap overshoots it by its remaining members — bursts are atomic.
   bool RunBounded(uint64_t max_events);
 
   /// Number of calendar events executed so far.
   uint64_t events_processed() const { return events_processed_; }
 
-  /// Events waiting in the calendar right now.
-  size_t CalendarDepth() const { return calendar_.size(); }
+  /// Entries waiting in the calendar right now (a burst group counts as one).
+  size_t CalendarDepth() const {
+    return backend_ == CalendarBackend::kHeap ? calendar_.size() : cq_.size();
+  }
 
   /// Callback slots currently owned by the pool (allocated high-water mark;
   /// introspection for tests and benches — slots are recycled, so this stays
   /// at the peak number of simultaneously scheduled callbacks).
   size_t CallbackPoolSize() const { return callback_pool_.size(); }
+
+  /// Handle slots currently owned by the pool (same recycling contract).
+  size_t HandlePoolSize() const { return handle_pool_.size(); }
 
   /// Wires kernel instrumentation into `metrics` ("sim.*" namespace):
   /// coroutine resumes vs plain callbacks dispatched, processes spawned,
@@ -155,18 +199,19 @@ class Simulation {
     live_.pop_back();
   }
 
+  /// Test hook: plants the next FIFO sequence number so seq-wrap
+  /// renormalization can be exercised without 2^32 real events.
+  void SetNextSeqForTest(uint32_t next_seq) { next_seq_ = next_seq; }
+
   ~Simulation();
 
  private:
-  /// One calendar entry. `payload` is a tagged word: an aligned coroutine
-  /// frame address (low bit clear), or a callback slot id shifted left with
-  /// the low bit set. Trivially copyable so heap sifts are plain word moves.
-  struct CalEntry {
-    SimTime time;
-    uint64_t seq;  // FIFO tie-break for equal times.
-    uintptr_t payload;
-  };
-  static constexpr uintptr_t kCallbackTag = 1;
+  // Payload tags (low kTagBits of CalEntry::payload).
+  static constexpr uint32_t kTagBits = 2;
+  static constexpr uint32_t kTagMask = (1u << kTagBits) - 1;
+  static constexpr uint32_t kTagHandle = 0;
+  static constexpr uint32_t kTagCallback = 1;
+  static constexpr uint32_t kTagBurst = 2;
 
   struct LiveProcess {
     std::coroutine_handle<> handle;
@@ -220,33 +265,69 @@ class Simulation {
     }
   };
 
-  /// Strict total order (seq is unique), so the pop sequence is identical to
-  /// the old std::priority_queue calendar: time-ordered, FIFO within a tick.
-  /// Written with forced evaluation (`|`/`&`, not `||`/`&&`) so compilers
-  /// emit setcc/cmov instead of branches: inside heap sifts the outcome is
-  /// data-dependent and unpredictable, and mispredictions were the dominant
-  /// cost of the sift loops when this was measured.
-  static bool EarlierThan(const CalEntry& a, const CalEntry& b) {
-    return (a.time < b.time) | ((a.time == b.time) & (a.seq < b.seq));
+  /// Hands out the next FIFO sequence number. seq is 32-bit so a calendar
+  /// entry stays 16 bytes; on the (rare) wrap the pending entries — already a
+  /// tiny set relative to 2^32 — are renumbered 0..n-1 in pop order, which
+  /// preserves their relative order and every future ordering.
+  uint32_t NextSeq() {
+    if (next_seq_ == UINT32_MAX) [[unlikely]] {
+      RenormalizeSeqs();
+    }
+    return next_seq_++;
+  }
+  void RenormalizeSeqs();
+
+  bool CalendarEmpty() const {
+    return backend_ == CalendarBackend::kHeap ? calendar_.empty() : cq_.empty();
+  }
+  void CalPush(CalEntry entry) {
+    if (backend_ == CalendarBackend::kHeap) {
+      HeapPush(entry);
+    } else {
+      cq_.Push(entry);
+    }
+  }
+  /// Earliest pending time; requires a non-empty calendar.
+  SimTime CalMinTime() {
+    return backend_ == CalendarBackend::kHeap ? calendar_.front().time : cq_.PeekMin().time;
   }
 
   void HeapPush(CalEntry entry);
   void HeapPopRoot();
   uint32_t AcquireCallbackSlot();
+  uint32_t AcquireHandleSlot() {
+    if (free_handle_slots_.empty()) {
+      handle_pool_.push_back(nullptr);
+      return static_cast<uint32_t>(handle_pool_.size() - 1);
+    }
+    uint32_t slot = free_handle_slots_.back();
+    free_handle_slots_.pop_back();
+    return slot;
+  }
+  uint32_t AcquireBurstSlot();
+  void DispatchBurst(uint32_t slot);
 
+  CalendarBackend backend_;
   SimTime now_ = 0.0;
-  uint64_t next_seq_ = 0;
+  uint32_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   uint64_t event_cap_ = UINT64_MAX;  // Valid only while in_run_loop_ is true.
   bool in_run_loop_ = false;
+  bool in_burst_dispatch_ = false;
   SimTime run_deadline_ = 0.0;  // Valid only while in_run_loop_ is true.
   std::vector<LiveProcess> live_;
-  std::vector<CalEntry> calendar_;  // 4-ary min-heap ordered by EarlierThan.
+  std::vector<CalEntry> calendar_;  // Heap backend: 4-ary min-heap.
+  CalendarQueue cq_;                // Calendar-queue backend.
 
-  // Scheduled-callback storage: slot ids are recycled through a free list so
-  // steady-state callback traffic reuses the same cells.
+  // Slot pools. Ids recycle through free lists so steady-state traffic
+  // reuses the same cells; the pools grow to the peak number of
+  // simultaneously pending entries of each kind and never shrink.
+  std::vector<void*> handle_pool_;  // Parked coroutine frame addresses.
+  std::vector<uint32_t> free_handle_slots_;
   std::vector<CallbackCell> callback_pool_;
   std::vector<uint32_t> free_callback_slots_;
+  std::vector<std::vector<void*>> burst_pool_;  // Parked same-tick groups.
+  std::vector<uint32_t> free_burst_slots_;
 
   // Instrumentation (all null unless AttachMetrics was called).
   obs::Counter* metric_resumes_ = nullptr;

@@ -1,0 +1,117 @@
+// Pins the calendar-backend result-equivalence contract end to end: the
+// fig3.2 experiment JSON and a 7-shard sweep-merge artifact must be
+// byte-identical whether the kernel runs on the 4-ary heap or the Brown-1988
+// calendar queue. The backend knob is deliberately absent from specs, spec
+// digests and every exported document, so any byte difference here is a real
+// pop-order divergence in one of the backends — exactly the regression this
+// test exists to catch.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/experiment.h"
+#include "core/result_json.h"
+#include "sim/calendar.h"
+#include "sweep/merge.h"
+#include "sweep/shard.h"
+#include "util/str.h"
+
+namespace emsim {
+namespace {
+
+using core::MergeConfig;
+using core::Strategy;
+using core::SyncMode;
+using sim::CalendarBackend;
+
+/// Fig3.2-style operating points (both strategies, the paper's disk), plus a
+/// fault-injected unit so retry/backoff event traffic crosses backends too.
+std::vector<core::SweepUnit> PaperUnits(CalendarBackend backend) {
+  std::vector<core::SweepUnit> units;
+  for (int n : {1, 4, 10}) {
+    MergeConfig cfg =
+        MergeConfig::Paper(25, 5, n, Strategy::kAllDisksOneRun, SyncMode::kUnsynchronized);
+    cfg.calendar = backend;
+    units.push_back(core::SweepUnit{StrFormat("fig32/ador/n=%d", n), cfg, 2});
+  }
+  MergeConfig demand =
+      MergeConfig::Paper(25, 5, 4, Strategy::kDemandRunOnly, SyncMode::kUnsynchronized);
+  demand.calendar = backend;
+  units.push_back(core::SweepUnit{"fig32/dro/n=4", demand, 2});
+
+  MergeConfig faulty =
+      MergeConfig::Paper(10, 3, 2, Strategy::kAllDisksOneRun, SyncMode::kUnsynchronized);
+  faulty.blocks_per_run = 120;
+  faulty.fault.media_error_rate = 0.01;
+  faulty.fault.latency_spike_rate = 0.03;
+  faulty.fault.latency_spike_ms = 8.0;
+  faulty.calendar = backend;
+  units.push_back(core::SweepUnit{"faulty", faulty, 3});
+  return units;
+}
+
+std::string RenderJson(const std::vector<core::SweepUnit>& units,
+                       const std::vector<core::ExperimentResult>& results) {
+  std::vector<core::NamedExperiment> named;
+  for (size_t i = 0; i < units.size(); ++i) {
+    named.push_back(core::NamedExperiment{units[i].name, units[i].config, &results[i]});
+  }
+  return core::ExperimentSetToJson(named);
+}
+
+TEST(CalendarBackendTest, Fig32ExperimentJsonByteIdenticalAcrossBackends) {
+  std::string json_heap;
+  std::string json_cq;
+  {
+    auto units = PaperUnits(CalendarBackend::kHeap);
+    json_heap = RenderJson(units, core::RunSweep(units, 2));
+  }
+  {
+    auto units = PaperUnits(CalendarBackend::kCalendarQueue);
+    json_cq = RenderJson(units, core::RunSweep(units, 2));
+  }
+  EXPECT_FALSE(json_heap.empty());
+  EXPECT_EQ(json_heap, json_cq);
+}
+
+TEST(CalendarBackendTest, SevenShardSweepMergeByteIdenticalAcrossBackends) {
+  constexpr int kShards = 7;
+  std::vector<std::string> shard_texts[2];
+  std::string merged_json[2];
+  const CalendarBackend backends[2] = {CalendarBackend::kHeap,
+                                       CalendarBackend::kCalendarQueue};
+  for (int b = 0; b < 2; ++b) {
+    auto units = PaperUnits(backends[b]);
+    core::SweepGrid grid(units);
+    for (int s = 0; s < kShards; ++s) {
+      shard_texts[b].push_back(
+          sweep::EncodeShardArtifact(sweep::RunShard(grid, s, kShards, 1, {})));
+    }
+    auto merged = sweep::MergeShardArtifacts(units, shard_texts[b]);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    merged_json[b] = RenderJson(units, *merged);
+  }
+  // Every individual shard artifact — spec digest included — and the merged
+  // document must agree byte for byte.
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_EQ(shard_texts[0][static_cast<size_t>(s)], shard_texts[1][static_cast<size_t>(s)])
+        << "shard " << s;
+  }
+  EXPECT_FALSE(merged_json[0].empty());
+  EXPECT_EQ(merged_json[0], merged_json[1]);
+}
+
+/// Spec round-trips stay backend-agnostic: the knob must never serialize.
+TEST(CalendarBackendTest, BackendIsExcludedFromSpecsAndDigests) {
+  auto heap_units = PaperUnits(CalendarBackend::kHeap);
+  auto cq_units = PaperUnits(CalendarBackend::kCalendarQueue);
+  EXPECT_EQ(sweep::SpecDigest(heap_units), sweep::SpecDigest(cq_units));
+  EXPECT_EQ(heap_units[0].config.ToString(), cq_units[0].config.ToString());
+}
+
+}  // namespace
+}  // namespace emsim

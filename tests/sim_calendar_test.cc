@@ -1,12 +1,17 @@
-// Property and stress tests pinning the slim indexed-heap calendar to a
-// reference model (std::priority_queue over (time, seq)), plus the frame
-// pool's reuse guarantee and the O(1) live-process bookkeeping. These guard
-// the PR-critical invariant that the calendar rewrite preserves exact
-// (time, seq) FIFO ordering under every driver (Run, RunUntil, Step) and
-// under reentrant scheduling from callbacks. Labeled `unit;thread` so the
-// sanitizer CI jobs run them under ASan and TSan builds as well.
+// Property and stress tests pinning both calendar backends (indexed 4-ary
+// heap and Brown-1988 calendar queue) to a reference model
+// (std::priority_queue over (time, seq)), plus burst-resume equivalence, the
+// seq-wrap renormalization, the frame pool's reuse guarantee and the O(1)
+// live-process bookkeeping. These guard the PR-critical invariant that every
+// calendar backend preserves exact (time, seq) FIFO ordering under every
+// driver (Run, RunUntil, Step), under reentrant scheduling from callbacks,
+// and under adversarial time distributions (all-equal timestamps, sparse
+// exponential spreads, resize churn). Labeled `unit;thread` so the sanitizer
+// CI jobs run them under ASan and TSan builds as well.
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -17,6 +22,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+#include "sim/calendar.h"
+#include "sim/event.h"
 #include "sim/frame_pool.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
@@ -134,13 +142,24 @@ class TreeDriver {
   std::vector<int> log_;
 };
 
-TEST(CalendarStressTest, RunMatchesReferenceModel) {
+/// Every ordering test below runs once per calendar backend: the (time, seq)
+/// contract is backend-independent by design, and this suite is what pins it.
+class CalendarContractTest : public ::testing::TestWithParam<CalendarBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, CalendarContractTest,
+                         ::testing::Values(CalendarBackend::kHeap,
+                                           CalendarBackend::kCalendarQueue),
+                         [](const ::testing::TestParamInfo<CalendarBackend>& info) {
+                           return std::string(CalendarBackendName(info.param));
+                         });
+
+TEST_P(CalendarContractTest, RunMatchesReferenceModel) {
   for (uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL}) {
     SCOPED_TRACE("seed=" + std::to_string(seed));
     EventTree tree = MakeTree(seed, /*roots=*/200, /*max_ids=*/4000);
     std::vector<int> expected = ReferenceOrder(tree);
 
-    Simulation sim;
+    Simulation sim(GetParam());
     TreeDriver driver(&sim, &tree);
     driver.ScheduleRoots();
     sim.Run();
@@ -151,11 +170,11 @@ TEST(CalendarStressTest, RunMatchesReferenceModel) {
   }
 }
 
-TEST(CalendarStressTest, InterleavedStepAndRunUntilMatchesReferenceModel) {
+TEST_P(CalendarContractTest, InterleavedStepAndRunUntilMatchesReferenceModel) {
   EventTree tree = MakeTree(/*seed=*/99, /*roots=*/150, /*max_ids=*/3000);
   std::vector<int> expected = ReferenceOrder(tree);
 
-  Simulation sim;
+  Simulation sim(GetParam());
   TreeDriver driver(&sim, &tree);
   driver.ScheduleRoots();
   // Drain through every driver the kernel offers: single steps, bounded
@@ -171,8 +190,8 @@ TEST(CalendarStressTest, InterleavedStepAndRunUntilMatchesReferenceModel) {
   EXPECT_EQ(sim.events_processed(), static_cast<uint64_t>(tree.num_ids));
 }
 
-TEST(CalendarTest, FifoTieBreakAcrossInterleavedTimes) {
-  Simulation sim;
+TEST_P(CalendarContractTest, FifoTieBreakAcrossInterleavedTimes) {
+  Simulation sim(GetParam());
   std::vector<int> log;
   // Interleave registrations across two times; within a time, execution must
   // follow registration order exactly.
@@ -186,6 +205,339 @@ TEST(CalendarTest, FifoTieBreakAcrossInterleavedTimes) {
     EXPECT_EQ(log[static_cast<size_t>(i)], 2 * i + 1) << "time-3 group order";
     EXPECT_EQ(log[static_cast<size_t>(32 + i)], 2 * i) << "time-5 group order";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial time distributions. Each targets a calendar-queue failure mode
+// (bucket collapse, sparse buckets, resize churn) but runs on both backends:
+// the expected order comes from the contract, not from either structure.
+// ---------------------------------------------------------------------------
+
+TEST_P(CalendarContractTest, AllEqualTimestampsPreserveFifo) {
+  // Every event on one tick: the calendar queue degenerates to a single
+  // sorted bucket (width adaptation cannot separate equal times), and the
+  // heap's comparator decides purely on seq. Reentrant same-time scheduling
+  // must interleave exactly as the reference does.
+  Simulation sim(GetParam());
+  std::vector<int> log;
+  constexpr int kFirstWave = 500;
+  for (int i = 0; i < kFirstWave; ++i) {
+    sim.ScheduleCallback(7.0, [&log, &sim, i] {
+      log.push_back(i);
+      if (i % 3 == 0) {
+        // A same-tick child: must run after everything already registered.
+        sim.ScheduleCallback(7.0, [&log, i] { log.push_back(kFirstWave + i); });
+      }
+    });
+  }
+  sim.Run();
+  std::vector<int> expected;
+  for (int i = 0; i < kFirstWave; ++i) {
+    expected.push_back(i);
+  }
+  for (int i = 0; i < kFirstWave; i += 3) {
+    expected.push_back(kFirstWave + i);
+  }
+  EXPECT_EQ(log, expected);
+  EXPECT_EQ(sim.Now(), 7.0);
+}
+
+TEST_P(CalendarContractTest, ExponentiallySpreadTimestampsMatchReference) {
+  // Times spanning ~10 decades leave nearly every calendar-queue bucket
+  // empty and force its direct-search fallback (a whole "year" scan finds
+  // nothing due). Expected order: stable sort by time (seq breaks ties by
+  // registration order).
+  Rng rng(2024);
+  std::vector<double> times;
+  for (int i = 0; i < 3000; ++i) {
+    double t = rng.Exponential(1.0) * std::pow(10.0, static_cast<double>(rng.UniformInt(10)));
+    times.push_back(t);
+  }
+  std::vector<int> expected(times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    expected[i] = static_cast<int>(i);
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [&times](int a, int b) {
+                     return times[static_cast<size_t>(a)] < times[static_cast<size_t>(b)];
+                   });
+
+  Simulation sim(GetParam());
+  std::vector<int> log;
+  for (size_t i = 0; i < times.size(); ++i) {
+    sim.ScheduleCallback(times[i], [&log, i] { log.push_back(static_cast<int>(i)); });
+  }
+  sim.Run();
+  EXPECT_EQ(log, expected);
+}
+
+TEST_P(CalendarContractTest, PopulationChurnWavesMatchReference) {
+  // Sawtooth population (fill to ~2000, drain to ~50, repeat) drives the
+  // calendar queue through repeated grow/shrink resizes while events keep
+  // executing; a tree replay per wave cross-checks the full order.
+  Simulation sim(GetParam());
+  Rng rng(31337);
+  std::vector<double> pending;  // Times scheduled but not yet executed.
+  std::vector<std::pair<double, int>> executed;
+  int next_id = 0;
+  auto schedule = [&](double at, int id) {
+    sim.ScheduleCallback(at, [&executed, at, id] { executed.emplace_back(at, id); });
+    pending.push_back(at);
+  };
+  for (int wave = 0; wave < 6; ++wave) {
+    for (int i = 0; i < 2000; ++i) {
+      double at = sim.Now() + static_cast<double>(rng.UniformInt(500)) * 0.25;
+      schedule(at, next_id++);
+    }
+    // Drain most of the population, leaving a deadline-ordered remainder.
+    std::sort(pending.begin(), pending.end());
+    double cutoff = pending[pending.size() - 50];
+    pending.erase(pending.begin(), pending.end() - 50);
+    sim.RunUntil(cutoff);
+  }
+  sim.Run();
+  // The contract gives the expected order directly: sort executions by
+  // (time, registration id) — ids were assigned in scheduling order.
+  std::vector<std::pair<double, int>> expected = executed;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(executed, expected);
+  EXPECT_EQ(sim.events_processed(), static_cast<uint64_t>(next_id));
+}
+
+// ---------------------------------------------------------------------------
+// Batched same-timestamp resume. Ground truth comes from the kernel itself:
+// with the calendar-depth timeline attached, ScheduleHandleBurst falls back
+// to per-handle scheduling, so running one scenario with and without metrics
+// must produce identical logs, event counts and clocks.
+// ---------------------------------------------------------------------------
+
+Process BurstWaiter(Simulation& sim, Event& ready, std::vector<int>& log, int id) {
+  co_await ready.Wait();
+  log.push_back(id);
+  // Same-tick follow-up work: must run after every burst member resumed.
+  sim.ScheduleCallback(sim.Now(), [&log, id] { log.push_back(1000 + id); });
+  co_await Delay(0.0);  // Lone-runner bait: time must not advance mid-burst.
+  log.push_back(2000 + id);
+}
+
+Process BurstSetter(Event& ready) {
+  co_await Delay(5.0);
+  ready.Set();
+}
+
+struct BurstRunResult {
+  std::vector<int> log;
+  uint64_t events = 0;
+  double now = 0.0;
+};
+
+BurstRunResult RunBurstScenario(CalendarBackend backend, bool attach_metrics) {
+  Simulation sim(backend);
+  obs::MetricsRegistry metrics(true);
+  if (attach_metrics) {
+    sim.AttachMetrics(&metrics);
+  }
+  BurstRunResult result;
+  Event ready(&sim);
+  for (int id = 0; id < 16; ++id) {
+    sim.Spawn(BurstWaiter(sim, ready, result.log, id));
+  }
+  sim.Spawn(BurstSetter(ready));
+  sim.Run();
+  result.events = sim.events_processed();
+  result.now = sim.Now();
+  return result;
+}
+
+TEST_P(CalendarContractTest, EventBurstResumesWaitersInFifoOrder) {
+  BurstRunResult burst = RunBurstScenario(GetParam(), /*attach_metrics=*/false);
+  ASSERT_EQ(burst.log.size(), 48u);
+  // All 16 members resume first (FIFO); then their same-tick follow-ups in
+  // seq order — each member registered its callback then its Delay(0)
+  // continuation, so the tail interleaves (1000+id, 2000+id) pairs.
+  for (int id = 0; id < 16; ++id) {
+    EXPECT_EQ(burst.log[static_cast<size_t>(id)], id) << "waiter order";
+    EXPECT_EQ(burst.log[static_cast<size_t>(16 + 2 * id)], 1000 + id) << "follow-up order";
+    EXPECT_EQ(burst.log[static_cast<size_t>(17 + 2 * id)], 2000 + id) << "post-delay order";
+  }
+  EXPECT_EQ(burst.now, 5.0);
+}
+
+TEST_P(CalendarContractTest, BurstPathMatchesUnbatchedFallbackExactly) {
+  BurstRunResult burst = RunBurstScenario(GetParam(), /*attach_metrics=*/false);
+  BurstRunResult unbatched = RunBurstScenario(GetParam(), /*attach_metrics=*/true);
+  EXPECT_EQ(burst.log, unbatched.log);
+  EXPECT_EQ(burst.events, unbatched.events);
+  EXPECT_EQ(burst.now, unbatched.now);
+}
+
+Process SignalHopper(Signal& pulse, int& rounds, std::vector<int>& log, int id) {
+  while (rounds > 0) {
+    co_await pulse.Wait();
+    log.push_back(id);
+  }
+}
+
+Process SignalDriver(Signal& pulse, int& rounds) {
+  while (rounds > 0) {
+    co_await Delay(1.0);
+    --rounds;
+    pulse.Fire();
+  }
+}
+
+TEST_P(CalendarContractTest, RepeatedSignalBurstsRecycleBurstSlots) {
+  Simulation sim(GetParam());
+  Signal pulse(&sim);
+  int rounds = 50;
+  std::vector<int> log;
+  for (int id = 0; id < 8; ++id) {
+    sim.Spawn(SignalHopper(pulse, rounds, log, id));
+  }
+  sim.Spawn(SignalDriver(pulse, rounds));
+  sim.Run();
+  // 50 pulses x 8 waiters, FIFO within each pulse. (The final pulse finds
+  // rounds == 0, so every waiter still runs exactly 50 times.)
+  ASSERT_EQ(log.size(), 400u);
+  for (size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i], static_cast<int>(i % 8));
+  }
+  EXPECT_EQ(sim.live_processes(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// 32-bit seq wrap: renormalization keeps the FIFO contract across the wrap.
+// ---------------------------------------------------------------------------
+
+TEST_P(CalendarContractTest, SeqWrapRenormalizationPreservesFifo) {
+  Simulation sim(GetParam());
+  std::vector<int> log;
+  // A few entries with ordinary seqs, then force the counter to the edge so
+  // the remaining registrations straddle the wrap mid-scheduling.
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleCallback(20.0 + i, [&log, i] { log.push_back(i); });
+  }
+  sim.SetNextSeqForTest(UINT32_MAX - 2);
+  for (int i = 5; i < 30; ++i) {
+    sim.ScheduleCallback(10.0, [&log, i] { log.push_back(i); });
+  }
+  sim.Run();
+  // Expected: the same-time block (5..29) in registration order — across the
+  // renormalization — then the earlier-registered but later-timed 0..4.
+  ASSERT_EQ(log.size(), 30u);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(log[static_cast<size_t>(i)], 5 + i);
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(log[static_cast<size_t>(25 + i)], i);
+  }
+}
+
+Process WakeRecorder(Simulation& sim, std::vector<double>& wakes) {
+  for (int i = 0; i < 8; ++i) {
+    co_await Delay(1.5);
+    wakes.push_back(sim.Now());
+  }
+}
+
+TEST_P(CalendarContractTest, SeqWrapDuringLoneRunnerAdvance) {
+  Simulation sim(GetParam());
+  sim.SetNextSeqForTest(UINT32_MAX - 1);
+  std::vector<double> wakes;
+  sim.Spawn(WakeRecorder(sim, wakes));
+  sim.Run();
+  ASSERT_EQ(wakes.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(wakes[static_cast<size_t>(i)], 1.5 * (i + 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CalendarQueue direct tests: randomized push/pop against the reference heap
+// under the same adversarial distributions, with resize churn verified via
+// the bucket-count introspection.
+// ---------------------------------------------------------------------------
+
+struct RefLater {
+  bool operator()(const CalEntry& a, const CalEntry& b) const { return EarlierThan(b, a); }
+};
+using ReferenceQueue = std::priority_queue<CalEntry, std::vector<CalEntry>, RefLater>;
+
+void FuzzAgainstReference(uint64_t seed, int ops, double (*next_time)(Rng&, double)) {
+  Rng rng(seed);
+  CalendarQueue cq;
+  ReferenceQueue ref;
+  uint32_t seq = 0;
+  double now = 0.0;
+  for (int op = 0; op < ops; ++op) {
+    // Bias toward pushes while small, pops while large, with random runs of
+    // each so the population swings through resize thresholds repeatedly.
+    const uint64_t push_bias = cq.size() < 512 ? 60 : 40;
+    bool push = cq.empty() || rng.UniformInt(100) < push_bias;
+    if (push) {
+      CalEntry entry{next_time(rng, now), seq, seq};
+      ++seq;
+      cq.Push(entry);
+      ref.push(entry);
+    } else {
+      ASSERT_EQ(cq.PeekMin().seq, ref.top().seq) << "op " << op;
+      CalEntry popped = cq.PopMin();
+      EXPECT_EQ(popped.time, ref.top().time) << "op " << op;
+      EXPECT_EQ(popped.seq, ref.top().seq) << "op " << op;
+      now = popped.time;  // Simulation clock: future pushes are >= now.
+      ref.pop();
+    }
+    ASSERT_EQ(cq.size(), ref.size());
+  }
+  while (!cq.empty()) {
+    CalEntry popped = cq.PopMin();
+    EXPECT_EQ(popped.seq, ref.top().seq);
+    ref.pop();
+  }
+}
+
+TEST(CalendarQueueTest, UniformTimesMatchReference) {
+  FuzzAgainstReference(17, 20000, [](Rng& rng, double now) {
+    return now + static_cast<double>(rng.UniformInt(1000)) * 0.125;
+  });
+}
+
+TEST(CalendarQueueTest, AllEqualTimesMatchReference) {
+  // Bucket collapse: every entry maps to one bucket; order is pure seq.
+  FuzzAgainstReference(23, 8000, [](Rng&, double now) { return now; });
+}
+
+TEST(CalendarQueueTest, ExponentialSpreadMatchesReference) {
+  // Sparse buckets: successive times jump decades, exercising the
+  // direct-search fallback and cursor jumps.
+  FuzzAgainstReference(29, 8000, [](Rng& rng, double now) {
+    return now + rng.Exponential(1.0) * std::pow(10.0, static_cast<double>(rng.UniformInt(8)));
+  });
+}
+
+TEST(CalendarQueueTest, ResizeChurnGrowsAndShrinksBuckets) {
+  CalendarQueue cq;
+  Rng rng(7);
+  uint32_t seq = 0;
+  size_t max_buckets = cq.NumBuckets();
+  // Fill far past the grow threshold...
+  for (int i = 0; i < 4096; ++i) {
+    cq.Push(CalEntry{static_cast<double>(rng.UniformInt(100000)) * 0.01, seq, seq});
+    ++seq;
+    max_buckets = std::max(max_buckets, cq.NumBuckets());
+  }
+  EXPECT_GT(max_buckets, 4u) << "population 4096 must trigger grow resizes";
+  // ...then drain to trigger the shrink path, checking order en route.
+  CalEntry prev = cq.PopMin();
+  size_t min_buckets = cq.NumBuckets();
+  while (!cq.empty()) {
+    CalEntry entry = cq.PopMin();
+    ASSERT_TRUE(EarlierThan(prev, entry));
+    prev = entry;
+    min_buckets = std::min(min_buckets, cq.NumBuckets());
+  }
+  EXPECT_LT(min_buckets, max_buckets) << "drain must trigger shrink resizes";
+  EXPECT_GT(cq.BucketWidth(), 0.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -205,6 +557,20 @@ TEST(CalendarTest, CallbackSlotsAreReusedAcrossWaves) {
     EXPECT_EQ(sim.CallbackPoolSize(), 50u) << "wave " << wave;
   }
   EXPECT_EQ(hits, 6 * 50);
+}
+
+TEST(CalendarTest, HandleSlotsAreReusedAcrossWaves) {
+  Simulation sim;
+  for (int wave = 0; wave < 6; ++wave) {
+    for (int i = 0; i < 40; ++i) {
+      sim.Spawn([](double delay) -> Process { co_await Delay(delay); }(1.0 + i));
+    }
+    sim.Run();
+    // Same recycling contract as callback cells: the handle pool grows to
+    // the peak number of simultaneously parked coroutines, then stabilizes.
+    EXPECT_EQ(sim.HandlePoolSize(), 40u) << "wave " << wave;
+  }
+  EXPECT_EQ(sim.live_processes(), 0);
 }
 
 TEST(CalendarTest, HeapBoxedCallablesExecuteAndDestruct) {

@@ -1,23 +1,38 @@
 #!/usr/bin/env python3
-"""Perf-smoke ratio gate for google-benchmark JSON output.
+"""Perf-smoke gate for google-benchmark JSON output.
 
 Compares a current `--benchmark_format=json` report against a committed
-baseline and fails when any benchmark's time exceeds `max-ratio` times its
-baseline. The default ratio is deliberately loose (4.0): the committed
-baseline is captured on a developer machine, CI machines differ in clock and
-code layout by integer factors, and the gate's job is to catch order-of-
-magnitude regressions (an accidental O(n) calendar, per-event heap traffic),
-not 10% noise. Tighten locally with --max-ratio when comparing runs from the
-same machine.
+baseline on two axes:
+
+  1. Wall time, loosely: fail when a benchmark's time exceeds `max-ratio`
+     times its baseline. The default ratio is deliberately loose (4.0): the
+     committed baseline is captured on a developer machine, CI machines
+     differ in clock and code layout by integer factors, and this half of
+     the gate only catches order-of-magnitude regressions (an accidental
+     O(n) calendar), not 10% noise. Tighten locally with --max-ratio when
+     comparing runs from the same machine.
+
+  2. The machine-independent counters, exactly: `allocs_per_op` must not
+     grow past the baseline (plus --allocs-slack, covering rare steady-state
+     capacity growth), and `events_per_op` must match the baseline within
+     --counter-rel-tol in either direction (the tolerance covers seed-mix
+     drift on the full-trial benches, whose per-op event count is a mean
+     over per-iteration seeds). These counters are identical on every
+     machine, so unlike wall time they gate tightly: one new heap
+     allocation per event or one extra calendar event per op fails CI even
+     when the wall-time ratio hides it. Counters absent from the baseline
+     entry are ignored, so new benchmarks and new counters roll in through
+     a baseline refresh.
 
 Exit codes:
-  0 — every baseline benchmark present and within the ratio
-  1 — regression: a benchmark slowed past the ratio or disappeared
+  0 — every baseline benchmark present, within the ratio, counters intact
+  1 — regression: time ratio, counter mismatch, or missing benchmark
   2 — usage or I/O error (missing file, malformed JSON)
 
 Usage:
   check_bench.py --baseline tools/perf/baseline_kernel_micro.json \
-                 --current bench.json [--max-ratio 4.0] [--metric cpu_time]
+                 --current bench.json [--max-ratio 4.0] [--metric cpu_time] \
+                 [--allocs-slack 0.5] [--counter-rel-tol 0.02]
 """
 
 import argparse
@@ -25,9 +40,25 @@ import json
 import os
 import sys
 
+# Counters gated exactly (machine-independent), as (name, mode) where mode
+# "grow" fails only on increase and "match" fails on drift either way.
+GATED_COUNTERS = (
+    ("allocs_per_op", "grow"),
+    ("events_per_op", "match"),
+)
+
+
+def fmt_counter(value):
+    """Counters are per-op means; show exact small integers compactly."""
+    if value is None:
+        return "—"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.3g}"
+
 
 def write_step_summary(rows, max_ratio, failures):
-    """Appends a markdown ratio table to $GITHUB_STEP_SUMMARY when set.
+    """Appends a markdown gate table to $GITHUB_STEP_SUMMARY when set.
 
     Purely additive reporting for the GitHub Actions job summary page; the
     gate contract (exit codes, stdout/stderr text) is unchanged.
@@ -35,21 +66,29 @@ def write_step_summary(rows, max_ratio, failures):
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
         return
-    lines = ["### Perf ratio gate (max ratio {:g})".format(max_ratio), ""]
-    lines.append("| benchmark | baseline | current | ratio | verdict |")
-    lines.append("|---|---:|---:|---:|---|")
-    for name, base_time, cur_time, ratio, verdict in rows:
-        current_cell = f"{cur_time:.1f}" if cur_time is not None else "MISSING"
-        ratio_cell = f"{ratio:.2f}" if ratio is not None else "—"
-        icon = "✅ ok" if verdict == "ok" else "❌ FAIL"
+    lines = ["### Perf gate (max time ratio {:g})".format(max_ratio), ""]
+    lines.append("| benchmark | baseline | current | ratio "
+                 "| allocs/op (base → cur) | events/op (base → cur) | verdict |")
+    lines.append("|---|---:|---:|---:|---:|---:|---|")
+    for row in rows:
+        current_cell = f"{row.cur_time:.1f}" if row.cur_time is not None else "MISSING"
+        ratio_cell = f"{row.ratio:.2f}" if row.ratio is not None else "—"
+        icon = "✅ ok" if row.verdict == "ok" else "❌ FAIL"
+        counter_cells = []
+        for counter, _ in GATED_COUNTERS:
+            base_val, cur_val = row.counters.get(counter, (None, None))
+            if base_val is None:
+                counter_cells.append("—")
+            else:
+                counter_cells.append(f"{fmt_counter(base_val)} → {fmt_counter(cur_val)}")
         lines.append(
-            f"| `{name}` | {base_time:.1f} | {current_cell} | {ratio_cell} | {icon} |"
-        )
+            f"| `{row.name}` | {row.base_time:.1f} | {current_cell} | {ratio_cell} "
+            f"| {counter_cells[0]} | {counter_cells[1]} | {icon} |")
     lines.append("")
     if failures:
-        lines.append(f"**{len(failures)} regression(s) past the ratio gate.**")
+        lines.append(f"**{len(failures)} regression(s) past the gate.**")
     else:
-        lines.append(f"All {len(rows)} benchmarks within the ratio.")
+        lines.append(f"All {len(rows)} benchmarks within the gate.")
     try:
         with open(path, "a", encoding="utf-8") as f:
             f.write("\n".join(lines) + "\n")
@@ -57,8 +96,21 @@ def write_step_summary(rows, max_ratio, failures):
         print(f"check_bench: cannot write step summary: {err}", file=sys.stderr)
 
 
-def load_times(path, metric):
-    """Returns {benchmark name: time} from a google-benchmark JSON report."""
+class Row:
+    """One benchmark's comparison: times plus per-counter (base, cur) pairs."""
+
+    def __init__(self, name, base_time, cur_time, ratio, verdict, counters):
+        self.name = name
+        self.base_time = base_time
+        self.cur_time = cur_time
+        self.ratio = ratio
+        self.verdict = verdict
+        self.counters = counters  # {counter name: (baseline, current|None)}
+
+
+def load_report(path, metric):
+    """Returns {name: (time, {counter: value})} from a google-benchmark JSON
+    report. Only the counters named in GATED_COUNTERS are kept."""
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -69,7 +121,7 @@ def load_times(path, metric):
     if not isinstance(benchmarks, list) or not benchmarks:
         print(f"check_bench: {path} has no benchmarks", file=sys.stderr)
         sys.exit(2)
-    times = {}
+    report = {}
     for bench in benchmarks:
         # Skip aggregate rows (mean/median/stddev) if repetitions were used.
         if bench.get("run_type") == "aggregate":
@@ -79,8 +131,45 @@ def load_times(path, metric):
         if name is None or value is None:
             print(f"check_bench: {path}: entry missing name/{metric}", file=sys.stderr)
             sys.exit(2)
-        times[name] = float(value)
-    return times
+        counters = {}
+        for counter, _ in GATED_COUNTERS:
+            if counter in bench:
+                counters[counter] = float(bench[counter])
+        report[name] = (float(value), counters)
+    return report
+
+
+def check_counters(name, base_counters, cur_counters, args, failures):
+    """Gates each baseline counter against the current run; returns the
+    {counter: (base, cur)} pairs for the report tables."""
+    pairs = {}
+    for counter, mode in GATED_COUNTERS:
+        if counter not in base_counters:
+            continue  # Not in baseline: rolls in at the next refresh.
+        base_val = base_counters[counter]
+        cur_val = cur_counters.get(counter)
+        pairs[counter] = (base_val, cur_val)
+        if cur_val is None:
+            failures.append(f"{name}: counter {counter} missing from current run")
+            continue
+        if mode == "grow":
+            # Relative headroom absorbs seed-mix jitter on per-trial counters
+            # (the full-merge bench's alloc count moves a few per op with the
+            # iteration-dependent seed mix); the absolute slack is what gates
+            # the steady-state benches whose baseline is ~0.
+            limit = base_val * (1.0 + args.counter_rel_tol) + args.allocs_slack
+            if cur_val > limit:
+                failures.append(
+                    f"{name}: {counter} grew to {fmt_counter(cur_val)} "
+                    f"(baseline {fmt_counter(base_val)}, limit {fmt_counter(limit)})")
+        else:  # match
+            tolerance = abs(base_val) * args.counter_rel_tol
+            if abs(cur_val - base_val) > tolerance:
+                failures.append(
+                    f"{name}: {counter} drifted to {fmt_counter(cur_val)} "
+                    f"(baseline {fmt_counter(base_val)} "
+                    f"± {100.0 * args.counter_rel_tol:g}%)")
+    return pairs
 
 
 def main():
@@ -92,36 +181,55 @@ def main():
     parser.add_argument("--metric", default="cpu_time",
                         choices=["cpu_time", "real_time"],
                         help="which benchmark time to compare (default cpu_time)")
+    parser.add_argument("--allocs-slack", type=float, default=0.5,
+                        help="absolute allocs_per_op growth allowed over the "
+                             "baseline (default 0.5: below one allocation per "
+                             "op, above steady-state capacity jitter)")
+    parser.add_argument("--counter-rel-tol", type=float, default=0.02,
+                        help="relative drift allowed on exact-match counters "
+                             "such as events_per_op (default 0.02)")
     args = parser.parse_args()
     if args.max_ratio <= 0:
         print("check_bench: --max-ratio must be positive", file=sys.stderr)
         return 2
+    if args.allocs_slack < 0 or args.counter_rel_tol < 0:
+        print("check_bench: slack/tolerance must be non-negative", file=sys.stderr)
+        return 2
 
-    baseline = load_times(args.baseline, args.metric)
-    current = load_times(args.current, args.metric)
+    baseline = load_report(args.baseline, args.metric)
+    current = load_report(args.current, args.metric)
 
     failures = []
-    rows = []  # (name, baseline, current|None, ratio|None, verdict)
+    rows = []
     width = max(len(name) for name in baseline)
-    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  ratio")
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  ratio  "
+          f"{'allocs/op':>14}  {'events/op':>18}")
     for name in sorted(baseline):
-        base_time = baseline[name]
+        base_time, base_counters = baseline[name]
         if name not in current:
             failures.append(f"{name}: present in baseline but not in current run")
             print(f"{name.ljust(width)}  {base_time:12.1f}  {'MISSING':>12}  FAIL")
-            rows.append((name, base_time, None, None, "FAIL"))
+            rows.append(Row(name, base_time, None, None, "FAIL", {}))
             continue
-        cur_time = current[name]
+        cur_time, cur_counters = current[name]
         ratio = cur_time / base_time if base_time > 0 else float("inf")
-        verdict = "ok"
+        failures_before = len(failures)
         if ratio > args.max_ratio:
             failures.append(
                 f"{name}: {cur_time:.1f} vs baseline {base_time:.1f} "
                 f"(ratio {ratio:.2f} > {args.max_ratio})")
-            verdict = "FAIL"
+        pairs = check_counters(name, base_counters, cur_counters, args, failures)
+        verdict = "ok" if len(failures) == failures_before else "FAIL"
+        cells = []
+        for counter, _ in GATED_COUNTERS:
+            base_val, cur_val = pairs.get(counter, (None, None))
+            if base_val is None:
+                cells.append("—")
+            else:
+                cells.append(f"{fmt_counter(base_val)}→{fmt_counter(cur_val)}")
         print(f"{name.ljust(width)}  {base_time:12.1f}  {cur_time:12.1f}  "
-              f"{ratio:5.2f} {verdict}")
-        rows.append((name, base_time, cur_time, ratio, verdict))
+              f"{ratio:5.2f}  {cells[0]:>14}  {cells[1]:>18}  {verdict}")
+        rows.append(Row(name, base_time, cur_time, ratio, verdict, pairs))
     write_step_summary(rows, args.max_ratio, failures)
 
     extra = sorted(set(current) - set(baseline))
@@ -130,12 +238,14 @@ def main():
               + ", ".join(extra))
 
     if failures:
-        print(f"\ncheck_bench: {len(failures)} regression(s) past ratio "
-              f"{args.max_ratio}:", file=sys.stderr)
+        print(f"\ncheck_bench: {len(failures)} regression(s) past the gate:",
+              file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"\ncheck_bench: all {len(baseline)} benchmarks within ratio {args.max_ratio}")
+    print(f"\ncheck_bench: all {len(baseline)} benchmarks within the gate "
+          f"(time ratio {args.max_ratio}, allocs slack {args.allocs_slack:g}, "
+          f"counter tolerance {100.0 * args.counter_rel_tol:g}%)")
     return 0
 
 
