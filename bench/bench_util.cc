@@ -9,6 +9,8 @@
 
 #include "core/result_json.h"
 #include "stats/ascii_chart.h"
+#include "util/atomic_file.h"
+#include "util/status.h"
 #include "util/str.h"
 
 namespace emsim::bench {
@@ -121,13 +123,11 @@ void WriteJsonArtifact(const std::string& bench_name) {
   std::string path = StrFormat("%s%sBENCH_%s.json", dir != nullptr ? dir : "",
                                dir != nullptr && *dir != '\0' ? "/" : "",
                                bench_name.c_str());
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_util: cannot write %s\n", path.c_str());
+  Status written = util::WriteFileAtomic(path, doc);
+  if (!written.ok()) {
+    std::fprintf(stderr, "bench_util: %s\n", written.ToString().c_str());
     return;
   }
-  std::fwrite(doc.data(), 1, doc.size(), f);
-  std::fclose(f);
   std::printf("json artifact: %s (%zu experiments)\n", path.c_str(), named.size());
 }
 

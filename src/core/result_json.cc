@@ -202,7 +202,9 @@ void WriteJson(stats::JsonWriter& w, const ExperimentResult& result) {
   w.EndObject();
 }
 
-std::string ExperimentSetToJson(const std::vector<NamedExperiment>& experiments) {
+std::string ExperimentSetToJson(
+    const std::vector<NamedExperiment>& experiments,
+    const std::function<void(stats::JsonWriter&)>& extra_fields) {
   stats::JsonWriter w;
   w.BeginObject();
   w.Field("schema_version", kJsonSchemaVersion);
@@ -221,6 +223,9 @@ std::string ExperimentSetToJson(const std::vector<NamedExperiment>& experiments)
     w.EndObject();
   }
   w.EndArray();
+  if (extra_fields) {
+    extra_fields(w);
+  }
   w.EndObject();
   return w.Take();
 }

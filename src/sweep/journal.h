@@ -1,0 +1,107 @@
+#ifndef EMSIM_SWEEP_JOURNAL_H_
+#define EMSIM_SWEEP_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace emsim::sweep {
+
+/// One append-only journal record. The journal is the durable truth about a
+/// sweep run: which spec it is for, how it was sharded, what every shard
+/// attempt did, and which artifacts were published with which content
+/// digest. Records carry no wall-clock timestamps — ordering is the file
+/// order, so journal bytes stay deterministic up to shard-completion
+/// interleaving.
+struct JournalRecord {
+  enum class Kind {
+    kRunStart,     ///< spec digest + shard plan; first record of a run.
+    kShardStart,   ///< attempt launched (shard, attempt, artifact path).
+    kShardDone,    ///< artifact published (path + content digest + bytes).
+    kShardRetry,   ///< attempt failed, resubmission scheduled (detail = why).
+    kShardFailed,  ///< retries exhausted (detail = why).
+    kQuarantine,   ///< artifact failed verification, renamed *.corrupt.
+    kReclaim,      ///< stale attempt artifact deleted by post-merge GC.
+    kDrain,        ///< graceful drain began (detail = signal/reason).
+    kRunDone,      ///< merge succeeded; the run is complete.
+  };
+
+  Kind kind = Kind::kRunStart;
+  int shard = -1;    ///< Shard index (kShard*, kQuarantine), else -1.
+  int attempt = 0;   ///< Attempt number (kShard*), else 0.
+  std::string path;  ///< Artifact path (relative to the run dir) when relevant.
+  uint64_t digest = 0;       ///< Artifact content digest (kShardDone).
+  uint64_t size = 0;         ///< Artifact size in bytes (kShardDone).
+  std::string detail;        ///< Failure reason / signal name / free text.
+  // kRunStart only: the shard plan.
+  uint64_t spec_digest = 0;
+  int num_shards = 0;
+  int total_tasks = 0;
+};
+
+const char* JournalRecordKindName(JournalRecord::Kind kind);
+
+/// Append-only, fsync-per-record journal in `<run_dir>/journal.jsonl` — one
+/// JSON object per line. Every Append survives a SIGKILL of the writer: the
+/// record is flushed with fsync before Append returns, and a torn final line
+/// (crash mid-write) is tolerated and ignored by Load.
+class RunJournal {
+ public:
+  static constexpr const char* kFileName = "journal.jsonl";
+
+  /// Opens (creating if absent) the journal for appending. Creates
+  /// `run_dir` itself when missing.
+  static Result<RunJournal> Open(const std::string& run_dir);
+
+  RunJournal(RunJournal&& other) noexcept;
+  RunJournal& operator=(RunJournal&& other) noexcept;
+  RunJournal(const RunJournal&) = delete;
+  RunJournal& operator=(const RunJournal&) = delete;
+  ~RunJournal();
+
+  /// Serializes `record` as one JSON line, appends it, fsyncs.
+  Status Append(const JournalRecord& record);
+
+  /// Parses every complete record in `<run_dir>/journal.jsonl`. A torn
+  /// final line (no trailing newline) is dropped — it is the one record a
+  /// crash may lose after its artifact side effects; resume re-verifies
+  /// artifacts on disk, so nothing is trusted on the journal's word alone.
+  static Result<std::vector<JournalRecord>> Load(const std::string& run_dir);
+
+ private:
+  RunJournal() = default;
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// A shard's state reconstructed from the journal.
+struct ShardLedger {
+  int attempts = 0;
+  bool done = false;
+  std::string artifact_path;  ///< Relative to the run dir; valid when done.
+  uint64_t artifact_digest = 0;
+  std::string last_error;
+};
+
+/// The whole run's state reconstructed from the journal: the replayed
+/// shard plan plus per-shard progress.
+struct RunLedger {
+  uint64_t spec_digest = 0;
+  int num_shards = 0;
+  int total_tasks = 0;
+  bool drained = false;
+  bool completed = false;  ///< kRunDone seen: merge already succeeded.
+  std::map<int, ShardLedger> shards;
+};
+
+/// Replays journal records into a RunLedger. Fails on an empty journal or a
+/// missing/invalid kRunStart.
+Result<RunLedger> ReplayJournal(const std::vector<JournalRecord>& records);
+
+}  // namespace emsim::sweep
+
+#endif  // EMSIM_SWEEP_JOURNAL_H_

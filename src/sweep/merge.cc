@@ -2,7 +2,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <string>
+#include <utility>
 
 #include "core/result.h"
 #include "sweep/shard.h"
@@ -10,8 +13,14 @@
 
 namespace emsim::sweep {
 
-Result<std::vector<core::ExperimentResult>> MergeShardArtifacts(
-    const std::vector<core::SweepUnit>& units, const std::vector<std::string>& artifacts) {
+namespace {
+
+/// The common merge over already-unsealed payloads; `name(a)` labels
+/// artifact `a` in every diagnostic.
+Result<std::vector<core::ExperimentResult>> MergePayloads(
+    const std::vector<core::SweepUnit>& units, size_t count,
+    const std::function<const std::string&(size_t)>& payload,
+    const std::function<std::string(size_t)>& name) {
   core::SweepGrid grid(units);
   const uint64_t digest = SpecDigest(units);
   const int total = grid.total_tasks();
@@ -21,37 +30,37 @@ Result<std::vector<core::ExperimentResult>> MergeShardArtifacts(
   int failed_task = std::numeric_limits<int>::max();
   Status failed_status;
 
-  for (size_t a = 0; a < artifacts.size(); ++a) {
-    Result<ShardArtifact> decoded = DecodeShardArtifact(artifacts[a]);
+  for (size_t a = 0; a < count; ++a) {
+    Result<ShardArtifact> decoded = DecodeShardArtifact(payload(a));
     if (!decoded.ok()) {
-      return Status::Corruption(StrFormat("artifact %zu: %s", a,
+      return Status::Corruption(StrFormat("%s: %s", name(a).c_str(),
                                           decoded.status().message().c_str()));
     }
     const ShardArtifact& shard = *decoded;
     if (shard.spec_digest != digest) {
       return Status::InvalidArgument(
-          StrFormat("artifact %zu (shard %d/%d): spec digest %016llx does not match the "
+          StrFormat("%s (shard %d/%d): spec digest %016llx does not match the "
                     "loaded spec (%016llx) — artifact is from a different sweep",
-                    a, shard.shard_index, shard.shard_count,
+                    name(a).c_str(), shard.shard_index, shard.shard_count,
                     static_cast<unsigned long long>(shard.spec_digest),
                     static_cast<unsigned long long>(digest)));
     }
     if (shard.total_tasks != total) {
       return Status::InvalidArgument(
-          StrFormat("artifact %zu: %d total tasks, spec defines %d", a, shard.total_tasks,
+          StrFormat("%s: %d total tasks, spec defines %d", name(a).c_str(), shard.total_tasks,
                     total));
     }
     ShardRange expected = ShardSlice(total, shard.shard_index, shard.shard_count);
     if (shard.range.begin != expected.begin || shard.range.end != expected.end) {
       return Status::Corruption(
-          StrFormat("artifact %zu: shard %d/%d claims range [%d, %d), expected [%d, %d)", a,
-                    shard.shard_index, shard.shard_count, shard.range.begin, shard.range.end,
-                    expected.begin, expected.end));
+          StrFormat("%s: shard %d/%d claims range [%d, %d), expected [%d, %d)",
+                    name(a).c_str(), shard.shard_index, shard.shard_count, shard.range.begin,
+                    shard.range.end, expected.begin, expected.end));
     }
     for (const ShardTask& task : shard.tasks) {
       if (task.task < shard.range.begin || task.task >= shard.range.end) {
-        return Status::Corruption(StrFormat("artifact %zu: task %d outside its shard range",
-                                            a, task.task));
+        return Status::Corruption(StrFormat("%s: task %d outside its shard range",
+                                            name(a).c_str(), task.task));
       }
       if (!task.ok) {
         if (task.task < failed_task) {
@@ -93,6 +102,34 @@ Result<std::vector<core::ExperimentResult>> MergeShardArtifacts(
                                        std::make_move_iterator(last))));
   }
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<core::ExperimentResult>> MergeShardArtifacts(
+    const std::vector<core::SweepUnit>& units, const std::vector<std::string>& artifacts) {
+  return MergePayloads(
+      units, artifacts.size(), [&](size_t a) -> const std::string& { return artifacts[a]; },
+      [](size_t a) { return StrFormat("artifact %zu", a); });
+}
+
+Result<std::vector<core::ExperimentResult>> MergeShardArtifacts(
+    const std::vector<core::SweepUnit>& units, const std::vector<NamedArtifact>& artifacts) {
+  // Verify every seal before trusting any payload: corruption diagnostics
+  // should name the culprit file even when it is not the first artifact.
+  std::vector<std::string> payloads;
+  payloads.reserve(artifacts.size());
+  for (const NamedArtifact& artifact : artifacts) {
+    Result<std::string> payload = UnsealShardArtifact(artifact.contents);
+    if (!payload.ok()) {
+      return Status::Corruption(StrFormat("%s: %s", artifact.name.c_str(),
+                                          payload.status().message().c_str()));
+    }
+    payloads.push_back(*std::move(payload));
+  }
+  return MergePayloads(
+      units, payloads.size(), [&](size_t a) -> const std::string& { return payloads[a]; },
+      [&](size_t a) { return artifacts[a].name; });
 }
 
 }  // namespace emsim::sweep

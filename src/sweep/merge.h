@@ -9,6 +9,13 @@
 
 namespace emsim::sweep {
 
+/// One shard artifact with the label used in diagnostics — the file path for
+/// on-disk artifacts, so a corrupt shard names its culprit file.
+struct NamedArtifact {
+  std::string name;      ///< Diagnostic label (file path for disk artifacts).
+  std::string contents;  ///< The artifact document, footer included if sealed.
+};
+
 /// Merges decoded shard artifacts (as raw JSON documents) for `units` back
 /// into per-unit aggregates.
 ///
@@ -28,6 +35,14 @@ namespace emsim::sweep {
 /// abort: "sweep task <i> failed: <status>".
 Result<std::vector<core::ExperimentResult>> MergeShardArtifacts(
     const std::vector<core::SweepUnit>& units, const std::vector<std::string>& artifacts);
+
+/// Same merge over *sealed* on-disk artifacts: every file's integrity footer
+/// is verified and stripped (UnsealShardArtifact) before its payload is
+/// trusted, and every validation error is prefixed with the culprit
+/// artifact's name. A truncated body, a bit-flipped payload under a stale
+/// footer, and a digest-mismatched shard all fail here with the file named.
+Result<std::vector<core::ExperimentResult>> MergeShardArtifacts(
+    const std::vector<core::SweepUnit>& units, const std::vector<NamedArtifact>& artifacts);
 
 }  // namespace emsim::sweep
 

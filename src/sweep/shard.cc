@@ -2,7 +2,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <string_view>
 #include <utility>
 
 #include "disk/disk.h"
@@ -344,6 +346,68 @@ Result<StatusCode> ParseStatusCodeName(const std::string& name) {
 }
 
 }  // namespace
+
+uint64_t Fnv1aDigest(std::string_view bytes) {
+  uint64_t hash = 14695981039346656037ULL;  // FNV-1a offset basis.
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ULL;  // FNV prime.
+  }
+  return hash;
+}
+
+namespace {
+
+std::string FooterLine(size_t payload_size, uint64_t digest) {
+  return StrFormat("#emsim-shard-footer v1 len=%llu fnv1a=%016llx\n",
+                   static_cast<unsigned long long>(payload_size),
+                   static_cast<unsigned long long>(digest));
+}
+
+}  // namespace
+
+std::string SealShardArtifact(std::string payload) {
+  if (payload.empty() || payload.back() != '\n') {
+    payload.push_back('\n');
+  }
+  payload += FooterLine(payload.size(), Fnv1aDigest(payload));
+  return payload;
+}
+
+Result<std::string> UnsealShardArtifact(std::string_view file_contents) {
+  constexpr std::string_view kMarker = "#emsim-shard-footer ";
+  size_t pos = file_contents.rfind(kMarker);
+  if (pos == std::string_view::npos || (pos != 0 && file_contents[pos - 1] != '\n')) {
+    return Status::Corruption(
+        "shard artifact: integrity footer missing (truncated or pre-footer file?)");
+  }
+  std::string_view footer = file_contents.substr(pos);
+  unsigned long long len = 0;
+  char digest_hex[17] = {0};
+  if (std::sscanf(std::string(footer).c_str(),
+                  "#emsim-shard-footer v1 len=%llu fnv1a=%16[0-9a-f]", &len,
+                  digest_hex) != 2 ||
+      footer != FooterLine(len, std::strtoull(digest_hex, nullptr, 16))) {
+    return Status::Corruption("shard artifact: malformed integrity footer");
+  }
+  std::string_view payload = file_contents.substr(0, pos);
+  if (payload.size() != len) {
+    return Status::Corruption(
+        StrFormat("shard artifact: payload is %zu bytes but footer recorded %llu — "
+                  "truncated or spliced body",
+                  payload.size(), len));
+  }
+  uint64_t want = std::strtoull(digest_hex, nullptr, 16);
+  uint64_t got = Fnv1aDigest(payload);
+  if (got != want) {
+    return Status::Corruption(
+        StrFormat("shard artifact: content digest %016llx does not match footer %016llx — "
+                  "payload corrupted after sealing",
+                  static_cast<unsigned long long>(got),
+                  static_cast<unsigned long long>(want)));
+  }
+  return std::string(payload);
+}
 
 ShardRange ShardSlice(int total_tasks, int shard_index, int num_shards) {
   EMSIM_CHECK(num_shards >= 1 && shard_index >= 0 && shard_index < num_shards);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/experiment.h"
@@ -16,6 +17,25 @@ namespace emsim::sweep {
 /// agree on it exactly — the codec is a bit-exact wire format, not a
 /// human-facing export.
 inline constexpr int kShardSchemaVersion = 1;
+
+/// FNV-1a over raw bytes — the digest the artifact integrity footer and the
+/// run journal both record.
+uint64_t Fnv1aDigest(std::string_view bytes);
+
+/// Appends the integrity footer to an encoded artifact payload:
+///
+///     #emsim-shard-footer v1 len=<payload bytes> fnv1a=<16-hex digest>
+///
+/// The footer makes every artifact file self-verifying: a truncated write
+/// loses the footer, a truncated or bit-flipped payload disagrees with the
+/// recorded length/digest. UnsealShardArtifact refuses both, naming the
+/// failure, so resume and merge never trust a torn file.
+std::string SealShardArtifact(std::string payload);
+
+/// Verifies and strips the integrity footer; returns the payload. Errors are
+/// kCorruption and name the defect (missing footer / length mismatch /
+/// digest mismatch).
+Result<std::string> UnsealShardArtifact(std::string_view file_contents);
 
 /// A contiguous half-open slice [begin, end) of a SweepGrid's global task
 /// index space.

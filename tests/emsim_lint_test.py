@@ -183,6 +183,54 @@ class MultiAllowTest(unittest.TestCase):
                          emsim_lint.allowed_rules('Log("emsim-lint: allow(a-rule)");'))
 
 
+class ArtifactRawWriteTest(unittest.TestCase):
+    def test_ofstream_fires_everywhere_outside_tests(self):
+        line = "std::ofstream out(path);\n"
+        for relpath in ("src/x.cc", "tools/x.cc", "bench/x.cc"):
+            self.assertIn("artifact-raw-write", rules_fired(relpath, line), relpath)
+
+    def test_write_mode_fopen_fires(self):
+        for line in [
+            'std::FILE* f = std::fopen(path.c_str(), "wb");',
+            'FILE* f = fopen(path, "w");',
+            'FILE* f = fopen(path, "ab");',
+            'FILE* f = fopen(path, "r+b");',
+        ]:
+            self.assertIn("artifact-raw-write", rules_fired("src/x.cc", line + "\n"), line)
+
+    def test_read_mode_fopen_is_clean(self):
+        for line in [
+            'std::FILE* f = std::fopen(path.c_str(), "rb");',
+            'FILE* f = fopen(path, "r");',
+        ]:
+            self.assertNotIn("artifact-raw-write", rules_fired("src/x.cc", line + "\n"), line)
+
+    def test_mode_hidden_on_a_later_line_flags_conservatively(self):
+        text = "std::FILE* f = std::fopen(path.c_str(),\n"
+        self.assertIn("artifact-raw-write", rules_fired("src/x.cc", text))
+
+    def test_atomic_file_usage_is_clean(self):
+        text = "Status written = util::WriteFileAtomic(path, doc);\n"
+        self.assertEqual(set(), rules_fired("src/x.cc", text))
+
+    def test_tests_are_out_of_scope(self):
+        self.assertEqual(
+            set(), rules_fired("tests/x.cc", 'FILE* f = fopen(path, "wb");\n'))
+
+    def test_comments_and_strings_do_not_fire(self):
+        self.assertEqual(
+            set(), rules_fired("src/x.cc", "// never call fopen(path, \"w\") here\n"))
+        self.assertEqual(
+            set(), rules_fired("src/x.cc", 'Log("std::ofstream is banned");\n'))
+
+    def test_allow_directive_suppresses(self):
+        text = ('std::ofstream out(path);  '
+                '// emsim-lint: allow(artifact-raw-write)\n')
+        findings, suppressions = emsim_lint.lint_text("src/x.cc", text)
+        self.assertEqual([], findings)
+        self.assertEqual(["artifact-raw-write"], [s["rule"] for s in suppressions])
+
+
 class CoroRefCaptureTest(unittest.TestCase):
     def test_by_reference_capture_fires(self):
         text = ("auto p = [&log](int v) -> Process {\n"

@@ -1,0 +1,399 @@
+// Durability layer tests: artifact integrity footers (seal/unseal), the
+// append-only run journal with torn-line tolerance, ledger replay, and the
+// sealed-merge negative paths — every corruption mode must be detected and
+// must name the culprit artifact.
+
+#include "sweep/journal.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "sweep/merge.h"
+#include "sweep/shard.h"
+#include "util/atomic_file.h"
+#include "util/status.h"
+#include "util/str.h"
+
+namespace emsim::sweep {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/" + name;
+  (void)::mkdir(dir.c_str(), 0755);
+  std::string journal = dir + "/" + RunJournal::kFileName;
+  (void)::unlink(journal.c_str());
+  return dir;
+}
+
+TEST(Fnv1aDigestTest, MatchesKnownVectorsAndSeparatesInputs) {
+  // FNV-1a offset basis is the digest of the empty string by construction.
+  EXPECT_EQ(Fnv1aDigest(""), 14695981039346656037ULL);
+  EXPECT_NE(Fnv1aDigest("a"), Fnv1aDigest("b"));
+  EXPECT_NE(Fnv1aDigest("ab"), Fnv1aDigest("ba"));
+  EXPECT_EQ(Fnv1aDigest("payload"), Fnv1aDigest("payload"));
+}
+
+TEST(ArtifactSealTest, SealThenUnsealIsIdentity) {
+  std::string payload = "{\"doc\": 1}\n";
+  std::string sealed = SealShardArtifact(payload);
+  ASSERT_GT(sealed.size(), payload.size());
+  EXPECT_NE(sealed.find("#emsim-shard-footer v1 "), std::string::npos);
+  auto unsealed = UnsealShardArtifact(sealed);
+  ASSERT_TRUE(unsealed.ok()) << unsealed.status().ToString();
+  EXPECT_EQ(*unsealed, payload);
+}
+
+TEST(ArtifactSealTest, SealAppendsMissingTrailingNewline) {
+  std::string sealed = SealShardArtifact("{\"doc\": 1}");
+  auto unsealed = UnsealShardArtifact(sealed);
+  ASSERT_TRUE(unsealed.ok());
+  EXPECT_EQ(*unsealed, "{\"doc\": 1}\n");
+}
+
+TEST(ArtifactSealTest, MissingFooterIsCorruption) {
+  auto unsealed = UnsealShardArtifact("{\"doc\": 1}\n");
+  ASSERT_FALSE(unsealed.ok());
+  EXPECT_EQ(unsealed.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(unsealed.status().message().find("integrity footer missing"),
+            std::string::npos)
+      << unsealed.status().ToString();
+}
+
+TEST(ArtifactSealTest, TruncatedPayloadIsDetected) {
+  std::string sealed = SealShardArtifact("line one\nline two\n");
+  // Cut bytes out of the middle, keeping the (now stale) footer intact.
+  std::string truncated = sealed.substr(0, 4) + sealed.substr(9);
+  auto unsealed = UnsealShardArtifact(truncated);
+  ASSERT_FALSE(unsealed.ok());
+  EXPECT_NE(unsealed.status().message().find("truncated or spliced"), std::string::npos)
+      << unsealed.status().ToString();
+}
+
+TEST(ArtifactSealTest, BitFlipUnderStaleFooterIsDetected) {
+  std::string sealed = SealShardArtifact("deterministic payload bytes\n");
+  sealed[3] ^= 0x20;  // Same length, different content: only the digest sees it.
+  auto unsealed = UnsealShardArtifact(sealed);
+  ASSERT_FALSE(unsealed.ok());
+  EXPECT_NE(unsealed.status().message().find("does not match footer"), std::string::npos)
+      << unsealed.status().ToString();
+}
+
+TEST(ArtifactSealTest, MangledFooterIsDetected) {
+  std::string sealed = SealShardArtifact("payload\n");
+  sealed.replace(sealed.find("fnv1a="), 6, "fnv1x=");
+  auto unsealed = UnsealShardArtifact(sealed);
+  ASSERT_FALSE(unsealed.ok());
+  EXPECT_EQ(unsealed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(RunJournalTest, AppendThenLoadRoundTrips) {
+  std::string dir = FreshDir("journal_roundtrip");
+  auto journal = RunJournal::Open(dir);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+
+  JournalRecord start;
+  start.kind = JournalRecord::Kind::kRunStart;
+  start.spec_digest = 0xdeadbeefcafef00dULL;
+  start.num_shards = 3;
+  start.total_tasks = 11;
+  ASSERT_TRUE(journal->Append(start).ok());
+
+  JournalRecord launch;
+  launch.kind = JournalRecord::Kind::kShardStart;
+  launch.shard = 2;
+  launch.attempt = 1;
+  launch.path = "shard_2_of_3.attempt1.json";
+  ASSERT_TRUE(journal->Append(launch).ok());
+
+  JournalRecord done;
+  done.kind = JournalRecord::Kind::kShardDone;
+  done.shard = 2;
+  done.attempt = 1;
+  done.path = "shard_2_of_3.attempt1.json";
+  done.digest = 0x0123456789abcdefULL;
+  done.size = 4096;
+  ASSERT_TRUE(journal->Append(done).ok());
+
+  JournalRecord retry;
+  retry.kind = JournalRecord::Kind::kShardRetry;
+  retry.shard = 0;
+  retry.attempt = 1;
+  retry.detail = "signal 9 with \"quotes\"";
+  ASSERT_TRUE(journal->Append(retry).ok());
+
+  auto records = RunJournal::Load(dir);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 4u);
+  EXPECT_EQ((*records)[0].kind, JournalRecord::Kind::kRunStart);
+  EXPECT_EQ((*records)[0].spec_digest, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ((*records)[0].num_shards, 3);
+  EXPECT_EQ((*records)[0].total_tasks, 11);
+  EXPECT_EQ((*records)[1].kind, JournalRecord::Kind::kShardStart);
+  EXPECT_EQ((*records)[1].shard, 2);
+  EXPECT_EQ((*records)[1].attempt, 1);
+  EXPECT_EQ((*records)[1].path, "shard_2_of_3.attempt1.json");
+  EXPECT_EQ((*records)[2].kind, JournalRecord::Kind::kShardDone);
+  EXPECT_EQ((*records)[2].digest, 0x0123456789abcdefULL);
+  EXPECT_EQ((*records)[2].size, 4096u);
+  EXPECT_EQ((*records)[3].kind, JournalRecord::Kind::kShardRetry);
+  EXPECT_EQ((*records)[3].detail, "signal 9 with \"quotes\"");
+}
+
+TEST(RunJournalTest, TornFinalLineIsDropped) {
+  std::string dir = FreshDir("journal_torn");
+  auto journal = RunJournal::Open(dir);
+  ASSERT_TRUE(journal.ok());
+  JournalRecord start;
+  start.kind = JournalRecord::Kind::kRunStart;
+  start.spec_digest = 1;
+  start.num_shards = 1;
+  start.total_tasks = 1;
+  ASSERT_TRUE(journal->Append(start).ok());
+
+  // Simulate a crash mid-append: a record with no trailing newline.
+  FILE* f = fopen((dir + "/" + RunJournal::kFileName).c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const char torn[] = "{\"kind\": \"shard_done\", \"shard\": 0";
+  fwrite(torn, 1, sizeof(torn) - 1, f);
+  fclose(f);
+
+  auto records = RunJournal::Load(dir);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_EQ(records->size(), 1u);
+}
+
+TEST(RunJournalTest, CorruptCompleteLineIsAnError) {
+  std::string dir = FreshDir("journal_corrupt");
+  FILE* f = fopen((dir + "/" + RunJournal::kFileName).c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char bogus[] = "not json at all\n";
+  fwrite(bogus, 1, sizeof(bogus) - 1, f);
+  fclose(f);
+  auto records = RunJournal::Load(dir);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kCorruption);
+}
+
+TEST(RunJournalTest, MissingJournalIsNotFound) {
+  std::string dir = FreshDir("journal_missing");
+  auto records = RunJournal::Load(dir);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kNotFound);
+}
+
+JournalRecord MakeStart(int num_shards, int total_tasks) {
+  JournalRecord r;
+  r.kind = JournalRecord::Kind::kRunStart;
+  r.spec_digest = 42;
+  r.num_shards = num_shards;
+  r.total_tasks = total_tasks;
+  return r;
+}
+
+TEST(ReplayJournalTest, FoldsShardLifecyclesIntoLedger) {
+  std::vector<JournalRecord> records;
+  records.push_back(MakeStart(3, 9));
+
+  JournalRecord s0_start;
+  s0_start.kind = JournalRecord::Kind::kShardStart;
+  s0_start.shard = 0;
+  s0_start.attempt = 1;
+  records.push_back(s0_start);
+
+  JournalRecord s0_done;
+  s0_done.kind = JournalRecord::Kind::kShardDone;
+  s0_done.shard = 0;
+  s0_done.attempt = 1;
+  s0_done.path = "shard_0_of_3.attempt1.json";
+  s0_done.digest = 7;
+  records.push_back(s0_done);
+
+  JournalRecord s1_retry;
+  s1_retry.kind = JournalRecord::Kind::kShardRetry;
+  s1_retry.shard = 1;
+  s1_retry.attempt = 1;
+  s1_retry.detail = "signal 9";
+  records.push_back(s1_retry);
+
+  auto ledger = ReplayJournal(records);
+  ASSERT_TRUE(ledger.ok()) << ledger.status().ToString();
+  EXPECT_EQ(ledger->spec_digest, 42u);
+  EXPECT_EQ(ledger->num_shards, 3);
+  EXPECT_EQ(ledger->total_tasks, 9);
+  EXPECT_FALSE(ledger->drained);
+  EXPECT_FALSE(ledger->completed);
+  ASSERT_TRUE(ledger->shards.count(0));
+  EXPECT_TRUE(ledger->shards.at(0).done);
+  EXPECT_EQ(ledger->shards.at(0).artifact_path, "shard_0_of_3.attempt1.json");
+  EXPECT_EQ(ledger->shards.at(0).artifact_digest, 7u);
+  ASSERT_TRUE(ledger->shards.count(1));
+  EXPECT_FALSE(ledger->shards.at(1).done);
+  EXPECT_EQ(ledger->shards.at(1).last_error, "signal 9");
+}
+
+TEST(ReplayJournalTest, QuarantineRevokesACompletedShard) {
+  std::vector<JournalRecord> records;
+  records.push_back(MakeStart(1, 2));
+  JournalRecord done;
+  done.kind = JournalRecord::Kind::kShardDone;
+  done.shard = 0;
+  done.attempt = 1;
+  done.path = "shard_0_of_1.attempt1.json";
+  done.digest = 9;
+  records.push_back(done);
+  JournalRecord quarantine;
+  quarantine.kind = JournalRecord::Kind::kQuarantine;
+  quarantine.shard = 0;
+  quarantine.path = "shard_0_of_1.attempt1.json";
+  quarantine.detail = "digest mismatch";
+  records.push_back(quarantine);
+
+  auto ledger = ReplayJournal(records);
+  ASSERT_TRUE(ledger.ok());
+  EXPECT_FALSE(ledger->shards.at(0).done);
+  EXPECT_TRUE(ledger->shards.at(0).artifact_path.empty());
+}
+
+TEST(ReplayJournalTest, DrainAndRunDoneSetVerdictFlags) {
+  std::vector<JournalRecord> records;
+  records.push_back(MakeStart(1, 1));
+  JournalRecord drain;
+  drain.kind = JournalRecord::Kind::kDrain;
+  drain.detail = "signal";
+  records.push_back(drain);
+  JournalRecord run_done;
+  run_done.kind = JournalRecord::Kind::kRunDone;
+  records.push_back(run_done);
+  auto ledger = ReplayJournal(records);
+  ASSERT_TRUE(ledger.ok());
+  EXPECT_TRUE(ledger->drained);
+  EXPECT_TRUE(ledger->completed);
+}
+
+TEST(ReplayJournalTest, MissingRunStartIsCorruption) {
+  auto empty = ReplayJournal({});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kCorruption);
+
+  JournalRecord stray;
+  stray.kind = JournalRecord::Kind::kShardDone;
+  stray.shard = 0;
+  auto headless = ReplayJournal({stray});
+  ASSERT_FALSE(headless.ok());
+  EXPECT_EQ(headless.status().code(), StatusCode::kCorruption);
+}
+
+// --- Sealed-merge negative paths: every corruption names its culprit. ---
+
+std::vector<core::SweepUnit> SmallUnits() {
+  core::SweepUnit unit;
+  unit.name = "unit";
+  unit.config.num_runs = 4;
+  unit.config.num_disks = 2;
+  unit.config.blocks_per_run = 20;
+  unit.config.prefetch_depth = 2;
+  unit.trials = 2;
+  return {unit};
+}
+
+std::vector<NamedArtifact> SealedArtifacts(const std::vector<core::SweepUnit>& units,
+                                           int shard_count) {
+  core::SweepGrid grid(units);
+  std::vector<NamedArtifact> artifacts;
+  for (int s = 0; s < shard_count; ++s) {
+    ShardArtifact artifact = RunShard(grid, s, shard_count, 1, core::TrialDeadline{});
+    artifacts.push_back(NamedArtifact{StrFormat("shard_%d_of_%d.json", s, shard_count),
+                                      SealShardArtifact(EncodeShardArtifact(artifact))});
+  }
+  return artifacts;
+}
+
+TEST(SealedMergeTest, CleanSealedArtifactsMerge) {
+  auto units = SmallUnits();
+  auto merged = MergeShardArtifacts(units, SealedArtifacts(units, 2));
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->size(), 1u);
+}
+
+TEST(SealedMergeTest, TruncatedBodyNamesTheCulpritFile) {
+  auto units = SmallUnits();
+  auto artifacts = SealedArtifacts(units, 2);
+  // Losing the tail of the file takes the footer with it.
+  artifacts[1].contents.resize(artifacts[1].contents.size() / 2);
+  auto merged = MergeShardArtifacts(units, artifacts);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(merged.status().message().find("shard_1_of_2.json"), std::string::npos)
+      << merged.status().ToString();
+  EXPECT_NE(merged.status().message().find("integrity footer missing"), std::string::npos)
+      << merged.status().ToString();
+}
+
+TEST(SealedMergeTest, BitFlippedPayloadUnderStaleFooterNamesTheCulpritFile) {
+  auto units = SmallUnits();
+  auto artifacts = SealedArtifacts(units, 2);
+  artifacts[0].contents[40] ^= 0x01;  // Footer left stale: digest must catch it.
+  auto merged = MergeShardArtifacts(units, artifacts);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(merged.status().message().find("shard_0_of_2.json"), std::string::npos)
+      << merged.status().ToString();
+  EXPECT_NE(merged.status().message().find("does not match footer"), std::string::npos)
+      << merged.status().ToString();
+}
+
+TEST(SealedMergeTest, ForeignSpecDigestNamesTheCulpritFile) {
+  auto units = SmallUnits();
+  auto artifacts = SealedArtifacts(units, 2);
+  // Rebuild shard 1 from a different sweep: valid seal, wrong spec digest.
+  auto foreign_units = SmallUnits();
+  foreign_units[0].config.prefetch_depth = 3;
+  auto foreign = SealedArtifacts(foreign_units, 2);
+  artifacts[1].contents = foreign[1].contents;
+  auto merged = MergeShardArtifacts(units, artifacts);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("shard_1_of_2.json"), std::string::npos)
+      << merged.status().ToString();
+  EXPECT_NE(merged.status().message().find("different sweep"), std::string::npos)
+      << merged.status().ToString();
+}
+
+TEST(AtomicFileTest, WriteFileAtomicPublishesAllOrNothing) {
+  std::string dir = FreshDir("atomic_file");
+  std::string path = dir + "/doc.json";
+  ASSERT_TRUE(util::WriteFileAtomic(path, "first\n").ok());
+  ASSERT_TRUE(util::WriteFileAtomic(path, "second\n").ok());
+  FILE* f = fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  size_t got = fread(buf, 1, sizeof(buf), f);
+  fclose(f);
+  EXPECT_EQ(std::string(buf, got), "second\n");
+  // No temp droppings left behind.
+  std::string temp_probe = path + ".tmp";
+  struct stat st{};
+  EXPECT_NE(::stat((temp_probe + StrFormat(".%d", getpid())).c_str(), &st), 0);
+}
+
+TEST(AtomicFileTest, DiscardLeavesNoFile) {
+  std::string dir = FreshDir("atomic_discard");
+  std::string path = dir + "/doc.json";
+  {
+    auto file = util::AtomicFile::Create(path);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    ASSERT_TRUE(file->Append("half-written").ok());
+    // Destructor discards: no Commit().
+  }
+  struct stat st{};
+  EXPECT_NE(::stat(path.c_str(), &st), 0);
+}
+
+}  // namespace
+}  // namespace emsim::sweep

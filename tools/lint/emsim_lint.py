@@ -27,6 +27,12 @@ source of run-to-run nondeterminism at the source level:
                        error Result aborts the process, so every access must
                        sit visibly behind an ok() gate (an if, a return, or
                        an EMSIM_CHECK).
+  artifact-raw-write   std::ofstream or write-mode fopen() outside tests/ —
+                       a crash mid-write publishes a torn file under its
+                       final name, defeating the journal/footer durability
+                       contract (docs/SWEEPS.md); artifacts must be staged
+                       through util::AtomicFile / util::WriteFileAtomic.
+                       Read-mode fopen ("r", "rb") is fine.
   include-guard        headers must guard with EMSIM_<PATH>_H_ derived from
                        their repo-relative path (e.g. src/util/check.h ->
                        EMSIM_UTIL_CHECK_H_).
@@ -220,6 +226,57 @@ def _result_unchecked_findings(relpath, code_lines):
     return findings, suppressions
 
 
+# artifact-raw-write: every artifact writer must stage through
+# util::AtomicFile (write temp -> fsync -> rename) so a crash can never
+# publish a torn file under its final name — the crash-resume path trusts any
+# artifact whose footer verifies, so a torn-but-lucky raw write would poison
+# the merge. The scan needs the RAW line for the fopen mode because
+# strip_noncode() blanks string literals; the stripped line still gates the
+# match so fopen/ofstream in comments or strings do not fire. Tests are out
+# of scope: corrupting files on purpose is what the crash tests do.
+ARTIFACT_RAW_WRITE_MESSAGE = (
+    "raw file write bypasses util::AtomicFile: a crash mid-write publishes a "
+    "torn file under its final name, which downstream readers would trust; "
+    "stage artifacts through util::AtomicFile / util::WriteFileAtomic "
+    "(read-mode fopen is fine)")
+FOPEN_CALL_RE = re.compile(r"(?<![\w.])(?:std::\s*)?fopen\s*\(")
+FOPEN_MODE_RE = re.compile(r',\s*"([^"]*)"\s*\)')
+OFSTREAM_RE = re.compile(r"\b(?:std::\s*)?ofstream\b")
+
+
+def _artifact_raw_write_findings(relpath, code_lines):
+    """code_lines: list of (lineno, stripped_code, raw, allowed_rules)."""
+    if relpath.startswith("tests/"):
+        return [], []
+    findings = []
+    suppressions = []
+    for lineno, code, raw, allowed in code_lines:
+        hit = bool(OFSTREAM_RE.search(code))
+        if not hit and FOPEN_CALL_RE.search(code):
+            # Mode string lives in the raw line (strings are stripped from
+            # `code`). A mode on a later line, or none at all, flags
+            # conservatively — put the mode on the call line or use allow().
+            m_raw = FOPEN_CALL_RE.search(raw)
+            mode_m = FOPEN_MODE_RE.search(raw, m_raw.end()) if m_raw else None
+            mode = mode_m.group(1) if mode_m else None
+            if mode is None or any(c in mode for c in "wa+"):
+                hit = True
+        if not hit:
+            continue
+        entry = {
+            "rule": "artifact-raw-write",
+            "path": relpath,
+            "line": lineno,
+            "message": ARTIFACT_RAW_WRITE_MESSAGE,
+            "snippet": raw.strip()[:160],
+        }
+        if "artifact-raw-write" in allowed:
+            suppressions.append(entry)
+        else:
+            findings.append(entry)
+    return findings, suppressions
+
+
 # --- Coroutine-safety rules -------------------------------------------------
 #
 # Scoped to coroutine translation units: a file whose stripped code contains
@@ -396,6 +453,9 @@ def lint_text(relpath: str, text: str):
     unchecked, unchecked_suppressed = _result_unchecked_findings(relpath, code_lines)
     findings.extend(unchecked)
     suppressions.extend(unchecked_suppressed)
+    raw_write, raw_write_suppressed = _artifact_raw_write_findings(relpath, code_lines)
+    findings.extend(raw_write)
+    suppressions.extend(raw_write_suppressed)
     coro, coro_suppressed = _coroutine_findings(relpath, code_lines)
     findings.extend(coro)
     suppressions.extend(coro_suppressed)
@@ -438,6 +498,7 @@ def main(argv):
         for rule in RULES:
             print(f"{rule.rule_id}: {rule.message}")
         print(f"result-unchecked: {RESULT_UNCHECKED_MESSAGE}")
+        print(f"artifact-raw-write: {ARTIFACT_RAW_WRITE_MESSAGE}")
         print("include-guard: headers must guard with EMSIM_<PATH>_H_")
         print(f"coro-ref-capture: {CORO_REF_CAPTURE_MESSAGE}")
         print(f"coro-raw-handle: {CORO_RAW_HANDLE_MESSAGE}")

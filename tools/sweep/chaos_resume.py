@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Chaos-resume harness: SIGKILL the sweep driver mid-run, resume, byte-compare.
+
+The crash-recovery acceptance check from docs/SWEEPS.md as a standalone
+script (CI runs it as the `chaos-resume` job; it is also handy locally):
+
+  1. run the spec single-process -> the reference SWEEP_paper.json bytes;
+  2. launch `emsim_cli --sweep K` and poll the run journal; once a seeded,
+     randomized number of shard_done records land, SIGKILL the driver —
+     no warning, no flush, exactly what a crash or OOM kill does;
+  3. `emsim_cli --sweep-resume <run_dir>`: the journal replays, surviving
+     artifacts re-verify against their journaled digests, missing shards
+     re-execute;
+  4. the resumed merged JSON must be byte-identical to the reference.
+
+The kill point is drawn from --seed (default: the EMSIM_CHAOS_SEED env var,
+else wall clock) and printed, so a red CI run reproduces locally with the
+same seed. Exit status: 0 on byte-identity, 1 on any divergence or driver
+failure. On failure the run directory (journal + artifacts) is left in
+--workdir for upload.
+
+Usage:
+  python3 tools/sweep/chaos_resume.py --cli build/tools/emsim_cli \
+      [--spec tools/sweep/specs/paper_smoke.ini] [--shards 4] [--seed N] \
+      [--workdir chaos_workdir]
+"""
+
+import argparse
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def journal_done_count(run_dir):
+    """Number of shard_done records in the run journal; torn trailing lines
+    (the driver is mid-append while we poll) are skipped, matching the
+    CLI's own torn-line tolerance on resume."""
+    path = os.path.join(run_dir, "journal.jsonl")
+    count = 0
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    if json.loads(line)["kind"] == "shard_done":
+                        count += 1
+                except (json.JSONDecodeError, KeyError):
+                    continue
+    except FileNotFoundError:
+        pass
+    return count
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cli",
+        default=os.path.join(REPO_ROOT, "build", "tools", "emsim_cli"),
+        help="path to the emsim_cli binary (default: build/tools/emsim_cli)",
+    )
+    parser.add_argument(
+        "--spec",
+        default=os.path.join(REPO_ROOT, "tools", "sweep", "specs", "paper_smoke.ini"),
+        help="experiment spec to sweep (default: the PR smoke grid)",
+    )
+    parser.add_argument("--shards", type=int, default=4,
+                        help="worker subprocesses to shard across (default 4)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="chaos seed (default: $EMSIM_CHAOS_SEED, else wall clock)")
+    parser.add_argument("--workdir", default="chaos_workdir",
+                        help="directory for the run dir and JSON outputs")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="overall per-phase timeout in seconds")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.cli):
+        sys.exit(f"chaos_resume: CLI not found at {args.cli} — build it first "
+                 "(cmake --build build --target emsim_cli)")
+    if not os.path.exists(args.spec):
+        sys.exit(f"chaos_resume: spec not found: {args.spec}")
+
+    seed = args.seed
+    if seed is None:
+        seed = int(os.environ.get("EMSIM_CHAOS_SEED", "0")) or int(time.time())
+    rng = random.Random(seed)
+    print(f"chaos_resume: seed={seed} (reproduce with --seed {seed})", flush=True)
+
+    os.makedirs(args.workdir, exist_ok=True)
+    run_dir = os.path.join(args.workdir, "run")
+    reference = os.path.join(args.workdir, "SWEEP_reference.json")
+    resumed_out = os.path.join(args.workdir, "SWEEP_resumed.json")
+
+    # Phase 1: reference bytes from a single-process run.
+    ref_cmd = [args.cli, "--spec", args.spec, "--json", reference]
+    print("chaos_resume: reference:", " ".join(ref_cmd), flush=True)
+    result = subprocess.run(ref_cmd, stdout=subprocess.DEVNULL, timeout=args.timeout)
+    if result.returncode != 0:
+        sys.exit(f"chaos_resume: reference run failed ({result.returncode})")
+
+    # Phase 2: launch the sweep driver and SIGKILL it once the journal shows
+    # the drawn number of completed shards. One worker serializes the shards
+    # so the kill lands with work genuinely outstanding.
+    target_dones = rng.randint(1, max(1, args.shards - 1))
+    sweep_cmd = [
+        args.cli, "--spec", args.spec,
+        "--sweep", str(args.shards), "--sweep-workers", "1",
+        "--shard-dir", run_dir, "--json", os.path.join(args.workdir, "SWEEP_killed.json"),
+    ]
+    print(f"chaos_resume: driver: {' '.join(sweep_cmd)}", flush=True)
+    print(f"chaos_resume: will SIGKILL after {target_dones} shard_done record(s)",
+          flush=True)
+    driver = subprocess.Popen(sweep_cmd, stdout=subprocess.DEVNULL,
+                              stderr=subprocess.DEVNULL)
+    deadline = time.time() + args.timeout
+    killed = False
+    while time.time() < deadline and driver.poll() is None:
+        if journal_done_count(run_dir) >= target_dones:
+            driver.send_signal(signal.SIGKILL)
+            killed = True
+            break
+        time.sleep(0.005)
+    driver.wait(timeout=60)
+    if killed:
+        print(f"chaos_resume: driver SIGKILLed at >= {target_dones} done shard(s)",
+              flush=True)
+    else:
+        # The sweep outran the poller. Resume on a completed run dir must
+        # still reproduce the reference bytes, so the check below stands.
+        print("chaos_resume: driver finished before the kill landed "
+              f"(exit {driver.returncode}); resuming a completed run dir", flush=True)
+    if not os.path.exists(os.path.join(run_dir, "journal.jsonl")):
+        sys.exit("chaos_resume: FAIL — journal.jsonl missing after the kill")
+
+    # Phase 3: resume.
+    resume_cmd = [args.cli, "--spec", args.spec,
+                  "--sweep-resume", run_dir, "--json", resumed_out]
+    print("chaos_resume: resume:", " ".join(resume_cmd), flush=True)
+    result = subprocess.run(resume_cmd, timeout=args.timeout)
+    if result.returncode != 0:
+        sys.exit(f"chaos_resume: FAIL — resume exited {result.returncode} "
+                 f"(run dir kept at {run_dir})")
+
+    # Phase 4: byte-compare.
+    with open(reference, "rb") as f:
+        want = f.read()
+    with open(resumed_out, "rb") as f:
+        got = f.read()
+    if want != got:
+        sys.exit(
+            f"chaos_resume: FAIL — resumed {resumed_out} differs from "
+            f"reference {reference} (seed {seed}, kill after {target_dones} "
+            f"done shard(s); run dir kept at {run_dir})")
+    print(f"chaos_resume: OK — resumed sweep is byte-identical to the "
+          f"reference ({len(want)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

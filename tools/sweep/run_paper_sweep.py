@@ -13,7 +13,12 @@ optionally byte-verifies the merged artifact against a single-process run
   python3 tools/sweep/run_paper_sweep.py \
       --spec tools/sweep/specs/paper_full.ini --shards 8 --verify
 
-All simulation logic lives in the CLI; this script only shells out.
+  # pick up where a crashed or drained (Ctrl-C / SIGTERM) sweep left off
+  python3 tools/sweep/run_paper_sweep.py --resume
+
+A SIGTERM/SIGINT mid-sweep drains gracefully (the CLI exits 3 and this
+script mirrors it); rerun with --resume to finish from the journal. All
+simulation logic lives in the CLI; this script only shells out.
 """
 
 import argparse
@@ -47,6 +52,13 @@ def main():
                         help="per-shard deadline before kill+resubmit (0 = none)")
     parser.add_argument("--chaos-kill-shard", type=int, default=-1,
                         help="kill this shard's first attempt (resubmission smoke)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume a crashed or drained sweep from the run "
+                             "journal in --shard-dir (same spec required)")
+    parser.add_argument("--stats", action="store_true",
+                        help="embed dispatcher retry/kill counters in the JSON "
+                             "(--sweep-stats; off by default to keep the "
+                             "merged bytes identical to a single-process run)")
     parser.add_argument("--verify", action="store_true",
                         help="also run single-process and require byte-identical JSON")
     args = parser.parse_args()
@@ -58,19 +70,46 @@ def main():
         sys.exit(f"run_paper_sweep: spec not found: {args.spec}")
     if args.shards < 1:
         sys.exit("run_paper_sweep: --shards must be >= 1")
+    if args.stats and args.verify:
+        sys.exit("run_paper_sweep: --stats embeds a dispatch block a "
+                 "single-process run does not have, so --verify's byte "
+                 "comparison cannot hold; pick one")
 
-    cmd = [
-        args.cli,
-        "--spec", args.spec,
-        "--sweep", str(args.shards),
-        "--shard-dir", args.shard_dir,
-        "--shard-timeout-ms", str(args.shard_timeout_ms),
-        "--json", args.out,
-    ]
-    if args.chaos_kill_shard >= 0:
-        cmd += ["--sweep-chaos-kill-shard", str(args.chaos_kill_shard)]
+    if args.resume:
+        journal = os.path.join(args.shard_dir, "journal.jsonl")
+        if not os.path.exists(journal):
+            sys.exit(f"run_paper_sweep: nothing to resume — no journal at {journal}")
+        cmd = [
+            args.cli,
+            "--spec", args.spec,
+            "--sweep-resume", args.shard_dir,
+            "--shard-timeout-ms", str(args.shard_timeout_ms),
+            "--json", args.out,
+        ]
+    else:
+        cmd = [
+            args.cli,
+            "--spec", args.spec,
+            "--sweep", str(args.shards),
+            "--shard-dir", args.shard_dir,
+            "--shard-timeout-ms", str(args.shard_timeout_ms),
+            "--json", args.out,
+        ]
+        if args.chaos_kill_shard >= 0:
+            cmd += ["--sweep-chaos-kill-shard", str(args.chaos_kill_shard)]
+    if args.stats:
+        cmd += ["--sweep-stats"]
     print("run_paper_sweep:", " ".join(cmd), flush=True)
     result = subprocess.run(cmd)
+    if result.returncode == 3:
+        # Graceful drain (SIGTERM/SIGINT landed on the CLI): completed shards
+        # are journaled and durable; mirror the CLI's exit code so callers
+        # (systemd, CI) can tell "interrupted, resumable" from "failed".
+        print(f"run_paper_sweep: sweep drained — finish it with:\n"
+              f"  {sys.argv[0]} --resume --spec {args.spec} "
+              f"--shard-dir {args.shard_dir} --out {args.out}",
+              file=sys.stderr)
+        sys.exit(3)
     if result.returncode != 0:
         sys.exit(result.returncode)
 
