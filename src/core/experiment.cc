@@ -4,7 +4,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -12,8 +11,10 @@
 #include "core/result.h"
 #include "extsort/record.h"
 #include "util/check.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/str.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace emsim::core {
@@ -23,25 +24,37 @@ namespace {
 /// Collects the first failure by *task index* (not arrival order) so the
 /// failure a caller sees is deterministic across thread counts, and defers
 /// any abort to the joining thread: pool workers must never call abort()
-/// while sibling tasks are mid-flight.
+/// while sibling tasks are mid-flight. Accessors lock too: they are called
+/// only after the pool joins, but taking the mutex keeps the class
+/// race-free by construction (and the thread-safety analysis checkable)
+/// rather than by caller protocol.
 class FailureCapture {
  public:
-  void Record(int index, const Status& status) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Record(int index, const Status& status) EMSIM_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
     if (index < first_index_) {
       first_index_ = index;
       status_ = status;
     }
   }
 
-  bool failed() const { return first_index_ != std::numeric_limits<int>::max(); }
-  int first_index() const { return first_index_; }
-  const Status& status() const { return status_; }
+  bool failed() const EMSIM_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
+    return first_index_ != std::numeric_limits<int>::max();
+  }
+  int first_index() const EMSIM_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
+    return first_index_;
+  }
+  Status status() const EMSIM_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
+    return status_;
+  }
 
  private:
-  mutable std::mutex mu_;
-  int first_index_ = std::numeric_limits<int>::max();
-  Status status_;
+  mutable util::Mutex mu_;
+  int first_index_ EMSIM_GUARDED_BY(mu_) = std::numeric_limits<int>::max();
+  Status status_ EMSIM_GUARDED_BY(mu_);
 };
 
 int ResolveThreads(int num_threads) {

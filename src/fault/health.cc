@@ -8,13 +8,16 @@
 namespace emsim::fault {
 
 HealthTracker::HealthTracker(int num_disks, Options options)
-    : options_(options), disks_(static_cast<size_t>(num_disks)) {
+    : options_(options),
+      num_disks_(num_disks),
+      disks_(static_cast<size_t>(num_disks)) {
   EMSIM_CHECK(num_disks >= 1);
   EMSIM_CHECK(options_.quarantine_after_failures >= 1);
   EMSIM_CHECK(options_.quarantine_window_ms >= 0.0);
 }
 
 void HealthTracker::NoteFailure(int disk, double now) {
+  util::MutexLock lock(&mu_);
   DiskHealth& h = disks_[static_cast<size_t>(disk)];
   ++h.consecutive_failures;
   if (h.consecutive_failures < options_.quarantine_after_failures) return;
@@ -26,22 +29,47 @@ void HealthTracker::NoteFailure(int disk, double now) {
 }
 
 void HealthTracker::NoteSuccess(int disk) {
+  util::MutexLock lock(&mu_);
   disks_[static_cast<size_t>(disk)].consecutive_failures = 0;
 }
 
-void HealthTracker::MarkDead(int disk) { disks_[static_cast<size_t>(disk)].dead = true; }
+void HealthTracker::MarkDead(int disk) {
+  util::MutexLock lock(&mu_);
+  disks_[static_cast<size_t>(disk)].dead = true;
+}
 
-bool HealthTracker::Usable(int disk, double now) const {
+bool HealthTracker::UsableLocked(int disk, double now) const {
   const DiskHealth& h = disks_[static_cast<size_t>(disk)];
   return !h.dead && h.quarantine_until <= now;
 }
 
+bool HealthTracker::Usable(int disk, double now) const {
+  util::MutexLock lock(&mu_);
+  return UsableLocked(disk, now);
+}
+
+bool HealthTracker::Dead(int disk) const {
+  util::MutexLock lock(&mu_);
+  return disks_[static_cast<size_t>(disk)].dead;
+}
+
 int HealthTracker::DegradedCount(double now) const {
+  util::MutexLock lock(&mu_);
   int degraded = 0;
-  for (int d = 0; d < num_disks(); ++d) {
-    if (!Usable(d, now)) ++degraded;
+  for (int d = 0; d < num_disks_; ++d) {
+    if (!UsableLocked(d, now)) ++degraded;
   }
   return degraded;
+}
+
+uint64_t HealthTracker::quarantine_events() const {
+  util::MutexLock lock(&mu_);
+  return quarantine_events_;
+}
+
+double HealthTracker::quarantine_ms() const {
+  util::MutexLock lock(&mu_);
+  return quarantine_ms_;
 }
 
 }  // namespace emsim::fault

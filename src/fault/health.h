@@ -1,9 +1,11 @@
 #ifndef EMSIM_FAULT_HEALTH_H_
 #define EMSIM_FAULT_HEALTH_H_
 
-#include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace emsim::fault {
 
@@ -18,6 +20,12 @@ namespace emsim::fault {
 /// failure extends the window); a success clears the streak. A disk marked
 /// dead (permanent failure) never becomes usable again. All state is plain
 /// deterministic arithmetic on simulated time — no randomness, no wall clock.
+///
+/// Thread safety: internally synchronized. Today each simulation owns its
+/// tracker exclusively, but the capacity-planning-daemon direction (many
+/// concurrent clients sharing health state for real devices) wants the class
+/// safe by construction, and it sits nowhere near the perf-smoke-gated hot
+/// loops — the lock is uncontended in every current caller.
 class HealthTracker {
  public:
   struct Options {
@@ -29,26 +37,26 @@ class HealthTracker {
   HealthTracker(int num_disks, Options options);
 
   /// Records a failed attempt on `disk` at simulated time `now`.
-  void NoteFailure(int disk, double now);
+  void NoteFailure(int disk, double now) EMSIM_EXCLUDES(mu_);
 
   /// Records a successful completion on `disk`; ends its failure streak.
-  void NoteSuccess(int disk);
+  void NoteSuccess(int disk) EMSIM_EXCLUDES(mu_);
 
   /// Permanently retires `disk` (retries exhausted / fail-stop observed).
-  void MarkDead(int disk);
+  void MarkDead(int disk) EMSIM_EXCLUDES(mu_);
 
   /// True when planners may target `disk` at simulated time `now`.
-  bool Usable(int disk, double now) const;
+  bool Usable(int disk, double now) const EMSIM_EXCLUDES(mu_);
 
-  bool Dead(int disk) const { return disks_[static_cast<size_t>(disk)].dead; }
+  bool Dead(int disk) const EMSIM_EXCLUDES(mu_);
 
   /// Number of disks not usable at `now` (quarantined or dead).
-  int DegradedCount(double now) const;
+  int DegradedCount(double now) const EMSIM_EXCLUDES(mu_);
 
-  int num_disks() const { return static_cast<int>(disks_.size()); }
-  uint64_t quarantine_events() const { return quarantine_events_; }
+  int num_disks() const { return num_disks_; }
+  uint64_t quarantine_events() const EMSIM_EXCLUDES(mu_);
   /// Total simulated time scheduled as quarantine windows (overlaps merged).
-  double quarantine_ms() const { return quarantine_ms_; }
+  double quarantine_ms() const EMSIM_EXCLUDES(mu_);
 
  private:
   struct DiskHealth {
@@ -57,10 +65,14 @@ class HealthTracker {
     bool dead = false;
   };
 
-  Options options_;
-  std::vector<DiskHealth> disks_;
-  uint64_t quarantine_events_ = 0;
-  double quarantine_ms_ = 0.0;
+  bool UsableLocked(int disk, double now) const EMSIM_REQUIRES(mu_);
+
+  const Options options_;
+  const int num_disks_;
+  mutable util::Mutex mu_;
+  std::vector<DiskHealth> disks_ EMSIM_GUARDED_BY(mu_);
+  uint64_t quarantine_events_ EMSIM_GUARDED_BY(mu_) = 0;
+  double quarantine_ms_ EMSIM_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace emsim::fault

@@ -1,0 +1,36 @@
+#include "obs/shared_registry.h"
+
+namespace emsim::obs {
+
+void SharedRegistry::IncrementCounter(const std::string& name, uint64_t n) {
+  util::MutexLock lock(&mu_);
+  registry_.GetCounter(name).Increment(n);
+}
+
+void SharedRegistry::SetGauge(const std::string& name, double value) {
+  util::MutexLock lock(&mu_);
+  registry_.GetGauge(name).Set(value);
+}
+
+void SharedRegistry::AddGauge(const std::string& name, double delta) {
+  util::MutexLock lock(&mu_);
+  registry_.GetGauge(name).Add(delta);
+}
+
+void SharedRegistry::UpdateTimeline(const std::string& name, double now,
+                                    double value) {
+  util::MutexLock lock(&mu_);
+  registry_.GetTimeline(name).Update(now, value);
+}
+
+void SharedRegistry::FlushTimelines(double now) {
+  util::MutexLock lock(&mu_);
+  registry_.FlushTimelines(now);
+}
+
+std::vector<MetricsRegistry::Sample> SharedRegistry::Samples() const {
+  util::MutexLock lock(&mu_);
+  return registry_.Samples();
+}
+
+}  // namespace emsim::obs

@@ -1,0 +1,54 @@
+#ifndef EMSIM_OBS_SHARED_REGISTRY_H_
+#define EMSIM_OBS_SHARED_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace emsim::obs {
+
+/// A MetricsRegistry that many threads may update concurrently.
+///
+/// MetricsRegistry itself is deliberately unsynchronized: its contract is one
+/// registry per simulation, instrument references escaping to hot-path
+/// callers, one arithmetic op per hook. That contract cannot be locked after
+/// the fact — the references bypass any registry-level mutex. SharedRegistry
+/// is the complement for the *aggregation* side of the house (dispatcher
+/// observers, cross-trial roll-ups, the future capacity-planning daemon):
+/// name-addressed updates under one lock, no escaping references, and a
+/// `Samples()` snapshot that is consistent — it observes an atomic point in
+/// the update stream, never a torn half-applied batch.
+///
+/// Per-update name lookup makes this ~10-30x slower per hook than the
+/// unsynchronized registry; keep it off simulation hot loops.
+class SharedRegistry {
+ public:
+  explicit SharedRegistry(bool enabled = true) : registry_(enabled) {}
+
+  SharedRegistry(const SharedRegistry&) = delete;
+  SharedRegistry& operator=(const SharedRegistry&) = delete;
+
+  void IncrementCounter(const std::string& name, uint64_t n = 1)
+      EMSIM_EXCLUDES(mu_);
+  void SetGauge(const std::string& name, double value) EMSIM_EXCLUDES(mu_);
+  void AddGauge(const std::string& name, double delta) EMSIM_EXCLUDES(mu_);
+  void UpdateTimeline(const std::string& name, double now, double value)
+      EMSIM_EXCLUDES(mu_);
+
+  /// Closes every timeline's window at `now`.
+  void FlushTimelines(double now) EMSIM_EXCLUDES(mu_);
+
+  /// Consistent snapshot of the underlying registry's deterministic export.
+  std::vector<MetricsRegistry::Sample> Samples() const EMSIM_EXCLUDES(mu_);
+
+ private:
+  mutable util::Mutex mu_;
+  MetricsRegistry registry_ EMSIM_GUARDED_BY(mu_);
+};
+
+}  // namespace emsim::obs
+
+#endif  // EMSIM_OBS_SHARED_REGISTRY_H_

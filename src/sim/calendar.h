@@ -163,8 +163,13 @@ inline void CalendarQueue::InsertSorted(std::vector<CalEntry>& bucket, CalEntry 
   // bucket was the dominant allocation source when a calendar fills from
   // cold (hundreds of buckets, each paying 2-3 mallocs for its first few
   // entries); one 64-byte reservation covers the typical O(1) occupancy.
-  if (bucket.capacity() == 0) {
-    bucket.reserve(4);
+  // On overflow, quadruple instead of libstdc++'s doubling: the resize
+  // hysteresis keeps steady-state load in [1/2, 4], so a bucket that
+  // outgrows 4 is a transient hot spot — 4->16 absorbs it in one malloc
+  // where 4->8->16 pays two and kept a measurable allocs/op residual in
+  // the n=4096 hold model (~0.045/op from capacity creep).
+  if (bucket.size() == bucket.capacity()) {
+    bucket.reserve(bucket.capacity() == 0 ? 4 : 4 * bucket.capacity());
   }
   size_t i = bucket.size();
   bucket.push_back(entry);

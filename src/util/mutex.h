@@ -1,0 +1,86 @@
+#ifndef EMSIM_UTIL_MUTEX_H_
+#define EMSIM_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace emsim::util {
+
+class CondVar;
+
+/// A `std::mutex` carrying the CAPABILITY annotation so Clang's
+/// thread-safety analysis (and the cross-TU rules in emsim_analyze.py) can
+/// see acquisitions. All mutex-protected state in the tree uses this wrapper;
+/// bare `std::mutex` members defeat both analyses and the
+/// shared-state-unguarded rule flags the members they guard.
+class EMSIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() EMSIM_ACQUIRE() { mu_.lock(); }
+  void Unlock() EMSIM_RELEASE() { mu_.unlock(); }
+  bool TryLock() EMSIM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over util::Mutex (abseil MutexLock shape). Scoped-capability:
+/// the analysis treats construction as acquisition and destruction as
+/// release, so guarded members are accessible for the lock's whole scope.
+class EMSIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) EMSIM_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() EMSIM_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex* mu_;
+};
+
+/// Condition variable whose Wait() takes the RAII lock itself, sidestepping
+/// the Clang lambda pitfall: predicate lambdas passed to
+/// `std::condition_variable::wait(lock, pred)` read guarded members inside a
+/// lambda body where the analysis does not assume the capability, producing
+/// unfixable warnings. Callers instead write the loop manually:
+///
+///   MutexLock lock(&mu_);
+///   while (!ready_) cv_.Wait(lock);
+///
+/// which keeps the guarded reads in the annotated scope. The
+/// lock-held-blocking analyze rule recognizes exactly this while-wrapped
+/// single-argument Wait as predicate-safe.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`'s mutex, blocks, and reacquires before
+  /// returning. The capability is held on entry and on exit, which is why
+  /// the analysis is told nothing changed (the adopt/release dance below is
+  /// invisible to it by design).
+  void Wait(MutexLock& lock) EMSIM_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> ul(lock.mu_->mu_, std::adopt_lock);
+    cv_.wait(ul);
+    ul.release();  // Ownership stays with the MutexLock.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace emsim::util
+
+#endif  // EMSIM_UTIL_MUTEX_H_

@@ -1,0 +1,72 @@
+#ifndef EMSIM_UTIL_THREAD_ANNOTATIONS_H_
+#define EMSIM_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (abseil-style). On Clang
+/// these expand to `__attribute__((...))` capability annotations consumed by
+/// `-Wthread-safety`; on every other compiler they expand to nothing, so the
+/// annotated tree stays portable. The annotations are one half of the
+/// concurrency static-analysis tier: Clang checks them intra-TU at compile
+/// time, and `tools/lint/emsim_analyze.py` reads the same macro names
+/// cross-TU (shared-state-unguarded, lock-order-cycle, lock-held-blocking).
+///
+/// Usage sketch:
+///
+///   class Queue {
+///     util::Mutex mu_;
+///     std::deque<int> items_ EMSIM_GUARDED_BY(mu_);
+///     void PushLocked(int v) EMSIM_REQUIRES(mu_);
+///   };
+
+#if defined(__clang__) && defined(__has_attribute)
+#define EMSIM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define EMSIM_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define EMSIM_CAPABILITY(x) EMSIM_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define EMSIM_SCOPED_CAPABILITY EMSIM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the named capability.
+#define EMSIM_GUARDED_BY(x) EMSIM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the named capability.
+#define EMSIM_PT_GUARDED_BY(x) EMSIM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and keeps it held).
+#define EMSIM_REQUIRES(...) \
+  EMSIM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and returns with it held.
+#define EMSIM_ACQUIRE(...) \
+  EMSIM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability before returning.
+#define EMSIM_RELEASE(...) \
+  EMSIM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function attempts acquisition; first argument is the success return value.
+#define EMSIM_TRY_ACQUIRE(...) \
+  EMSIM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be entered with the capability held (deadlock guard).
+#define EMSIM_EXCLUDES(...) EMSIM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares a lock-acquisition ordering edge checked by the analysis.
+#define EMSIM_ACQUIRED_BEFORE(...) \
+  EMSIM_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define EMSIM_ACQUIRED_AFTER(...) \
+  EMSIM_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to a capability-guarded object.
+#define EMSIM_RETURN_CAPABILITY(x) EMSIM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function's locking is deliberately invisible to the
+/// analysis (e.g. adopt-lock plumbing inside util::CondVar). Every use needs
+/// a comment explaining why the analysis cannot model it.
+#define EMSIM_NO_THREAD_SAFETY_ANALYSIS \
+  EMSIM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // EMSIM_UTIL_THREAD_ANNOTATIONS_H_

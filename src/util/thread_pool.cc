@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 
@@ -18,23 +19,28 @@ ThreadPool& ThreadPool::Instance() {
 }
 
 ThreadPool::~ThreadPool() {
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     stop_ = true;
+    // Swap the workers out so the joins below run unlocked: a worker's last
+    // act before exiting is re-checking stop_ under mu_, and joining while
+    // holding it would deadlock.
+    workers.swap(workers_);
   }
-  work_cv_.notify_all();
-  for (std::thread& worker : workers_) {
+  work_cv_.NotifyAll();
+  for (std::thread& worker : workers) {
     worker.join();
   }
 }
 
 int ThreadPool::WorkersSpawned() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return static_cast<int>(workers_.size());
 }
 
 void ThreadPool::EnsureWorkers(int count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   while (static_cast<int>(workers_.size()) < count) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -51,8 +57,8 @@ void ThreadPool::RunTasks(Job& job) {
     if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == job.total) {
       // Wake the Run() caller. The lock round trip orders the notify against
       // the caller's wait-predicate check.
-      { std::lock_guard<std::mutex> lock(mu_); }
-      done_cv_.notify_all();
+      { util::MutexLock lock(&mu_); }
+      done_cv_.NotifyAll();
     }
   }
   t_inside_pool_task = false;
@@ -63,9 +69,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return stop_ || job_generation_ != seen_generation; });
+      util::MutexLock lock(&mu_);
+      while (!stop_ && job_generation_ == seen_generation) {
+        work_cv_.Wait(lock);
+      }
       if (stop_) {
         return;
       }
@@ -102,17 +109,17 @@ void ThreadPool::Run(int parallelism, int num_tasks,
   job->total = num_tasks;
   job->max_extra_workers = threads - 1;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     job_ = job;
     ++job_generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   RunTasks(*job);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] {
-      return job->completed.load(std::memory_order_acquire) == job->total;
-    });
+    util::MutexLock lock(&mu_);
+    while (job->completed.load(std::memory_order_acquire) != job->total) {
+      done_cv_.Wait(lock);
+    }
     job_.reset();
   }
 }

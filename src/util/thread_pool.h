@@ -2,13 +2,14 @@
 #define EMSIM_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace emsim {
 
@@ -30,6 +31,11 @@ namespace emsim {
 /// caller and no worker threads are ever created.
 ///
 /// Not reentrant: a task must not call Run() again (enforced).
+///
+/// Locking discipline: `mu_` guards the job slot, the stop flag, and the
+/// worker vector; per-job progress is lock-free atomics inside `Job`. All
+/// guarded members carry EMSIM_GUARDED_BY so Clang's thread-safety analysis
+/// checks every access path.
 class ThreadPool {
  public:
   /// The process-wide pool. First call constructs it; workers are only
@@ -41,12 +47,13 @@ class ThreadPool {
 
   /// Runs `task(i)` for i in [0, num_tasks) across up to `parallelism`
   /// threads (including the caller); blocks until all tasks completed.
-  void Run(int parallelism, int num_tasks, const std::function<void(int)>& task);
+  void Run(int parallelism, int num_tasks, const std::function<void(int)>& task)
+      EMSIM_EXCLUDES(mu_);
 
   /// Worker threads created so far (introspection for tests).
-  int WorkersSpawned() const;
+  int WorkersSpawned() const EMSIM_EXCLUDES(mu_);
 
-  ~ThreadPool();
+  ~ThreadPool() EMSIM_EXCLUDES(mu_);
 
  private:
   ThreadPool() = default;
@@ -60,17 +67,18 @@ class ThreadPool {
     std::atomic<int> worker_entrants{0};
   };
 
-  void EnsureWorkers(int count);
-  void WorkerLoop();
-  void RunTasks(Job& job);
+  void EnsureWorkers(int count) EMSIM_EXCLUDES(mu_);
+  void WorkerLoop() EMSIM_EXCLUDES(mu_);
+  void RunTasks(Job& job) EMSIM_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // Workers sleep here between jobs.
-  std::condition_variable done_cv_;  // Run() sleeps here until completion.
-  std::shared_ptr<Job> job_;         // Non-null while a job is being drained.
-  uint64_t job_generation_ = 0;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  mutable util::Mutex mu_;
+  util::CondVar work_cv_;  // Workers sleep here between jobs.
+  util::CondVar done_cv_;  // Run() sleeps here until completion.
+  /// Non-null while a job is being drained.
+  std::shared_ptr<Job> job_ EMSIM_GUARDED_BY(mu_);
+  uint64_t job_generation_ EMSIM_GUARDED_BY(mu_) = 0;
+  bool stop_ EMSIM_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_ EMSIM_GUARDED_BY(mu_);
 };
 
 }  // namespace emsim

@@ -514,6 +514,346 @@ std::set<Run*> live;
         self.assertEqual(len(report["findings"]), 1)
 
 
+class SharedStateUnguardedTest(unittest.TestCase):
+    def test_unguarded_member_in_capability_class_fires(self):
+        files = {"src/core/reg.cc": """
+namespace util { class Mutex {}; }
+class Registry {
+ public:
+  void Add(int v);
+ private:
+  util::Mutex mu_;
+  int count_;
+};
+"""}
+        self.assertEqual(rules_fired(files), ["shared-state-unguarded"])
+
+    def test_guarded_and_exempt_members_are_clean(self):
+        files = {"src/core/reg.cc": """
+#include <atomic>
+namespace util { class Mutex {}; }
+class Registry {
+ private:
+  util::Mutex mu_;
+  int count_ EMSIM_GUARDED_BY(mu_);
+  std::atomic<int> generation_;
+  static constexpr int kLimit = 8;
+};
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+    def test_members_of_lockless_class_are_clean(self):
+        files = {"src/core/plain.cc": """
+struct Options {
+  int shards = 1;
+  double budget_ms = 0.0;
+};
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+    def test_mutated_local_static_on_parallel_path_fires_cross_tu(self):
+        files = {
+            "src/sweep/run.cc": """
+void Bump();
+namespace emsim {
+void RunSweepRange(int n) {
+  for (int i = 0; i < n; ++i) Bump();
+}
+}
+""",
+            "src/core/bump.cc": """
+void Bump() {
+  static int counter = 0;
+  ++counter;
+}
+""",
+        }
+        code, report = run_fixture(files)
+        self.assertEqual(code, 1)
+        finding = report["findings"][0]
+        self.assertEqual(finding["rule"], "shared-state-unguarded")
+        self.assertIn("RunSweepRange", finding["message"])
+        self.assertIn("counter", finding["message"])
+
+    def test_local_static_off_parallel_paths_is_clean(self):
+        files = {"src/core/bump.cc": """
+void Bump() {
+  static int counter = 0;
+  ++counter;
+}
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+    def test_unmutated_and_sync_local_statics_are_clean(self):
+        files = {
+            "src/sweep/run.cc": """
+int Lookup(int i);
+namespace emsim {
+int RunSweepRange(int n) { return Lookup(n); }
+}
+""",
+            "src/core/table.cc": """
+#include <mutex>
+int Lookup(int i) {
+  static const int kTable[4] = {1, 2, 3, 4};
+  static std::mutex mu;
+  (void)mu;
+  return kTable[i & 3];
+}
+""",
+        }
+        self.assertEqual(rules_fired(files), [])
+
+
+class LockOrderCycleTest(unittest.TestCase):
+    def test_inverse_order_in_one_tu_fires_once(self):
+        files = {"src/core/ab.cc": """
+#include <mutex>
+std::mutex a;
+std::mutex b;
+void AB() {
+  std::lock_guard<std::mutex> la(a);
+  std::lock_guard<std::mutex> lb(b);
+}
+void BA() {
+  std::lock_guard<std::mutex> lb(b);
+  std::lock_guard<std::mutex> la(a);
+}
+"""}
+        code, report = run_fixture(files)
+        self.assertEqual(code, 1)
+        cycles = [f for f in report["findings"]
+                  if f["rule"] == "lock-order-cycle"]
+        self.assertEqual(len(cycles), 1)
+
+    def test_cycle_through_cross_tu_call_under_lock_fires(self):
+        files = {
+            "src/core/one.cc": """
+#include <mutex>
+extern std::mutex a;
+void TakeB();
+void CallUnder() {
+  std::lock_guard<std::mutex> la(a);
+  TakeB();
+}
+""",
+            "src/core/two.cc": """
+#include <mutex>
+std::mutex a;
+std::mutex b;
+void TakeB() { std::lock_guard<std::mutex> lb(b); }
+void Reverse() {
+  std::lock_guard<std::mutex> lb(b);
+  std::lock_guard<std::mutex> la(a);
+}
+""",
+        }
+        self.assertIn("lock-order-cycle", rules_fired(files))
+
+    def test_double_acquisition_is_a_self_cycle(self):
+        files = {"src/core/dbl.cc": """
+#include <mutex>
+std::mutex m;
+void Doubled() {
+  std::lock_guard<std::mutex> l1(m);
+  std::lock_guard<std::mutex> l2(m);
+}
+"""}
+        code, report = run_fixture(files)
+        self.assertEqual(code, 1)
+        finding = report["findings"][0]
+        self.assertEqual(finding["rule"], "lock-order-cycle")
+        self.assertIn("re-acquired", finding["message"])
+
+    def test_consistent_order_is_clean(self):
+        files = {"src/core/ok.cc": """
+#include <mutex>
+std::mutex a;
+std::mutex b;
+void First() {
+  std::lock_guard<std::mutex> la(a);
+  std::lock_guard<std::mutex> lb(b);
+}
+void Second() {
+  std::lock_guard<std::mutex> la(a);
+  std::lock_guard<std::mutex> lb(b);
+}
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+    def test_same_method_on_sibling_instance_is_not_a_self_cycle(self):
+        # `parent_->Bump()` resolves by simple name to the caller itself;
+        # the closure must skip same-qname candidates or every delegating
+        # method becomes a false double-lock.
+        files = {"src/core/sibling.cc": """
+namespace util { class Mutex {}; class MutexLock {
+ public: explicit MutexLock(Mutex* m); }; }
+class Registry {
+ public:
+  void Bump(int n);
+ private:
+  util::Mutex mu_;
+  Registry* parent_ EMSIM_GUARDED_BY(mu_) = nullptr;
+  int count_ EMSIM_GUARDED_BY(mu_) = 0;
+};
+void Registry::Bump(int n) {
+  util::MutexLock lock(&mu_);
+  count_ += n;
+  if (parent_) parent_->Bump(n);
+}
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+    def test_adopt_and_defer_tags_are_not_acquisitions(self):
+        files = {"src/core/adopt.cc": """
+#include <mutex>
+std::mutex m;
+void Adopted() {
+  m.lock();
+  std::unique_lock<std::mutex> l1(m, std::adopt_lock);
+  std::unique_lock<std::mutex> l2(m, std::adopt_lock);
+}
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+
+class LockHeldBlockingTest(unittest.TestCase):
+    def test_direct_blocking_call_under_lock_fires(self):
+        files = {"src/core/flush.cc": """
+#include <mutex>
+#include <unistd.h>
+std::mutex m;
+void Flush(int fd) {
+  std::lock_guard<std::mutex> l(m);
+  fsync(fd);
+}
+"""}
+        code, report = run_fixture(files)
+        self.assertEqual(code, 1)
+        finding = report["findings"][0]
+        self.assertEqual(finding["rule"], "lock-held-blocking")
+        self.assertIn("fsync", finding["message"])
+
+    def test_transitive_blocking_through_cross_tu_call_fires(self):
+        files = {
+            "src/core/hold.cc": """
+#include <mutex>
+std::mutex m;
+void WriteDurable(int fd);
+void Publish(int fd) {
+  std::lock_guard<std::mutex> l(m);
+  WriteDurable(fd);
+}
+""",
+            "src/core/durable.cc": """
+#include <unistd.h>
+void WriteDurable(int fd) { fsync(fd); }
+""",
+        }
+        self.assertEqual(rules_fired(files), ["lock-held-blocking"])
+
+    def test_blocking_outside_the_lock_scope_is_clean(self):
+        files = {"src/core/flush.cc": """
+#include <mutex>
+#include <unistd.h>
+std::mutex m;
+void Flush(int fd) {
+  {
+    std::lock_guard<std::mutex> l(m);
+  }
+  fsync(fd);
+}
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+    def test_blocking_in_deferred_lambda_under_lock_is_clean(self):
+        files = {"src/core/defer.cc": """
+#include <functional>
+#include <mutex>
+#include <unistd.h>
+std::mutex m;
+std::function<void()> pending;
+void Queue(int fd) {
+  std::lock_guard<std::mutex> l(m);
+  pending = [fd] { fsync(fd); };
+}
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+    def test_bare_cv_wait_outside_a_recheck_loop_fires(self):
+        files = {"src/core/wait.cc": """
+#include <condition_variable>
+#include <mutex>
+std::mutex m;
+std::condition_variable cv;
+void BadWait() {
+  std::unique_lock<std::mutex> l(m);
+  cv.wait(l);
+}
+"""}
+        code, report = run_fixture(files)
+        self.assertEqual(code, 1)
+        self.assertEqual(report["findings"][0]["rule"], "lock-held-blocking")
+        self.assertIn("re-check loop", report["findings"][0]["message"])
+
+    def test_loop_wrapped_and_predicate_waits_are_clean(self):
+        files = {"src/core/wait.cc": """
+#include <condition_variable>
+#include <mutex>
+bool ready;
+std::mutex m;
+std::condition_variable cv;
+void LoopWait() {
+  std::unique_lock<std::mutex> l(m);
+  while (!ready) cv.wait(l);
+}
+void BracedWait() {
+  std::unique_lock<std::mutex> l(m);
+  while (!ready) {
+    cv.wait(l);
+  }
+}
+void PredicateWait() {
+  std::unique_lock<std::mutex> l(m);
+  cv.wait(l, [] { return ready; });
+}
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+
+class AnnotationParseTest(unittest.TestCase):
+    def test_annotated_function_still_carries_taint(self):
+        # Capability macros on declarations must not derail function
+        # discovery: taint inside an EMSIM_EXCLUDES-annotated definition
+        # still reaches the export surface.
+        files = {
+            "src/stats/json_writer.cc": sink_calling(
+                "double Tick();", "Tick()"),
+            "src/core/tick.cc": """
+#include <chrono>
+namespace util { class Mutex {}; }
+util::Mutex mu;
+double Tick() EMSIM_EXCLUDES(mu) {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+""",
+        }
+        self.assertEqual(rules_fired(files), ["determinism-taint"])
+
+    def test_annotated_class_members_parse(self):
+        files = {"src/core/annotated.cc": """
+namespace util { class EMSIM_CAPABILITY("mutex") Mutex {}; }
+class EMSIM_SCOPED_CAPABILITY Holder {
+ public:
+  explicit Holder(util::Mutex* m) EMSIM_ACQUIRE(m);
+  ~Holder() EMSIM_RELEASE();
+ private:
+  util::Mutex* held_;
+};
+"""}
+        self.assertEqual(rules_fired(files), [])
+
+
 class CleanTreeGateTest(unittest.TestCase):
     """The real tree must analyze clean (suppressions allowed, findings not).
     Mirrors the emsim_lint clean-tree gate; requires a configured build."""

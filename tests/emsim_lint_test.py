@@ -73,6 +73,30 @@ class RuleFixtureTest(unittest.TestCase):
         self.assertNotIn("no-unordered-in-export", rules_fired("src/cache/block_cache.cc", line))
         self.assertNotIn("no-unordered-in-export", rules_fired("src/extsort/tag_sort.h", line))
 
+    def test_raw_thread_fires_outside_util(self):
+        for line in [
+            "std::thread worker([] { Run(); });",
+            "std::jthread worker(Loop);",
+            "auto fut = std::async(std::launch::async, Work);",
+            "worker.detach();",
+        ]:
+            self.assertIn("raw-thread",
+                          rules_fired("src/sweep/x.cc", line + "\n"), line)
+
+    def test_raw_thread_scope_and_queries_are_clean(self):
+        # The pool implementation itself and tests may spawn threads, and
+        # hardware_concurrency is a pure query, not a spawn.
+        self.assertEqual(set(), rules_fired(
+            "src/util/thread_pool.cc", "std::thread worker(Loop);\n"))
+        self.assertEqual(set(), rules_fired(
+            "tests/pool_test.cc", "std::thread worker(Loop);\n"))
+        self.assertEqual(set(), rules_fired(
+            "src/sweep/x.cc",
+            "int hw = std::thread::hardware_concurrency();\n"))
+        self.assertEqual(set(), rules_fired(
+            "src/sweep/x.cc",
+            "std::this_thread::sleep_for(std::chrono::milliseconds(2));\n"))
+
     def test_assert_fires_but_static_assert_and_gtest_do_not(self):
         self.assertIn("check-over-assert", rules_fired("src/x.cc", "assert(n > 0);\n"))
         self.assertEqual(set(), rules_fired("src/x.cc", "static_assert(sizeof(int) == 4);\n"))

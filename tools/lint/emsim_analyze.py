@@ -45,6 +45,36 @@ Rules (ids are what `allow(...)` takes; `--list-rules` prints this catalog):
   no-blocking-in-sim   Host blocking primitives (sleep_for/until, std::mutex
                        family, condition_variable) in a TU that contains
                        coroutine code.
+  shared-state-unguarded
+                       Mutable shared state with no declared discipline:
+                       a function-local `static` that is mutated and
+                       reachable from a parallel entry point (ThreadPool::
+                       Run/RunTasks/WorkerLoop, RunSweepRange/RunTrials
+                       Parallel/RunSweepParallel, RunShardedSweep) and is
+                       neither const, std::atomic, once_flag, nor a
+                       lock-bearing type; or a data member of a lock-bearing
+                       class (one that owns a Mutex) that is neither
+                       EMSIM_GUARDED_BY, std::atomic, const, nor a
+                       synchronization object itself.
+  lock-order-cycle     A cycle in the cross-TU lock-acquisition graph. An
+                       edge A -> B is recorded whenever capability B is
+                       acquired through an RAII locker (util::MutexLock,
+                       lock_guard, unique_lock, scoped_lock, shared_lock —
+                       adopt/defer/try tags skipped) while A is held,
+                       including acquisitions reached through bounded-depth
+                       calls into other functions and TUs. Capability names
+                       are qualified by the owning class so `mu_` in two
+                       classes stays distinct; a self-edge (re-acquiring a
+                       held capability) is a one-node cycle. Each cycle is
+                       reported once per capability set.
+  lock-held-blocking   A blocking operation while a capability is held:
+                       subprocess spawn/wait (fork, Subprocess::Start,
+                       waitpid, system, popen), fsync/fdatasync, or
+                       sleep_for/sleep_until — directly or through a
+                       bounded-depth callee — or a predicate-less
+                       condition-variable wait(lock) that is not wrapped in
+                       a re-check loop (`while (cond) cv.Wait(lock);` is the
+                       sanctioned form).
 
 Frontends. `--frontend libclang` parses each TU with the python libclang
 bindings (clang.cindex) against the root compile_commands.json; `--frontend
@@ -90,7 +120,7 @@ import sys
 import time
 from pathlib import Path
 
-SCHEMA = "1"
+SCHEMA = "2"
 LINT_DIRS = ("src", "tools", "bench", "tests", "examples")
 
 # --- Rule configuration ------------------------------------------------------
@@ -131,6 +161,53 @@ BLOCKING_IDS = {"mutex", "timed_mutex", "recursive_mutex",
                 "unique_lock", "scoped_lock", "shared_lock",
                 "condition_variable", "condition_variable_any"}
 
+# --- Concurrency-rule configuration (capability discipline) ------------------
+
+# Entry points that run caller-supplied work on several threads (or drive the
+# multi-process shard dispatcher): every function reachable from one of these
+# executes in a parallel context, so mutable statics it touches need a
+# declared discipline. Matched against the definition's qualified name by
+# whole-name or `::`-suffix.
+PARALLEL_ROOTS = (
+    "ThreadPool::Run", "ThreadPool::RunTasks", "ThreadPool::WorkerLoop",
+    "RunSweepRange", "RunTrialsParallel", "RunSweepParallel",
+    "RunShardedSweep",
+)
+
+# RAII locker types that acquire a capability for a lexical scope. An
+# acquisition through one of these while another capability is held records a
+# lock-order edge; constructions carrying adopt/defer/try tags transfer or
+# delay ownership and are not acquisitions.
+LOCKER_TYPES = {"MutexLock", "lock_guard", "unique_lock", "scoped_lock",
+                "shared_lock"}
+LOCKER_SKIP_TAGS = {"adopt_lock", "defer_lock", "try_to_lock"}
+
+# Operations that block the calling thread on the host OS (or spawn and wait
+# on real processes): forbidden while a capability is held, directly or
+# through a bounded-depth callee. Subprocess::Start is the repo's sanctioned
+# spawn entry point, matched by qualified call spelling.
+BLOCKING_CALLS = {"fsync", "fdatasync", "fork", "system", "popen", "waitpid",
+                  "sleep_for", "sleep_until"}
+BLOCKING_QUALIFIED = {"Subprocess::Start"}
+
+# Type tokens that exempt a static or a data member from
+# shared-state-unguarded: their own synchronization (atomic, once_flag),
+# immutability, per-thread storage, or being a synchronization object.
+SYNC_TYPE_TOKENS = {"atomic", "atomic_flag", "once_flag", "mutex",
+                    "timed_mutex", "recursive_mutex", "recursive_timed_mutex",
+                    "shared_mutex", "Mutex", "CondVar", "MutexLock",
+                    "condition_variable", "condition_variable_any",
+                    "lock_guard", "unique_lock", "scoped_lock", "shared_lock"}
+STATIC_EXEMPT_TOKENS = SYNC_TYPE_TOKENS | {"const", "constexpr",
+                                           "thread_local"}
+# Mutex-owning member types that mark a class as lock-bearing.
+CAP_TYPE_TOKENS = {"Mutex", "mutex", "shared_mutex", "timed_mutex",
+                   "recursive_mutex", "recursive_timed_mutex"}
+# Depth bound for propagating held capabilities into callees (lock-order
+# edges and blocking closures). Chains longer than this are out of scope by
+# design: every locking path in the tree resolves within two hops.
+LOCK_CALL_DEPTH = 3
+
 RULES = {
     "determinism-taint":
         "a run-to-run-varying value source (wall/steady clock, thread id, "
@@ -154,6 +231,20 @@ RULES = {
     "no-blocking-in-sim":
         "host blocking primitive (sleep/mutex/condvar) in a coroutine TU: "
         "simulated time must come from the calendar",
+    "shared-state-unguarded":
+        "mutable shared state without a declared discipline: a mutated "
+        "function-local static reachable from a parallel entry point, or a "
+        "data member of a lock-bearing class that is neither "
+        "EMSIM_GUARDED_BY, std::atomic, nor const",
+    "lock-order-cycle":
+        "cycle in the cross-TU lock-acquisition graph (capability B acquired "
+        "while A is held and, elsewhere, A while B — or a held capability "
+        "re-acquired): lock-order cycles deadlock under contention",
+    "lock-held-blocking":
+        "blocking operation (subprocess spawn/wait, fsync, sleep) while a "
+        "capability is held — or a condition-variable wait without a "
+        "predicate re-check loop: a blocked holder stalls every contending "
+        "thread",
 }
 
 ALLOW_RE = re.compile(
@@ -266,6 +357,7 @@ class FileParser:
         self.toks = tokenize(text)
         self.functions = []
         self.file_facts = []
+        self.classes = []
         self.clock_aliases = set()
         self.unordered_names = set()   # names declared with unordered_* types
         self.is_coro = False
@@ -317,6 +409,18 @@ class FileParser:
             fn["facts"].append(entry)
         else:
             self.file_facts.append(entry)
+        return entry
+
+    def _skip_annotation(self, j):
+        """Index past an EMSIM_* capability-annotation macro (and its
+        optional argument list) at toks[j], or j unchanged."""
+        toks = self.toks
+        if j < len(toks) and toks[j].kind == "id" \
+                and toks[j].text.startswith("EMSIM_"):
+            j += 1
+            if j < len(toks) and toks[j].text == "(":
+                j = self._match_forward(j, "(", ")")
+        return j
 
     # -- file-level scans ----------------------------------------------------
 
@@ -417,6 +521,14 @@ class FileParser:
                 j = i + 1
                 name = "<anon>"
                 while j < n and toks[j].kind == "id":
+                    # Capability annotations sit between the keyword and the
+                    # name: `class EMSIM_CAPABILITY("mutex") Mutex {`.
+                    if toks[j].text.startswith("EMSIM_") \
+                            or toks[j].text == "alignas":
+                        j += 1
+                        if j < n and toks[j].text == "(":
+                            j = self._match_forward(j, "(", ")")
+                        continue
                     name = toks[j].text
                     j += 1
                     if j < n and toks[j].text == "<":
@@ -486,6 +598,8 @@ class FileParser:
             "tok": first,
             "calls": [],
             "facts": [],
+            "locked_calls": [],   # calls made while a capability is held
+            "blocking": [],       # blocking ops anywhere in the body
         }
         params = toks[i + 1:close - 1]
         self._scan_body(fn, params, body_open + 1, body_end - 1)
@@ -510,6 +624,11 @@ class FileParser:
                 i += 1
                 if i < n and toks[i].text == "(":  # noexcept(...)
                     i = self._match_forward(i, "(", ")")
+                continue
+            if toks[i].kind == "id" and text.startswith("EMSIM_"):
+                # Capability annotations after the parameter list:
+                # `void Lock() EMSIM_ACQUIRE() { ... }`.
+                i = self._skip_annotation(i)
                 continue
             if text == "->":
                 i += 1
@@ -589,21 +708,178 @@ class FileParser:
             names.append(last_id)
         return names
 
+    def _loop_context(self, begin, end):
+        """(loop_brace_idxs, single_stmt_ranges) for while/for/do bodies in
+        [begin, end): which '{' tokens open a loop body, and which token
+        ranges form un-braced single-statement loop bodies. Used to accept
+        `while (cond) cv.Wait(lock);` as a predicate re-check loop."""
+        toks = self.toks
+        braces = set()
+        ranges = []
+        i = begin
+        while i < end:
+            text = toks[i].text
+            if text == "do" and i + 1 < end and toks[i + 1].text == "{":
+                braces.add(i + 1)
+            elif text in ("while", "for") and i + 1 < end \
+                    and toks[i + 1].text == "(":
+                close = self._match_forward(i + 1, "(", ")")
+                if close < end and toks[close].text == "{":
+                    braces.add(close)
+                elif close < end:
+                    j = close
+                    while j < end and toks[j].text != ";":
+                        j += 1
+                    ranges.append((close, j))
+            i += 1
+        return braces, ranges
+
+    ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                  "<<=", ">>=", "++", "--"}
+
+    def _is_mutated(self, name, begin, end, decl_begin, decl_end):
+        """True when `name` is written (assignment, ++/--, address taken)
+        anywhere in [begin, end) outside its declaration."""
+        toks = self.toks
+        for w in range(begin, end):
+            if decl_begin <= w <= decl_end:
+                continue
+            if toks[w].kind != "id" or toks[w].text != name:
+                continue
+            prev = toks[w - 1].text if w - 1 >= begin else ""
+            if prev in (".", "->", "::"):
+                continue  # member access named like the static
+            nxt = toks[w + 1].text if w + 1 < end else ""
+            if nxt in self.ASSIGN_OPS or prev in ("++", "--", "&"):
+                return True
+        return False
+
     def _scan_body(self, fn, params, begin, end):
         toks = self.toks
         float_vars = set(self._param_names(params, {"double", "float"}))
         unordered_local = set(self.unordered_names)
+        loop_braces, loop_stmt_ranges = self._loop_context(begin, end)
+        depth = 0
+        loop_depths = []
+        lock_stack = []     # (capability name, brace depth at declaration)
+        lambda_braces = set()
+        barrier_depths = []  # depths of lambda bodies: outer locks are not
+                             # held inside (the body usually runs deferred)
+
+        def held_caps():
+            floor = barrier_depths[-1] if barrier_depths else 0
+            return [c for c, d in lock_stack if d >= floor]
+
         i = begin
         while i < end:
             tok = toks[i]
             text = tok.text
 
-            # Lambda introducer?
+            if text == "{":
+                depth += 1
+                if i in loop_braces:
+                    loop_depths.append(depth)
+                if i in lambda_braces:
+                    barrier_depths.append(depth)
+                i += 1
+                continue
+            if text == "}":
+                while lock_stack and lock_stack[-1][1] >= depth:
+                    lock_stack.pop()
+                if loop_depths and loop_depths[-1] == depth:
+                    loop_depths.pop()
+                if barrier_depths and barrier_depths[-1] == depth:
+                    barrier_depths.pop()
+                depth = max(0, depth - 1)
+                i += 1
+                continue
+
+            # RAII capability acquisition: `util::MutexLock lock(&mu_);`,
+            # `std::lock_guard<std::mutex> lk(mu);`. adopt/defer/try tags
+            # transfer or delay ownership — not acquisitions.
+            if tok.kind == "id" and text in LOCKER_TYPES:
+                j = i + 1
+                if j < end and toks[j].text == "<":
+                    j = self._match_angle(j)
+                if j < end and toks[j].kind == "id" and j + 1 < end \
+                        and toks[j + 1].text == "(":
+                    close = self._match_forward(j + 1, "(", ")")
+                    args = toks[j + 2:close - 1]
+                    arg_ids = {t.text for t in args if t.kind == "id"}
+                    if not (arg_ids & LOCKER_SKIP_TAGS):
+                        caps = self._locker_caps(args)
+                        for cap in caps:
+                            entry = self.fact(
+                                "lock-order-cycle", "acquire", i, cap, fn)
+                            entry["cap"] = cap
+                            entry["held"] = held_caps()
+                            lock_stack.append((cap, depth))
+                        if caps:
+                            i = close
+                            continue
+
+            # Blocking call while a capability is held (every blocking op is
+            # also recorded for the bounded-depth transitive closure).
+            if tok.kind == "id" and text in BLOCKING_CALLS and i + 1 < end \
+                    and toks[i + 1].text == "(":
+                fn["blocking"].append(text)
+                held = held_caps()
+                if held:
+                    entry = self.fact(
+                        "lock-held-blocking", "blocking", i,
+                        f"blocking `{text}()` while holding "
+                        f"`{held[-1]}`", fn)
+                    entry["held"] = held
+
+            # Predicate-less condition-variable wait while a capability is
+            # held must sit inside a re-check loop: a bare wait wakes
+            # spuriously and proceeds on a false condition.
+            if text in ("wait", "Wait") and held_caps() and i > 0 \
+                    and toks[i - 1].text in (".", "->") and i + 1 < end \
+                    and toks[i + 1].text == "(":
+                close = self._match_forward(i + 1, "(", ")")
+                if not self._wait_has_predicate(i + 2, close - 1):
+                    in_loop = bool(loop_depths) or any(
+                        s <= i < e for s, e in loop_stmt_ranges)
+                    if not in_loop:
+                        held = held_caps()
+                        entry = self.fact(
+                            "lock-held-blocking", "cv-wait-no-predicate", i,
+                            f"`{text}(lock)` with no predicate and no "
+                            f"re-check loop while holding "
+                            f"`{held[-1]}`", fn)
+                        entry["held"] = held
+
+            # Function-local static: shared by every thread running this
+            # function. Recorded with its declaration tokens; exemption and
+            # reachability are decided cross-TU at analyze time.
+            if text == "static" and i + 1 < end:
+                j = i + 1
+                decl = []
+                while j < end and toks[j].text not in (";", "=", "(", "{") \
+                        and len(decl) < 14:
+                    decl.append(toks[j])
+                    j += 1
+                names = [t for t in decl if t.kind == "id"
+                         and t.text not in KEYWORDS]
+                if names and (j >= end or toks[j].text != "("):
+                    name = names[-1].text
+                    entry = self.fact(
+                        "shared-state-unguarded", "local-static", i,
+                        f"function-local `static {name}`", fn)
+                    entry["static_name"] = name
+                    entry["types"] = [t.text for t in decl
+                                      if t.text != name]
+                    entry["mutated"] = self._is_mutated(name, begin, end,
+                                                        i, j)
+
+            # Lambda introducer? The body keeps getting scanned by this walk;
+            # registering its opening brace suspends the outer lock stack
+            # inside (the body typically runs deferred, not under the lock).
             if text == "[" and self._is_lambda_intro(i):
-                consumed = self._scan_lambda(fn, i, end)
-                if consumed is not None:
-                    i = consumed
-                    continue
+                body_open = self._scan_lambda(fn, i, end)
+                if body_open is not None:
+                    lambda_braces.add(body_open)
 
             # Declarations that matter: double/float locals; unordered vars
             # are collected file-wide in scan_file_level.
@@ -671,10 +947,49 @@ class FileParser:
 
             # Calls.
             if tok.kind == "id" and i + 1 < end and toks[i + 1].text == "(":
-                self._record_call(fn, i)
+                self._record_call(fn, i, held=held_caps())
             i += 1
 
-    def _record_call(self, fn, i):
+    def _locker_caps(self, args):
+        """Capability names acquired by an RAII locker's argument list: the
+        last id of each top-level comma group (`&mu_` -> mu_; scoped_lock
+        may take several), skipping `this`."""
+        caps = []
+        depth = 0
+        last_id = None
+        for t in args:
+            if t.text in ("<", "(", "["):
+                depth += 1
+            elif t.text in (">", ")", "]"):
+                depth -= 1
+            elif t.text == "," and depth == 0:
+                if last_id is not None:
+                    caps.append(last_id)
+                last_id = None
+                continue
+            if depth == 0 and t.kind == "id" and t.text != "this":
+                last_id = t.text
+        if last_id is not None:
+            caps.append(last_id)
+        return caps
+
+    def _wait_has_predicate(self, begin, end):
+        """True when a cv wait's argument list carries a predicate: a second
+        top-level argument or a lambda."""
+        depth = 0
+        for j in range(begin, end):
+            t = self.toks[j].text
+            if t in ("(", "<"):
+                depth += 1
+            elif t in (")", ">"):
+                depth -= 1
+            elif t == "[":
+                return True  # predicate lambda (subscripts: fail open)
+            elif t == "," and depth == 0:
+                return True
+        return False
+
+    def _record_call(self, fn, i, held=()):
         toks = self.toks
         parts, first = self._name_before(i + 1)
         if parts is None:
@@ -684,6 +999,13 @@ class FileParser:
             return
         full = "::".join(parts)
         fn["calls"].append([full, simple, toks[i].line])
+        if held:
+            fn["locked_calls"].append({"full": full, "simple": simple,
+                                       "tok": i, "line": toks[i].line,
+                                       "held": list(held)})
+        for q in BLOCKING_QUALIFIED:
+            if full == q or full.endswith("::" + q):
+                fn["blocking"].append(full)
         # Determinism sources expressed as calls.
         part_set = set(parts)
         if simple == "now" and (part_set & WALL_CLOCKS
@@ -759,7 +1081,7 @@ class FileParser:
                                   "after a suspension point", fn)
                         break
             # Pointer-comparator check is pointless for coroutines; done.
-            return None  # body still scanned by the enclosing walk
+            return j  # body-open index; body still scanned by the caller
         # Comparator lambda over pointer parameters: (T* a, T* b) { a < b }.
         ptr_params = self._pointer_param_names(params)
         if len(ptr_params) >= 2:
@@ -774,7 +1096,7 @@ class FileParser:
                               f"comparator orders pointer parameters "
                               f"`{t.text}` and `{body[k + 2].text}`", fn)
                     break
-        return None
+        return j
 
     def _pointer_param_names(self, params):
         names = set()
@@ -797,11 +1119,155 @@ class FileParser:
                 names.add(ids[-1])
         return names
 
+    # -- class-member scan (capability discipline) ---------------------------
+
+    CLASS_SKIP_STMT = {"public", "private", "protected", "using", "typedef",
+                       "friend", "template", "enum", "class", "struct",
+                       "static_assert"}
+
+    def scan_classes(self):
+        """Collects every class/struct definition's data members with their
+        EMSIM_GUARDED_BY status, for the shared-state-unguarded rule. The
+        linear scan visits nested classes on its own."""
+        toks = self.toks
+        for i in range(len(toks)):
+            if toks[i].text not in ("class", "struct"):
+                continue
+            # `enum class`, `template <class T, class U>`: not definitions.
+            if i > 0 and toks[i - 1].text in ("enum", "<", ","):
+                continue
+            header = self._class_header(i)
+            if header is not None:
+                self._scan_class_body(header[0], i, header[1])
+
+    def _class_header(self, i):
+        """(name, body_open_index) when toks[i] ('class'/'struct') opens a
+        definition; None for forward declarations, variables of elaborated
+        type, and template parameters."""
+        toks = self.toks
+        n = len(toks)
+        j = i + 1
+        name = None
+        while j < n and toks[j].kind == "id":
+            if toks[j].text.startswith("EMSIM_") or toks[j].text == "alignas":
+                j += 1
+                if j < n and toks[j].text == "(":
+                    j = self._match_forward(j, "(", ")")
+                continue
+            if toks[j].text == "final":
+                j += 1
+                continue
+            name = toks[j].text
+            j += 1
+            if j < n and toks[j].text == "<":
+                j = self._match_angle(j)
+        if name is None:
+            return None
+        k = j
+        while k < n and toks[k].text not in ("{", ";", "=", "("):
+            k += 1
+        if k < n and toks[k].text == "{":
+            return name, k
+        return None
+
+    @staticmethod
+    def _stmt_is_function(stmt):
+        """A class-body statement is a function declaration when its first
+        top-level '(' follows a plain identifier (annotation macros are not
+        function names) with no '=' before it."""
+        for k, (tok, _idx) in enumerate(stmt):
+            if tok.text == "=":
+                return False
+            if tok.text == "(":
+                return k > 0 and stmt[k - 1][0].kind == "id" \
+                    and not stmt[k - 1][0].text.startswith("EMSIM_")
+        return False
+
+    MEMBER_EXEMPT_TOKENS = SYNC_TYPE_TOKENS | {"const", "constexpr"}
+
+    def _scan_class_body(self, cls_name, cls_tok, body_open):
+        toks = self.toks
+        body_end = self._match_forward(body_open, "{", "}")
+        members = []
+        has_cap = False
+
+        def classify(stmt):
+            nonlocal has_cap
+            while len(stmt) >= 2 \
+                    and stmt[0][0].text in ("public", "private", "protected") \
+                    and stmt[1][0].text == ":":
+                stmt = stmt[2:]
+            if not stmt:
+                return
+            texts = [t.text for t, _idx in stmt]
+            if texts[0] in self.CLASS_SKIP_STMT or "operator" in texts:
+                return
+            if self._stmt_is_function(stmt):
+                return
+            guarded = any(t in ("EMSIM_GUARDED_BY", "EMSIM_PT_GUARDED_BY")
+                          for t in texts)
+            name_pos = None
+            for k, (tok, _idx) in enumerate(stmt):
+                if tok.text == "=" or tok.text.startswith("EMSIM_"):
+                    break
+                if tok.kind == "id" and tok.text not in KEYWORDS:
+                    name_pos = k
+            if name_pos is None:
+                return
+            name_tok, name_idx = stmt[name_pos]
+            type_texts = {t.text for t, _idx in stmt[:name_pos]}
+            if type_texts & CAP_TYPE_TOKENS:
+                has_cap = True
+            members.append({
+                "name": name_tok.text, "tok": name_idx,
+                "line": name_tok.line, "guarded": guarded,
+                "exempt": bool(type_texts & self.MEMBER_EXEMPT_TOKENS),
+            })
+
+        stmt = []
+        i = body_open + 1
+        while i < body_end - 1:
+            text = toks[i].text
+            if text == ";":
+                classify(stmt)
+                stmt = []
+                i += 1
+                continue
+            if text == "{":
+                end = self._match_forward(i, "{", "}")
+                if self._stmt_is_function(stmt) or \
+                        (stmt and stmt[0][0].text in ("class", "struct",
+                                                      "enum")):
+                    stmt = []          # body consumed; nested classes get
+                    i = end            # their own scan_classes visit
+                    continue
+                i = end                # default member initializer `x{3}`
+                continue
+            if text == "(":
+                stmt.append((toks[i], i))
+                i = self._match_forward(i, "(", ")")
+                continue
+            if text == "<" and stmt and stmt[-1][0].kind == "id":
+                i = self._match_angle(i)
+                continue
+            stmt.append((toks[i], i))
+            i += 1
+        classify(stmt)
+
+        if members:
+            self.classes.append({
+                "name": cls_name, "tok": cls_tok,
+                "line": toks[cls_tok].line, "has_cap": has_cap,
+                "members": members,
+            })
+
     def ir(self):
         self.parse()
+        self.scan_classes()
         return {
             "functions": self.functions,
             "file_facts": self.file_facts,
+            "classes": self.classes,
             "is_coro": self.is_coro,
         }
 
@@ -858,7 +1324,8 @@ class LibclangFrontend:
 
         def file_ir(rel):
             return files.setdefault(
-                rel, {"functions": [], "file_facts": [], "is_coro": False})
+                rel, {"functions": [], "file_facts": [], "classes": [],
+                      "is_coro": False})
 
         def qname(cursor):
             parts = []
@@ -940,8 +1407,11 @@ class LibclangFrontend:
         top(tu.cursor)
 
         # Token-level facts the cursor walk does not model (type decls,
-        # coroutine markers) come from the shared internal scanners, applied
-        # per file, so both frontends agree on them exactly.
+        # coroutine markers, class members, RAII lock scopes) come from the
+        # shared internal scanners, applied per file, so both frontends agree
+        # on them exactly.
+        lock_rules = ("shared-state-unguarded", "lock-order-cycle",
+                      "lock-held-blocking")
         for rel in list(files) + [p for p in (rel_of_path(tu_path, root),)
                                   if p is not None and p not in files]:
             try:
@@ -949,11 +1419,36 @@ class LibclangFrontend:
                                               errors="replace")
             except OSError:
                 continue
-            parser = FileParser(rel, text)
-            parser.scan_file_level()
+            internal = FileParser(rel, text).ir()
             ir = file_ir(rel)
-            ir["file_facts"] = parser.file_facts
-            ir["is_coro"] = parser.is_coro
+            ir["file_facts"] = internal["file_facts"]
+            ir["is_coro"] = internal["is_coro"]
+            ir["classes"] = internal["classes"]
+            # Graft the internal frontend's lock-discipline payload onto the
+            # cursor-walk functions. Matching (line, qname) definitions merge
+            # in place; lock-relevant functions the cursor walk spelled
+            # differently are prepended stripped to lock facts only, so
+            # Program's first-wins dedup cannot shadow libclang's own facts
+            # and no finding is ever emitted twice.
+            by_key = {(fn["line"], fn["qname"]): fn
+                      for fn in ir["functions"]}
+            extra = []
+            for fn in internal["functions"]:
+                lock_facts = [f for f in fn["facts"]
+                              if f["rule"] in lock_rules]
+                if not (lock_facts or fn["locked_calls"] or fn["blocking"]):
+                    continue
+                target = by_key.get((fn["line"], fn["qname"]))
+                if target is not None:
+                    target["facts"].extend(lock_facts)
+                    target.setdefault("locked_calls",
+                                      []).extend(fn["locked_calls"])
+                    target.setdefault("blocking", []).extend(fn["blocking"])
+                else:
+                    fn = dict(fn)
+                    fn["facts"] = lock_facts
+                    extra.append(fn)
+            ir["functions"] = extra + ir["functions"]
         return {"files": files}
 
 
@@ -1084,7 +1579,9 @@ def load_database(db_path: Path, root: Path):
 def rules_digest() -> str:
     h = hashlib.sha256()
     for part in (sorted(RULES), EXPORT_SINK_PATTERNS,
-                 sorted(AGG_ROOT_NAMES), sorted(WALL_CLOCKS)):
+                 sorted(AGG_ROOT_NAMES), sorted(WALL_CLOCKS),
+                 PARALLEL_ROOTS, sorted(LOCKER_TYPES),
+                 sorted(BLOCKING_CALLS), sorted(STATIC_EXEMPT_TOKENS)):
         h.update(repr(part).encode("utf-8"))
     return h.hexdigest()[:16]
 
@@ -1165,6 +1662,29 @@ class Program:
         names.reverse()
         return " -> ".join(names)
 
+    def reachable_from(self, root_suffixes):
+        """fn id -> chain-parent id (or None for a root) for every function
+        reachable from definitions whose qualified name matches one of
+        `root_suffixes` (exact, `::`-suffix, or bare simple name)."""
+        parent = {}
+        queue = []
+        for fn in self.defs:
+            q = fn["qname"]
+            for root in root_suffixes:
+                if q == root or q.endswith("::" + root) \
+                        or ("::" not in root and fn["name"] == root):
+                    parent[fn["id"]] = None
+                    queue.append(fn["id"])
+                    break
+        while queue:
+            cur = queue.pop(0)
+            for full, simple, _line in self.defs[cur]["calls"]:
+                for callee in self.resolve(full, simple):
+                    if callee not in parent:
+                        parent[callee] = cur
+                        queue.append(callee)
+        return parent
+
     def aggregation_set(self):
         """Aggregation roots plus their direct same-file callees."""
         out = set()
@@ -1181,11 +1701,107 @@ class Program:
         return out
 
 
+def class_prefix(fn):
+    """The enclosing-scope prefix of a function's qualified name (used to
+    qualify member capabilities so `mu_` in two classes stays distinct)."""
+    q = fn["qname"]
+    return q.rsplit("::", 1)[0] if "::" in q else ""
+
+
+def qualify_cap(fn, cap):
+    prefix = class_prefix(fn)
+    return f"{prefix}::{cap}" if prefix else cap
+
+
+class LockAnalysis:
+    """Bounded-depth closures over the resolved call graph: which
+    capabilities a function (transitively) acquires, and which blocking
+    operations it (transitively) performs. Both closures skip callee
+    candidates with the caller's own qualified name — a member call like
+    `other_.Note(...)` resolves by simple name to the caller itself and
+    would otherwise manufacture self-recursion."""
+
+    def __init__(self, program):
+        self.program = program
+        self._acquires = {}
+        self._blocking = {}
+
+    def _callees(self, fn):
+        out = []
+        for full, simple, _line in fn["calls"]:
+            for c in self.program.resolve(full, simple):
+                callee = self.program.defs[c]
+                if c != fn["id"] and callee["qname"] != fn["qname"]:
+                    out.append(c)
+        return out
+
+    def acquires(self, fn_id, depth=LOCK_CALL_DEPTH):
+        """Qualified capabilities acquired by fn or its callees (bounded)."""
+        key = (fn_id, depth)
+        cached = self._acquires.get(key)
+        if cached is not None:
+            return cached
+        self._acquires[key] = set()   # cycle guard while computing
+        fn = self.program.defs[fn_id]
+        out = {qualify_cap(fn, fact["cap"]) for fact in fn["facts"]
+               if fact["rule"] == "lock-order-cycle"
+               and fact["kind"] == "acquire"}
+        if depth > 0:
+            for c in self._callees(fn):
+                out |= self.acquires(c, depth - 1)
+        self._acquires[key] = out
+        return out
+
+    def blocking(self, fn_id, depth=LOCK_CALL_DEPTH):
+        """Blocking operation names performed by fn or its callees."""
+        key = (fn_id, depth)
+        cached = self._blocking.get(key)
+        if cached is not None:
+            return cached
+        self._blocking[key] = set()
+        fn = self.program.defs[fn_id]
+        out = set(fn.get("blocking", ()))
+        if depth > 0:
+            for c in self._callees(fn):
+                out |= self.blocking(c, depth - 1)
+        self._blocking[key] = out
+        return out
+
+
+def _find_cycle_through(graph, a, b):
+    """Shortest capability path b -> ... -> a in the lock-order graph (BFS),
+    or None. Together with the edge a -> b this closes a cycle."""
+    if a == b:
+        return [a]
+    parent = {b: None}
+    queue = [b]
+    while queue:
+        cur = queue.pop(0)
+        for nxt in graph.get(cur, {}):
+            if nxt in parent:
+                continue
+            parent[nxt] = cur
+            if nxt == a:
+                path = [a]
+                while parent[path[-1]] is not None:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path   # [b, ..., a]
+            queue.append(nxt)
+    return None
+
+
 def analyze_program(files: dict):
     """Findings (pre-suppression) for the merged per-file IRs."""
     program = Program(files)
     surface = program.export_surface()
     agg = program.aggregation_set()
+    preach = program.reachable_from(PARALLEL_ROOTS)
+    locks = LockAnalysis(program)
+    cap_class_names = {cls["name"] for file_ir in files.values()
+                       for cls in file_ir.get("classes", ())
+                       if cls["has_cap"]}
+    static_exempt = STATIC_EXEMPT_TOKENS | cap_class_names
     findings = []
 
     def emit(rule, path, line, message, detail):
@@ -1227,6 +1843,88 @@ def analyze_program(files: dict):
                          "time and synchronization must come from the "
                          "calendar (sim::Delay, Events, Semaphores)",
                          fact["kind"])
+            elif rule == "shared-state-unguarded":
+                if fact["kind"] == "local-static" and fact.get("mutated") \
+                        and fn["id"] in preach \
+                        and not (set(fact.get("types", ())) & static_exempt):
+                    where = program.chain(preach, fn["id"])
+                    emit(rule, fn["file"], fact["line"],
+                         f"{fact['detail']} is written on a parallel path "
+                         f"({where}) with no capability guarding it; hoist "
+                         "it into a class behind EMSIM_GUARDED_BY or make "
+                         "it atomic/const", fact["kind"])
+            elif rule == "lock-held-blocking":
+                emit(rule, fn["file"], fact["line"],
+                     f"{fact['detail']} in `{fn['qname']}`; blocking while "
+                     "holding a capability stalls every waiter — drop the "
+                     "lock around the slow operation", fact["kind"])
+
+    # Lock-order discipline: collect held-vs-acquired edges (directly, and
+    # through calls made with a capability held, to a bounded depth), then
+    # report each capability cycle once. A self-edge is a double acquisition
+    # of a non-recursive mutex — a guaranteed self-deadlock.
+    edges = {}   # capA -> {capB: (path, line, detail)}
+
+    def add_edge(a, b, path, line, detail):
+        edges.setdefault(a, {}).setdefault(b, (path, line, detail))
+
+    for fn in program.defs:
+        for fact in fn["facts"]:
+            if fact["rule"] == "lock-order-cycle" \
+                    and fact["kind"] == "acquire":
+                cap = qualify_cap(fn, fact["cap"])
+                for held in fact.get("held", ()):
+                    held_q = qualify_cap(fn, held)
+                    add_edge(held_q, cap, fn["file"], fact["line"],
+                             f"`{fn['qname']}` acquires `{cap}` while "
+                             f"holding `{held_q}`")
+        for lc in fn.get("locked_calls", ()):
+            if not lc["held"]:
+                continue
+            callees = [c for c in program.resolve(lc["full"], lc["simple"])
+                       if c != fn["id"]
+                       and program.defs[c]["qname"] != fn["qname"]]
+            acquired = set()
+            blocked = set()
+            for c in callees:
+                acquired |= locks.acquires(c, LOCK_CALL_DEPTH - 1)
+                blocked |= locks.blocking(c, LOCK_CALL_DEPTH - 1)
+            for cap in sorted(acquired):
+                for held in lc["held"]:
+                    held_q = qualify_cap(fn, held)
+                    add_edge(held_q, cap, fn["file"], lc["line"],
+                             f"`{fn['qname']}` calls `{lc['full']}` (which "
+                             f"acquires `{cap}`) while holding `{held_q}`")
+            if blocked:
+                ops = ", ".join(f"`{b}`" for b in sorted(blocked))
+                emit("lock-held-blocking", fn["file"], lc["line"],
+                     f"`{fn['qname']}` calls `{lc['full']}` while holding "
+                     f"`{qualify_cap(fn, lc['held'][-1])}`, and the callee "
+                     f"blocks (transitively reaches {ops}); drop the lock "
+                     "around the slow operation", "blocking-call")
+
+    reported_cycles = set()
+    for a in sorted(edges):
+        for b in sorted(edges[a]):
+            path_nodes = _find_cycle_through(edges, a, b)
+            if path_nodes is None:
+                continue
+            cycle = frozenset(path_nodes) | {a}
+            if cycle in reported_cycles:
+                continue
+            reported_cycles.add(cycle)
+            src, line, detail = edges[a][b]
+            if len(cycle) == 1:
+                emit("lock-order-cycle", src, line,
+                     f"capability `{a}` is re-acquired while already held "
+                     f"({detail}); the mutex is non-recursive, so this "
+                     "self-deadlocks", "double-lock")
+            else:
+                order = " -> ".join([a] + path_nodes)
+                emit("lock-order-cycle", src, line,
+                     f"lock-order cycle {order}: {detail}, and the reverse "
+                     "order is taken elsewhere — pick one global acquisition "
+                     "order for these capabilities", "cycle")
 
     for rel in sorted(files):
         for fact in files[rel]["file_facts"]:
@@ -1243,6 +1941,17 @@ def analyze_program(files: dict):
                      f"{fact['detail']}; pointer order is ASLR-random across "
                      "sweep-worker processes — key on a stable id instead",
                      fact["kind"])
+        for cls in files[rel].get("classes", ()):
+            if not cls["has_cap"]:
+                continue
+            for member in cls["members"]:
+                if member["guarded"] or member["exempt"]:
+                    continue
+                emit("shared-state-unguarded", rel, member["line"],
+                     f"member `{cls['name']}::{member['name']}` of a "
+                     "capability-bearing class has no EMSIM_GUARDED_BY "
+                     "annotation; guard it, make it atomic/const, or move "
+                     "it out of the locked class", "member")
 
     findings.sort(key=lambda f: (f["path"], f["line"], f["rule"]))
     return findings
@@ -1329,6 +2038,10 @@ def remap_lines(ir: dict, scanner: DependencyScanner, root: Path):
         for fn in file_ir.get("functions", ()):
             entries.append(fn)
             entries.extend(fn.get("facts", ()))
+            entries.extend(fn.get("locked_calls", ()))
+        for cls in file_ir.get("classes", ()):
+            entries.append(cls)
+            entries.extend(cls.get("members", ()))
         for entry in entries:
             tok = entry.get("tok")
             if tok is None:

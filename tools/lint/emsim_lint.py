@@ -36,6 +36,13 @@ source of run-to-run nondeterminism at the source level:
   include-guard        headers must guard with EMSIM_<PATH>_H_ derived from
                        their repo-relative path (e.g. src/util/check.h ->
                        EMSIM_UTIL_CHECK_H_).
+  raw-thread           std::thread / std::jthread / std::async / .detach()
+                       outside src/util/ and tests/ — ad-hoc threads bypass
+                       util::ThreadPool's bounded, joined, capability-
+                       annotated workers (and the emsim_analyze lock rules
+                       that key off its roots); a detached thread can outlive
+                       the results it writes. std::thread::hardware_concurrency
+                       (a pure query) is fine.
 
 Coroutine-safety rules, scoped to coroutine translation units (a file that
 contains co_await / co_return). The hot path runs on pooled C++20 coroutine
@@ -161,6 +168,18 @@ RULES = [
         "unordered container in a result/JSON-export path: iteration order is not "
         "byte-stable; use std::map or sort explicitly before emitting",
         applies=_in_export_path,
+    ),
+    Rule(
+        "raw-thread",
+        r"\bstd::(?:jthread\b|thread\b(?!\s*::))"
+        r"|(?<![\w:])std::async\s*\("
+        r"|\.detach\s*\(\)",
+        "ad-hoc thread outside src/util/: route parallelism through "
+        "util::ThreadPool (bounded, joined, capability-annotated) so the "
+        "concurrency analyzer's parallel roots stay accurate; "
+        "std::thread::hardware_concurrency is fine",
+        applies=lambda relpath: not relpath.startswith(("src/util/",
+                                                        "tests/")),
     ),
     Rule(
         "check-over-assert",
